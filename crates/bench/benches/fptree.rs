@@ -1,0 +1,69 @@
+//! FP-tree microbenchmarks: construction, probing, and the ablation of the
+//! ubiquitous-attribute fast path (§V-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssj_bench::DataSet;
+use ssj_join::{fpjoin, FpTree};
+
+fn bench_fptree(c: &mut Criterion) {
+    for dataset in DataSet::all() {
+        let (_dict, docs) = dataset.generate(2000, 42);
+
+        let mut group = c.benchmark_group(format!("fptree/{}", dataset.label()));
+        group.sample_size(10);
+
+        group.bench_function("build/2000", |b| {
+            b.iter(|| FpTree::build(docs.iter()))
+        });
+
+        let tree = FpTree::build(docs.iter());
+        group.bench_function("probe_all/fast_path", |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for d in &docs {
+                    found += fpjoin::probe_with_stats(&tree, d, true).0.len();
+                }
+                found
+            })
+        });
+        // Ablation: the same probes without the ubiquitous-level shortcut.
+        group.bench_function("probe_all/no_fast_path", |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for d in &docs {
+                    found += fpjoin::probe_with_stats(&tree, d, false).0.len();
+                }
+                found
+            })
+        });
+        // Alternative strategy: candidate-driven probing via header chains.
+        group.bench_function("probe_all/header_chains", |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for d in &docs {
+                    found += ssj_join::probe_via_header(&tree, d).len();
+                }
+                found
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("insert", 2000),
+            &docs,
+            |b, docs| {
+                b.iter(|| {
+                    let order = ssj_join::AttrOrder::compute(docs.iter());
+                    let mut tree = FpTree::new(order);
+                    for d in docs {
+                        tree.insert(d);
+                    }
+                    tree.node_count()
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fptree);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion microbenchmarks behind Fig. 11: the three local join
+//! algorithms on both datasets at growing window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssj_bench::DataSet;
+use ssj_join::{join_batch, JoinAlgo};
+
+fn bench_joins(c: &mut Criterion) {
+    for dataset in DataSet::all() {
+        let mut group = c.benchmark_group(format!("join/{}", dataset.label()));
+        group.sample_size(10);
+        for &n in &[500usize, 1000, 2000] {
+            let (_dict, docs) = dataset.generate(n, 42);
+            group.throughput(Throughput::Elements(n as u64));
+            for algo in [JoinAlgo::FpTree, JoinAlgo::Hbj, JoinAlgo::Nlj] {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), n),
+                    &docs,
+                    |b, docs| b.iter(|| join_batch(algo, docs)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

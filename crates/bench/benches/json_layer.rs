@@ -1,0 +1,66 @@
+//! Microbenchmarks of the JSON substrate: parsing, serialization,
+//! flattening/interning, and the pairwise join compatibility test.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ssj_bench::DataSet;
+use ssj_json::{parse, Dictionary, DocId, Document};
+
+fn bench_json(c: &mut Criterion) {
+    // A realistic corpus: 1000 server-log lines as text.
+    let dict = Dictionary::new();
+    let (gen_dict, docs) = DataSet::RwData.generate(1000, 42);
+    let lines: Vec<String> = docs.iter().map(|d| d.to_json(&gen_dict)).collect();
+    let bytes: usize = lines.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("json");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("parse_1000_docs", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for line in &lines {
+                n += parse(line).unwrap().len();
+            }
+            n
+        })
+    });
+    group.bench_function("serialize_1000_docs", |b| {
+        let values: Vec<_> = lines.iter().map(|l| parse(l).unwrap()).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in &values {
+                total += v.to_json().len();
+            }
+            total
+        })
+    });
+    group.bench_function("intern_1000_docs", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (i, line) in lines.iter().enumerate() {
+                n += Document::from_json(DocId(i as u64), line, &dict)
+                    .unwrap()
+                    .len();
+            }
+            n
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("join_test");
+    group.bench_function("check_join_all_pairs_200", |b| {
+        let subset = &docs[..200];
+        b.iter(|| {
+            let mut joinable = 0usize;
+            for (i, a) in subset.iter().enumerate() {
+                for b in &subset[i + 1..] {
+                    joinable += a.joins_with(b) as usize;
+                }
+            }
+            joinable
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_json);
+criterion_main!(benches);

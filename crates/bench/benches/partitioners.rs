@@ -1,0 +1,58 @@
+//! Partitioner microbenchmarks: creation cost of AG / SC / DS on one window
+//! of each dataset, plus the attribute-expansion ablation (§VI-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssj_bench::DataSet;
+use ssj_json::Dictionary;
+use ssj_partition::{batch_views, Expansion, PartitionerKind, View};
+
+fn views_of(dataset: DataSet, n: usize, expansion: bool, m: usize) -> (Dictionary, Vec<View>) {
+    let (dict, docs) = dataset.generate(n, 42);
+    let exp = if expansion {
+        Expansion::detect(&docs, &dict, m)
+    } else {
+        None
+    };
+    let views = batch_views(&docs, exp.as_ref(), &dict)
+        .into_iter()
+        .flatten()
+        .collect();
+    (dict, views)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let m = 8;
+    for dataset in DataSet::all() {
+        let mut group = c.benchmark_group(format!("partition/{}", dataset.label()));
+        group.sample_size(10);
+        let (_dict, views) = views_of(dataset, 1500, true, m);
+        for kind in PartitionerKind::with_baselines() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), views.len()),
+                &views,
+                |b, views| b.iter(|| kind.create(views, m)),
+            );
+        }
+        group.finish();
+    }
+
+    // Ablation: AG creation quality work with vs. without expansion —
+    // measures the end-to-end cost of view building + partitioning.
+    let mut group = c.benchmark_group("partition/expansion_ablation");
+    group.sample_size(10);
+    for expansion in [true, false] {
+        group.bench_function(
+            if expansion { "nbData/with_expansion" } else { "nbData/without_expansion" },
+            |b| {
+                b.iter(|| {
+                    let (_d, views) = views_of(DataSet::NbData, 1000, expansion, m);
+                    PartitionerKind::Ag.create(&views, m)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

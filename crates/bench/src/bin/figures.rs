@@ -1,0 +1,263 @@
+//! Regenerate every figure of the paper's evaluation (§VII).
+//!
+//! ```text
+//! cargo run -p ssj-bench --release --bin figures -- all
+//! cargo run -p ssj-bench --release --bin figures -- fig6 fig11
+//! cargo run -p ssj-bench --release --bin figures -- --dpm 500 --windows 10 fig8
+//! cargo run -p ssj-bench --release --bin figures -- --join-scale 1.0 fig11   # paper-scale axis
+//! ```
+//!
+//! Output is a plain-text table per sub-figure: rows are the x-axis of the
+//! paper's plot, columns the competing algorithms.
+
+use ssj_bench::{ideal_experiment, partition_experiment, print_table, DataSet, Scale};
+use ssj_join::{split_timings, JoinAlgo};
+use ssj_partition::PartitionerKind;
+
+const MS: [usize; 4] = [5, 8, 10, 20];
+const WS: [usize; 3] = [3, 6, 9];
+const THETAS: [f64; 2] = [0.2, 0.6];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut figures: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dpm" => {
+                scale.docs_per_minute = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--dpm needs a number");
+            }
+            "--windows" => {
+                scale.windows = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--windows needs a number");
+            }
+            "--join-scale" => {
+                scale.join_scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--join-scale needs a number");
+            }
+            other => figures.push(other.to_ascii_lowercase()),
+        }
+    }
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = vec![
+            "fig6".into(),
+            "fig7".into(),
+            "fig8".into(),
+            "fig9".into(),
+            "fig10".into(),
+            "fig11".into(),
+        ];
+    }
+    println!(
+        "scale: {} docs/minute, {} windows per run, join-scale {}",
+        scale.docs_per_minute, scale.windows, scale.join_scale
+    );
+    for fig in figures {
+        match fig.as_str() {
+            "fig6" => partition_figure(scale, Metric::Replication),
+            "fig7" => partition_figure(scale, Metric::LoadBalance),
+            "fig8" => partition_figure(scale, Metric::MaxLoad),
+            "fig9" => fig9(scale),
+            "fig10" => fig10(scale),
+            "fig11" => fig11(scale),
+            other => eprintln!("unknown figure '{other}' (expected fig6..fig11)"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Metric {
+    Replication,
+    LoadBalance,
+    MaxLoad,
+}
+
+impl Metric {
+    fn title(self) -> &'static str {
+        match self {
+            Metric::Replication => "Fig. 6 — Replication (avg)",
+            Metric::LoadBalance => "Fig. 7 — Load Balance (Gini)",
+            Metric::MaxLoad => "Fig. 8 — Max Processing Load (avg)",
+        }
+    }
+
+    fn pick(self, m: &ssj_bench::PartitionMeasurement) -> f64 {
+        match self {
+            Metric::Replication => m.replication,
+            Metric::LoadBalance => m.load_balance,
+            Metric::MaxLoad => m.max_load,
+        }
+    }
+}
+
+/// Figs. 6/7/8: (a) varying m rwData, (b) varying w rwData, (c) varying m
+/// nbData, (d) varying w nbData.
+fn partition_figure(scale: Scale, metric: Metric) {
+    for dataset in DataSet::all() {
+        // Varying partitions, w=6, θ=0.2.
+        let columns: Vec<(&str, Vec<f64>)> = PartitionerKind::all()
+            .iter()
+            .map(|&kind| {
+                let vals: Vec<f64> = MS
+                    .iter()
+                    .map(|&m| metric.pick(&partition_experiment(dataset, kind, m, 6, 0.2, scale)))
+                    .collect();
+                (kind.name(), vals)
+            })
+            .collect();
+        print_table(
+            &format!(
+                "{} — varying partitions ({}) [w=6, θ=0.2]",
+                metric.title(),
+                dataset.label()
+            ),
+            "m",
+            &MS,
+            &columns,
+        );
+
+        // Varying window, m=8, θ=0.2.
+        let columns: Vec<(&str, Vec<f64>)> = PartitionerKind::all()
+            .iter()
+            .map(|&kind| {
+                let vals: Vec<f64> = WS
+                    .iter()
+                    .map(|&w| metric.pick(&partition_experiment(dataset, kind, 8, w, 0.2, scale)))
+                    .collect();
+                (kind.name(), vals)
+            })
+            .collect();
+        print_table(
+            &format!(
+                "{} — varying window ({}) [m=8, θ=0.2]",
+                metric.title(),
+                dataset.label()
+            ),
+            "w",
+            &WS,
+            &columns,
+        );
+    }
+}
+
+/// Fig. 9: repartition percentage vs θ, m=8, w=6.
+fn fig9(scale: Scale) {
+    for dataset in DataSet::all() {
+        let columns: Vec<(&str, Vec<f64>)> = PartitionerKind::all()
+            .iter()
+            .map(|&kind| {
+                let vals: Vec<f64> = THETAS
+                    .iter()
+                    .map(|&theta| {
+                        partition_experiment(dataset, kind, 8, 6, theta, scale).repartitions_pct
+                    })
+                    .collect();
+                (kind.name(), vals)
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 9 — Repartitions (%) ({}) [m=8, w=6]", dataset.label()),
+            "theta",
+            &THETAS,
+            &columns,
+        );
+    }
+}
+
+/// Fig. 10: ideal execution — replication / Gini / max load vs m.
+fn fig10(scale: Scale) {
+    let mut per_kind: Vec<(&str, Vec<ssj_bench::PartitionMeasurement>)> = Vec::new();
+    for kind in PartitionerKind::all() {
+        let ms: Vec<_> = MS
+            .iter()
+            .map(|&m| ideal_experiment(kind, m, scale))
+            .collect();
+        per_kind.push((kind.name(), ms));
+    }
+    for (sub, title, pick) in [
+        ("a", "Replication (avg)", 0usize),
+        ("b", "Load balance (Gini)", 1),
+        ("c", "Max processing load (avg)", 2),
+    ] {
+        let columns: Vec<(&str, Vec<f64>)> = per_kind
+            .iter()
+            .map(|(name, ms)| {
+                let vals: Vec<f64> = ms
+                    .iter()
+                    .map(|m| match pick {
+                        0 => m.replication,
+                        1 => m.load_balance,
+                        _ => m.max_load,
+                    })
+                    .collect();
+                (*name, vals)
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 10{sub} — Ideal execution: {title} [w=6, θ=0.2]"),
+            "m",
+            &MS,
+            &columns,
+        );
+    }
+}
+
+/// Fig. 11: local join execution times.
+fn fig11(scale: Scale) {
+    let fp_sizes: Vec<usize> = [100_000usize, 300_000, 500_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale.join_scale) as usize).max(100))
+        .collect();
+    let base_sizes: Vec<usize> = [10_000usize, 30_000, 50_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale.join_scale) as usize).max(100))
+        .collect();
+
+    for dataset in DataSet::all() {
+        // (a)/(b): FPTreeJoin creation + join, stacked.
+        let max = *fp_sizes.last().unwrap();
+        let (_dict, docs) = dataset.generate(max, 42);
+        let mut creation = Vec::new();
+        let mut join = Vec::new();
+        for &n in &fp_sizes {
+            let t = split_timings(JoinAlgo::FpTree, &docs[..n]);
+            creation.push(t.creation.as_secs_f64());
+            join.push(t.join.as_secs_f64());
+        }
+        print_table(
+            &format!("Fig. 11 — FPTreeJoin ({}) [seconds]", dataset.label()),
+            "docs",
+            &fp_sizes,
+            &[("Creation", creation), ("Join", join)],
+        );
+
+        // (c)/(d): NLJ vs HBJ.
+        let max = *base_sizes.last().unwrap();
+        let (_dict, docs) = dataset.generate(max, 42);
+        let mut nlj = Vec::new();
+        let mut hbj = Vec::new();
+        for &n in &base_sizes {
+            let t = split_timings(JoinAlgo::Nlj, &docs[..n]);
+            nlj.push(t.creation.as_secs_f64() + t.join.as_secs_f64());
+            let t = split_timings(JoinAlgo::Hbj, &docs[..n]);
+            hbj.push(t.creation.as_secs_f64() + t.join.as_secs_f64());
+        }
+        print_table(
+            &format!(
+                "Fig. 11 — Competitor joins ({}) [seconds]",
+                dataset.label()
+            ),
+            "docs",
+            &base_sizes,
+            &[("NLJ", nlj), ("HBJ", hbj)],
+        );
+    }
+}

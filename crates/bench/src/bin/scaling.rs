@@ -1,0 +1,64 @@
+//! Beyond the paper: end-to-end throughput of the threaded Fig. 2 topology
+//! on this machine, as a function of the number of Joiners (m) and of the
+//! local join algorithm.
+//!
+//! ```text
+//! cargo run -p ssj-bench --release --bin scaling [-- docs-per-run]
+//! ```
+
+use ssj_bench::DataSet;
+use ssj_core::{run_topology, StreamJoinConfig};
+use ssj_join::JoinAlgo;
+use std::time::Instant;
+
+fn main() {
+    let docs_per_run: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let window = (docs_per_run / 8).max(100);
+
+    println!("threaded topology throughput ({docs_per_run} docs, window {window})\n");
+    println!("{:<10} {:<6} {:>12} {:>12}", "dataset", "m", "seconds", "docs/sec");
+    for dataset in DataSet::all() {
+        for m in [1usize, 2, 4, 8] {
+            let (dict, docs) = dataset.generate(docs_per_run, 42);
+            let mut cfg = StreamJoinConfig::default().with_m(m).with_window(window);
+            cfg.partition_creators = 2;
+            cfg.assigners = 4;
+            let t0 = Instant::now();
+            let report = run_topology(cfg, &dict, docs).expect("run");
+            let secs = t0.elapsed().as_secs_f64();
+            let joins: usize = report.joins_per_window.iter().map(|w| w.len()).sum();
+            println!(
+                "{:<10} {:<6} {:>12.3} {:>12.0}   ({} join pairs)",
+                dataset.label(),
+                m,
+                secs,
+                docs_per_run as f64 / secs,
+                joins
+            );
+        }
+    }
+
+    println!("\nlocal join algorithm at the Joiners (m=4, rwData)\n");
+    println!("{:<6} {:>12} {:>12}", "algo", "seconds", "docs/sec");
+    for algo in JoinAlgo::all() {
+        let (dict, docs) = DataSet::RwData.generate(docs_per_run, 42);
+        let mut cfg = StreamJoinConfig::default()
+            .with_m(4)
+            .with_window(window)
+            .with_join(algo);
+        cfg.partition_creators = 2;
+        cfg.assigners = 4;
+        let t0 = Instant::now();
+        run_topology(cfg, &dict, docs).expect("run");
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<6} {:>12.3} {:>12.0}",
+            algo.name(),
+            secs,
+            docs_per_run as f64 / secs
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! # ssj-bench — the experiment harness
+//!
+//! Shared machinery for regenerating every figure of the paper's evaluation
+//! (§VII). The `figures` binary drives it; the Criterion benches reuse the
+//! dataset builders.
+//!
+//! Scaling: the paper streams a day of logs per 3-minute window on an
+//! 8-node cluster. Here a "minute" maps to [`Scale::docs_per_minute`]
+//! documents, so the paper's `w ∈ {3, 6, 9}` minutes become windows of
+//! `3·dpm / 6·dpm / 9·dpm` documents. Shapes (who wins, by what factor) are
+//! preserved; absolute numbers are not comparable to the paper's cluster.
+
+#![warn(missing_docs)]
+
+use ssj_core::{Pipeline, StreamJoinConfig};
+use ssj_data::{ideal_stream, IdealConfig, NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen};
+use ssj_json::{Dictionary, Document};
+use ssj_partition::PartitionerKind;
+
+/// The two datasets of §VII-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSet {
+    /// Server-log substitute for the proprietary real-world data.
+    RwData,
+    /// NoBench-style synthetic data.
+    NbData,
+}
+
+impl DataSet {
+    /// Paper-style label ("rwData" / "nbData").
+    pub fn label(self) -> &'static str {
+        match self {
+            DataSet::RwData => "rwData",
+            DataSet::NbData => "nbData",
+        }
+    }
+
+    /// Both datasets in presentation order.
+    pub fn all() -> [DataSet; 2] {
+        [DataSet::RwData, DataSet::NbData]
+    }
+
+    /// Generate `n` documents into a fresh dictionary.
+    pub fn generate(self, n: usize, seed: u64) -> (Dictionary, Vec<Document>) {
+        let dict = Dictionary::new();
+        let docs = match self {
+            DataSet::RwData => ServerLogGen::new(
+                ServerLogConfig {
+                    seed,
+                    ..Default::default()
+                },
+                dict.clone(),
+            )
+            .take_docs(n),
+            DataSet::NbData => NoBenchGen::new(
+                NoBenchConfig {
+                    seed,
+                    ..Default::default()
+                },
+                dict.clone(),
+            )
+            .take_docs(n),
+        };
+        (dict, docs)
+    }
+}
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Documents per simulated "minute" (the paper's window unit).
+    pub docs_per_minute: usize,
+    /// Number of windows per experiment run.
+    pub windows: usize,
+    /// Multiplier on Fig. 11 document counts (1.0 = the paper's 100k–500k /
+    /// 10k–50k axis values).
+    pub join_scale: f64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            docs_per_minute: 250,
+            windows: 8,
+            join_scale: 0.1,
+        }
+    }
+}
+
+/// One partitioning-experiment measurement (one bar in Figs. 6–10).
+#[derive(Debug, Clone)]
+pub struct PartitionMeasurement {
+    /// Mean replication across windows (Fig. 6).
+    pub replication: f64,
+    /// Mean Gini load balance (Fig. 7).
+    pub load_balance: f64,
+    /// Mean maximal processing load (Fig. 8).
+    pub max_load: f64,
+    /// Percentage of windows that repartitioned (Fig. 9).
+    pub repartitions_pct: f64,
+}
+
+/// Run the streaming partitioning experiment behind Figs. 6–9.
+pub fn partition_experiment(
+    dataset: DataSet,
+    kind: PartitionerKind,
+    m: usize,
+    w_minutes: usize,
+    theta: f64,
+    scale: Scale,
+) -> PartitionMeasurement {
+    let window_docs = w_minutes * scale.docs_per_minute;
+    let total = window_docs * scale.windows;
+    let (dict, docs) = dataset.generate(total, 42);
+    let cfg = StreamJoinConfig::default()
+        .with_m(m)
+        .with_window(window_docs)
+        .with_theta(theta)
+        .with_partitioner(kind)
+        .with_expansion(true);
+    let mut pipeline = Pipeline::new(cfg, dict);
+    pipeline.compute_joins = false;
+    let report = pipeline.run(docs);
+    PartitionMeasurement {
+        replication: report.mean_replication(),
+        load_balance: report.mean_load_balance(),
+        max_load: report.mean_max_load(),
+        repartitions_pct: report.repartition_fraction() * 100.0,
+    }
+}
+
+/// Run the ideal-execution experiment of Fig. 10.
+pub fn ideal_experiment(
+    kind: PartitionerKind,
+    m: usize,
+    scale: Scale,
+) -> PartitionMeasurement {
+    let dict = Dictionary::new();
+    // A stable base window: no novelty, so co-occurrence characteristics
+    // repeat exactly (§VII-E-4).
+    let base = ServerLogGen::new(
+        ServerLogConfig {
+            seed: 42,
+            novelty: 0.0,
+            ..Default::default()
+        },
+        dict.clone(),
+    )
+    .take_docs(6 * scale.docs_per_minute);
+    let windows = ideal_stream(
+        &base,
+        IdealConfig {
+            windows: scale.windows,
+            novel_per_window: (base.len() / 100).max(1),
+        },
+        &dict,
+    );
+    let cfg = StreamJoinConfig::default()
+        .with_m(m)
+        .with_window(base.len() + base.len() / 100)
+        .with_partitioner(kind)
+        .with_expansion(true);
+    let mut pipeline = Pipeline::new(cfg, dict);
+    pipeline.compute_joins = false;
+    let mut reports = Vec::new();
+    for w in &windows {
+        reports.push(pipeline.process_window(w));
+    }
+    let report = ssj_core::PipelineReport { windows: reports };
+    PartitionMeasurement {
+        replication: report.mean_replication(),
+        load_balance: report.mean_load_balance(),
+        max_load: report.mean_max_load(),
+        repartitions_pct: report.repartition_fraction() * 100.0,
+    }
+}
+
+/// Print a paper-style table: rows = x-axis values, columns = algorithms.
+pub fn print_table<T: std::fmt::Display>(
+    title: &str,
+    x_label: &str,
+    xs: &[T],
+    columns: &[(&str, Vec<f64>)],
+) {
+    println!("\n# {title}");
+    print!("{x_label:<8}");
+    for (name, _) in columns {
+        print!("{name:>10}");
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{:<8}", x.to_string());
+        for (_, values) in columns {
+            print!("{:>10.3}", values[i]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            docs_per_minute: 40,
+            windows: 3,
+            join_scale: 0.01,
+        }
+    }
+
+    #[test]
+    fn partition_experiment_runs_all_combinations() {
+        for dataset in DataSet::all() {
+            for kind in PartitionerKind::all() {
+                let m = partition_experiment(dataset, kind, 4, 3, 0.2, tiny());
+                assert!(m.replication >= 1.0, "{dataset:?} {kind:?}: {m:?}");
+                assert!(m.replication <= 4.0 + 1e-9);
+                assert!((0.0..=1.0).contains(&m.load_balance));
+                assert!((0.0..=1.0).contains(&m.max_load));
+                assert!((0.0..=100.0).contains(&m.repartitions_pct));
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_experiment_runs() {
+        let m = ideal_experiment(PartitionerKind::Ag, 4, tiny());
+        assert!(m.replication >= 1.0);
+    }
+
+    #[test]
+    fn ds_has_best_replication_ag_has_better_balance_than_ds() {
+        // Shape check from the paper on the ideal (stable) workload:
+        // DS ≈ 1 replication but concentrated load; AG balances better.
+        let scale = Scale {
+            docs_per_minute: 80,
+            windows: 4,
+            join_scale: 0.01,
+        };
+        let ag = ideal_experiment(PartitionerKind::Ag, 4, scale);
+        let ds = ideal_experiment(PartitionerKind::Ds, 4, scale);
+        assert!(
+            ds.replication <= ag.replication + 1e-9,
+            "DS replication {} vs AG {}",
+            ds.replication,
+            ag.replication
+        );
+        assert!(
+            ag.max_load <= ds.max_load + 1e-9,
+            "AG max load {} vs DS {}",
+            ag.max_load,
+            ds.max_load
+        );
+    }
+
+    #[test]
+    fn dataset_generation_deterministic() {
+        let (d1, a) = DataSet::RwData.generate(50, 1);
+        let (d2, b) = DataSet::RwData.generate(50, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_json(&d1), y.to_json(&d2));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! A small hand-rolled argument parser: `--key value` pairs, `--flag`
+//! booleans, and one positional subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand plus its options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The first positional argument (subcommand).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    /// Extra positionals after the subcommand.
+    pub positionals: Vec<String>,
+}
+
+/// Option keys that take a value; anything else starting with `--` is a flag.
+const VALUED: &[&str] = &[
+    "dataset", "count", "seed", "out", "input", "algo", "m", "window", "windows",
+    "partitioner", "theta", "delta", "creators", "assigners", "window-by",
+    "save", "load",
+];
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if VALUED.contains(&key) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{key} requires a value"))?;
+                    out.options.insert(key.to_owned(), value);
+                } else {
+                    out.flags.push(key.to_owned());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Reject unknown flags (typo guard).
+    pub fn check_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        for f in &self.flags {
+            if !allowed.contains(&f.as_str()) {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn subcommand_options_and_flags() {
+        let a = parse(&["pipeline", "--m", "8", "--no-expansion", "--dataset", "rwdata"]);
+        assert_eq!(a.command.as_deref(), Some("pipeline"));
+        assert_eq!(a.get("m"), Some("8"));
+        assert_eq!(a.get("dataset"), Some("rwdata"));
+        assert!(a.flag("no-expansion"));
+        assert!(!a.flag("dot"));
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse(&["generate", "--count", "100"]);
+        assert_eq!(a.get_or("count", 10usize).unwrap(), 100);
+        assert_eq!(a.get_or("seed", 42u64).unwrap(), 42);
+        assert!(a.get_or::<usize>("count", 0).is_ok());
+    }
+
+    #[test]
+    fn invalid_typed_value_rejected() {
+        let a = parse(&["generate", "--count", "xyz"]);
+        assert!(a.get_or("count", 1usize).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Args::parse(["generate".to_string(), "--count".to_string()]).unwrap_err();
+        assert!(err.contains("--count"));
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let a = parse(&["join", "--frobnicate"]);
+        assert!(a.check_flags(&["emit"]).is_err());
+        assert!(a.check_flags(&["frobnicate"]).is_ok());
+    }
+}

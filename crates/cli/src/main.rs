@@ -1,0 +1,418 @@
+//! `ssj` — the schema-free stream-join command line.
+//!
+//! ```text
+//! ssj generate --dataset rwdata --count 10000 --out docs.jsonl
+//! ssj join     --algo fpj --input docs.jsonl [--emit]
+//! ssj pipeline --dataset nbdata --m 8 --window 1500 --windows 6 --partitioner ag
+//! ssj topology --dataset rwdata --count 6000 --m 4 --window 1500 [--dot]
+//! ```
+
+mod args;
+
+use args::Args;
+use ssj_core::{run_topology, Pipeline, StreamJoinConfig};
+use ssj_data::{NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen, TweetConfig, TweetGen};
+use ssj_json::{write_documents_jsonl, Dictionary, DocId, Document, DocumentReader};
+use ssj_join::JoinAlgo;
+use ssj_partition::PartitionerKind;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::time::Instant;
+
+const USAGE: &str = "\
+ssj — scale-out natural joins over schema-free JSON streams
+
+USAGE: ssj <command> [options]
+
+COMMANDS
+  generate   produce a synthetic document stream as JSON Lines
+             --dataset rwdata|nbdata|tweets  --count N  [--seed S] [--out FILE]
+  join       join one batch of documents locally
+             --algo fpj|nlj|hbj  [--input FILE]  [--emit]  [--stats]
+  pipeline   run the deterministic window pipeline, print per-window metrics
+             --dataset ...|--input FILE  --m M --window W [--windows K]
+             [--partitioner ag|sc|ds|hash] [--theta T] [--delta D]
+             [--no-expansion] [--count N] [--seed S] [--csv]
+             [--window-by ATTR:WIDTH]   event-time windows instead of counts
+  partition  create partitions from one window and dump them
+             --dataset ...|--input FILE  --m M [--partitioner ag|sc|ds|hash]
+             [--no-expansion] [--count N] [--seed S] [--save FILE]
+  route      route documents with a saved partition snapshot
+             --load FILE  [--input FILE | --dataset ... --count N]
+  stats      attribute statistics of a document batch (frequency, distinct
+             values, ubiquity) --dataset ...|--input FILE [--count N]
+  topology   run the threaded Fig. 2 topology
+             same data options; [--creators N] [--assigners N] [--dot]
+  help       show this text
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("join") => cmd_join(&args),
+        Some("pipeline") => cmd_pipeline(&args),
+        Some("partition") => cmd_partition(&args),
+        Some("route") => cmd_route(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("topology") => cmd_topology(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn generate_docs(args: &Args, dict: &Dictionary) -> Result<Vec<Document>, String> {
+    let count: usize = args.get_or("count", 10_000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    match args.get("dataset").unwrap_or("rwdata") {
+        "rwdata" => Ok(ServerLogGen::new(
+            ServerLogConfig {
+                seed,
+                ..Default::default()
+            },
+            dict.clone(),
+        )
+        .take_docs(count)),
+        "nbdata" => Ok(NoBenchGen::new(
+            NoBenchConfig {
+                seed,
+                ..Default::default()
+            },
+            dict.clone(),
+        )
+        .take_docs(count)),
+        "tweets" => Ok(TweetGen::new(
+            TweetConfig {
+                seed,
+                ..Default::default()
+            },
+            dict.clone(),
+        )
+        .take_docs(count)),
+        other => Err(format!("unknown dataset '{other}' (rwdata|nbdata|tweets)")),
+    }
+}
+
+fn load_docs(args: &Args, dict: &Dictionary) -> Result<Vec<Document>, String> {
+    match args.get("input") {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let reader = DocumentReader::new(BufReader::new(file), dict.clone(), 0);
+            reader
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("{path}: {e}"))
+        }
+        None => generate_docs(args, dict),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.check_flags(&[])?;
+    let dict = Dictionary::new();
+    let docs = generate_docs(args, &dict)?;
+    let write = |w: &mut dyn Write| -> io::Result<usize> {
+        let mut buf = BufWriter::new(w);
+        write_documents_jsonl(&mut buf, &docs, &dict)
+    };
+    let n = match args.get("out") {
+        Some(path) => {
+            let mut file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            write(&mut file).map_err(|e| e.to_string())?
+        }
+        None => write(&mut io::stdout().lock()).map_err(|e| e.to_string())?,
+    };
+    eprintln!("wrote {n} documents");
+    Ok(())
+}
+
+fn cmd_join(args: &Args) -> Result<(), String> {
+    args.check_flags(&["emit", "stats"])?;
+    let algo: JoinAlgo = args.get("algo").unwrap_or("fpj").parse()?;
+    let dict = Dictionary::new();
+    let docs = load_docs(args, &dict)?;
+    let t0 = Instant::now();
+    let pairs = ssj_join::join_batch(algo, &docs);
+    let elapsed = t0.elapsed();
+    if args.flag("stats") {
+        let tree = ssj_join::FpTree::build(docs.iter());
+        eprintln!("FP-tree: {}", ssj_join::TreeStats::of(&tree).summary());
+    }
+    eprintln!(
+        "{}: {} documents -> {} join pairs in {:.3}s",
+        algo.name(),
+        docs.len(),
+        pairs.len(),
+        elapsed.as_secs_f64()
+    );
+    if args.flag("emit") {
+        let by_id: ssj_json::FxHashMap<u64, &Document> =
+            docs.iter().map(|d| (d.id().0, d)).collect();
+        let stdout = io::stdout();
+        let mut out = BufWriter::new(stdout.lock());
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            let joined = by_id[&a.0].merge(by_id[&b.0], DocId(i as u64));
+            writeln!(out, "{}", joined.to_json(&dict)).map_err(|e| e.to_string())?;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn pipeline_config(args: &Args) -> Result<StreamJoinConfig, String> {
+    let mut cfg = StreamJoinConfig::default()
+        .with_m(args.get_or("m", 8)?)
+        .with_window(args.get_or("window", 1_500)?)
+        .with_theta(args.get_or("theta", 0.2)?)
+        .with_partitioner(
+            args.get("partitioner")
+                .unwrap_or("ag")
+                .parse::<PartitionerKind>()?,
+        )
+        .with_join(args.get("algo").unwrap_or("fpj").parse()?)
+        .with_expansion(!args.flag("no-expansion"));
+    cfg.delta = args.get_or("delta", 3)?;
+    cfg.partition_creators = args.get_or("creators", 2)?;
+    cfg.assigners = args.get_or("assigners", 6)?;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_pipeline(args: &Args) -> Result<(), String> {
+    args.check_flags(&["no-expansion", "no-joins", "csv"])?;
+    let cfg = pipeline_config(args)?;
+    let dict = Dictionary::new();
+    let mut docs = load_docs(args, &dict)?;
+    if let Some(w) = args
+        .get("windows")
+        .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+    {
+        docs.truncate(w * cfg.window_docs);
+    }
+    // Segment by count, or by an integer event-time attribute.
+    let spec = match args.get("window-by") {
+        Some(raw) => {
+            let (attr, width) = raw
+                .split_once(':')
+                .ok_or("--window-by expects ATTR:WIDTH")?;
+            ssj_core::WindowSpec::ByAttribute {
+                attr: attr.to_owned(),
+                width: width
+                    .parse()
+                    .map_err(|e| format!("invalid width in --window-by: {e}"))?,
+            }
+        }
+        None => ssj_core::WindowSpec::Count(cfg.window_docs),
+    };
+    let windows = ssj_core::windows(docs, spec, &dict);
+    let mut pipeline = Pipeline::new(cfg, dict);
+    pipeline.compute_joins = !args.flag("no-joins");
+    let csv = args.flag("csv");
+    if csv {
+        println!("{}", ssj_core::stats::CSV_HEADER);
+    } else {
+        println!(
+            "{:<7} {:>12} {:>8} {:>10} {:>8} {:>8} {:>10}",
+            "window", "replication", "gini", "max load", "repart", "updates", "join pairs"
+        );
+    }
+    let mut reports = Vec::new();
+    for window in &windows {
+        let r = pipeline.process_window(window);
+        if csv {
+            println!("{}", ssj_core::stats::window_csv_row(&r));
+        } else {
+            println!(
+                "{:<7} {:>12.3} {:>8.3} {:>10.3} {:>8} {:>8} {:>10}",
+                r.window,
+                r.quality.replication,
+                r.quality.load_balance,
+                r.quality.max_processing_load,
+                if r.repartitioned { "yes" } else { "-" },
+                r.updates,
+                r.unique_join_pairs
+            );
+        }
+        reports.push(r);
+    }
+    if !csv {
+        let report = ssj_core::PipelineReport { windows: reports };
+        eprintln!("{}", ssj_core::summary_line(&report));
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    args.check_flags(&["no-expansion"])?;
+    let m: usize = args.get_or("m", 8)?;
+    let kind: PartitionerKind = args.get("partitioner").unwrap_or("ag").parse()?;
+    let dict = Dictionary::new();
+    let docs = load_docs(args, &dict)?;
+    let expansion = if args.flag("no-expansion") {
+        None
+    } else {
+        ssj_partition::Expansion::detect(&docs, &dict, m)
+    };
+    if let Some(e) = &expansion {
+        let chain: Vec<String> = e.chain.iter().map(|&a| dict.attr_name(a)).collect();
+        println!(
+            "expansion: {} -> '{}' (pna {:.3})",
+            chain.join(" + "),
+            dict.attr_name(e.synth_attr),
+            e.pna
+        );
+    }
+    let views: Vec<ssj_partition::View> =
+        ssj_partition::batch_views(&docs, expansion.as_ref(), &dict)
+            .into_iter()
+            .flatten()
+            .collect();
+    let table = kind.create(&views, m);
+    print!("{}", table.describe(&dict, 8));
+    let stats = ssj_partition::route_batch(&table, &views);
+    let quality = ssj_partition::WindowQuality::from_stats(&stats);
+    println!(
+        "
+{} on {} documents: replication {:.3}, gini {:.3}, max load {:.3}",
+        kind.name(),
+        docs.len(),
+        quality.replication,
+        quality.load_balance,
+        quality.max_processing_load
+    );
+    if let Some(path) = args.get("save") {
+        let mut snapshot = ssj_json::Value::object();
+        snapshot.insert("dictionary", dict.export());
+        snapshot.insert("table", table.export());
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("snapshot saved to {path}");
+    }
+    Ok(())
+}
+
+/// Route documents with a previously saved partition snapshot: one line per
+/// document listing the machines it is sent to.
+fn cmd_route(args: &Args) -> Result<(), String> {
+    args.check_flags(&[])?;
+    let path = args.get("load").ok_or("route requires --load FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snapshot = ssj_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let dict = Dictionary::import(
+        snapshot
+            .get("dictionary")
+            .ok_or("snapshot missing 'dictionary'")?,
+    )?;
+    let table = ssj_partition::PartitionTable::import(
+        snapshot.get("table").ok_or("snapshot missing 'table'")?,
+    )?;
+    let docs = load_docs(args, &dict)?;
+    let m = table.m();
+    let mut broadcasts = 0usize;
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for d in &docs {
+        let view: Vec<ssj_json::AvpId> = d.avps().collect();
+        let route = table.route(&view);
+        if route.is_broadcast() {
+            broadcasts += 1;
+            writeln!(out, "{} -> broadcast", d.id()).map_err(|e| e.to_string())?;
+        } else {
+            writeln!(out, "{} -> {:?}", d.id(), route.targets(m)).map_err(|e| e.to_string())?;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "routed {} documents over {} machines ({} broadcast)",
+        docs.len(),
+        m,
+        broadcasts
+    );
+    Ok(())
+}
+
+/// Attribute statistics of one batch: per attribute the document frequency,
+/// the number of distinct values, and whether it is ubiquitous — the inputs
+/// to the FP-tree ordering (§V-A) and the §VI-B expansion chain.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    args.check_flags(&[])?;
+    let dict = Dictionary::new();
+    let docs = load_docs(args, &dict)?;
+    let n = docs.len();
+    let mut freq: ssj_json::FxHashMap<ssj_json::AttrId, usize> = Default::default();
+    for d in &docs {
+        for p in d.pairs() {
+            *freq.entry(p.attr).or_insert(0) += 1;
+        }
+    }
+    let mut rows: Vec<(String, usize, usize)> = freq
+        .into_iter()
+        .map(|(attr, f)| (dict.attr_name(attr), f, dict.attr_distinct_values(attr)))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("{n} documents, {} attributes, {} pairs interned
+", rows.len(), dict.avp_count());
+    println!("{:<24} {:>10} {:>10} {:>10}", "attribute", "docs", "freq %", "distinct");
+    for (name, f, distinct) in rows.iter().take(30) {
+        let marker = if *f == n { " *" } else { "" };
+        println!(
+            "{:<24} {:>10} {:>9.1}% {:>10}{marker}",
+            name,
+            f,
+            100.0 * *f as f64 / n.max(1) as f64,
+            distinct
+        );
+    }
+    if rows.len() > 30 {
+        println!("… and {} more attributes", rows.len() - 30);
+    }
+    println!("
+(* = ubiquitous: candidate for the §V-B fast path / §VI-B expansion)");
+    Ok(())
+}
+
+fn cmd_topology(args: &Args) -> Result<(), String> {
+    args.check_flags(&["no-expansion", "dot"])?;
+    let cfg = pipeline_config(args)?;
+    let dict = Dictionary::new();
+    let docs = load_docs(args, &dict)?;
+    if args.flag("dot") {
+        // Print the topology graph without running it.
+        println!("{}", ssj_core::topology_dot(cfg));
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    let report = run_topology(cfg, &dict, docs).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    println!("{:<7} {:>12} {:>20}", "window", "join pairs", "docs per joiner");
+    for (w, pairs) in report.joins_per_window.iter().enumerate() {
+        println!(
+            "{:<7} {:>12} {:>20}",
+            w,
+            pairs.len(),
+            format!("{:?}", report.docs_per_joiner.get(w).unwrap_or(&vec![]))
+        );
+    }
+    println!("\ncompleted in {:.3}s; component counters:", elapsed.as_secs_f64());
+    for component in ["reader", "creator", "merger", "assigner", "joiner"] {
+        println!(
+            "  {component:<10} received {:>9}  emitted {:>9}",
+            report.runtime.received(component),
+            report.runtime.emitted(component)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,363 @@
+//! The bolts of the Fig. 2 topology.
+//!
+//! * **PartitionCreator** (n): buffers its shuffle-share of each window and,
+//!   at the window boundary, runs phase 1 of the partitioning algorithm
+//!   (equivalence → association groups) on it, forwarding the local groups
+//!   to the Merger.
+//! * **Merger** (1): consolidates local groups into the global partitions
+//!   (subset merging + duplicate elimination + greedy placement) and
+//!   broadcasts the table to the Assigners. Handles δ-update requests and
+//!   repartition signals arriving on feedback edges.
+//! * **Assigner** (n): routes each document to the Joiners whose partitions
+//!   share a pair with it; broadcasts documents with uncovered pairs to
+//!   guarantee the exact join result; tracks per-window quality and signals
+//!   the Merger when it degrades past θ.
+//! * **Joiner** (m): buffers its window share and computes the local join
+//!   at the boundary with the configured algorithm.
+
+use crate::config::StreamJoinConfig;
+use crate::msg::{Msg, TableMsg};
+use ssj_json::{Dictionary, DocRef, FxHashSet};
+use ssj_partition::{
+    association_groups, batch_views, merge_and_assign, Expansion, RepartitionPolicy,
+    Route, RoutingStats, UnseenTracker, View, WindowQuality,
+};
+use ssj_runtime::{Bolt, Outbox, TaskInfo};
+use std::sync::Arc;
+
+/// PartitionCreator bolt (§IV-A phase 1).
+///
+/// Buffers its shuffle-share of each window, but runs the (expensive)
+/// association-group computation only when asked: on the very first window,
+/// and whenever an Assigner has signalled a repartition (§VI-A: "they
+/// inform the Partition Creators and the Merger that in the next window a
+/// recalculation of the partitions should be performed").
+pub struct PartitionCreator {
+    config: StreamJoinConfig,
+    dict: Dictionary,
+    task: usize,
+    buffer: Vec<DocRef>,
+    /// Compute local groups at the next window boundary.
+    compute_pending: bool,
+}
+
+impl PartitionCreator {
+    /// One creator task.
+    pub fn new(config: StreamJoinConfig, dict: Dictionary) -> Self {
+        PartitionCreator {
+            config,
+            dict,
+            task: 0,
+            buffer: Vec::new(),
+            compute_pending: true, // bootstrap window
+        }
+    }
+}
+
+impl Bolt<Msg> for PartitionCreator {
+    fn prepare(&mut self, info: &TaskInfo) {
+        self.task = info.task_index;
+    }
+
+    fn execute(&mut self, msg: Msg, _out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Doc(doc) => self.buffer.push(doc),
+            Msg::Repartition => self.compute_pending = true,
+            _ => {}
+        }
+    }
+
+    fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
+        if self.compute_pending && !self.buffer.is_empty() {
+            let docs: Vec<ssj_json::Document> =
+                self.buffer.iter().map(|d| (**d).clone()).collect();
+            let expansion = if self.config.expansion {
+                Expansion::detect(&docs, &self.dict, self.config.m)
+            } else {
+                None
+            };
+            let views: Vec<View> = batch_views(&docs, expansion.as_ref(), &self.dict)
+                .into_iter()
+                .flatten()
+                .collect();
+            let groups = association_groups(&views);
+            out.emit(Msg::LocalGroups {
+                window,
+                creator: self.task,
+                groups,
+                expansion,
+            });
+            self.compute_pending = false;
+        }
+        self.buffer.clear();
+    }
+}
+
+/// Merger bolt (§IV-A consolidation + §VI-A updates). Exactly one instance.
+///
+/// Creators send local groups only on windows where a (re)computation was
+/// requested, so the Merger rebuilds exactly when fresh groups arrived.
+pub struct Merger {
+    config: StreamJoinConfig,
+    /// Groups received for the current window, per creator.
+    pending: Vec<(usize, Vec<ssj_partition::AssociationGroup>, Option<Expansion>)>,
+    table: ssj_partition::PartitionTable,
+    expansion: Option<Expansion>,
+    /// Table changed through updates since the last broadcast.
+    dirty: bool,
+}
+
+impl Merger {
+    /// The single Merger task.
+    pub fn new(config: StreamJoinConfig) -> Self {
+        Merger {
+            table: ssj_partition::PartitionTable::empty(config.m),
+            pending: Vec::new(),
+            expansion: None,
+            dirty: false,
+            config,
+        }
+    }
+}
+
+impl Bolt<Msg> for Merger {
+    fn prepare(&mut self, info: &TaskInfo) {
+        assert_eq!(
+            info.parallelism, 1,
+            "the Merger must have exactly one instance (§III-A)"
+        );
+    }
+
+    fn execute(&mut self, msg: Msg, _out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::LocalGroups {
+                creator,
+                groups,
+                expansion,
+                ..
+            } => {
+                self.pending.push((creator, groups, expansion));
+            }
+            Msg::UpdateRequest(avp)
+                if self.table.partitions_of(avp).is_empty() => {
+                    let p = self.table.least_loaded();
+                    self.table.add_avp(p, avp);
+                    self.table.bump_load(p, 1);
+                    self.dirty = true;
+                }
+            // Repartition signals go to the PartitionCreators (which decide
+            // to compute); the Merger reacts to the groups they send.
+            _ => {}
+        }
+    }
+
+    fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
+        if !self.pending.is_empty() {
+            // Deterministic creator order.
+            self.pending.sort_by_key(|(c, _, _)| *c);
+            let locals: Vec<_> = self.pending.iter().map(|(_, g, _)| g.clone()).collect();
+            self.table = merge_and_assign(locals, self.config.m);
+            // Adopt the first creator's expansion proposal (creators see
+            // shuffle-shares of the same window, so they virtually always
+            // agree on the disabling/combining chain).
+            self.expansion = self
+                .pending
+                .iter()
+                .find_map(|(_, _, e)| e.clone());
+            self.dirty = false;
+            out.emit(Msg::Table(Arc::new(TableMsg {
+                window,
+                table: self.table.clone(),
+                expansion: self.expansion.clone(),
+            })));
+        } else if self.dirty {
+            self.dirty = false;
+            out.emit(Msg::Table(Arc::new(TableMsg {
+                window,
+                table: self.table.clone(),
+                expansion: self.expansion.clone(),
+            })));
+        }
+        self.pending.clear();
+    }
+}
+
+/// Assigner bolt (§III-A component 3).
+pub struct Assigner {
+    config: StreamJoinConfig,
+    dict: Dictionary,
+    current: Option<Arc<TableMsg>>,
+    unseen: UnseenTracker,
+    policy: RepartitionPolicy,
+    /// Quality of the first window fully routed with the current table —
+    /// the §VI-A baseline the θ-threshold compares against.
+    baseline: Option<WindowQuality>,
+    /// The running window was (partly) routed before the current table
+    /// arrived; skip it as a baseline.
+    table_fresh: bool,
+    /// A repartition was already signalled for the current table.
+    signalled: bool,
+    // Per-window local routing counters.
+    per_machine: Vec<usize>,
+    sends: usize,
+    broadcasts: usize,
+    docs: usize,
+}
+
+impl Assigner {
+    /// One assigner task.
+    pub fn new(config: StreamJoinConfig, dict: Dictionary) -> Self {
+        Assigner {
+            unseen: UnseenTracker::new(config.delta),
+            policy: RepartitionPolicy::new(config.theta),
+            baseline: None,
+            table_fresh: false,
+            signalled: false,
+            current: None,
+            per_machine: vec![0; config.m],
+            sends: 0,
+            broadcasts: 0,
+            docs: 0,
+            config,
+            dict,
+        }
+    }
+
+    fn view_of(&self, doc: &DocRef) -> Option<View> {
+        match self.current.as_ref().and_then(|t| t.expansion.as_ref()) {
+            Some(e) => e.view(doc, &self.dict),
+            None => Some(doc.avps().collect()),
+        }
+    }
+}
+
+impl Bolt<Msg> for Assigner {
+    fn execute(&mut self, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Doc(doc) => {
+                self.docs += 1;
+                let m = self.config.m;
+                let route = match (&self.current, self.view_of(&doc)) {
+                    (Some(t), Some(view)) => {
+                        let mut unknown = false;
+                        for avp in &view {
+                            if t.table.partitions_of(*avp).is_empty() {
+                                unknown = true;
+                                if self.unseen.observe(*avp) {
+                                    out.emit(Msg::UpdateRequest(*avp));
+                                }
+                            }
+                        }
+                        if unknown {
+                            Route::Broadcast
+                        } else {
+                            t.table.route(&view)
+                        }
+                    }
+                    // No table yet (bootstrap window) or expansion failed.
+                    _ => Route::Broadcast,
+                };
+                if route.is_broadcast() {
+                    self.broadcasts += 1;
+                }
+                for t in route.targets(m) {
+                    self.per_machine[t as usize] += 1;
+                    self.sends += 1;
+                    out.emit_direct(t as usize, Msg::Doc(Arc::clone(&doc)));
+                }
+            }
+            Msg::Table(t) => {
+                self.current = Some(t);
+                self.unseen.reset();
+                self.baseline = None;
+                self.table_fresh = true;
+                self.signalled = false;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_punct(&mut self, _window: u64, out: &mut Outbox<Msg>) {
+        if self.docs > 0 {
+            let quality = WindowQuality::from_stats(&RoutingStats {
+                per_machine: std::mem::replace(&mut self.per_machine, vec![0; self.config.m]),
+                total_sends: self.sends,
+                broadcasts: self.broadcasts,
+                docs: self.docs,
+            });
+            if self.table_fresh {
+                // This window straddled a table change; its stats mix two
+                // routings and must not become the baseline.
+                self.table_fresh = false;
+            } else {
+                match &self.baseline {
+                    None => self.baseline = Some(quality),
+                    Some(base) => {
+                        if !self.signalled && self.policy.should_repartition(base, &quality)
+                        {
+                            // One signal per deployed table: creators will
+                            // recompute and the merger will broadcast a new
+                            // one, which rearms the detector.
+                            self.signalled = true;
+                            out.emit(Msg::Repartition);
+                        }
+                    }
+                }
+            }
+        }
+        self.sends = 0;
+        self.broadcasts = 0;
+        self.docs = 0;
+        self.per_machine.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Joiner bolt (§V): local window join.
+pub struct Joiner {
+    config: StreamJoinConfig,
+    task: usize,
+    buffer: Vec<DocRef>,
+}
+
+impl Joiner {
+    /// One joiner task.
+    pub fn new(config: StreamJoinConfig) -> Self {
+        Joiner {
+            config,
+            task: 0,
+            buffer: Vec::new(),
+        }
+    }
+}
+
+impl Bolt<Msg> for Joiner {
+    fn prepare(&mut self, info: &TaskInfo) {
+        self.task = info.task_index;
+    }
+
+    fn execute(&mut self, msg: Msg, _out: &mut Outbox<Msg>) {
+        if let Msg::Doc(doc) = msg {
+            self.buffer.push(doc);
+        }
+    }
+
+    fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
+        // Duplicates can arrive when an updated table re-routes a pair the
+        // broadcast path already delivered; keep one copy per document.
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        let docs: Vec<ssj_json::Document> = self
+            .buffer
+            .iter()
+            .filter(|d| seen.insert(d.id().0))
+            .map(|d| (**d).clone())
+            .collect();
+        let pairs = ssj_join::join_batch(self.config.join_algo, &docs);
+        out.emit(Msg::JoinStats {
+            window,
+            joiner: self.task,
+            docs: docs.len(),
+            pairs,
+        });
+        self.buffer.clear();
+    }
+}

@@ -1,0 +1,143 @@
+//! Configuration of the stream-join system (§VII-D).
+
+use ssj_join::JoinAlgo;
+use ssj_partition::PartitionerKind;
+
+/// All tunables of the topology and pipeline, with the paper's defaults
+/// (`m = 8`, `w = 6`, `θ = 0.2`, `δ = 3`, six Assigners).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamJoinConfig {
+    /// Number of partitions = number of Joiner instances (`m`).
+    pub m: usize,
+    /// Documents per tumbling window (`w`; the paper's minutes map to
+    /// document counts, see DESIGN.md).
+    pub window_docs: usize,
+    /// Repartitioning threshold `θ` (§VI-A).
+    pub theta: f64,
+    /// Unseen-pair update threshold `δ` (§VI-A).
+    pub delta: u32,
+    /// Partitioning algorithm (AG / SC / DS).
+    pub partitioner: PartitionerKind,
+    /// Local join algorithm at the Joiners (FPJ / NLJ / HBJ).
+    pub join_algo: JoinAlgo,
+    /// Enable attribute-value expansion (§VI-B).
+    pub expansion: bool,
+    /// Parallelism of the PartitionCreator component.
+    pub partition_creators: usize,
+    /// Parallelism of the Assigner component.
+    pub assigners: usize,
+}
+
+impl Default for StreamJoinConfig {
+    fn default() -> Self {
+        StreamJoinConfig {
+            m: 8,
+            window_docs: 6_000,
+            theta: 0.2,
+            delta: 3,
+            partitioner: PartitionerKind::Ag,
+            join_algo: JoinAlgo::FpTree,
+            expansion: true,
+            partition_creators: 2,
+            assigners: 6,
+        }
+    }
+}
+
+impl StreamJoinConfig {
+    /// Builder-style override of `m`.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Builder-style override of the window size.
+    pub fn with_window(mut self, docs: usize) -> Self {
+        self.window_docs = docs;
+        self
+    }
+
+    /// Builder-style override of `θ`.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Builder-style override of the partitioner.
+    pub fn with_partitioner(mut self, p: PartitionerKind) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Builder-style override of the join algorithm.
+    pub fn with_join(mut self, j: JoinAlgo) -> Self {
+        self.join_algo = j;
+        self
+    }
+
+    /// Builder-style override of expansion.
+    pub fn with_expansion(mut self, on: bool) -> Self {
+        self.expansion = on;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.m == 0 {
+            return Err("m must be at least 1".into());
+        }
+        if self.window_docs == 0 {
+            return Err("window_docs must be at least 1".into());
+        }
+        if self.partition_creators == 0 || self.assigners == 0 {
+            return Err("component parallelism must be at least 1".into());
+        }
+        if !(0.0..=10.0).contains(&self.theta) {
+            return Err("theta out of range".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = StreamJoinConfig::default();
+        assert_eq!(c.m, 8);
+        assert_eq!(c.delta, 3);
+        assert!((c.theta - 0.2).abs() < 1e-12);
+        assert_eq!(c.assigners, 6);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = StreamJoinConfig::default()
+            .with_m(20)
+            .with_window(3000)
+            .with_theta(0.6)
+            .with_partitioner(PartitionerKind::Ds)
+            .with_join(JoinAlgo::Hbj)
+            .with_expansion(false);
+        assert_eq!(c.m, 20);
+        assert_eq!(c.window_docs, 3000);
+        assert_eq!(c.partitioner, PartitionerKind::Ds);
+        assert_eq!(c.join_algo, JoinAlgo::Hbj);
+        assert!(!c.expansion);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(StreamJoinConfig::default().with_m(0).validate().is_err());
+        assert!(StreamJoinConfig::default().with_window(0).validate().is_err());
+        let c = StreamJoinConfig {
+            assigners: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

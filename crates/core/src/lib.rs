@@ -1,0 +1,45 @@
+//! # ssj-core — the scale-out schema-free stream-join system
+//!
+//! Ties the substrates together into the paper's system:
+//!
+//! * [`config`] — all tunables with the paper's defaults (§VII-D);
+//! * [`pipeline`] — the deterministic window-by-window driver used by the
+//!   experiment harness (same component logic, bit-reproducible results);
+//! * [`components`] / [`topology`] — the threaded Fig. 2 topology
+//!   (JsonReader → PartitionCreators → Merger → Assigners → Joiners) on the
+//!   Storm-like `ssj-runtime`;
+//! * [`msg`] — the tuple type those components exchange.
+//!
+//! ```
+//! use ssj_core::{Pipeline, StreamJoinConfig};
+//! use ssj_json::{Dictionary, DocId, Document};
+//!
+//! let dict = Dictionary::new();
+//! let docs: Vec<Document> = (0..20u64)
+//!     .map(|i| Document::from_json(
+//!         DocId(i),
+//!         &format!(r#"{{"user":"u{}","sev":"{}"}}"#, i % 3, i % 2),
+//!         &dict,
+//!     ).unwrap())
+//!     .collect();
+//! let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+//! let report = Pipeline::new(cfg, dict).run(docs);
+//! assert_eq!(report.windows.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod config;
+pub mod msg;
+pub mod pipeline;
+pub mod stats;
+pub mod topology;
+pub mod window;
+
+pub use config::StreamJoinConfig;
+pub use msg::{Msg, TableMsg};
+pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
+pub use stats::{report_to_csv, summary_line};
+pub use window::{windows, WindowSpec};
+pub use topology::{materialize_joins, run_topology, topology_dot, TopologyRunReport};

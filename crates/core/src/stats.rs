@@ -1,0 +1,108 @@
+//! Report rendering: per-window time series as CSV or an aligned text table.
+
+use crate::pipeline::{PipelineReport, WindowReport};
+
+/// CSV header matching [`window_csv_row`].
+pub const CSV_HEADER: &str =
+    "window,replication,gini,max_processing_load,broadcast_fraction,repartitioned,updates,join_pairs,unique_join_pairs";
+
+/// One CSV row for a window report.
+pub fn window_csv_row(w: &WindowReport) -> String {
+    format!(
+        "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
+        w.window,
+        w.quality.replication,
+        w.quality.load_balance,
+        w.quality.max_processing_load,
+        w.quality.broadcast_fraction,
+        w.repartitioned as u8,
+        w.updates,
+        w.join_pairs,
+        w.unique_join_pairs
+    )
+}
+
+/// Render a whole run as CSV (header + one row per window).
+pub fn report_to_csv(report: &PipelineReport) -> String {
+    let mut out = String::with_capacity(64 * (report.windows.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for w in &report.windows {
+        out.push_str(&window_csv_row(w));
+        out.push('\n');
+    }
+    out
+}
+
+/// Summarize a run in one line (for logs and CLI footers).
+pub fn summary_line(report: &PipelineReport) -> String {
+    format!(
+        "{} windows | replication {:.3} | gini {:.3} | max load {:.3} | repartitions {:.1}% | joins {}",
+        report.windows.len(),
+        report.mean_replication(),
+        report.mean_load_balance(),
+        report.mean_max_load(),
+        report.repartition_fraction() * 100.0,
+        report.total_unique_joins()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamJoinConfig;
+    use crate::pipeline::Pipeline;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn small_report() -> PipelineReport {
+        let dict = Dictionary::new();
+        let docs: Vec<Document> = (0..20u64)
+            .map(|i| {
+                Document::from_json(
+                    DocId(i),
+                    &format!(r#"{{"k":{},"g":{}}}"#, i % 4, i % 2),
+                    &dict,
+                )
+                .unwrap()
+            })
+            .collect();
+        let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+        Pipeline::new(cfg, dict).run(docs)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_window() {
+        let report = small_report();
+        let csv = report_to_csv(&report);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), report.windows.len() + 1);
+        // Every row has the same number of fields as the header.
+        let fields = CSV_HEADER.split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), fields, "{row}");
+        }
+    }
+
+    #[test]
+    fn csv_rows_parse_back_numerically() {
+        let report = small_report();
+        let csv = report_to_csv(&report);
+        for row in csv.trim_end().lines().skip(1) {
+            let cols: Vec<&str> = row.split(',').collect();
+            let _: u64 = cols[0].parse().unwrap();
+            let repl: f64 = cols[1].parse().unwrap();
+            assert!(repl >= 1.0);
+            let repart: u8 = cols[5].parse().unwrap();
+            assert!(repart <= 1);
+        }
+    }
+
+    #[test]
+    fn summary_line_mentions_windows_and_joins() {
+        let report = small_report();
+        let line = summary_line(&report);
+        assert!(line.contains("2 windows"), "{line}");
+        assert!(line.contains("joins"), "{line}");
+    }
+}

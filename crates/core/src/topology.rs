@@ -1,0 +1,316 @@
+//! Assembling the Fig. 2 topology on the Storm-like runtime.
+//!
+//! ```text
+//!            shuffle                    global
+//! JsonReader ───────► PartitionCreator ───────► Merger (1)
+//!      │                                          │ all
+//!      │ shuffle                                  ▼
+//!      └────────────────────────────────────► Assigner ──direct──► Joiner (m)
+//!                                               │  ▲                  │
+//!                 feedback (updates, repartition)│  │                  │ global
+//!                                               ▼  │                  ▼
+//!                                             Merger              Reporter
+//! ```
+//!
+//! Forward edges form a DAG; the Assigner → Merger control traffic rides a
+//! feedback edge. Punctuation alignment gives the run streaming-consistent
+//! semantics: the Assigner routes window *k* documents with the table the
+//! Merger computed from window *k−1* (window 0 is broadcast — no table has
+//! been deployed yet).
+
+use crate::components::{Assigner, Joiner, Merger, PartitionCreator};
+use crate::config::StreamJoinConfig;
+use crate::msg::Msg;
+use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
+use ssj_runtime::{
+    run, CollectorBolt, CollectorHandle, Grouping, RunError, RunReport, TopologyBuilder,
+    VecSpout,
+};
+use std::sync::Arc;
+
+/// Results of one full topology run.
+#[derive(Debug)]
+pub struct TopologyRunReport {
+    /// Runtime task metrics (received / emitted per task).
+    pub runtime: RunReport,
+    /// Unique join pairs per window, in window order.
+    pub joins_per_window: Vec<FxHashSet<(u64, u64)>>,
+    /// Documents held per joiner per window (window → joiner → docs).
+    pub docs_per_joiner: Vec<Vec<usize>>,
+}
+
+impl TopologyRunReport {
+    /// All unique join pairs of the whole run.
+    pub fn all_pairs(&self) -> FxHashSet<(u64, u64)> {
+        let mut out = FxHashSet::default();
+        for w in &self.joins_per_window {
+            out.extend(w.iter().copied());
+        }
+        out
+    }
+}
+
+/// Materialize join pairs as merged result documents (the natural-join
+/// output tuples): for each `(a, b)` pair whose both sides are present in
+/// `docs`, produce `a ⋈ b` with a fresh id starting at `first_id`. Pairs
+/// referencing unknown ids are skipped.
+pub fn materialize_joins(
+    pairs: &FxHashSet<(u64, u64)>,
+    docs: &[Document],
+    first_id: u64,
+) -> Vec<Document> {
+    let by_id: FxHashMap<u64, &Document> = docs.iter().map(|d| (d.id().0, d)).collect();
+    let mut sorted: Vec<(u64, u64)> = pairs.iter().copied().collect();
+    sorted.sort_unstable();
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut id = first_id;
+    for (a, b) in sorted {
+        if let (Some(da), Some(db)) = (by_id.get(&a), by_id.get(&b)) {
+            out.push(da.merge(db, DocId(id)));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Render the Fig. 2 topology (for the given configuration) as Graphviz
+/// DOT without running it.
+pub fn topology_dot(config: StreamJoinConfig) -> String {
+    let dict = Dictionary::new();
+    build(config, &dict, Vec::new(), CollectorBolt::new()).to_dot()
+}
+
+fn build(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+    reporter: CollectorBolt<Msg>,
+) -> ssj_runtime::Topology<Msg> {
+    let window = config.window_docs;
+    let msgs: Vec<Msg> = docs
+        .into_iter()
+        .map(|d| Msg::Doc(Arc::new(d)))
+        .collect();
+    let dict_creator = dict.clone();
+    let dict_assigner = dict.clone();
+    // Backpressure: keep the reader within roughly one window of the
+    // slowest Assigner so the Merger's adaptive feedback loop stays in
+    // (event-time) sync with the data path.
+    let capacity = (window / config.assigners.max(1)).clamp(16, 1024);
+    TopologyBuilder::new()
+        .channel_capacity(capacity)
+        .spout("reader", 1, move |_| {
+            Box::new(VecSpout::with_punctuation(msgs.clone(), window))
+        })
+        .bolt("creator", config.partition_creators, move |_| {
+            Box::new(PartitionCreator::new(config, dict_creator.clone()))
+        })
+        .subscribe("reader", Grouping::Shuffle)
+        // Repartition signals from the Assigners (§VI-A).
+        .subscribe_feedback("assigner", Grouping::All)
+        .done()
+        .bolt("merger", 1, move |_| Box::new(Merger::new(config)))
+        .subscribe("creator", Grouping::Global)
+        .subscribe_feedback("assigner", Grouping::Global)
+        .done()
+        .bolt("assigner", config.assigners, move |_| {
+            Box::new(Assigner::new(config, dict_assigner.clone()))
+        })
+        .subscribe("reader", Grouping::Shuffle)
+        .subscribe("merger", Grouping::All)
+        .done()
+        .bolt("joiner", config.m, move |_| Box::new(Joiner::new(config)))
+        .subscribe("assigner", Grouping::Direct)
+        .done()
+        .bolt("reporter", 1, move |_| Box::new(reporter.clone()))
+        .subscribe("joiner", Grouping::Global)
+        .done()
+        .build()
+        .expect("Fig. 2 topology is valid")
+}
+
+/// Run the full stream-join topology over `docs` and gather every window's
+/// join result.
+///
+/// The reader punctuates every `config.window_docs` documents; all topology
+/// parallelism comes from `config` (`partition_creators`, `assigners`,
+/// `m` joiners).
+pub fn run_topology(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+) -> Result<TopologyRunReport, RunError> {
+    config.validate().expect("invalid configuration");
+    let reporter = CollectorBolt::new();
+    let handle: CollectorHandle<Msg> = reporter.handle();
+    let topology = build(config, dict, docs, reporter);
+    let runtime = run(topology)?;
+
+    // Fold the JoinStats messages into per-window results.
+    let mut by_window: FxHashMap<u64, FxHashSet<(u64, u64)>> = FxHashMap::default();
+    let mut docs_by_window: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for msg in handle.take() {
+        if let Msg::JoinStats {
+            window,
+            joiner,
+            docs,
+            pairs,
+        } = msg
+        {
+            by_window.entry(window).or_default().extend(
+                pairs
+                    .iter()
+                    .map(|(a, b): &(DocId, DocId)| (a.0.min(b.0), a.0.max(b.0))),
+            );
+            let slot = docs_by_window
+                .entry(window)
+                .or_insert_with(|| vec![0; config.m]);
+            slot[joiner] = docs;
+        }
+    }
+    let mut windows: Vec<u64> = by_window.keys().copied().collect();
+    windows.sort();
+    let joins_per_window = windows
+        .iter()
+        .map(|w| by_window.remove(w).unwrap_or_default())
+        .collect();
+    let docs_per_joiner = windows
+        .iter()
+        .map(|w| docs_by_window.remove(w).unwrap_or_default())
+        .collect();
+    Ok(TopologyRunReport {
+        runtime,
+        joins_per_window,
+        docs_per_joiner,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ground_truth_pairs;
+
+    fn stream(dict: &Dictionary, n: usize) -> Vec<Document> {
+        (0..n as u64)
+            .map(|i| {
+                Document::from_json(
+                    DocId(i),
+                    &format!(
+                        r#"{{"User":"u{}","Severity":"{}","MsgId":{}}}"#,
+                        i % 6,
+                        ["W", "E", "C"][(i % 3) as usize],
+                        i % 5
+                    ),
+                    dict,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn topology_produces_exact_join_results() {
+        let dict = Dictionary::new();
+        let docs = stream(&dict, 120);
+        let mut cfg = StreamJoinConfig::default()
+            .with_m(3)
+            .with_window(40)
+            .with_expansion(false);
+        cfg.partition_creators = 2;
+        cfg.assigners = 3;
+        let report = run_topology(cfg, &dict, docs.clone()).unwrap();
+        assert_eq!(report.joins_per_window.len(), 3);
+        for (w, found) in report.joins_per_window.iter().enumerate() {
+            let truth = ground_truth_pairs(&docs[w * 40..(w + 1) * 40]);
+            assert_eq!(
+                found, &truth,
+                "window {w}: distributed join differs from ground truth"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_with_expansion_stays_exact() {
+        let dict = Dictionary::new();
+        // Every doc has a Boolean attribute → expansion engages.
+        let docs: Vec<Document> = (0..90u64)
+            .map(|i| {
+                Document::from_json(
+                    DocId(i),
+                    &format!(
+                        r#"{{"ok":{},"grp":"g{}","val":{}}}"#,
+                        i % 2 == 0,
+                        i % 4,
+                        i % 10
+                    ),
+                    &dict,
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut cfg = StreamJoinConfig::default().with_m(4).with_window(30);
+        cfg.partition_creators = 2;
+        cfg.assigners = 2;
+        let report = run_topology(cfg, &dict, docs.clone()).unwrap();
+        for (w, found) in report.joins_per_window.iter().enumerate() {
+            let truth = ground_truth_pairs(&docs[w * 30..(w + 1) * 30]);
+            assert_eq!(found, &truth, "window {w}");
+        }
+    }
+
+    #[test]
+    fn runtime_metrics_reported() {
+        let dict = Dictionary::new();
+        let docs = stream(&dict, 60);
+        let cfg = StreamJoinConfig::default()
+            .with_m(2)
+            .with_window(30)
+            .with_expansion(false);
+        let report = run_topology(cfg, &dict, docs).unwrap();
+        assert_eq!(report.runtime.received("creator"), 60);
+        assert!(report.runtime.received("joiner") > 0);
+        assert!(!report.docs_per_joiner.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod materialize_tests {
+    use super::*;
+
+    #[test]
+    fn materializes_known_pairs_and_skips_unknown() {
+        let dict = Dictionary::new();
+        let docs = vec![
+            Document::from_json(DocId(1), r#"{"a":1,"b":2}"#, &dict).unwrap(),
+            Document::from_json(DocId(2), r#"{"a":1,"c":3}"#, &dict).unwrap(),
+        ];
+        let mut pairs = FxHashSet::default();
+        pairs.insert((1u64, 2u64));
+        pairs.insert((1u64, 99u64)); // unknown side: skipped
+        let merged = materialize_joins(&pairs, &docs, 1000);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].id(), DocId(1000));
+        assert_eq!(merged[0].len(), 3); // a, b, c
+        let v = merged[0].to_value(&dict);
+        assert_eq!(v.get("c").and_then(ssj_json::Value::as_int), Some(3));
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let dict = Dictionary::new();
+        let docs: Vec<Document> = (0..6u64)
+            .map(|i| {
+                Document::from_json(DocId(i), &format!(r#"{{"k":{}}}"#, i % 2), &dict)
+                    .unwrap()
+            })
+            .collect();
+        let pairs = crate::pipeline::ground_truth_pairs(&docs);
+        let a = materialize_joins(&pairs, &docs, 0);
+        let b = materialize_joins(&pairs, &docs, 0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pairs(), y.pairs());
+            assert_eq!(x.id(), y.id());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Component-level behaviour of the Fig. 2 topology, observed through the
+//! runtime's per-component counters.
+
+use ssj_core::{run_topology, StreamJoinConfig};
+use ssj_json::{Dictionary, DocId, Document};
+
+/// A perfectly stable stream: the same distribution in every window.
+fn stable_stream(dict: &Dictionary, windows: usize, per_window: usize) -> Vec<Document> {
+    (0..(windows * per_window) as u64)
+        .map(|i| {
+            Document::from_json(
+                DocId(i),
+                &format!(
+                    r#"{{"user":"u{}","sev":"s{}","grp":{}}}"#,
+                    i % 5,
+                    i % 3,
+                    i % 4
+                ),
+                dict,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// A gradually drifting stream: the first windows are stable (establishing
+/// a good baseline), later windows mix in ever more fresh attribute-value
+/// pairs — the §VI-A degradation pattern the θ-threshold must catch.
+fn drifting_stream(dict: &Dictionary, windows: usize, per_window: usize) -> Vec<Document> {
+    let mut out = Vec::new();
+    for w in 0..windows as u64 {
+        // Windows 0-1: no drift. From window 2 on: half the documents are
+        // entirely novel.
+        let novel_share = if w < 2 { 0 } else { per_window / 2 };
+        for i in 0..per_window as u64 {
+            let id = w * per_window as u64 + i;
+            let json = if (i as usize) < novel_share {
+                format!(r#"{{"w{w}a":"v{}","w{w}b":{}}}"#, id, i % 3)
+            } else {
+                format!(r#"{{"user":"u{}","sev":"s{}","grp":{}}}"#, i % 5, i % 3, i % 4)
+            };
+            out.push(Document::from_json(DocId(id), &json, dict).unwrap());
+        }
+    }
+    out
+}
+
+fn config(m: usize, window: usize) -> StreamJoinConfig {
+    let mut cfg = StreamJoinConfig::default()
+        .with_m(m)
+        .with_window(window)
+        .with_expansion(false);
+    cfg.partition_creators = 2;
+    cfg.assigners = 2;
+    cfg
+}
+
+#[test]
+fn creators_compute_only_when_needed_on_stable_streams() {
+    let dict = Dictionary::new();
+    let docs = stable_stream(&dict, 5, 100);
+    let report = run_topology(config(3, 100), &dict, docs).unwrap();
+    // Merger traffic = LocalGroups + UpdateRequests + Repartition signals.
+    // On a stable stream nothing degrades, so only the bootstrap window's
+    // LocalGroups (one per creator) and at most a few δ-updates arrive.
+    let merger_in = report.runtime.received("merger");
+    assert!(
+        merger_in <= 4,
+        "merger received {merger_in} messages on a stable stream"
+    );
+}
+
+#[test]
+fn drift_makes_assigners_signal_and_creators_recompute() {
+    let dict = Dictionary::new();
+    let docs = drifting_stream(&dict, 5, 100);
+    let mut cfg = config(3, 100);
+    cfg.theta = 0.1;
+    let report = run_topology(cfg, &dict, docs).unwrap();
+    // Drift forces repartition signals; creators then send fresh groups in
+    // later windows, so the merger hears far more than the bootstrap pair.
+    let merger_in = report.runtime.received("merger");
+    assert!(
+        merger_in > 4,
+        "merger received only {merger_in} messages despite heavy drift"
+    );
+    // And the merger must have broadcast more than one table: each assigner
+    // task receives every table (All grouping).
+    let assigner_in = report.runtime.received("assigner");
+    let docs_received = 500u64; // shuffle share over both tasks sums to all
+    assert!(
+        assigner_in > docs_received + 2,
+        "assigners saw {assigner_in} messages; expected multiple tables"
+    );
+}
+
+#[test]
+fn bootstrap_window_is_broadcast_to_all_joiners() {
+    let dict = Dictionary::new();
+    let docs = stable_stream(&dict, 1, 80);
+    let m = 4;
+    let report = run_topology(config(m, 80), &dict, docs).unwrap();
+    // No table exists during window 0, so every document reaches every
+    // joiner: per-window joiner doc counts must all equal the window size.
+    let loads = &report.docs_per_joiner[0];
+    assert_eq!(loads, &vec![80; m]);
+}
+
+#[test]
+fn steady_state_routes_less_than_broadcast() {
+    let dict = Dictionary::new();
+    let docs = stable_stream(&dict, 4, 100);
+    let m = 4;
+    let report = run_topology(config(m, 100), &dict, docs).unwrap();
+    // After the bootstrap window the table routes documents; total joiner
+    // load per window must drop below the full broadcast volume.
+    for (w, loads) in report.docs_per_joiner.iter().enumerate().skip(1) {
+        let total: usize = loads.iter().sum();
+        assert!(
+            total < m * 100,
+            "window {w} still broadcast everything: {loads:?}"
+        );
+    }
+}
+
+#[test]
+fn single_creator_single_assigner_still_exact() {
+    let dict = Dictionary::new();
+    let docs = stable_stream(&dict, 3, 60);
+    let mut cfg = config(2, 60);
+    cfg.partition_creators = 1;
+    cfg.assigners = 1;
+    let report = run_topology(cfg, &dict, docs.clone()).unwrap();
+    for (w, found) in report.joins_per_window.iter().enumerate() {
+        let truth = ssj_core::ground_truth_pairs(&docs[w * 60..(w + 1) * 60]);
+        assert_eq!(found, &truth, "window {w}");
+    }
+}

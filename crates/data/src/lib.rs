@@ -1,0 +1,28 @@
+//! # ssj-data — workload generators for the evaluation (§VII-B)
+//!
+//! * [`serverlog`] — the substitute for the paper's proprietary real-world
+//!   server-log dataset ("rwData"): skewed users/IPs, stable implication
+//!   structure (MsgId → Severity), per-window novelty;
+//! * [`nobench`] — a NoBench-style synthetic generator ("nbData") with the
+//!   unique `num` attribute removed, a ubiquitous Boolean (forcing §VI-B
+//!   expansion), and highly diverse sparse attributes;
+//! * [`ideal`] — the repeated-window stream of the ideal-execution
+//!   experiment (§VII-E-4);
+//! * [`tweets`] — a tweet-like stream (the paper's introductory motivation),
+//!   beyond the evaluated datasets: nested users, hashtag arrays, trending
+//!   drift.
+//!
+//! All generators are deterministic under a fixed seed and intern through a
+//! shared [`ssj_json::Dictionary`].
+
+#![warn(missing_docs)]
+
+pub mod ideal;
+pub mod nobench;
+pub mod serverlog;
+pub mod tweets;
+
+pub use ideal::{ideal_stream, IdealConfig};
+pub use nobench::{NoBenchConfig, NoBenchGen};
+pub use serverlog::{ServerLogConfig, ServerLogGen};
+pub use tweets::{TweetConfig, TweetGen};

@@ -1,0 +1,274 @@
+//! NoBench-style synthetic JSON generator (§VII-B "nbData", after Chasseur
+//! et al. \[35\]).
+//!
+//! Reproduces the structural properties of the NoBench object shape the
+//! paper relies on:
+//!
+//! * `str1` / `str2` — strings from pools of different sizes;
+//! * `num` — **removed**, exactly as the paper does (it is unique per object
+//!   and would make documents unjoinable);
+//! * `bool` — a ubiquitous Boolean: the disabling attribute that forces the
+//!   attribute-value expansion of §VI-B;
+//! * `dyn1` / `dyn2` — dynamically typed attributes (int or string);
+//! * `nested_obj.str` / `nested_obj.num` — a nested object, flattened to
+//!   dotted paths;
+//! * `nested_arr[i]` — a nested array of strings;
+//! * `sparse_XXX` — each object carries a run of 10 out of 1000 sparse
+//!   attributes, giving the "largely diverse elements" that make every
+//!   window introduce many previously unseen pairs (the behaviour behind
+//!   the 50 % repartition rate of Fig. 9b).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssj_json::{Dictionary, DocId, Document, Pair, Scalar};
+
+/// Tunables of the NoBench stream.
+#[derive(Debug, Clone, Copy)]
+pub struct NoBenchConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Pool size for `str1` (large domain).
+    pub str1_pool: usize,
+    /// Pool size for `str2` (small domain).
+    pub str2_pool: usize,
+    /// Number of sparse attribute clusters (NoBench uses 100 clusters of 10
+    /// over 1000 sparse attributes).
+    pub sparse_clusters: usize,
+    /// Fraction of sparse values drawn fresh (never seen before).
+    pub novelty: f64,
+}
+
+impl Default for NoBenchConfig {
+    fn default() -> Self {
+        NoBenchConfig {
+            seed: 7,
+            str1_pool: 800,
+            str2_pool: 60,
+            sparse_clusters: 100,
+            novelty: 0.25,
+        }
+    }
+}
+
+/// Streaming generator of NoBench-like documents.
+pub struct NoBenchGen {
+    cfg: NoBenchConfig,
+    rng: StdRng,
+    dict: Dictionary,
+    next_id: u64,
+    fresh_counter: u64,
+}
+
+impl NoBenchGen {
+    /// A generator writing pairs into `dict`.
+    pub fn new(cfg: NoBenchConfig, dict: Dictionary) -> Self {
+        NoBenchGen {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            dict,
+            next_id: 0,
+            fresh_counter: 0,
+            cfg,
+        }
+    }
+
+    /// The shared dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn sparse_value(&mut self) -> String {
+        if self.rng.gen_bool(self.cfg.novelty) {
+            self.fresh_counter += 1;
+            format!("fresh{}", self.fresh_counter)
+        } else {
+            format!("sv{}", self.rng.gen_range(0..500))
+        }
+    }
+
+    /// Generate the next document.
+    pub fn next_doc(&mut self) -> Document {
+        let id = DocId(self.next_id);
+        self.next_id += 1;
+        let dict = self.dict.clone();
+        let mut pairs: Vec<Pair> = Vec::with_capacity(12);
+
+        // Real NoBench objects carry every core attribute (only `num` is
+        // removed, as the paper does). Joins over nbData are therefore
+        // rare — partners must agree on every one of these — which is why
+        // the paper's FPJ stays in seconds on half a million documents.
+        pairs.push(dict.intern("bool", Scalar::Bool(self.rng.gen_bool(0.5))));
+
+        // str1 / str2: strings from pools of different sizes.
+        let s1 = self.rng.gen_range(0..self.cfg.str1_pool);
+        pairs.push(dict.intern("str1", Scalar::Str(format!("a{s1}"))));
+        let s2 = self.rng.gen_range(0..self.cfg.str2_pool);
+        pairs.push(dict.intern("str2", Scalar::Str(format!("b{s2}"))));
+
+        // dyn1 / dyn2: dynamically typed.
+        if self.rng.gen_bool(0.5) {
+            pairs.push(dict.intern("dyn1", Scalar::Int(self.rng.gen_range(0..100))));
+        } else {
+            pairs.push(dict.intern(
+                "dyn1",
+                Scalar::Str(format!("d{}", self.rng.gen_range(0..100))),
+            ));
+        }
+        if self.rng.gen_bool(0.5) {
+            pairs.push(dict.intern("dyn2", Scalar::Int(self.rng.gen_range(0..40))));
+        } else {
+            pairs.push(dict.intern(
+                "dyn2",
+                Scalar::Str(format!("e{}", self.rng.gen_range(0..40))),
+            ));
+        }
+
+        // nested_obj: flattened to dotted paths.
+        pairs.push(dict.intern(
+            "nested_obj.str",
+            Scalar::Str(format!("n{}", self.rng.gen_range(0..200))),
+        ));
+        pairs.push(dict.intern(
+            "nested_obj.num",
+            Scalar::Int(self.rng.gen_range(0..50)),
+        ));
+
+        // nested_arr: 0..4 string elements, indexed paths.
+        let arr_len = self.rng.gen_range(0..4);
+        for i in 0..arr_len {
+            let v = self.rng.gen_range(0..150);
+            pairs.push(dict.intern(&format!("nested_arr[{i}]"), Scalar::Str(format!("t{v}"))));
+        }
+
+        // sparse cluster: 10 consecutive sparse attributes.
+        let cluster = self.rng.gen_range(0..self.cfg.sparse_clusters);
+        for j in 0..10 {
+            let attr = format!("sparse_{:03}", cluster * 10 + j);
+            let v = self.sparse_value();
+            pairs.push(dict.intern(&attr, Scalar::Str(v)));
+        }
+
+        Document::from_pairs(id, pairs)
+    }
+
+    /// Generate `n` documents.
+    pub fn take_docs(&mut self, n: usize) -> Vec<Document> {
+        (0..n).map(|_| self.next_doc()).collect()
+    }
+}
+
+impl Iterator for NoBenchGen {
+    type Item = Document;
+    fn next(&mut self) -> Option<Document> {
+        Some(self.next_doc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::FxHashSet;
+
+    #[test]
+    fn bool_is_ubiquitous_with_two_values() {
+        let dict = Dictionary::new();
+        let mut g = NoBenchGen::new(NoBenchConfig::default(), dict.clone());
+        let docs = g.take_docs(500);
+        let battr = dict.intern_attr("bool");
+        for d in &docs {
+            assert!(d.has_attr(battr), "bool missing from {}", d.id());
+        }
+        assert_eq!(dict.attr_distinct_values(battr), 2);
+    }
+
+    #[test]
+    fn num_attribute_is_absent() {
+        let dict = Dictionary::new();
+        let mut g = NoBenchGen::new(NoBenchConfig::default(), dict.clone());
+        g.take_docs(200);
+        assert!(
+            dict.lookup("num", &Scalar::Int(0)).is_none(),
+            "top-level num must be removed per the paper"
+        );
+    }
+
+    #[test]
+    fn sparse_attributes_cluster_in_runs_of_ten() {
+        let dict = Dictionary::new();
+        let mut g = NoBenchGen::new(NoBenchConfig::default(), dict.clone());
+        let d = g.next_doc();
+        let sparse: Vec<String> = d
+            .pairs()
+            .iter()
+            .map(|p| dict.attr_name(p.attr))
+            .filter(|n| n.starts_with("sparse_"))
+            .collect();
+        assert_eq!(sparse.len(), 10);
+        let mut nums: Vec<usize> = sparse
+            .iter()
+            .map(|n| n["sparse_".len()..].parse().unwrap())
+            .collect();
+        nums.sort();
+        for w in nums.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "cluster must be consecutive: {nums:?}");
+        }
+        assert_eq!(nums[0] % 10, 0);
+    }
+
+    #[test]
+    fn windows_keep_introducing_unseen_pairs() {
+        let dict = Dictionary::new();
+        let mut g = NoBenchGen::new(NoBenchConfig::default(), dict.clone());
+        let w1 = g.take_docs(1000);
+        let w2 = g.take_docs(1000);
+        let seen: FxHashSet<u32> = w1.iter().flat_map(|d| d.avps()).map(|a| a.0).collect();
+        let unseen = w2
+            .iter()
+            .filter(|d| d.avps().any(|a| !seen.contains(&a.0)))
+            .count();
+        // The paper: "in every subsequent window [a] large number of the
+        // documents consist of previously unseen attribute-value pairs".
+        assert!(
+            unseen > 500,
+            "only {unseen}/1000 docs carry unseen pairs"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d1 = Dictionary::new();
+        let d2 = Dictionary::new();
+        let a = NoBenchGen::new(NoBenchConfig::default(), d1.clone()).take_docs(50);
+        let b = NoBenchGen::new(NoBenchConfig::default(), d2.clone()).take_docs(50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_json(&d1), y.to_json(&d2));
+        }
+    }
+
+    #[test]
+    fn core_attributes_always_present() {
+        // Real NoBench objects carry every core attribute; joins over
+        // nbData are correspondingly rare (partners must agree on all of
+        // them), which the evaluation relies on.
+        let dict = Dictionary::new();
+        let mut g = NoBenchGen::new(NoBenchConfig::default(), dict.clone());
+        let docs = g.take_docs(200);
+        for name in ["bool", "str1", "str2", "dyn1", "dyn2", "nested_obj.str"] {
+            let attr = dict.intern_attr(name);
+            for d in &docs {
+                assert!(d.has_attr(attr), "{name} missing from {}", d.id());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_core_documents_join() {
+        // Sanity: the join definition still admits results on nbData when
+        // all shared attributes agree.
+        let dict = Dictionary::new();
+        let mut g = NoBenchGen::new(NoBenchConfig::default(), dict.clone());
+        let docs = g.take_docs(2);
+        let clone_pairs = docs[0].pairs().to_vec();
+        let twin = ssj_json::Document::from_pairs(ssj_json::DocId(999), clone_pairs);
+        assert!(docs[0].joins_with(&twin));
+    }
+}

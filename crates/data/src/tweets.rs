@@ -1,0 +1,218 @@
+//! A tweet-like JSON stream — the paper's introductory motivation (Twitter
+//! delivers public tweets as schema-free JSON). Not part of the paper's
+//! evaluation; included as a third workload with different characteristics:
+//! nested user objects, hashtag arrays (flattened to indexed paths), a
+//! ubiquitous small-domain `lang` attribute, and a *trending* hashtag pool
+//! that drifts over time, creating both heavy hitters and novelty.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssj_json::{Dictionary, DocId, Document, Pair, Scalar};
+
+/// Tunables of the tweet stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TweetConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Size of the user population.
+    pub users: usize,
+    /// Size of the *current* trending-hashtag pool.
+    pub trending: usize,
+    /// Every `drift_every` tweets, one trending hashtag is replaced by a
+    /// brand-new one (stream drift).
+    pub drift_every: u64,
+}
+
+impl Default for TweetConfig {
+    fn default() -> Self {
+        TweetConfig {
+            seed: 11,
+            users: 500,
+            trending: 40,
+            drift_every: 200,
+        }
+    }
+}
+
+const LANGS: [&str; 8] = ["en", "de", "ja", "es", "pt", "fr", "tr", "ko"];
+const SOURCES: [&str; 4] = ["web", "android", "ios", "bot"];
+
+/// Streaming generator of tweet-like documents.
+pub struct TweetGen {
+    cfg: TweetConfig,
+    rng: StdRng,
+    dict: Dictionary,
+    next_id: u64,
+    /// Current trending pool (hashtag ids); drifts over time.
+    trending: Vec<u64>,
+    next_tag: u64,
+}
+
+impl TweetGen {
+    /// A generator writing pairs into `dict`.
+    pub fn new(cfg: TweetConfig, dict: Dictionary) -> Self {
+        let trending: Vec<u64> = (0..cfg.trending as u64).collect();
+        TweetGen {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            dict,
+            next_id: 0,
+            next_tag: cfg.trending as u64,
+            trending,
+            cfg,
+        }
+    }
+
+    /// The shared dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn skewed(&mut self, n: usize) -> usize {
+        let u: f64 = self.rng.gen_range(0.0f64..1.0);
+        ((n as f64) * u * u) as usize % n
+    }
+
+    /// Generate the next document.
+    pub fn next_doc(&mut self) -> Document {
+        let id = DocId(self.next_id);
+        self.next_id += 1;
+
+        // Trend drift: rotate one hashtag out of the pool periodically.
+        if self.cfg.drift_every > 0 && id.0 % self.cfg.drift_every == self.cfg.drift_every - 1
+        {
+            let slot = self.rng.gen_range(0..self.trending.len());
+            self.trending[slot] = self.next_tag;
+            self.next_tag += 1;
+        }
+
+        let dict = self.dict.clone();
+        let mut pairs: Vec<Pair> = Vec::with_capacity(8);
+
+        // lang: ubiquitous, small domain (the §VI-B candidate).
+        let lang = LANGS[self.skewed(LANGS.len())];
+        pairs.push(dict.intern("lang", Scalar::Str(lang.into())));
+
+        // user.*: nested object, flattened.
+        let user = self.skewed(self.cfg.users);
+        pairs.push(dict.intern("user.name", Scalar::Str(format!("@u{user}"))));
+        pairs.push(dict.intern(
+            "user.verified",
+            Scalar::Bool(user.is_multiple_of(10)), // verified iff a heavy hitter
+        ));
+
+        // hashtags: 0..4 trending tags, indexed array paths.
+        let n_tags = self.skewed(5);
+        for i in 0..n_tags {
+            let slot = self.skewed(self.trending.len());
+            let tag = self.trending[slot];
+            pairs.push(dict.intern(
+                &format!("hashtags[{i}]"),
+                Scalar::Str(format!("#t{tag}")),
+            ));
+        }
+
+        // Optional place and source.
+        if self.rng.gen_bool(0.3) {
+            let country = self.skewed(20);
+            pairs.push(dict.intern(
+                "place.country",
+                Scalar::Str(format!("C{country}")),
+            ));
+        }
+        if self.rng.gen_bool(0.8) {
+            pairs.push(dict.intern(
+                "source",
+                Scalar::Str(SOURCES[self.skewed(SOURCES.len())].into()),
+            ));
+        }
+        // Retweets reference another user: a cross-document link attribute.
+        if self.rng.gen_bool(0.25) {
+            let of = self.skewed(self.cfg.users);
+            pairs.push(dict.intern("retweet_of", Scalar::Str(format!("@u{of}"))));
+        }
+
+        Document::from_pairs(id, pairs)
+    }
+
+    /// Generate `n` documents.
+    pub fn take_docs(&mut self, n: usize) -> Vec<Document> {
+        (0..n).map(|_| self.next_doc()).collect()
+    }
+}
+
+impl Iterator for TweetGen {
+    type Item = Document;
+    fn next(&mut self) -> Option<Document> {
+        Some(self.next_doc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::FxHashSet;
+
+    #[test]
+    fn lang_is_ubiquitous_and_small_domain() {
+        let dict = Dictionary::new();
+        let docs = TweetGen::new(TweetConfig::default(), dict.clone()).take_docs(500);
+        let lang = dict.intern_attr("lang");
+        for d in &docs {
+            assert!(d.has_attr(lang));
+        }
+        assert!(dict.attr_distinct_values(lang) <= 8);
+    }
+
+    #[test]
+    fn hashtags_flatten_to_indexed_paths() {
+        let dict = Dictionary::new();
+        let docs = TweetGen::new(TweetConfig::default(), dict.clone()).take_docs(300);
+        let tagged = docs.iter().any(|d| {
+            d.pairs()
+                .iter()
+                .any(|p| dict.attr_name(p.attr).starts_with("hashtags["))
+        });
+        assert!(tagged, "no document carried hashtags");
+    }
+
+    #[test]
+    fn trending_pool_drifts() {
+        let dict = Dictionary::new();
+        let cfg = TweetConfig {
+            drift_every: 50,
+            ..Default::default()
+        };
+        let mut g = TweetGen::new(cfg, dict.clone());
+        let w1 = g.take_docs(1000);
+        let w2 = g.take_docs(1000);
+        let tags = |docs: &[Document]| -> FxHashSet<u32> {
+            docs.iter()
+                .flat_map(|d| d.pairs().iter())
+                .filter(|p| dict.attr_name(p.attr).starts_with("hashtags["))
+                .map(|p| p.avp.0)
+                .collect()
+        };
+        let t1 = tags(&w1);
+        let t2 = tags(&w2);
+        let fresh = t2.difference(&t1).count();
+        assert!(fresh > 3, "trending pool never drifted ({fresh} fresh tags)");
+    }
+
+    #[test]
+    fn deterministic_and_joinable() {
+        let d1 = Dictionary::new();
+        let d2 = Dictionary::new();
+        let a = TweetGen::new(TweetConfig::default(), d1.clone()).take_docs(100);
+        let b = TweetGen::new(TweetConfig::default(), d2.clone()).take_docs(100);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_json(&d1), y.to_json(&d2));
+        }
+        let mut joins = 0usize;
+        for (i, x) in a.iter().enumerate() {
+            for y in &a[i + 1..] {
+                joins += x.joins_with(y) as usize;
+            }
+        }
+        assert!(joins > 0, "tweet stream produced no joinable documents");
+    }
+}

@@ -1,0 +1,370 @@
+//! The FPTreeJoin algorithm (§V-B, Algorithms 2 and 3).
+//!
+//! Given a probe document and an [`FpTree`], produce every stored document
+//! that belongs to the natural join result with the probe:
+//!
+//! 1. **Fast path** (Algorithm 2): the first `num` levels of the tree hold
+//!    only *ubiquitous* attributes (present in every stored document). The
+//!    probe's value for each of them selects exactly one child per level —
+//!    every sibling branch conflicts on that attribute and is pruned
+//!    wholesale.
+//! 2. **Traversal** (Algorithm 3): below the ubiquitous levels, a DFS visits
+//!    children, pruning a whole subtree when the child's attribute exists in
+//!    the probe with a *different* value (a conflict), and counting shared
+//!    pairs along the path. Documents at a node are reported only when the
+//!    path shares at least one pair with the probe — the correction the
+//!    paper's remark after Algorithm 3 requires.
+
+use crate::fptree::{FpTree, NodeId};
+use ssj_json::{DocId, Document};
+
+/// Statistics of one probe — used by tests and the ablation benches.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Nodes visited during the DFS (excluding fast-path hops).
+    pub visited: u64,
+    /// Subtrees pruned due to a value conflict.
+    pub pruned: u64,
+    /// Levels skipped through the ubiquitous-attribute fast path.
+    pub fast_levels: u64,
+}
+
+/// Find all join partners of `probe` in `tree`, using the fast path.
+pub fn probe(tree: &FpTree, probe_doc: &Document) -> Vec<DocId> {
+    let mut out = Vec::new();
+    let mut stats = ProbeStats::default();
+    probe_into(tree, probe_doc, true, &mut out, &mut stats);
+    out
+}
+
+/// As [`probe`], but optionally disabling the fast path (ablation) and
+/// reporting traversal statistics.
+pub fn probe_with_stats(
+    tree: &FpTree,
+    probe_doc: &Document,
+    fast_path: bool,
+) -> (Vec<DocId>, ProbeStats) {
+    let mut out = Vec::new();
+    let mut stats = ProbeStats::default();
+    probe_into(tree, probe_doc, fast_path, &mut out, &mut stats);
+    (out, stats)
+}
+
+fn probe_into(
+    tree: &FpTree,
+    probe_doc: &Document,
+    fast_path: bool,
+    out: &mut Vec<DocId>,
+    stats: &mut ProbeStats,
+) {
+    let order = tree.order();
+    let num = order.ubiquitous();
+    let mut start = NodeId::ROOT;
+    let mut shared = 0u32;
+
+    if fast_path && num > 0 {
+        // The first `num` ranks of the order are exactly the ubiquitous
+        // attributes, so the probe's pair for each level is a binary search
+        // away — no reordering needed. The fast path applies only while the
+        // probe carries every ubiquitous attribute; on the first miss we
+        // fall back to the general traversal from wherever we got to
+        // (sound: levels walked so far matched exactly).
+        for &attr in order.attrs().iter().take(num) {
+            let Some(pair) = probe_doc.pair_for_attr(attr) else {
+                // Probe lacks this ubiquitous attribute: no conflict is
+                // possible on it, so all children below `start` remain
+                // candidates — handled by the general traversal.
+                break;
+            };
+            match tree.child(start, pair.avp) {
+                Some(child) => {
+                    start = child;
+                    shared += 1;
+                    stats.fast_levels += 1;
+                    // Documents ending inside the ubiquitous prefix match
+                    // the probe exactly on every attribute they carry.
+                    out.extend_from_slice(tree.docs(start));
+                }
+                None => {
+                    // Every stored document carries this attribute with
+                    // some other value — all conflict with the probe.
+                    out.retain(|&d| d != probe_doc.id());
+                    return;
+                }
+            }
+        }
+    }
+
+    traverse(tree, start, probe_doc, shared, out, stats);
+    out.retain(|&d| d != probe_doc.id());
+}
+
+/// Algorithm 3 with the shared-pair counter of the paper's remark.
+fn traverse(
+    tree: &FpTree,
+    node: NodeId,
+    probe_doc: &Document,
+    shared: u32,
+    out: &mut Vec<DocId>,
+    stats: &mut ProbeStats,
+) {
+    for child in tree.children(node) {
+        stats.visited += 1;
+        let label = tree.pair(child);
+        let new_shared = match probe_doc.pair_for_attr(label.attr) {
+            Some(p) if p.avp == label.avp => shared + 1,
+            Some(_) => {
+                // Conflicting value: every document under `child` carries the
+                // conflicting pair — prune the whole subtree (Alg. 3, l. 5-7).
+                stats.pruned += 1;
+                continue;
+            }
+            None => shared,
+        };
+        if new_shared > 0 {
+            out.extend_from_slice(tree.docs(child));
+        }
+        traverse(tree, child, probe_doc, new_shared, out, stats);
+    }
+}
+
+/// Join an entire batch the way a Joiner does for one tumbling window:
+/// probe each document against the documents before it, then insert it.
+/// Each joinable pair is reported exactly once, as `(earlier, later)`.
+pub fn join_batch(docs: &[Document]) -> (FpTree, Vec<(DocId, DocId)>) {
+    let order = crate::order::AttrOrder::compute(docs.iter());
+    let mut tree = FpTree::new(order);
+    let mut pairs = Vec::new();
+    for doc in docs {
+        let partners = probe(&tree, doc);
+        pairs.extend(partners.into_iter().map(|p| (p, doc.id())));
+        tree.insert(doc);
+    }
+    (tree, pairs)
+}
+
+/// Split-phase batch join used by the Fig. 11 harness: build the tree first
+/// ("creation"), then probe every document ("join"), keeping only pairs
+/// `(a, b)` with `a < b` so each result appears once.
+pub fn join_batch_prebuilt(docs: &[Document]) -> (FpTree, Vec<(DocId, DocId)>) {
+    let tree = FpTree::build(docs.iter());
+    let mut pairs = Vec::new();
+    for doc in docs {
+        for partner in probe(&tree, doc) {
+            if partner < doc.id() {
+                pairs.push((partner, doc.id()));
+            }
+        }
+    }
+    (tree, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn docs(dict: &Dictionary, srcs: &[&str]) -> Vec<Document> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, dict).unwrap())
+            .collect()
+    }
+
+    fn table1(dict: &Dictionary) -> Vec<Document> {
+        docs(
+            dict,
+            &[
+                r#"{"a":3,"b":7,"c":1}"#,
+                r#"{"a":3,"b":8}"#,
+                r#"{"a":3,"b":7}"#,
+                r#"{"b":8,"c":2}"#,
+            ],
+        )
+    }
+
+    /// Fig. 5 of the paper: probing with d1 prunes the b:8 branch at the
+    /// first level and reports only d3.
+    #[test]
+    fn paper_fig5_probe_d1() {
+        let dict = Dictionary::new();
+        let ds = table1(&dict);
+        let tree = FpTree::build(ds.iter());
+        let (found, stats) = probe_with_stats(&tree, &ds[0], true);
+        assert_eq!(found, vec![DocId(3)]);
+        // One ubiquitous level (b) navigated via the fast path...
+        assert_eq!(stats.fast_levels, 1);
+        // ...so the b:8 subtree (3 nodes) was never visited.
+        assert!(stats.visited <= 2, "visited {} nodes", stats.visited);
+    }
+
+    #[test]
+    fn fast_path_and_full_traversal_agree() {
+        let dict = Dictionary::new();
+        let ds = table1(&dict);
+        let tree = FpTree::build(ds.iter());
+        for d in &ds {
+            let (mut fast, _) = probe_with_stats(&tree, d, true);
+            let (mut slow, _) = probe_with_stats(&tree, d, false);
+            fast.sort();
+            slow.sort();
+            assert_eq!(fast, slow, "mismatch probing {}", d.id());
+        }
+    }
+
+    #[test]
+    fn probe_matches_pairwise_definition() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[
+                r#"{"u":"A","s":"W"}"#,
+                r#"{"u":"A","s":"W","m":2}"#,
+                r#"{"u":"A","s":"E"}"#,
+                r#"{"ip":"10.0.0.1","s":"W"}"#,
+                r#"{"u":"B","s":"C","m":1}"#,
+                r#"{"u":"B","s":"C"}"#,
+                r#"{"u":"B","s":"W"}"#,
+            ],
+        );
+        let tree = FpTree::build(ds.iter());
+        for d in &ds {
+            let mut got = probe(&tree, d);
+            got.sort();
+            let mut want: Vec<DocId> = ds
+                .iter()
+                .filter(|o| o.id() != d.id() && o.joins_with(d))
+                .map(|o| o.id())
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "probe {}", d.id());
+        }
+    }
+
+    #[test]
+    fn docs_sharing_nothing_are_not_reported() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1}"#, r#"{"b":2}"#]);
+        let tree = FpTree::build(ds.iter());
+        assert!(probe(&tree, &ds[0]).is_empty());
+        assert!(probe(&tree, &ds[1]).is_empty());
+    }
+
+    #[test]
+    fn probe_excludes_self() {
+        let dict = Dictionary::new();
+        let ds = table1(&dict);
+        let tree = FpTree::build(ds.iter());
+        for d in &ds {
+            assert!(!probe(&tree, d).contains(&d.id()));
+        }
+    }
+
+    #[test]
+    fn duplicate_documents_join_each_other() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"x":1}"#, r#"{"x":1}"#]);
+        let tree = FpTree::build(ds.iter());
+        assert_eq!(probe(&tree, &ds[0]), vec![DocId(2)]);
+        assert_eq!(probe(&tree, &ds[1]), vec![DocId(1)]);
+    }
+
+    #[test]
+    fn probe_lacking_ubiquitous_attribute_falls_back() {
+        let dict = Dictionary::new();
+        // b is ubiquitous in the batch; the late probe has no b at all.
+        let ds = table1(&dict);
+        let tree = FpTree::build(ds.iter());
+        let late = Document::from_json(DocId(50), r#"{"a":3,"c":1}"#, &dict).unwrap();
+        let (mut got, stats) = probe_with_stats(&tree, &late, true);
+        got.sort();
+        // Joinable with every document carrying a:3 or c:1 without conflict:
+        // d1 {a3,b7,c1} shares a,c; d2 {a3,b8} shares a; d3 {a3,b7} shares a.
+        assert_eq!(got, vec![DocId(1), DocId(2), DocId(3)]);
+        assert_eq!(stats.fast_levels, 0, "fast path must not engage");
+    }
+
+    #[test]
+    fn probe_with_conflicting_ubiquitous_value_returns_empty() {
+        let dict = Dictionary::new();
+        let ds = table1(&dict);
+        let tree = FpTree::build(ds.iter());
+        let probe_doc =
+            Document::from_json(DocId(60), r#"{"b":99,"a":3}"#, &dict).unwrap();
+        // b:99 exists nowhere: every stored doc carries b with another value.
+        assert!(probe(&tree, &probe_doc).is_empty());
+    }
+
+    #[test]
+    fn join_batch_reports_each_pair_once() {
+        let dict = Dictionary::new();
+        let ds = table1(&dict);
+        let (_, mut pairs) = join_batch(&ds);
+        pairs.sort();
+        let mut dedup = pairs.clone();
+        dedup.dedup();
+        assert_eq!(pairs, dedup);
+        for (a, b) in &pairs {
+            assert!(a < b, "pair ({a},{b}) not ordered");
+        }
+    }
+
+    #[test]
+    fn incremental_and_prebuilt_agree() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[
+                r#"{"u":"A","s":"W"}"#,
+                r#"{"u":"A","s":"W","m":2}"#,
+                r#"{"u":"A","s":"E"}"#,
+                r#"{"ip":"x","s":"W"}"#,
+                r#"{"u":"B","s":"C","m":1}"#,
+            ],
+        );
+        let (_, mut inc) = join_batch(&ds);
+        let (_, mut pre) = join_batch_prebuilt(&ds);
+        inc.sort();
+        pre.sort();
+        assert_eq!(inc, pre);
+    }
+
+    #[test]
+    fn deep_tree_with_many_ubiquitous_levels() {
+        let dict = Dictionary::new();
+        // Three Boolean-ish ubiquitous attributes → first 3 levels prunable.
+        let mut srcs = Vec::new();
+        for i in 0..16u32 {
+            let bits = i % 8;
+            let (b1, b2, b3) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+            // The extra attribute is sparse (half tag, half note) so exactly
+            // f1..f3 are ubiquitous; d_i and d_{i+8} share all three bits.
+            let extra = if i < 8 {
+                format!(r#""tag":"t{i}""#)
+            } else {
+                format!(r#""note":"n{i}""#)
+            };
+            srcs.push(format!(r#"{{"f1":{b1},"f2":{b2},"f3":{b3},{extra}}}"#));
+        }
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        let ds = docs(&dict, &refs);
+        let tree = FpTree::build(ds.iter());
+        assert_eq!(tree.order().ubiquitous(), 3);
+        for d in &ds {
+            let (got, stats) = probe_with_stats(&tree, d, true);
+            assert_eq!(stats.fast_levels, 3);
+            // Every other doc shares f1..f3 values only if identical bits;
+            // tags are unique so partners differ only in tag attribute.
+            let want: Vec<DocId> = ds
+                .iter()
+                .filter(|o| o.id() != d.id() && o.joins_with(d))
+                .map(|o| o.id())
+                .collect();
+            let mut got = got;
+            let mut want = want;
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! The FP-tree document store (§V-A).
+//!
+//! An arena-backed prefix tree over attribute-value pairs, ordered by a
+//! frozen [`AttrOrder`]. Each node is labelled with one interned pair,
+//! carries the ids of the documents whose insertion path *terminates* there
+//! (exactly as in the paper's Fig. 4), and is chained into a header list
+//! connecting equally-labelled nodes, as in the original FP-tree of Han et
+//! al. Every root-to-leaf path is a *branch* with a unique branch id.
+
+use crate::order::AttrOrder;
+use ssj_json::{DocId, Document, FxHashMap, Pair};
+
+/// Index of a node in the tree arena. `NodeId::ROOT` is the synthetic root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The synthetic `null`-labelled root node.
+    pub const ROOT: NodeId = NodeId(0);
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Label: the attribute-value pair; undefined for the root.
+    pair: Pair,
+    parent: NodeId,
+    depth: u32,
+    /// Child nodes keyed by their label's pair id.
+    children: FxHashMap<u32, NodeId>,
+    /// Documents whose pair sequence ends at this node.
+    docs: Vec<DocId>,
+    /// Next node with the same label (header-table chain).
+    next_same_label: Option<NodeId>,
+    /// Id of the branch this node extended when created.
+    branch: u32,
+}
+
+/// An FP-tree over one window of documents.
+#[derive(Debug)]
+pub struct FpTree {
+    order: AttrOrder,
+    nodes: Vec<Node>,
+    /// First node per label, as in the classic FP-tree header table.
+    header: FxHashMap<u32, NodeId>,
+    /// Last node per label, for O(1) chain appends.
+    header_tail: FxHashMap<u32, NodeId>,
+    doc_count: usize,
+    next_branch: u32,
+    /// Documents removed since construction (tombstoned paths).
+    removed: u64,
+}
+
+impl FpTree {
+    /// Create an empty tree governed by `order`.
+    pub fn new(order: AttrOrder) -> Self {
+        let root = Node {
+            pair: Pair {
+                attr: ssj_json::AttrId(u32::MAX),
+                avp: ssj_json::AvpId(u32::MAX),
+            },
+            parent: NodeId::ROOT,
+            depth: 0,
+            children: FxHashMap::default(),
+            docs: Vec::new(),
+            next_same_label: None,
+            branch: 0,
+        };
+        FpTree {
+            order,
+            nodes: vec![root],
+            header: FxHashMap::default(),
+            header_tail: FxHashMap::default(),
+            doc_count: 0,
+            next_branch: 0,
+            removed: 0,
+        }
+    }
+
+    /// Build a tree for a batch: compute the attribute order, then insert
+    /// every document.
+    pub fn build<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Document> + Clone,
+    {
+        let order = AttrOrder::compute(docs.clone());
+        let mut tree = FpTree::new(order);
+        for doc in docs {
+            tree.insert(doc);
+        }
+        tree
+    }
+
+    /// The governing attribute order.
+    #[inline]
+    pub fn order(&self) -> &AttrOrder {
+        &self.order
+    }
+
+    /// Insert one document; returns the terminal node of its path.
+    pub fn insert(&mut self, doc: &Document) -> NodeId {
+        let ordered = self.order.reorder(doc);
+        let mut node = NodeId::ROOT;
+        let mut extended = false;
+        for pair in ordered {
+            if let Some(&child) = self.nodes[node.index()].children.get(&pair.avp.0) {
+                node = child;
+            } else {
+                node = self.add_child(node, pair);
+                extended = true;
+            }
+        }
+        if extended {
+            self.next_branch += 1;
+        }
+        self.nodes[node.index()].docs.push(doc.id());
+        self.doc_count += 1;
+        node
+    }
+
+    fn add_child(&mut self, parent: NodeId, pair: Pair) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(Node {
+            pair,
+            parent,
+            depth,
+            children: FxHashMap::default(),
+            docs: Vec::new(),
+            next_same_label: None,
+            branch: self.next_branch,
+        });
+        self.nodes[parent.index()].children.insert(pair.avp.0, id);
+        // Maintain the header chain of equally-labelled nodes.
+        match self.header_tail.get(&pair.avp.0).copied() {
+            Some(tail) => {
+                self.nodes[tail.index()].next_same_label = Some(id);
+            }
+            None => {
+                self.header.insert(pair.avp.0, id);
+            }
+        }
+        self.header_tail.insert(pair.avp.0, id);
+        id
+    }
+
+    /// Remove one previously inserted document (the "tree updates" the
+    /// paper defers for sliding windows, §V-A). Walks the document's path
+    /// and deletes its id from the terminal node's list. Nodes are *not*
+    /// physically pruned — empty branches are tombstones that probes skip
+    /// naturally (their doc lists are empty); call [`FpTree::tombstone_ratio`]
+    /// to decide when a rebuild pays off.
+    ///
+    /// Returns `false` when the document is not in the tree (wrong path or
+    /// id not present).
+    pub fn remove(&mut self, doc: &Document) -> bool {
+        let ordered = self.order.reorder(doc);
+        let mut node = NodeId::ROOT;
+        for pair in ordered {
+            match self.nodes[node.index()].children.get(&pair.avp.0) {
+                Some(&child) => node = child,
+                None => return false,
+            }
+        }
+        let docs = &mut self.nodes[node.index()].docs;
+        match docs.iter().position(|&d| d == doc.id()) {
+            Some(pos) => {
+                docs.swap_remove(pos);
+                self.doc_count -= 1;
+                self.removed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fraction of all insertions that have since been removed — when this
+    /// grows large, rebuilding the tree reclaims the tombstoned branches.
+    pub fn tombstone_ratio(&self) -> f64 {
+        let total = self.doc_count + self.removed as usize;
+        if total == 0 {
+            0.0
+        } else {
+            self.removed as f64 / total as f64
+        }
+    }
+
+    /// The label of `node` (undefined for the root).
+    #[inline]
+    pub fn pair(&self, node: NodeId) -> Pair {
+        self.nodes[node.index()].pair
+    }
+
+    /// The parent of `node`.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        self.nodes[node.index()].parent
+    }
+
+    /// Depth of `node` (root = 0).
+    #[inline]
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.nodes[node.index()].depth
+    }
+
+    /// Child of `node` labelled with pair id `avp`, if present.
+    #[inline]
+    pub fn child(&self, node: NodeId, avp: ssj_json::AvpId) -> Option<NodeId> {
+        self.nodes[node.index()].children.get(&avp.0).copied()
+    }
+
+    /// Iterate the children of `node`.
+    pub fn children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.index()].children.values().copied()
+    }
+
+    /// Documents terminating at `node`.
+    #[inline]
+    pub fn docs(&self, node: NodeId) -> &[DocId] {
+        &self.nodes[node.index()].docs
+    }
+
+    /// First node carrying label `avp` (header table entry).
+    pub fn header_first(&self, avp: ssj_json::AvpId) -> Option<NodeId> {
+        self.header.get(&avp.0).copied()
+    }
+
+    /// Follow the header chain from a node to the next equally-labelled one.
+    pub fn next_same_label(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].next_same_label
+    }
+
+    /// The branch id assigned when `node` was created.
+    pub fn branch(&self, node: NodeId) -> u32 {
+        self.nodes[node.index()].branch
+    }
+
+    /// Number of inserted documents.
+    #[inline]
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Number of nodes including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct branches (root-to-leaf paths created so far).
+    pub fn branch_count(&self) -> usize {
+        self.next_branch as usize
+    }
+
+    /// Maximum node depth — useful to verify the compression the paper
+    /// relies on for "deep trees" with few distinct frequent values.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// All `(node, doc)` pairs — diagnostics and tests.
+    pub fn iter_docs(&self) -> impl Iterator<Item = (NodeId, DocId)> + '_ {
+        self.nodes.iter().enumerate().flat_map(|(i, n)| {
+            n.docs.iter().map(move |&d| (NodeId(i as u32), d))
+        })
+    }
+
+    /// ASCII rendering of the tree (labels via `dict`, document ids in
+    /// brackets), for debugging and documentation:
+    ///
+    /// ```text
+    /// root
+    /// ├─ b:7
+    /// │  └─ a:3 [d3]
+    /// │     └─ c:1 [d1]
+    /// └─ b:8
+    ///    ├─ a:3 [d2]
+    ///    └─ c:2 [d4]
+    /// ```
+    pub fn render(&self, dict: &ssj_json::Dictionary) -> String {
+        let mut out = String::from("root\n");
+        let children = self.sorted_children(NodeId::ROOT);
+        for (i, child) in children.iter().enumerate() {
+            self.render_node(dict, *child, "", i + 1 == children.len(), &mut out);
+        }
+        out
+    }
+
+    fn sorted_children(&self, node: NodeId) -> Vec<NodeId> {
+        let mut cs: Vec<NodeId> = self.children(node).collect();
+        // Deterministic output: order by label id.
+        cs.sort_by_key(|&c| self.pair(c).avp);
+        cs
+    }
+
+    fn render_node(
+        &self,
+        dict: &ssj_json::Dictionary,
+        node: NodeId,
+        prefix: &str,
+        last: bool,
+        out: &mut String,
+    ) {
+        use std::fmt::Write;
+        let branch = if last { "└─ " } else { "├─ " };
+        let docs = self.docs(node);
+        let doc_list = if docs.is_empty() {
+            String::new()
+        } else {
+            let ids: Vec<String> = docs.iter().map(|d| d.to_string()).collect();
+            format!(" [{}]", ids.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "{prefix}{branch}{}{doc_list}",
+            dict.render_avp(self.pair(node).avp)
+        );
+        let next_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        let children = self.sorted_children(node);
+        for (i, child) in children.iter().enumerate() {
+            self.render_node(dict, *child, &next_prefix, i + 1 == children.len(), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn table1(dict: &Dictionary) -> Vec<Document> {
+        [
+            r#"{"a":3,"b":7,"c":1}"#,
+            r#"{"a":3,"b":8}"#,
+            r#"{"a":3,"b":7}"#,
+            r#"{"b":8,"c":2}"#,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, dict).unwrap())
+        .collect()
+    }
+
+    /// The tree of the paper's Fig. 4: root → {b:7 → a:3 [d3] → c:1 [d1],
+    /// b:8 → a:3 [d2], b:8 → c:2 [d4]}.
+    #[test]
+    fn paper_table1_tree_shape() {
+        let dict = Dictionary::new();
+        let docs = table1(&dict);
+        let tree = FpTree::build(docs.iter());
+
+        assert_eq!(tree.doc_count(), 4);
+        // Nodes: root, b:7, a:3, c:1, b:8, a:3, c:2 = 7 nodes.
+        assert_eq!(tree.node_count(), 7);
+        assert_eq!(tree.max_depth(), 3);
+
+        // Root has exactly two children: b:7 and b:8.
+        let roots: Vec<NodeId> = tree.children(NodeId::ROOT).collect();
+        assert_eq!(roots.len(), 2);
+
+        let b7 = dict.lookup("b", &ssj_json::Scalar::Int(7)).unwrap();
+        let b8 = dict.lookup("b", &ssj_json::Scalar::Int(8)).unwrap();
+        let a3 = dict.lookup("a", &ssj_json::Scalar::Int(3)).unwrap();
+        let c1 = dict.lookup("c", &ssj_json::Scalar::Int(1)).unwrap();
+        let c2 = dict.lookup("c", &ssj_json::Scalar::Int(2)).unwrap();
+
+        let nb7 = tree.child(NodeId::ROOT, b7.avp).unwrap();
+        let nb8 = tree.child(NodeId::ROOT, b8.avp).unwrap();
+        let na3_left = tree.child(nb7, a3.avp).unwrap();
+        let nc1 = tree.child(na3_left, c1.avp).unwrap();
+        let na3_right = tree.child(nb8, a3.avp).unwrap();
+        let nc2 = tree.child(nb8, c2.avp).unwrap();
+
+        // Document ids land on the terminal node of each path (Fig. 4).
+        assert_eq!(tree.docs(na3_left), &[DocId(3)]);
+        assert_eq!(tree.docs(nc1), &[DocId(1)]);
+        assert_eq!(tree.docs(na3_right), &[DocId(2)]);
+        assert_eq!(tree.docs(nc2), &[DocId(4)]);
+        assert!(tree.docs(nb7).is_empty());
+        assert!(tree.docs(nb8).is_empty());
+    }
+
+    #[test]
+    fn header_chain_links_equal_labels() {
+        let dict = Dictionary::new();
+        let docs = table1(&dict);
+        let tree = FpTree::build(docs.iter());
+        let a3 = dict.lookup("a", &ssj_json::Scalar::Int(3)).unwrap();
+        let first = tree.header_first(a3.avp).unwrap();
+        let second = tree.next_same_label(first).unwrap();
+        assert_eq!(tree.pair(first).avp, a3.avp);
+        assert_eq!(tree.pair(second).avp, a3.avp);
+        assert!(tree.next_same_label(second).is_none());
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn identical_documents_share_a_path() {
+        let dict = Dictionary::new();
+        let d1 = Document::from_json(DocId(1), r#"{"x":1,"y":2}"#, &dict).unwrap();
+        let d2 = Document::from_json(DocId(2), r#"{"y":2,"x":1}"#, &dict).unwrap();
+        let tree = FpTree::build([&d1, &d2]);
+        // Only root + 2 nodes; both docs at the same terminal node.
+        assert_eq!(tree.node_count(), 3);
+        let terminal = tree
+            .iter_docs()
+            .map(|(n, _)| n)
+            .next()
+            .expect("has docs");
+        assert_eq!(tree.docs(terminal), &[DocId(1), DocId(2)]);
+    }
+
+    #[test]
+    fn branch_count_tracks_distinct_paths() {
+        let dict = Dictionary::new();
+        let docs = table1(&dict);
+        let tree = FpTree::build(docs.iter());
+        // d1 creates branch 1; d2 branch 2; d3 reuses d1's prefix (extends
+        // nothing new: b:7→a:3 already exists) — no new branch; d4 branch 3.
+        assert_eq!(tree.branch_count(), 3);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = FpTree::build(std::iter::empty());
+        assert_eq!(tree.doc_count(), 0);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.max_depth(), 0);
+    }
+
+    #[test]
+    fn insertion_after_build_with_unseen_attrs() {
+        let dict = Dictionary::new();
+        let docs = table1(&dict);
+        let mut tree = FpTree::build(docs.iter());
+        let late =
+            Document::from_json(DocId(99), r#"{"b":7,"zz":42}"#, &dict).unwrap();
+        let node = tree.insert(&late);
+        assert_eq!(tree.docs(node), &[DocId(99)]);
+        assert_eq!(tree.doc_count(), 5);
+        // zz is unseen by the order; it must sort after all ranked attrs.
+        assert_eq!(tree.depth(node), 2);
+        let parent = tree.parent(node);
+        assert_eq!(dict.attr_name(tree.pair(parent).attr), "b");
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    #[test]
+    fn render_matches_fig4_structure() {
+        let dict = Dictionary::new();
+        let docs: Vec<Document> = [
+            r#"{"a":3,"b":7,"c":1}"#,
+            r#"{"a":3,"b":8}"#,
+            r#"{"a":3,"b":7}"#,
+            r#"{"b":8,"c":2}"#,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, &dict).unwrap())
+        .collect();
+        let tree = FpTree::build(docs.iter());
+        let rendered = tree.render(&dict);
+        assert!(rendered.starts_with("root\n"), "{rendered}");
+        assert!(rendered.contains("b:7"));
+        assert!(rendered.contains("a:3 [d3]"));
+        assert!(rendered.contains("c:1 [d1]"));
+        assert!(rendered.contains("a:3 [d2]"));
+        assert!(rendered.contains("c:2 [d4]"));
+        // Two subtrees under the root → exactly one '└─ b:' at top level.
+        let top_level: Vec<&str> = rendered
+            .lines()
+            .filter(|l| l.starts_with("├─") || l.starts_with("└─"))
+            .collect();
+        assert_eq!(top_level.len(), 2, "{rendered}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Hash-Based Join (HBJ) — the second baseline of §VII-A.
+//!
+//! An inverted index over individual attribute-value pairs: every document is
+//! posted under each of its pairs, "essentially resulting in some sort of
+//! inverted index over the contents of the documents" (§VII-A). Probing
+//! gathers the posting lists of the probe's pairs (candidates sharing at
+//! least one pair), deduplicates them with a stamp array, and verifies each
+//! candidate with the exact merge-scan compatibility test.
+//!
+//! On highly interconnected data a few posting lists hold almost every
+//! document, which is exactly the degenerate behaviour the paper observes on
+//! its real-world dataset (Fig. 11c).
+
+use ssj_json::{AvpId, DocId, Document, FxHashMap};
+
+/// An inverted index over one window of documents.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    postings: FxHashMap<AvpId, Vec<u32>>,
+    docs: Vec<Document>,
+    /// Probe-time dedup stamps, one per stored document.
+    stamps: Vec<u32>,
+    stamp: u32,
+}
+
+impl HashIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an index over a whole batch.
+    pub fn build(docs: impl IntoIterator<Item = Document>) -> Self {
+        let mut idx = Self::new();
+        for d in docs {
+            idx.insert(d);
+        }
+        idx
+    }
+
+    /// Insert one document.
+    pub fn insert(&mut self, doc: Document) {
+        let slot = self.docs.len() as u32;
+        for pair in doc.pairs() {
+            self.postings.entry(pair.avp).or_default().push(slot);
+        }
+        self.docs.push(doc);
+        self.stamps.push(0);
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Length of the longest posting list — the bucket-skew probe used by
+    /// the ablation bench to explain the NLJ/HBJ crossover of Fig. 11.
+    pub fn max_posting_len(&self) -> usize {
+        self.postings.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average posting-list length.
+    pub fn avg_posting_len(&self) -> f64 {
+        if self.postings.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.postings.values().map(Vec::len).sum();
+        total as f64 / self.postings.len() as f64
+    }
+
+    /// Force the probe stamp counter close to wraparound (tests only).
+    #[cfg(test)]
+    fn set_stamp_for_test(&mut self, stamp: u32) {
+        self.stamp = stamp;
+        // Simulate stale marks from earlier epochs.
+        self.stamps.fill(stamp);
+    }
+
+    /// All join partners of `probe_doc` among the stored documents.
+    pub fn probe(&mut self, probe_doc: &Document) -> Vec<DocId> {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp counter wrapped: reset all marks once.
+            self.stamps.fill(0);
+            self.stamp = 1;
+        }
+        let mut out = Vec::new();
+        for pair in probe_doc.pairs() {
+            let Some(list) = self.postings.get(&pair.avp) else {
+                continue;
+            };
+            for &slot in list {
+                let slot_usize = slot as usize;
+                if self.stamps[slot_usize] == self.stamp {
+                    continue; // candidate already examined for this probe
+                }
+                self.stamps[slot_usize] = self.stamp;
+                let cand = &self.docs[slot_usize];
+                if cand.id() != probe_doc.id() && cand.joins_with(probe_doc) {
+                    out.push(cand.id());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Join a whole batch: probe each document against its predecessors, then
+/// insert it. Returns each joinable pair once as `(earlier, later)`.
+pub fn join_batch(docs: &[Document]) -> Vec<(DocId, DocId)> {
+    let mut idx = HashIndex::new();
+    let mut out = Vec::new();
+    for doc in docs {
+        for partner in idx.probe(doc) {
+            out.push(if partner < doc.id() {
+                (partner, doc.id())
+            } else {
+                (doc.id(), partner)
+            });
+        }
+        idx.insert(doc.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn docs(dict: &Dictionary, srcs: &[&str]) -> Vec<Document> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, dict).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_nlj_on_small_batch() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[
+                r#"{"u":"A","s":"W"}"#,
+                r#"{"u":"A","s":"W","m":2}"#,
+                r#"{"u":"A","s":"E"}"#,
+                r#"{"ip":"x","s":"W"}"#,
+                r#"{"u":"B","s":"C","m":1}"#,
+                r#"{"u":"B","s":"C"}"#,
+                r#"{"u":"B","s":"W"}"#,
+            ],
+        );
+        let mut h = join_batch(&ds);
+        let mut n = crate::nlj::join_batch(&ds);
+        h.sort();
+        n.sort();
+        assert_eq!(h, n);
+    }
+
+    #[test]
+    fn candidates_deduplicated() {
+        let dict = Dictionary::new();
+        // Two shared pairs → the candidate appears on two posting lists but
+        // must be reported once.
+        let ds = docs(&dict, &[r#"{"a":1,"b":2}"#, r#"{"a":1,"b":2,"c":3}"#]);
+        let mut idx = HashIndex::new();
+        idx.insert(ds[0].clone());
+        let partners = idx.probe(&ds[1]);
+        assert_eq!(partners, vec![DocId(1)]);
+    }
+
+    #[test]
+    fn conflicting_candidates_verified_away() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1,"b":2}"#, r#"{"a":1,"b":9}"#]);
+        assert!(join_batch(&ds).is_empty());
+    }
+
+    #[test]
+    fn posting_statistics() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1}"#, r#"{"a":1}"#, r#"{"a":2}"#]);
+        let idx = HashIndex::build(ds);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.max_posting_len(), 2);
+        assert!(idx.avg_posting_len() > 1.0);
+    }
+
+    #[test]
+    fn stamp_wraparound_stays_correct() {
+        // After u32::MAX probes the stamp counter wraps; marks from the old
+        // epoch must not suppress candidates of the new epoch.
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1,"b":2}"#, r#"{"a":1,"b":2,"c":3}"#]);
+        let mut idx = HashIndex::new();
+        idx.insert(ds[0].clone());
+        idx.set_stamp_for_test(u32::MAX);
+        // This probe wraps the counter to 0 → reset path → stamp becomes 1.
+        let partners = idx.probe(&ds[1]);
+        assert_eq!(partners, vec![DocId(1)]);
+        // And the very next probe still deduplicates correctly.
+        let partners = idx.probe(&ds[1]);
+        assert_eq!(partners, vec![DocId(1)]);
+    }
+
+    #[test]
+    fn empty_index_probe() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1}"#]);
+        let mut idx = HashIndex::new();
+        assert!(idx.probe(&ds[0]).is_empty());
+    }
+}

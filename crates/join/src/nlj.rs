@@ -1,0 +1,91 @@
+//! Nested Loop Join (NLJ) — the first baseline of §VII-A.
+//!
+//! The textbook natural join over schema-free documents: test every pair of
+//! documents with the merge-scan compatibility check. Quadratic in the window
+//! size, but with no build cost and no memory beyond the input — the paper's
+//! Fig. 11 shows it beating HBJ on highly interconnected data.
+
+use ssj_json::{DocId, Document};
+
+/// Join a whole batch; returns each joinable pair once as `(earlier, later)`.
+pub fn join_batch(docs: &[Document]) -> Vec<(DocId, DocId)> {
+    let mut out = Vec::new();
+    for (i, a) in docs.iter().enumerate() {
+        for b in &docs[i + 1..] {
+            if a.joins_with(b) {
+                out.push(order_pair(a.id(), b.id()));
+            }
+        }
+    }
+    out
+}
+
+/// Find all partners of `probe` among `stored` (streaming-style probe).
+pub fn probe(stored: &[Document], probe_doc: &Document) -> Vec<DocId> {
+    stored
+        .iter()
+        .filter(|d| d.id() != probe_doc.id() && d.joins_with(probe_doc))
+        .map(|d| d.id())
+        .collect()
+}
+
+#[inline]
+fn order_pair(a: DocId, b: DocId) -> (DocId, DocId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn docs(dict: &Dictionary, srcs: &[&str]) -> Vec<Document> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, dict).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn batch_pairs_ordered_and_unique() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[r#"{"a":1,"b":2}"#, r#"{"a":1,"c":3}"#, r#"{"b":2,"c":3}"#],
+        );
+        let mut pairs = join_batch(&ds);
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (DocId(1), DocId(2)),
+                (DocId(1), DocId(3)),
+                (DocId(2), DocId(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn conflicting_docs_excluded() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1,"b":2}"#, r#"{"a":1,"b":3}"#]);
+        assert!(join_batch(&ds).is_empty());
+    }
+
+    #[test]
+    fn probe_streaming() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1}"#, r#"{"a":2}"#, r#"{"a":1,"x":9}"#]);
+        let partners = probe(&ds[..2], &ds[2]);
+        assert_eq!(partners, vec![DocId(1)]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(join_batch(&[]).is_empty());
+    }
+}

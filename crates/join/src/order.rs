@@ -1,0 +1,192 @@
+//! The global attribute ordering imposed on FP-tree input (§V-A).
+//!
+//! Attributes are sorted in **descending document frequency** (how many
+//! documents of the batch contain the attribute); ties are broken by the
+//! **smaller number of distinct values** within the batch, then by attribute
+//! id for determinism. Attributes that appear in *every* document of the
+//! batch are *ubiquitous* — they occupy the first [`AttrOrder::ubiquitous`]
+//! ranks and enable the FPTreeJoin fast path of §V-B.
+
+use ssj_json::{AttrId, Document, FxHashMap, FxHashSet, Pair};
+
+/// A frozen attribute ordering computed from one batch (window) of documents.
+#[derive(Debug, Clone)]
+pub struct AttrOrder {
+    /// `rank[attr.index()]` = position of the attribute in the global order;
+    /// `u32::MAX` for attributes unseen in the batch.
+    rank: Vec<u32>,
+    /// Attributes in rank order.
+    by_rank: Vec<AttrId>,
+    /// How many leading ranks belong to attributes present in all documents.
+    ubiquitous: usize,
+    /// Number of documents the order was computed from.
+    docs: usize,
+}
+
+impl AttrOrder {
+    /// Compute the ordering from a batch of documents.
+    pub fn compute<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Document>,
+    {
+        let mut doc_freq: FxHashMap<AttrId, u32> = FxHashMap::default();
+        let mut values: FxHashMap<AttrId, FxHashSet<u32>> = FxHashMap::default();
+        let mut n_docs = 0usize;
+        for doc in docs {
+            n_docs += 1;
+            for &Pair { attr, avp } in doc.pairs() {
+                *doc_freq.entry(attr).or_insert(0) += 1;
+                values.entry(attr).or_default().insert(avp.0);
+            }
+        }
+        let mut attrs: Vec<AttrId> = doc_freq.keys().copied().collect();
+        attrs.sort_by(|a, b| {
+            let fa = doc_freq[a];
+            let fb = doc_freq[b];
+            // Descending frequency, then ascending distinct values, then id.
+            fb.cmp(&fa)
+                .then_with(|| values[a].len().cmp(&values[b].len()))
+                .then_with(|| a.cmp(b))
+        });
+        let ubiquitous = attrs
+            .iter()
+            .take_while(|a| doc_freq[a] as usize == n_docs && n_docs > 0)
+            .count();
+        let max_id = attrs.iter().map(|a| a.index()).max().map_or(0, |m| m + 1);
+        let mut rank = vec![u32::MAX; max_id];
+        for (r, attr) in attrs.iter().enumerate() {
+            rank[attr.index()] = r as u32;
+        }
+        AttrOrder {
+            rank,
+            by_rank: attrs,
+            ubiquitous,
+            docs: n_docs,
+        }
+    }
+
+    /// Rank of `attr`; `u32::MAX` when the attribute was unseen in the batch
+    /// (unseen attributes sort last, in id order, so insertion still works).
+    #[inline]
+    pub fn rank(&self, attr: AttrId) -> u32 {
+        self.rank.get(attr.index()).copied().unwrap_or(u32::MAX)
+    }
+
+    /// Attributes of the batch in rank order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.by_rank
+    }
+
+    /// Number of attributes that appear in every document of the batch —
+    /// the `num` input of FPTreeJoin (Algorithm 2).
+    #[inline]
+    pub fn ubiquitous(&self) -> usize {
+        self.ubiquitous
+    }
+
+    /// Number of documents the order was computed from.
+    pub fn doc_count(&self) -> usize {
+        self.docs
+    }
+
+    /// Reorder a document's pairs by rank (stable for unseen attributes:
+    /// they keep relative id order after all ranked attributes).
+    pub fn reorder(&self, doc: &Document) -> Vec<Pair> {
+        let mut pairs: Vec<Pair> = doc.pairs().to_vec();
+        pairs.sort_by_key(|p| (self.rank(p.attr), p.attr));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn docs(dict: &Dictionary, srcs: &[&str]) -> Vec<Document> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, dict).unwrap())
+            .collect()
+    }
+
+    /// Table I of the paper: the fixed ordering must be b → a → c.
+    #[test]
+    fn paper_table1_ordering() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[
+                r#"{"a":3,"b":7,"c":1}"#,
+                r#"{"a":3,"b":8}"#,
+                r#"{"a":3,"b":7}"#,
+                r#"{"b":8,"c":2}"#,
+            ],
+        );
+        let order = AttrOrder::compute(&ds);
+        let names: Vec<String> = order.attrs().iter().map(|&a| dict.attr_name(a)).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+        // b appears in all 4 documents → exactly one ubiquitous attribute.
+        assert_eq!(order.ubiquitous(), 1);
+    }
+
+    #[test]
+    fn tie_broken_by_distinct_values() {
+        let dict = Dictionary::new();
+        // x and y both appear in 2 docs; x has 1 distinct value, y has 2.
+        let ds = docs(&dict, &[r#"{"x":1,"y":1}"#, r#"{"x":1,"y":2}"#]);
+        let order = AttrOrder::compute(&ds);
+        let names: Vec<String> = order.attrs().iter().map(|&a| dict.attr_name(a)).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        assert_eq!(order.ubiquitous(), 2);
+    }
+
+    #[test]
+    fn reorder_follows_ranks() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[
+                r#"{"a":3,"b":7,"c":1}"#,
+                r#"{"a":3,"b":8}"#,
+                r#"{"a":3,"b":7}"#,
+                r#"{"b":8,"c":2}"#,
+            ],
+        );
+        let order = AttrOrder::compute(&ds);
+        let reordered = order.reorder(&ds[0]);
+        let names: Vec<String> = reordered
+            .iter()
+            .map(|p| dict.attr_name(p.attr))
+            .collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn unseen_attributes_rank_last() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1}"#]);
+        let order = AttrOrder::compute(&ds);
+        let later = Document::from_json(DocId(10), r#"{"z":5,"a":1}"#, &dict).unwrap();
+        let reordered = order.reorder(&later);
+        assert_eq!(dict.attr_name(reordered[0].attr), "a");
+        assert_eq!(dict.attr_name(reordered[1].attr), "z");
+        assert_eq!(order.rank(reordered[1].attr), u32::MAX);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let order = AttrOrder::compute(std::iter::empty());
+        assert_eq!(order.ubiquitous(), 0);
+        assert_eq!(order.doc_count(), 0);
+        assert!(order.attrs().is_empty());
+    }
+
+    #[test]
+    fn no_ubiquitous_when_attrs_disjoint() {
+        let dict = Dictionary::new();
+        let ds = docs(&dict, &[r#"{"a":1}"#, r#"{"b":2}"#]);
+        let order = AttrOrder::compute(&ds);
+        assert_eq!(order.ubiquitous(), 0);
+    }
+}

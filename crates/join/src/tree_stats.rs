@@ -1,0 +1,151 @@
+//! Structural statistics of an FP-tree — the compression and shape numbers
+//! behind the paper's storage claims ("compactly storing the documents",
+//! §V-A) and behind choosing a probe strategy (deep-narrow trees favour the
+//! top-down fast path, shallow-wide ones the header chains).
+
+use crate::fptree::{FpTree, NodeId};
+
+/// Shape summary of one FP-tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Documents stored.
+    pub docs: usize,
+    /// Nodes excluding the root.
+    pub nodes: usize,
+    /// Total attribute-value pairs across all stored documents.
+    pub pairs: usize,
+    /// `pairs / nodes`: >1 means the prefix tree shares structure
+    /// (the paper's compactness argument); 1.0 means no sharing at all.
+    pub compression: f64,
+    /// Maximum depth.
+    pub max_depth: u32,
+    /// Mean depth of the nodes where documents terminate.
+    pub mean_doc_depth: f64,
+    /// Number of ubiquitous attributes (the fast-path levels).
+    pub ubiquitous: usize,
+    /// Nodes per depth level, `levels[0]` = children of the root.
+    pub levels: Vec<usize>,
+}
+
+impl TreeStats {
+    /// Compute the statistics of `tree`.
+    pub fn of(tree: &FpTree) -> TreeStats {
+        let nodes = tree.node_count().saturating_sub(1);
+        let mut levels: Vec<usize> = Vec::new();
+        let mut stack: Vec<NodeId> = tree.children(NodeId::ROOT).collect();
+        while let Some(node) = stack.pop() {
+            let depth = tree.depth(node) as usize;
+            if levels.len() < depth {
+                levels.resize(depth, 0);
+            }
+            levels[depth - 1] += 1;
+            stack.extend(tree.children(node));
+        }
+        let mut pairs = 0usize;
+        let mut doc_depth_sum = 0u64;
+        let mut docs = 0usize;
+        for (node, _doc) in tree.iter_docs() {
+            docs += 1;
+            let d = tree.depth(node) as usize;
+            pairs += d;
+            doc_depth_sum += d as u64;
+        }
+        TreeStats {
+            docs,
+            nodes,
+            pairs,
+            compression: if nodes == 0 {
+                1.0
+            } else {
+                pairs as f64 / nodes as f64
+            },
+            max_depth: tree.max_depth(),
+            mean_doc_depth: if docs == 0 {
+                0.0
+            } else {
+                doc_depth_sum as f64 / docs as f64
+            },
+            ubiquitous: tree.order().ubiquitous(),
+            levels,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} docs ({} pairs) in {} nodes — {:.2}x compression, depth ≤ {}, {} ubiquitous level(s)",
+            self.docs, self.pairs, self.nodes, self.compression, self.max_depth, self.ubiquitous
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, DocId, Document};
+
+    fn docs(dict: &Dictionary, srcs: &[&str]) -> Vec<Document> {
+        srcs.iter()
+            .enumerate()
+            .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, dict).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn table1_statistics() {
+        let dict = Dictionary::new();
+        let ds = docs(
+            &dict,
+            &[
+                r#"{"a":3,"b":7,"c":1}"#,
+                r#"{"a":3,"b":8}"#,
+                r#"{"a":3,"b":7}"#,
+                r#"{"b":8,"c":2}"#,
+            ],
+        );
+        let tree = crate::FpTree::build(ds.iter());
+        let stats = TreeStats::of(&tree);
+        assert_eq!(stats.docs, 4);
+        assert_eq!(stats.nodes, 6);
+        assert_eq!(stats.pairs, 3 + 2 + 2 + 2);
+        assert!((stats.compression - 9.0 / 6.0).abs() < 1e-9);
+        assert_eq!(stats.max_depth, 3);
+        assert_eq!(stats.levels, vec![2, 3, 1]);
+        assert_eq!(stats.ubiquitous, 1);
+        assert!(stats.summary().contains("4 docs"));
+    }
+
+    #[test]
+    fn identical_documents_compress_maximally() {
+        let dict = Dictionary::new();
+        let srcs: Vec<String> = (0..50).map(|_| r#"{"x":1,"y":2,"z":3}"#.to_string()).collect();
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        let ds = docs(&dict, &refs);
+        let tree = crate::FpTree::build(ds.iter());
+        let stats = TreeStats::of(&tree);
+        assert_eq!(stats.nodes, 3, "one shared path");
+        assert!((stats.compression - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_documents_do_not_compress() {
+        let dict = Dictionary::new();
+        let srcs: Vec<String> = (0..10).map(|i| format!(r#"{{"k{i}":{i}}}"#)).collect();
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        let ds = docs(&dict, &refs);
+        let tree = crate::FpTree::build(ds.iter());
+        let stats = TreeStats::of(&tree);
+        assert!((stats.compression - 1.0).abs() < 1e-9);
+        assert_eq!(stats.levels, vec![10]);
+    }
+
+    #[test]
+    fn empty_tree_statistics() {
+        let tree = crate::FpTree::build(std::iter::empty());
+        let stats = TreeStats::of(&tree);
+        assert_eq!(stats.docs, 0);
+        assert_eq!(stats.nodes, 0);
+        assert!((stats.compression - 1.0).abs() < 1e-9);
+        assert!(stats.levels.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Flattening nested JSON values into flat attribute-value pairs.
+//!
+//! The paper treats a document as an unordered set of attribute-value pairs
+//! `d = {a1:v1, a2:v2, ...}`. Real JSON (e.g. NoBench's `nested_obj` /
+//! `nested_arr`) nests, so we map nested structure to path-style attributes:
+//!
+//! * object fields join with `.` — `{"a":{"b":1}}` → `a.b : 1`
+//! * array elements get an index — `{"t":[5,7]}` → `t[0] : 5`, `t[1] : 7`
+//! * empty objects/arrays contribute no pairs (they carry no joinable value)
+//!
+//! The inverse, [`unflatten`], rebuilds a nested [`Value`] from flat pairs and
+//! is used to render join results back as JSON.
+//!
+//! Caveat: empty containers carry no pairs, so they do not survive a
+//! flatten → unflatten round trip; an array position whose element was an
+//! empty container rebuilds as `null` (array gaps need placeholders). Leaf
+//! values themselves always round-trip.
+
+use crate::{Scalar, Value};
+
+/// Flatten `value` into `(path, scalar)` pairs, appended to `out`.
+///
+/// The root must be an object (a JSON *document*); scalars or arrays at the
+/// root are rejected by returning `false` without touching `out`.
+pub fn flatten(value: &Value, out: &mut Vec<(String, Scalar)>) -> bool {
+    if !value.is_object() {
+        return false;
+    }
+    flatten_into(value, String::new(), out);
+    true
+}
+
+/// Flatten into a fresh vector; `None` when the root is not an object.
+pub fn flatten_value(value: &Value) -> Option<Vec<(String, Scalar)>> {
+    let mut out = Vec::new();
+    if flatten(value, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn flatten_into(value: &Value, prefix: String, out: &mut Vec<(String, Scalar)>) {
+    match value {
+        Value::Object(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(v, path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_into(v, format!("{prefix}[{i}]"), out);
+            }
+        }
+        Value::Null => out.push((prefix, Scalar::Null)),
+        Value::Bool(b) => out.push((prefix, Scalar::Bool(*b))),
+        Value::Int(i) => out.push((prefix, Scalar::Int(*i))),
+        Value::Float(f) => out.push((prefix, Scalar::Float(*f))),
+        Value::Str(s) => out.push((prefix, Scalar::Str(s.clone()))),
+    }
+}
+
+/// Rebuild a nested [`Value`] from flat `(path, scalar)` pairs.
+///
+/// Paths follow the grammar produced by [`flatten`]. Array indices are placed
+/// at their numeric position; gaps become `null`.
+pub fn unflatten<'a, I>(pairs: I) -> Value
+where
+    I: IntoIterator<Item = (&'a str, &'a Scalar)>,
+{
+    let mut root = Value::object();
+    for (path, scalar) in pairs {
+        insert_path(&mut root, path, scalar.to_value());
+    }
+    root
+}
+
+fn insert_path(node: &mut Value, path: &str, leaf: Value) {
+    // Split off the first segment: `name`, `name[3]`, or `name[3][0]`...
+    let (head, rest) = match path.find('.') {
+        // A '.' inside brackets cannot occur (indices are numeric).
+        Some(dot) => (&path[..dot], Some(&path[dot + 1..])),
+        None => (path, None),
+    };
+    // Peel array indices off the head.
+    if let Some(bracket) = head.find('[') {
+        let name = &head[..bracket];
+        let mut indices = Vec::new();
+        let mut rest_idx = &head[bracket..];
+        while let Some(open) = rest_idx.find('[') {
+            let close = rest_idx.find(']').unwrap_or(rest_idx.len());
+            if let Ok(i) = rest_idx[open + 1..close].parse::<usize>() {
+                indices.push(i);
+            }
+            rest_idx = &rest_idx[(close + 1).min(rest_idx.len())..];
+        }
+        let obj = ensure_object(node);
+        let slot = obj_slot(obj, name, Value::Array(Vec::new()));
+        let mut cur = slot;
+        for (depth, &i) in indices.iter().enumerate() {
+            let arr = ensure_array(cur);
+            while arr.len() <= i {
+                arr.push(Value::Null);
+            }
+            let last = depth + 1 == indices.len();
+            if last && rest.is_none() {
+                arr[i] = leaf;
+                return;
+            }
+            if last {
+                if !arr[i].is_object() {
+                    arr[i] = Value::object();
+                }
+            } else if !matches!(arr[i], Value::Array(_)) {
+                arr[i] = Value::Array(Vec::new());
+            }
+            cur = &mut arr[i];
+        }
+        if let Some(rest) = rest {
+            insert_path(cur, rest, leaf);
+        }
+        return;
+    }
+    match rest {
+        None => {
+            let obj = ensure_object(node);
+            *obj_slot(obj, head, Value::Null) = leaf;
+        }
+        Some(rest) => {
+            let obj = ensure_object(node);
+            let slot = obj_slot(obj, head, Value::object());
+            if !slot.is_object() && !matches!(slot, Value::Array(_)) {
+                *slot = Value::object();
+            }
+            insert_path(slot, rest, leaf);
+        }
+    }
+}
+
+fn ensure_object(v: &mut Value) -> &mut Vec<(String, Value)> {
+    if !v.is_object() {
+        *v = Value::object();
+    }
+    match v {
+        Value::Object(fields) => fields,
+        _ => unreachable!(),
+    }
+}
+
+fn ensure_array(v: &mut Value) -> &mut Vec<Value> {
+    if !matches!(v, Value::Array(_)) {
+        *v = Value::Array(Vec::new());
+    }
+    match v {
+        Value::Array(items) => items,
+        _ => unreachable!(),
+    }
+}
+
+fn obj_slot<'a>(
+    fields: &'a mut Vec<(String, Value)>,
+    key: &str,
+    default: Value,
+) -> &'a mut Value {
+    if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+        &mut fields[pos].1
+    } else {
+        fields.push((key.to_owned(), default));
+        &mut fields.last_mut().unwrap().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn flat(src: &str) -> Vec<(String, String)> {
+        let v = parse(src).unwrap();
+        let mut pairs = flatten_value(&v).unwrap();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs
+            .into_iter()
+            .map(|(p, s)| (p, s.render()))
+            .collect()
+    }
+
+    #[test]
+    fn flat_document_unchanged() {
+        let pairs = flat(r#"{"User":"A","MsgId":2}"#);
+        assert_eq!(
+            pairs,
+            vec![
+                ("MsgId".to_owned(), "2".to_owned()),
+                ("User".to_owned(), "A".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_object_uses_dots() {
+        let pairs = flat(r#"{"nested_obj":{"str":"x","num":4}}"#);
+        assert_eq!(
+            pairs,
+            vec![
+                ("nested_obj.num".to_owned(), "4".to_owned()),
+                ("nested_obj.str".to_owned(), "x".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn arrays_use_indices() {
+        let pairs = flat(r#"{"nested_arr":["a","b"]}"#);
+        assert_eq!(
+            pairs,
+            vec![
+                ("nested_arr[0]".to_owned(), "a".to_owned()),
+                ("nested_arr[1]".to_owned(), "b".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn deep_mixture() {
+        let pairs = flat(r#"{"a":[{"b":[1]},2]}"#);
+        assert_eq!(
+            pairs,
+            vec![
+                ("a[0].b[0]".to_owned(), "1".to_owned()),
+                ("a[1]".to_owned(), "2".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_containers_yield_nothing() {
+        assert!(flat(r#"{"a":{},"b":[]}"#).is_empty());
+    }
+
+    #[test]
+    fn non_object_root_rejected() {
+        assert!(flatten_value(&Value::Int(3)).is_none());
+        assert!(flatten_value(&Value::Array(vec![])).is_none());
+    }
+
+    #[test]
+    fn null_is_a_value() {
+        let pairs = flat(r#"{"a":null}"#);
+        assert_eq!(pairs, vec![("a".to_owned(), "null".to_owned())]);
+    }
+
+    #[test]
+    fn unflatten_roundtrip_simple() {
+        let v = parse(r#"{"x":1,"y":{"z":"s"},"w":[true,null,2.5]}"#).unwrap();
+        let pairs = flatten_value(&v).unwrap();
+        let rebuilt = unflatten(pairs.iter().map(|(p, s)| (p.as_str(), s)));
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn unflatten_roundtrip_deep() {
+        let v = parse(r#"{"a":[{"b":[1,{"c":2}]},3],"d":{"e":{"f":[null]}}}"#).unwrap();
+        let pairs = flatten_value(&v).unwrap();
+        let rebuilt = unflatten(pairs.iter().map(|(p, s)| (p.as_str(), s)));
+        assert_eq!(rebuilt, v);
+    }
+}

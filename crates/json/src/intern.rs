@@ -1,0 +1,397 @@
+//! Global interning of attributes and attribute-value pairs.
+//!
+//! Every hot algorithm in this workspace (partitioning, FP-tree construction,
+//! joining) operates on dense `u32` ids instead of strings: [`AttrId`] for an
+//! attribute (a flattened path) and [`AvpId`] for one attribute-value pair.
+//! The [`Dictionary`] is shared across threads behind an `Arc`; interning
+//! takes a write lock, lookups a read lock (both `parking_lot`).
+//!
+//! Ids are dense and allocation-ordered, so `Vec`-indexed side tables keyed by
+//! id are cheap everywhere else.
+
+use crate::hash::FxHashMap;
+use crate::Scalar;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense id of an interned attribute (flattened JSON path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+/// Dense id of an interned attribute-value pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AvpId(pub u32);
+
+impl AttrId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AvpId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AvpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One attribute-value pair of a document: the attribute id plus the id of
+/// the full pair. Carrying both keeps the hot join paths free of dictionary
+/// lookups (conflict tests only compare ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// The attribute this pair belongs to.
+    pub attr: AttrId,
+    /// The interned (attribute, value) pair id.
+    pub avp: AvpId,
+}
+
+#[derive(Default)]
+struct Inner {
+    attr_names: Vec<String>,
+    attr_map: FxHashMap<String, AttrId>,
+    /// Per-attribute count of distinct values seen so far.
+    attr_distinct: Vec<u32>,
+    avp_attr: Vec<AttrId>,
+    avp_scalar: Vec<Scalar>,
+    avp_map: FxHashMap<(AttrId, Scalar), AvpId>,
+}
+
+/// The shared attribute / attribute-value-pair dictionary.
+///
+/// Cloning is cheap (an `Arc` clone); all clones observe the same ids.
+#[derive(Clone, Default)]
+pub struct Dictionary {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an attribute name, returning its stable id.
+    pub fn intern_attr(&self, name: &str) -> AttrId {
+        if let Some(&id) = self.inner.read().attr_map.get(name) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.attr_map.get(name) {
+            return id;
+        }
+        let id = AttrId(inner.attr_names.len() as u32);
+        inner.attr_names.push(name.to_owned());
+        inner.attr_distinct.push(0);
+        inner.attr_map.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern an attribute-value pair, returning a [`Pair`].
+    pub fn intern_avp(&self, attr: AttrId, value: Scalar) -> Pair {
+        {
+            let inner = self.inner.read();
+            if let Some(&avp) = inner.avp_map.get(&(attr, value.clone())) {
+                return Pair { attr, avp };
+            }
+        }
+        let mut inner = self.inner.write();
+        if let Some(&avp) = inner.avp_map.get(&(attr, value.clone())) {
+            return Pair { attr, avp };
+        }
+        let avp = AvpId(inner.avp_attr.len() as u32);
+        inner.avp_attr.push(attr);
+        inner.avp_scalar.push(value.clone());
+        inner.avp_map.insert((attr, value), avp);
+        inner.attr_distinct[attr.index()] += 1;
+        Pair { attr, avp }
+    }
+
+    /// Intern an `(attribute name, value)` pair in one step.
+    pub fn intern(&self, attr_name: &str, value: Scalar) -> Pair {
+        let attr = self.intern_attr(attr_name);
+        self.intern_avp(attr, value)
+    }
+
+    /// Look up a pair without interning; `None` when unseen.
+    pub fn lookup(&self, attr_name: &str, value: &Scalar) -> Option<Pair> {
+        let inner = self.inner.read();
+        let &attr = inner.attr_map.get(attr_name)?;
+        let &avp = inner.avp_map.get(&(attr, value.clone()))?;
+        Some(Pair { attr, avp })
+    }
+
+    /// The attribute name for `id`. Panics on foreign ids.
+    pub fn attr_name(&self, id: AttrId) -> String {
+        self.inner.read().attr_names[id.index()].clone()
+    }
+
+    /// The attribute an interned pair belongs to.
+    pub fn avp_attr(&self, id: AvpId) -> AttrId {
+        self.inner.read().avp_attr[id.index()]
+    }
+
+    /// The scalar value of an interned pair.
+    pub fn avp_scalar(&self, id: AvpId) -> Scalar {
+        self.inner.read().avp_scalar[id.index()].clone()
+    }
+
+    /// Render an interned pair as `attr:value` (diagnostics, examples).
+    pub fn render_avp(&self, id: AvpId) -> String {
+        let inner = self.inner.read();
+        let attr = inner.avp_attr[id.index()];
+        format!(
+            "{}:{}",
+            inner.attr_names[attr.index()],
+            inner.avp_scalar[id.index()]
+        )
+    }
+
+    /// Number of distinct values interned for `attr` so far.
+    pub fn attr_distinct_values(&self, attr: AttrId) -> usize {
+        self.inner.read().attr_distinct[attr.index()] as usize
+    }
+
+    /// Total number of interned attributes.
+    pub fn attr_count(&self) -> usize {
+        self.inner.read().attr_names.len()
+    }
+
+    /// Total number of interned attribute-value pairs.
+    pub fn avp_count(&self) -> usize {
+        self.inner.read().avp_attr.len()
+    }
+
+    /// Export the whole dictionary as a JSON value:
+    /// `{"attrs": [names in id order], "avps": [[attr_id, scalar], …]}`.
+    /// Importing the export yields identical ids, so snapshots of id-based
+    /// structures (partition tables, FP-trees) stay valid.
+    pub fn export(&self) -> crate::Value {
+        let inner = self.inner.read();
+        let attrs = crate::Value::Array(
+            inner
+                .attr_names
+                .iter()
+                .map(|n| crate::Value::Str(n.clone()))
+                .collect(),
+        );
+        let avps = crate::Value::Array(
+            inner
+                .avp_attr
+                .iter()
+                .zip(&inner.avp_scalar)
+                .map(|(attr, scalar)| {
+                    crate::Value::Array(vec![
+                        crate::Value::Int(attr.0 as i64),
+                        scalar.to_value(),
+                    ])
+                })
+                .collect(),
+        );
+        let mut out = crate::Value::object();
+        out.insert("attrs", attrs);
+        out.insert("avps", avps);
+        out
+    }
+
+    /// Rebuild a dictionary from an [`export`](Self::export)ed value.
+    /// Ids are reassigned in the original order, so they match the export.
+    pub fn import(value: &crate::Value) -> Result<Dictionary, String> {
+        let dict = Dictionary::new();
+        let attrs = match value.get("attrs") {
+            Some(crate::Value::Array(items)) => items,
+            _ => return Err("missing 'attrs' array".into()),
+        };
+        for (i, a) in attrs.iter().enumerate() {
+            let name = a.as_str().ok_or(format!("attrs[{i}] is not a string"))?;
+            let id = dict.intern_attr(name);
+            if id.index() != i {
+                return Err(format!("duplicate attribute name '{name}'"));
+            }
+        }
+        let avps = match value.get("avps") {
+            Some(crate::Value::Array(items)) => items,
+            _ => return Err("missing 'avps' array".into()),
+        };
+        for (i, entry) in avps.iter().enumerate() {
+            let crate::Value::Array(pair) = entry else {
+                return Err(format!("avps[{i}] is not an array"));
+            };
+            let [attr, scalar] = pair.as_slice() else {
+                return Err(format!("avps[{i}] is not a 2-element array"));
+            };
+            let attr_id = attr
+                .as_int()
+                .filter(|&v| (v as usize) < attrs.len() && v >= 0)
+                .ok_or(format!("avps[{i}] has an invalid attribute id"))?;
+            let scalar = Scalar::from_value(scalar)
+                .ok_or(format!("avps[{i}] value is not a scalar"))?;
+            let pair = dict.intern_avp(AttrId(attr_id as u32), scalar);
+            if pair.avp.index() != i {
+                return Err(format!("duplicate pair at avps[{i}]"));
+            }
+        }
+        Ok(dict)
+    }
+}
+
+impl fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Dictionary")
+            .field("attrs", &inner.attr_names.len())
+            .field("avps", &inner.avp_attr.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let d = Dictionary::new();
+        let a1 = d.intern_attr("User");
+        let a2 = d.intern_attr("User");
+        assert_eq!(a1, a2);
+        let p1 = d.intern_avp(a1, Scalar::Str("A".into()));
+        let p2 = d.intern_avp(a1, Scalar::Str("A".into()));
+        assert_eq!(p1, p2);
+        assert_eq!(d.attr_count(), 1);
+        assert_eq!(d.avp_count(), 1);
+    }
+
+    #[test]
+    fn distinct_values_counted_per_attribute() {
+        let d = Dictionary::new();
+        let user = d.intern_attr("User");
+        let sev = d.intern_attr("Severity");
+        d.intern_avp(user, Scalar::Str("A".into()));
+        d.intern_avp(user, Scalar::Str("B".into()));
+        d.intern_avp(user, Scalar::Str("A".into())); // duplicate
+        d.intern_avp(sev, Scalar::Str("Warning".into()));
+        assert_eq!(d.attr_distinct_values(user), 2);
+        assert_eq!(d.attr_distinct_values(sev), 1);
+    }
+
+    #[test]
+    fn same_value_different_attr_is_different_pair() {
+        let d = Dictionary::new();
+        let p1 = d.intern("a", Scalar::Int(1));
+        let p2 = d.intern("b", Scalar::Int(1));
+        assert_ne!(p1.avp, p2.avp);
+        assert_ne!(p1.attr, p2.attr);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let d = Dictionary::new();
+        assert!(d.lookup("x", &Scalar::Int(1)).is_none());
+        assert_eq!(d.attr_count(), 0);
+        d.intern("x", Scalar::Int(1));
+        assert!(d.lookup("x", &Scalar::Int(1)).is_some());
+        assert!(d.lookup("x", &Scalar::Int(2)).is_none());
+    }
+
+    #[test]
+    fn render_and_reverse_lookups() {
+        let d = Dictionary::new();
+        let p = d.intern("Severity", Scalar::Str("Critical".into()));
+        assert_eq!(d.render_avp(p.avp), "Severity:Critical");
+        assert_eq!(d.avp_attr(p.avp), p.attr);
+        assert_eq!(d.attr_name(p.attr), "Severity");
+        assert_eq!(d.avp_scalar(p.avp), Scalar::Str("Critical".into()));
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let d = Dictionary::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500i64 {
+                        d.intern("k", Scalar::Int(i % 50));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.attr_count(), 1);
+        assert_eq!(d.avp_count(), 50);
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    #[test]
+    fn export_import_preserves_ids() {
+        let d = Dictionary::new();
+        let p1 = d.intern("User", Scalar::Str("A".into()));
+        let p2 = d.intern("MsgId", Scalar::Int(7));
+        let p3 = d.intern("User", Scalar::Str("B".into()));
+        let p4 = d.intern("pi", Scalar::Float(3.25));
+        let p5 = d.intern("flag", Scalar::Bool(true));
+        let p6 = d.intern("nil", Scalar::Null);
+
+        let exported = d.export();
+        // Round-trip through JSON text, as a snapshot file would.
+        let text = exported.to_json();
+        let reread = crate::parse(&text).unwrap();
+        let d2 = Dictionary::import(&reread).unwrap();
+
+        assert_eq!(d2.attr_count(), d.attr_count());
+        assert_eq!(d2.avp_count(), d.avp_count());
+        for p in [p1, p2, p3, p4, p5, p6] {
+            assert_eq!(d2.avp_attr(p.avp), p.attr);
+            assert_eq!(d2.avp_scalar(p.avp), d.avp_scalar(p.avp));
+            assert_eq!(d2.render_avp(p.avp), d.render_avp(p.avp));
+        }
+    }
+
+    #[test]
+    fn import_rejects_malformed_snapshots() {
+        assert!(Dictionary::import(&crate::parse("{}").unwrap()).is_err());
+        assert!(Dictionary::import(
+            &crate::parse(r#"{"attrs":["a"],"avps":[[5,1]]}"#).unwrap()
+        )
+        .is_err());
+        assert!(Dictionary::import(
+            &crate::parse(r#"{"attrs":["a"],"avps":[[0,[1]]]}"#).unwrap()
+        )
+        .is_err());
+        assert!(Dictionary::import(
+            &crate::parse(r#"{"attrs":["a","a"],"avps":[]}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_dictionary_roundtrips() {
+        let d = Dictionary::new();
+        let d2 = Dictionary::import(&d.export()).unwrap();
+        assert_eq!(d2.attr_count(), 0);
+        assert_eq!(d2.avp_count(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Streaming JSON Lines I/O.
+//!
+//! Real document streams arrive as newline-delimited JSON (the format
+//! Twitter's APIs and most log shippers emit, cf. §I). [`JsonLinesReader`]
+//! turns any `BufRead` into an iterator of parsed [`Value`]s without loading
+//! the whole input; [`DocumentReader`] goes one step further and interns
+//! straight into [`Document`]s. [`write_jsonl`] is the inverse.
+
+use crate::document::{DocError, DocId, Document};
+use crate::parser::{parse, ParseError};
+use crate::{Dictionary, Value};
+use std::io::{self, BufRead, Write};
+
+/// An error while reading a JSON Lines stream.
+#[derive(Debug)]
+pub enum JsonLinesError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse; carries the 1-based line number.
+    Parse {
+        /// 1-based line number in the input.
+        line: u64,
+        /// The parse failure.
+        error: ParseError,
+    },
+    /// A line parsed but was not a usable document (non-object / empty).
+    NotADocument {
+        /// 1-based line number in the input.
+        line: u64,
+    },
+}
+
+impl std::fmt::Display for JsonLinesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonLinesError::Io(e) => write!(f, "I/O error: {e}"),
+            JsonLinesError::Parse { line, error } => {
+                write!(f, "line {line}: {error}")
+            }
+            JsonLinesError::NotADocument { line } => {
+                write!(f, "line {line}: not a JSON object with attributes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonLinesError {}
+
+impl From<io::Error> for JsonLinesError {
+    fn from(e: io::Error) -> Self {
+        JsonLinesError::Io(e)
+    }
+}
+
+/// Iterator of parsed values from newline-delimited JSON. Blank lines are
+/// skipped; a reused line buffer keeps allocations to a handful per stream.
+pub struct JsonLinesReader<R> {
+    reader: R,
+    buf: String,
+    line: u64,
+}
+
+impl<R: BufRead> JsonLinesReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        JsonLinesReader {
+            reader,
+            buf: String::new(),
+            line: 0,
+        }
+    }
+
+    /// Current 1-based line number (of the last yielded line).
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+}
+
+impl<R: BufRead> Iterator for JsonLinesReader<R> {
+    type Item = Result<Value, JsonLinesError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line += 1;
+                    let text = self.buf.trim();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    return Some(parse(text).map_err(|error| JsonLinesError::Parse {
+                        line: self.line,
+                        error,
+                    }));
+                }
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+    }
+}
+
+/// Iterator of interned [`Document`]s from newline-delimited JSON. Ids are
+/// assigned sequentially starting at `first_id`.
+pub struct DocumentReader<R> {
+    inner: JsonLinesReader<R>,
+    dict: Dictionary,
+    next_id: u64,
+    /// Skip lines that are valid JSON but not usable documents (arrays,
+    /// scalars, empty objects) instead of erroring. Defaults to `false`.
+    pub lenient: bool,
+}
+
+impl<R: BufRead> DocumentReader<R> {
+    /// Wrap a buffered reader, interning through `dict`.
+    pub fn new(reader: R, dict: Dictionary, first_id: u64) -> Self {
+        DocumentReader {
+            inner: JsonLinesReader::new(reader),
+            dict,
+            next_id: first_id,
+            lenient: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for DocumentReader<R> {
+    type Item = Result<Document, JsonLinesError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let value = match self.inner.next()? {
+                Ok(v) => v,
+                Err(e) => return Some(Err(e)),
+            };
+            let id = DocId(self.next_id);
+            match Document::from_value(id, &value, &self.dict) {
+                Some(doc) => {
+                    self.next_id += 1;
+                    return Some(Ok(doc));
+                }
+                None if self.lenient => continue,
+                None => {
+                    return Some(Err(JsonLinesError::NotADocument {
+                        line: self.inner.line(),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+/// Write values as newline-delimited JSON.
+pub fn write_jsonl<'a, W: Write>(
+    out: &mut W,
+    values: impl IntoIterator<Item = &'a Value>,
+) -> io::Result<usize> {
+    let mut n = 0;
+    let mut buf = String::with_capacity(256);
+    for v in values {
+        buf.clear();
+        v.write_json(&mut buf);
+        buf.push('\n');
+        out.write_all(buf.as_bytes())?;
+        n += 1;
+    }
+    out.flush()?;
+    Ok(n)
+}
+
+/// Write documents as newline-delimited JSON through the dictionary.
+pub fn write_documents_jsonl<'a, W: Write>(
+    out: &mut W,
+    docs: impl IntoIterator<Item = &'a Document>,
+    dict: &Dictionary,
+) -> io::Result<usize> {
+    let mut n = 0;
+    for d in docs {
+        let line = d.to_json(dict);
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        n += 1;
+    }
+    out.flush()?;
+    Ok(n)
+}
+
+/// Parse a full in-memory JSON Lines string into documents (convenience for
+/// tests and small inputs).
+pub fn documents_from_jsonl(
+    text: &str,
+    dict: &Dictionary,
+    first_id: u64,
+) -> Result<Vec<Document>, DocError> {
+    let mut out = Vec::new();
+    let mut id = first_id;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(Document::from_json(DocId(id), line, dict)?);
+        id += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_values_skipping_blanks() {
+        let input = "{\"a\":1}\n\n  \n{\"b\":2}\n";
+        let reader = JsonLinesReader::new(Cursor::new(input));
+        let values: Result<Vec<Value>, _> = reader.collect();
+        let values = values.unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[1].get("b").and_then(Value::as_int), Some(2));
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let input = "{\"a\":1}\n{oops\n";
+        let mut reader = JsonLinesReader::new(Cursor::new(input));
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next().unwrap() {
+            Err(JsonLinesError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn document_reader_assigns_sequential_ids() {
+        let dict = Dictionary::new();
+        let input = "{\"a\":1}\n{\"b\":2}\n";
+        let docs: Result<Vec<Document>, _> =
+            DocumentReader::new(Cursor::new(input), dict, 100).collect();
+        let docs = docs.unwrap();
+        assert_eq!(docs[0].id(), DocId(100));
+        assert_eq!(docs[1].id(), DocId(101));
+    }
+
+    #[test]
+    fn strict_reader_rejects_non_documents() {
+        let dict = Dictionary::new();
+        let input = "{\"a\":1}\n[1,2]\n";
+        let mut reader = DocumentReader::new(Cursor::new(input), dict, 0);
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next().unwrap() {
+            Err(JsonLinesError::NotADocument { line }) => assert_eq!(line, 2),
+            other => panic!("expected NotADocument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_reader_skips_non_documents() {
+        let dict = Dictionary::new();
+        let input = "[1]\n{\"a\":1}\n{}\n{\"b\":2}\n";
+        let mut reader = DocumentReader::new(Cursor::new(input), dict, 0);
+        reader.lenient = true;
+        let docs: Result<Vec<Document>, _> = reader.collect();
+        assert_eq!(docs.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dict = Dictionary::new();
+        let docs = vec![
+            Document::from_json(DocId(0), r#"{"x":1,"y":"s"}"#, &dict).unwrap(),
+            Document::from_json(DocId(1), r#"{"nested":{"k":[1,2]}}"#, &dict).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        let n = write_documents_jsonl(&mut buf, &docs, &dict).unwrap();
+        assert_eq!(n, 2);
+        let text = String::from_utf8(buf).unwrap();
+        let back = documents_from_jsonl(&text, &dict, 0).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].pairs(), docs[0].pairs());
+        assert_eq!(back[1].pairs(), docs[1].pairs());
+    }
+
+    #[test]
+    fn write_values_roundtrip() {
+        let values = vec![
+            crate::parse(r#"{"a":1}"#).unwrap(),
+            crate::parse(r#"[true,null]"#).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &values).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let reader = JsonLinesReader::new(Cursor::new(text));
+        let back: Result<Vec<Value>, _> = reader.collect();
+        assert_eq!(back.unwrap(), values);
+    }
+}

@@ -1,0 +1,256 @@
+//! The Disjoint-Sets competitor (DS, §VII-A), after Alvanaki & Michel \[26\].
+//!
+//! Union–find over attribute-value pairs: all pairs co-occurring in one
+//! document are unioned, producing connected components ("disjoint sets").
+//! Every pair belongs to exactly one component and every component is
+//! assigned to exactly one partition, so a matched document is sent to
+//! exactly one machine — perfect replication of 1. The price, as the paper
+//! shows, is load balance: real data tends to collapse into one giant
+//! component that lands on a single machine.
+
+use crate::groups::{AssociationGroup, View};
+use crate::partitions::{assign_groups, PartitionTable};
+use crate::Partitioner;
+use ssj_json::{AvpId, FxHashMap};
+
+/// Disjoint-sets partitioning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DsPartitioner;
+
+/// A plain union–find with path halving and union by size.
+#[derive(Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Create a forest of `n` singletons.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Grow to at least `n` elements.
+    pub fn ensure(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len() as u32);
+            self.size.push(1);
+        }
+    }
+
+    /// The representative of `x`'s component.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the components of `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+
+    /// Whether `a` and `b` share a component.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+impl Partitioner for DsPartitioner {
+    fn name(&self) -> &'static str {
+        "DS"
+    }
+
+    fn create(&self, views: &[View], m: usize) -> PartitionTable {
+        // Dense renumbering of the pairs present in this batch.
+        let mut dense: FxHashMap<AvpId, u32> = FxHashMap::default();
+        let mut pairs: Vec<AvpId> = Vec::new();
+        for v in views {
+            for &avp in v {
+                dense.entry(avp).or_insert_with(|| {
+                    pairs.push(avp);
+                    (pairs.len() - 1) as u32
+                });
+            }
+        }
+        let mut uf = UnionFind::new(pairs.len());
+        for v in views {
+            let mut it = v.iter();
+            if let Some(&first) = it.next() {
+                let f = dense[&first];
+                for avp in it {
+                    uf.union(f, dense[avp]);
+                }
+            }
+        }
+        // Components → groups with document-count loads.
+        let mut members: FxHashMap<u32, Vec<AvpId>> = FxHashMap::default();
+        for (i, &avp) in pairs.iter().enumerate() {
+            members.entry(uf.find(i as u32)).or_default().push(avp);
+        }
+        let mut loads: FxHashMap<u32, usize> = FxHashMap::default();
+        for v in views {
+            if let Some(&first) = v.first() {
+                *loads.entry(uf.find(dense[&first])).or_insert(0) += 1;
+            }
+        }
+        let groups: Vec<AssociationGroup> = members
+            .into_iter()
+            .map(|(root, mut avps)| {
+                avps.sort();
+                AssociationGroup {
+                    load: loads.get(&root).copied().unwrap_or(0),
+                    avps,
+                }
+            })
+            .collect();
+        assign_groups(groups, m)
+    }
+}
+
+/// Number of connected components a DS run would produce — used to decide
+/// whether attribute expansion is mandatory (§VI-B: DS "can practically
+/// never create enough partitions" without it).
+pub fn component_count(views: &[View]) -> usize {
+    let mut dense: FxHashMap<AvpId, u32> = FxHashMap::default();
+    let mut n = 0u32;
+    let mut uf = UnionFind::new(0);
+    for v in views {
+        let mut first: Option<u32> = None;
+        for &avp in v {
+            let id = *dense.entry(avp).or_insert_with(|| {
+                let id = n;
+                n += 1;
+                id
+            });
+            uf.ensure(n as usize);
+            match first {
+                None => first = Some(id),
+                Some(f) => {
+                    uf.union(f, id);
+                }
+            }
+        }
+    }
+    let mut roots = ssj_json::FxHashSet::default();
+    for i in 0..n {
+        roots.insert(uf.find(i));
+    }
+    roots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, Scalar};
+
+    fn views(dict: &Dictionary, specs: &[&[(&str, i64)]]) -> Vec<View> {
+        specs
+            .iter()
+            .map(|doc| {
+                doc.iter()
+                    .map(|&(a, v)| dict.intern(a, Scalar::Int(v)).avp)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.connected(0, 1));
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        uf.union(3, 4);
+        uf.union(2, 3);
+        assert!(uf.connected(0, 4));
+    }
+
+    #[test]
+    fn matched_documents_route_to_exactly_one_machine() {
+        let dict = Dictionary::new();
+        let vs = views(
+            &dict,
+            &[
+                &[("a", 1), ("b", 2)],
+                &[("b", 2), ("c", 3)],
+                &[("d", 4), ("e", 5)],
+                &[("f", 6)],
+            ],
+        );
+        let table = DsPartitioner.create(&vs, 3);
+        for v in &vs {
+            assert_eq!(table.route(v).fanout(3), 1, "view {v:?}");
+        }
+    }
+
+    #[test]
+    fn transitively_connected_pairs_share_a_partition() {
+        let dict = Dictionary::new();
+        let vs = views(&dict, &[&[("a", 1), ("b", 2)], &[("b", 2), ("c", 3)]]);
+        let table = DsPartitioner.create(&vs, 2);
+        let a = dict.lookup("a", &Scalar::Int(1)).unwrap().avp;
+        let c = dict.lookup("c", &Scalar::Int(3)).unwrap().avp;
+        assert_eq!(table.partitions_of(a), table.partitions_of(c));
+    }
+
+    #[test]
+    fn component_count_matches() {
+        let dict = Dictionary::new();
+        let vs = views(
+            &dict,
+            &[
+                &[("a", 1), ("b", 2)],
+                &[("b", 2), ("c", 3)],
+                &[("d", 4), ("e", 5)],
+                &[("f", 6)],
+            ],
+        );
+        assert_eq!(component_count(&vs), 3);
+    }
+
+    #[test]
+    fn giant_component_starves_other_machines() {
+        let dict = Dictionary::new();
+        // A hub pair chains every document into one component.
+        let vs: Vec<View> = (0..10)
+            .map(|i| {
+                vec![
+                    dict.intern("hub", Scalar::Int(0)).avp,
+                    dict.intern("x", Scalar::Int(i)).avp,
+                ]
+            })
+            .collect();
+        assert_eq!(component_count(&vs), 1);
+        let table = DsPartitioner.create(&vs, 4);
+        let stats = crate::partitions::route_batch(&table, &vs);
+        let busy = stats.per_machine.iter().filter(|&&c| c > 0).count();
+        assert_eq!(busy, 1, "all documents on one machine: {stats:?}");
+    }
+
+    #[test]
+    fn empty_views_handled() {
+        let table = DsPartitioner.create(&[], 2);
+        assert!(table.is_empty());
+        assert_eq!(component_count(&[]), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Equivalence and association groups (§IV, Definitions 1–2, Algorithm 1).
+//!
+//! * An **equivalence group** is a maximal set of attribute-value pairs that
+//!   appear in exactly the same set of documents (Definition 1). They are
+//!   found by fingerprinting each pair's document set.
+//! * `eg_i` **implies** `eg_j` when every document containing `eg_i` also
+//!   contains `eg_j` — i.e. `docs(eg_i) ⊆ docs(eg_j)` — while `eg_j` also
+//!   occurs alone (Definition 2; strict subset, since equal document sets
+//!   would have merged into one equivalence group already).
+//! * **Association groups** are built by Algorithm 1: scan the equivalence
+//!   groups in ascending document-count order and fold every implied group
+//!   into the implying one, removing it so no attribute-value pair lands in
+//!   two association groups.
+//!
+//! The pairwise `implies` scan of Algorithm 1 is quadratic in the number of
+//! equivalence groups; since `docs(eg_i) ⊆ docs(eg_j)` requires `eg_j` to
+//! contain `eg_i`'s first document, we only test the groups posted under that
+//! document in an inverted index — same output, far fewer subset tests.
+
+use ssj_json::{AvpId, FxHashMap, FxHashSet};
+
+/// A *partitioning view* of one document: the attribute-value pair ids used
+/// for partition creation and routing. Normally the document's own pairs;
+/// under attribute expansion (§VI-B) some are replaced by synthetic pairs.
+pub type View = Vec<AvpId>;
+
+/// An equivalence group: pairs sharing one exact document set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceGroup {
+    /// The member attribute-value pairs.
+    pub avps: Vec<AvpId>,
+    /// Sorted indices (into the batch) of the documents containing them.
+    pub docs: Vec<u32>,
+}
+
+/// An association group: the unit assigned to partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssociationGroup {
+    /// Member pairs; no pair appears in two association groups.
+    pub avps: Vec<AvpId>,
+    /// Load `l_i` (Algorithm 1, line 13): number of batch documents
+    /// containing at least one member pair.
+    pub load: usize,
+}
+
+/// Compute the equivalence groups of a batch of views (Definition 1).
+pub fn equivalence_groups(views: &[View]) -> Vec<EquivalenceGroup> {
+    // docset per pair.
+    let mut docsets: FxHashMap<AvpId, Vec<u32>> = FxHashMap::default();
+    for (i, view) in views.iter().enumerate() {
+        let mut seen: FxHashSet<AvpId> = FxHashSet::default();
+        for &avp in view {
+            if seen.insert(avp) {
+                docsets.entry(avp).or_default().push(i as u32);
+            }
+        }
+    }
+    // Group pairs by identical docset (`avInD` of Algorithm 1, line 1, with
+    // the map key being the document set).
+    let mut by_docs: FxHashMap<Vec<u32>, Vec<AvpId>> = FxHashMap::default();
+    for (avp, docs) in docsets {
+        by_docs.entry(docs).or_default().push(avp);
+    }
+    let mut groups: Vec<EquivalenceGroup> = by_docs
+        .into_iter()
+        .map(|(docs, mut avps)| {
+            avps.sort();
+            EquivalenceGroup { avps, docs }
+        })
+        .collect();
+    // Deterministic order independent of hash-map iteration.
+    groups.sort_by(|a, b| a.docs.cmp(&b.docs).then_with(|| a.avps.cmp(&b.avps)));
+    groups
+}
+
+/// `true` when every document containing `a` also contains `b` (and `b`
+/// occurs in strictly more documents): Definition 2 on document sets.
+pub fn implies(a: &EquivalenceGroup, b: &EquivalenceGroup) -> bool {
+    if a.docs.len() >= b.docs.len() {
+        return false;
+    }
+    is_subset(&a.docs, &b.docs)
+}
+
+/// Two-pointer subset test over sorted slices.
+fn is_subset(small: &[u32], big: &[u32]) -> bool {
+    let mut j = 0usize;
+    for &x in small {
+        loop {
+            match big.get(j) {
+                None => return false,
+                Some(&y) if y == x => {
+                    j += 1;
+                    break;
+                }
+                Some(&y) if y > x => return false,
+                _ => j += 1,
+            }
+        }
+    }
+    true
+}
+
+/// Algorithm 1: association groups from a batch of views.
+pub fn association_groups(views: &[View]) -> Vec<AssociationGroup> {
+    let mut egs = equivalence_groups(views);
+    // Line 3: ascending by document count (determinism: then by contents).
+    egs.sort_by(|a, b| {
+        a.docs
+            .len()
+            .cmp(&b.docs.len())
+            .then_with(|| a.docs.cmp(&b.docs))
+            .then_with(|| a.avps.cmp(&b.avps))
+    });
+
+    // Inverted index: document -> equivalence groups containing it. Only
+    // groups containing eg_i's first document can be implied supersets.
+    let mut by_doc: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for (gi, eg) in egs.iter().enumerate() {
+        for &d in &eg.docs {
+            by_doc.entry(d).or_default().push(gi as u32);
+        }
+    }
+
+    let mut absorbed = vec![false; egs.len()];
+    let mut out = Vec::new();
+    for i in 0..egs.len() {
+        if absorbed[i] {
+            continue;
+        }
+        let mut avps = egs[i].avps.clone();
+        // Union of member docsets, for the load l_i.
+        let mut load_docs: FxHashSet<u32> = egs[i].docs.iter().copied().collect();
+        let first_doc = match egs[i].docs.first() {
+            Some(&d) => d,
+            None => continue,
+        };
+        // Candidates appear after i in ascending order and contain first_doc.
+        if let Some(cands) = by_doc.get(&first_doc) {
+            for &cj in cands {
+                let j = cj as usize;
+                if j <= i || absorbed[j] {
+                    continue;
+                }
+                if implies(&egs[i], &egs[j]) {
+                    absorbed[j] = true; // line 10: EG = EG \ EG[j]
+                    avps.extend_from_slice(&egs[j].avps);
+                    load_docs.extend(egs[j].docs.iter().copied());
+                }
+            }
+        }
+        avps.sort();
+        out.push(AssociationGroup {
+            avps,
+            load: load_docs.len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{Dictionary, Scalar};
+
+    /// Build views from `attr:int` shorthand lists.
+    fn views(dict: &Dictionary, specs: &[&[(&str, i64)]]) -> Vec<View> {
+        specs
+            .iter()
+            .map(|doc| {
+                doc.iter()
+                    .map(|&(a, v)| dict.intern(a, Scalar::Int(v)).avp)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The paper's Fig. 3 example end to end.
+    #[test]
+    fn paper_fig3_example() {
+        let dict = Dictionary::new();
+        let vs = views(
+            &dict,
+            &[
+                &[("A", 2), ("B", 3), ("C", 7)],
+                &[("A", 7), ("B", 3), ("C", 4)],
+                &[("D", 13)],
+                &[("A", 7), ("C", 4)],
+            ],
+        );
+        let egs = equivalence_groups(&vs);
+        // eg1={A:2,C:7} (doc 0), eg2={B:3} (docs 0,1), eg3={A:7,C:4}
+        // (docs 1,3), eg4={D:13} (doc 2).
+        assert_eq!(egs.len(), 4);
+        let sizes: Vec<(usize, usize)> =
+            egs.iter().map(|g| (g.avps.len(), g.docs.len())).collect();
+        assert!(sizes.contains(&(2, 1))); // {A:2,C:7}
+        assert!(sizes.contains(&(1, 2))); // {B:3}
+        assert!(sizes.contains(&(2, 2))); // {A:7,C:4}
+        assert!(sizes.contains(&(1, 1))); // {D:13}
+
+        let mut ags = association_groups(&vs);
+        ags.sort_by(|a, b| a.avps.cmp(&b.avps));
+        // ag1={A:2,C:7,B:3}, ag2={A:7,C:4}, ag3={D:13}.
+        assert_eq!(ags.len(), 3);
+        let a2 = dict.lookup("A", &Scalar::Int(2)).unwrap().avp;
+        let b3 = dict.lookup("B", &Scalar::Int(3)).unwrap().avp;
+        let c7 = dict.lookup("C", &Scalar::Int(7)).unwrap().avp;
+        let merged = ags
+            .iter()
+            .find(|g| g.avps.contains(&a2))
+            .expect("group containing A:2");
+        let mut want = vec![a2, b3, c7];
+        want.sort();
+        assert_eq!(merged.avps, want);
+        // Its load: A:2/C:7 appear in doc 0, B:3 in docs 0 and 1 → 2 docs.
+        assert_eq!(merged.load, 2);
+    }
+
+    #[test]
+    fn equivalence_requires_exact_cooccurrence() {
+        let dict = Dictionary::new();
+        let vs = views(&dict, &[&[("x", 1), ("y", 1)], &[("x", 1)]]);
+        let egs = equivalence_groups(&vs);
+        // x:1 in docs {0,1}, y:1 in {0} → two separate groups.
+        assert_eq!(egs.len(), 2);
+        assert!(egs.iter().all(|g| g.avps.len() == 1));
+    }
+
+    #[test]
+    fn implies_direction() {
+        let a = EquivalenceGroup {
+            avps: vec![AvpId(0)],
+            docs: vec![1, 3],
+        };
+        let b = EquivalenceGroup {
+            avps: vec![AvpId(1)],
+            docs: vec![0, 1, 2, 3],
+        };
+        assert!(implies(&a, &b));
+        assert!(!implies(&b, &a));
+        let c = EquivalenceGroup {
+            avps: vec![AvpId(2)],
+            docs: vec![1, 4],
+        };
+        assert!(!implies(&a, &c));
+        assert!(!implies(&a, &a));
+    }
+
+    #[test]
+    fn association_groups_are_disjoint() {
+        let dict = Dictionary::new();
+        let vs = views(
+            &dict,
+            &[
+                &[("a", 1), ("b", 1), ("c", 1)],
+                &[("b", 1), ("c", 1)],
+                &[("c", 1)],
+                &[("d", 9)],
+                &[("a", 1), ("b", 1), ("c", 1), ("d", 9)],
+            ],
+        );
+        let ags = association_groups(&vs);
+        let mut seen: FxHashSet<AvpId> = FxHashSet::default();
+        for g in &ags {
+            for &avp in &g.avps {
+                assert!(seen.insert(avp), "pair {avp} in two association groups");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_covered_by_some_group() {
+        let dict = Dictionary::new();
+        let vs = views(
+            &dict,
+            &[
+                &[("a", 1), ("b", 2)],
+                &[("b", 2), ("c", 3)],
+                &[("c", 3), ("a", 1)],
+            ],
+        );
+        let ags = association_groups(&vs);
+        let covered: FxHashSet<AvpId> =
+            ags.iter().flat_map(|g| g.avps.iter().copied()).collect();
+        for v in &vs {
+            for avp in v {
+                assert!(covered.contains(avp));
+            }
+        }
+    }
+
+    #[test]
+    fn chained_implication_absorbed_transitively() {
+        let dict = Dictionary::new();
+        // z ⊂ y ⊂ x document sets: z in {0}, y in {0,1}, x in {0,1,2}.
+        let vs = views(
+            &dict,
+            &[
+                &[("x", 1), ("y", 1), ("z", 1)],
+                &[("x", 1), ("y", 1)],
+                &[("x", 1)],
+            ],
+        );
+        let ags = association_groups(&vs);
+        // z implies y and x; everything folds into a single group.
+        assert_eq!(ags.len(), 1);
+        assert_eq!(ags[0].avps.len(), 3);
+        assert_eq!(ags[0].load, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(equivalence_groups(&[]).is_empty());
+        assert!(association_groups(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_avps_in_view_counted_once() {
+        let dict = Dictionary::new();
+        let p = dict.intern("a", Scalar::Int(1)).avp;
+        let vs = vec![vec![p, p, p]];
+        let egs = equivalence_groups(&vs);
+        assert_eq!(egs.len(), 1);
+        assert_eq!(egs[0].docs, vec![0]);
+    }
+}

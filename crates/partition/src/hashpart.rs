@@ -1,0 +1,142 @@
+//! Hash partitioning — the related-work baseline of §II.
+//!
+//! The classic approach the paper argues against: every attribute-value
+//! pair is assigned to machine `hash(pair) mod m`, and a document is sent to
+//! the machine of each of its pairs. Two documents sharing a pair always
+//! meet at that pair's machine, so the join stays exact, but:
+//!
+//! * **replication** equals the number of distinct machines hit by a
+//!   document's pairs — close to `min(|d|, m)` for documents with several
+//!   attributes, far above AG's;
+//! * **skew** is untreated: one hot pair (a popular `Severity` value, a
+//!   heavy-hitter user) pins its entire traffic to a single machine.
+//!
+//! Included as an ablation baseline; the paper's evaluation compares AG
+//! against SC and DS only.
+
+use crate::groups::View;
+use crate::partitions::PartitionTable;
+use crate::Partitioner;
+use ssj_json::hash::hash_u64;
+use ssj_json::FxHashSet;
+
+/// Stateless per-pair hash partitioning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl HashPartitioner {
+    /// The machine a pair hashes to.
+    #[inline]
+    pub fn machine(avp: ssj_json::AvpId, m: usize) -> u32 {
+        (hash_u64(avp.0 as u64) % m as u64) as u32
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &'static str {
+        "HASH"
+    }
+
+    fn create(&self, views: &[View], m: usize) -> PartitionTable {
+        assert!(m > 0);
+        let mut table = PartitionTable::empty(m);
+        let mut seen: FxHashSet<ssj_json::AvpId> = FxHashSet::default();
+        for view in views {
+            for &avp in view {
+                if seen.insert(avp) {
+                    table.add_avp(Self::machine(avp, m), avp);
+                }
+            }
+        }
+        // Declared loads: documents per machine under pure hash routing.
+        for view in views {
+            let mut targets: Vec<u32> = view.iter().map(|&a| Self::machine(a, m)).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            for t in targets {
+                table.bump_load(t, 1);
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::{AvpId, Dictionary, Scalar};
+
+    fn views(dict: &Dictionary, specs: &[&[(&str, i64)]]) -> Vec<View> {
+        specs
+            .iter()
+            .map(|doc| {
+                doc.iter()
+                    .map(|&(a, v)| dict.intern(a, Scalar::Int(v)).avp)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_machine_is_stable() {
+        let m = HashPartitioner::machine(AvpId(7), 4);
+        assert_eq!(m, HashPartitioner::machine(AvpId(7), 4));
+        assert!(m < 4);
+    }
+
+    #[test]
+    fn shared_pairs_colocate() {
+        let dict = Dictionary::new();
+        let vs = views(
+            &dict,
+            &[&[("a", 1), ("b", 2)], &[("a", 1), ("c", 3)], &[("d", 4)]],
+        );
+        let table = HashPartitioner.create(&vs, 3);
+        for (i, a) in vs.iter().enumerate() {
+            for b in &vs[i + 1..] {
+                if !a.iter().any(|p| b.contains(p)) {
+                    continue;
+                }
+                let ta = table.route(a).targets(3);
+                let tb = table.route(b).targets(3);
+                assert!(ta.iter().any(|t| tb.contains(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn replication_grows_with_document_width() {
+        // A wide document hits many machines — the pathology AG avoids by
+        // grouping co-occurring pairs onto one partition.
+        let dict = Dictionary::new();
+        let wide: View = (0..32i64)
+            .map(|i| dict.intern(&format!("k{i}"), Scalar::Int(i)).avp)
+            .collect();
+        let table = HashPartitioner.create(std::slice::from_ref(&wide), 8);
+        let fanout = table.route(&wide).fanout(8);
+        assert!(fanout >= 6, "wide doc fanout only {fanout}");
+    }
+
+    #[test]
+    fn hot_pair_pins_to_one_machine() {
+        let dict = Dictionary::new();
+        // 50 documents all carrying the same hot pair plus a unique one.
+        let hot = dict.intern("sev", Scalar::Str("W".into())).avp;
+        let vs: Vec<View> = (0..50i64)
+            .map(|i| vec![hot, dict.intern("id", Scalar::Int(i)).avp])
+            .collect();
+        let table = HashPartitioner.create(&vs, 4);
+        let stats = crate::partitions::route_batch(&table, &vs);
+        let hot_machine = HashPartitioner::machine(hot, 4) as usize;
+        assert_eq!(
+            stats.per_machine[hot_machine], 50,
+            "every document lands on the hot pair's machine: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_views() {
+        let table = HashPartitioner.create(&[], 2);
+        assert!(table.is_empty());
+    }
+}

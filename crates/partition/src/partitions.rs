@@ -1,0 +1,459 @@
+//! Partitions and document routing (§III, §IV).
+//!
+//! A partition is a set of attribute-value pairs; a document *matches* a
+//! partition when the two share at least one pair. [`PartitionTable`] owns
+//! the `m` partitions and answers routing queries; [`assign_groups`]
+//! implements the paper's greedy placement of association groups ("populate
+//! with the first m groups by load, then always give the largest remaining
+//! group to the least-loaded partition").
+
+use crate::groups::{AssociationGroup, View};
+use ssj_json::{AvpId, FxHashMap};
+
+/// Where a document must be sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// The matching partitions (machine indices), deduplicated, sorted.
+    To(Vec<u32>),
+    /// No pair matched any partition: broadcast to every machine to
+    /// guarantee a complete join result (§VI-A).
+    Broadcast,
+}
+
+impl Route {
+    /// Number of machines this route sends the document to.
+    pub fn fanout(&self, m: usize) -> usize {
+        match self {
+            Route::To(t) => t.len(),
+            Route::Broadcast => m,
+        }
+    }
+
+    /// The concrete machine indices for a cluster of `m` machines.
+    pub fn targets(&self, m: usize) -> Vec<u32> {
+        match self {
+            Route::To(t) => t.clone(),
+            Route::Broadcast => (0..m as u32).collect(),
+        }
+    }
+
+    /// True when the route is a broadcast.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, Route::Broadcast)
+    }
+}
+
+/// The deployed set of `m` partitions.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionTable {
+    m: usize,
+    /// Pair → partitions carrying it. A single entry for AG/DS (their
+    /// partitions are disjoint); possibly several for SC.
+    index: FxHashMap<AvpId, Vec<u32>>,
+    /// Declared load per partition (from group loads at creation time).
+    loads: Vec<usize>,
+    /// Pairs per partition (diagnostics and the Merger's update path).
+    members: Vec<Vec<AvpId>>,
+}
+
+impl PartitionTable {
+    /// An empty table of `m` partitions (routes everything to Broadcast).
+    pub fn empty(m: usize) -> Self {
+        PartitionTable {
+            m,
+            index: FxHashMap::default(),
+            loads: vec![0; m],
+            members: vec![Vec::new(); m],
+        }
+    }
+
+    /// Number of partitions (= machines, = Joiner instances).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Add `avp` to partition `p` (the Merger's single-pair update, §VI-A).
+    pub fn add_avp(&mut self, p: u32, avp: AvpId) {
+        let entry = self.index.entry(avp).or_default();
+        if !entry.contains(&p) {
+            entry.push(p);
+            self.members[p as usize].push(avp);
+        }
+    }
+
+    /// The partitions that carry `avp`.
+    pub fn partitions_of(&self, avp: AvpId) -> &[u32] {
+        self.index.get(&avp).map_or(&[], Vec::as_slice)
+    }
+
+    /// Pairs assigned to partition `p`.
+    pub fn members(&self, p: u32) -> &[AvpId] {
+        &self.members[p as usize]
+    }
+
+    /// Declared load of partition `p`.
+    pub fn declared_load(&self, p: u32) -> usize {
+        self.loads[p as usize]
+    }
+
+    /// The partition with the smallest declared load — the Merger's target
+    /// for single-pair updates (§VI-A).
+    pub fn least_loaded(&self) -> u32 {
+        (0..self.m as u32)
+            .min_by_key(|&p| self.loads[p as usize])
+            .expect("m > 0")
+    }
+
+    /// Increase the declared load of `p` (used when updates add pairs).
+    pub fn bump_load(&mut self, p: u32, by: usize) {
+        self.loads[p as usize] += by;
+    }
+
+    /// Number of distinct pairs across all partitions.
+    pub fn pair_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no pair is assigned anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Route one document view: all partitions sharing at least one pair,
+    /// or [`Route::Broadcast`] when nothing matches.
+    pub fn route(&self, view: &[AvpId]) -> Route {
+        let mut targets: Vec<u32> = Vec::new();
+        for avp in view {
+            if let Some(ps) = self.index.get(avp) {
+                targets.extend_from_slice(ps);
+            }
+        }
+        if targets.is_empty() {
+            return Route::Broadcast;
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        Route::To(targets)
+    }
+
+    /// Human-readable dump of the table: one line per partition with its
+    /// declared load and members rendered through the dictionary (members
+    /// are truncated to `max_members` per partition; 0 = unlimited).
+    pub fn describe(&self, dict: &ssj_json::Dictionary, max_members: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for p in 0..self.m as u32 {
+            let members = self.members(p);
+            let shown = if max_members == 0 {
+                members.len()
+            } else {
+                members.len().min(max_members)
+            };
+            let rendered: Vec<String> = members[..shown]
+                .iter()
+                .map(|&avp| dict.render_avp(avp))
+                .collect();
+            let ellipsis = if members.len() > shown {
+                format!(", … {} more", members.len() - shown)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "partition {p}: load {} | {} pairs | {{{}{}}}",
+                self.loads[p as usize],
+                members.len(),
+                rendered.join(", "),
+                ellipsis
+            );
+        }
+        out
+    }
+
+    /// Export the table as a JSON value, suitable for snapshotting next to
+    /// a [`ssj_json::Dictionary::export`] (pair ids reference it):
+    /// `{"m": m, "partitions": [{"load": l, "avps": [ids…]}, …]}`.
+    pub fn export(&self) -> ssj_json::Value {
+        use ssj_json::Value;
+        let partitions = Value::Array(
+            (0..self.m as u32)
+                .map(|p| {
+                    let mut obj = Value::object();
+                    obj.insert("load", Value::Int(self.loads[p as usize] as i64));
+                    obj.insert(
+                        "avps",
+                        Value::Array(
+                            self.members(p)
+                                .iter()
+                                .map(|a| Value::Int(a.0 as i64))
+                                .collect(),
+                        ),
+                    );
+                    obj
+                })
+                .collect(),
+        );
+        let mut out = Value::object();
+        out.insert("m", Value::Int(self.m as i64));
+        out.insert("partitions", partitions);
+        out
+    }
+
+    /// Rebuild a table from an [`export`](Self::export)ed value.
+    pub fn import(value: &ssj_json::Value) -> Result<PartitionTable, String> {
+        use ssj_json::Value;
+        let m = value
+            .get("m")
+            .and_then(Value::as_int)
+            .filter(|&m| m > 0)
+            .ok_or("missing or invalid 'm'")? as usize;
+        let mut table = PartitionTable::empty(m);
+        let partitions = match value.get("partitions") {
+            Some(Value::Array(items)) if items.len() == m => items,
+            _ => return Err("'partitions' must be an array of length m".into()),
+        };
+        for (p, part) in partitions.iter().enumerate() {
+            let load = part
+                .get("load")
+                .and_then(Value::as_int)
+                .filter(|&l| l >= 0)
+                .ok_or(format!("partition {p}: missing 'load'"))?;
+            table.loads[p] = load as usize;
+            let avps = match part.get("avps") {
+                Some(Value::Array(items)) => items,
+                _ => return Err(format!("partition {p}: missing 'avps'")),
+            };
+            for a in avps {
+                let id = a
+                    .as_int()
+                    .filter(|&v| v >= 0 && v <= u32::MAX as i64)
+                    .ok_or(format!("partition {p}: invalid pair id"))?;
+                table.add_avp(p as u32, AvpId(id as u32));
+            }
+        }
+        Ok(table)
+    }
+
+    /// Which fraction of the view's pairs are known to the table — the
+    /// Assigner's novelty signal.
+    pub fn known_fraction(&self, view: &[AvpId]) -> f64 {
+        if view.is_empty() {
+            return 1.0;
+        }
+        let known = view.iter().filter(|a| self.index.contains_key(a)).count();
+        known as f64 / view.len() as f64
+    }
+}
+
+/// Greedy load-balanced placement of association groups onto `m` partitions
+/// (§IV-A, following the disjoint-sets placement of Alvanaki & Michel).
+pub fn assign_groups(mut groups: Vec<AssociationGroup>, m: usize) -> PartitionTable {
+    assert!(m > 0, "need at least one partition");
+    // Largest load first (determinism: then by contents).
+    groups.sort_by(|a, b| b.load.cmp(&a.load).then_with(|| a.avps.cmp(&b.avps)));
+    let mut table = PartitionTable::empty(m);
+    for group in groups {
+        // The least-loaded partition; the first m groups therefore land on
+        // the m initially-empty partitions exactly as the paper describes.
+        let p = (0..m as u32)
+            .min_by_key(|&p| table.loads[p as usize])
+            .expect("m > 0");
+        for avp in group.avps {
+            table.add_avp(p, avp);
+        }
+        table.loads[p as usize] += group.load;
+    }
+    table
+}
+
+/// Count how many machines each view is sent to under `table`, returning
+/// `(assignments per machine, total sends, broadcasts)` — the raw numbers
+/// behind the replication / load-balance / max-load metrics of §VII-C.
+pub fn route_batch(table: &PartitionTable, views: &[View]) -> RoutingStats {
+    let m = table.m();
+    let mut per_machine = vec![0usize; m];
+    let mut total_sends = 0usize;
+    let mut broadcasts = 0usize;
+    for view in views {
+        let route = table.route(view);
+        if route.is_broadcast() {
+            broadcasts += 1;
+        }
+        for t in route.targets(m) {
+            per_machine[t as usize] += 1;
+            total_sends += 1;
+        }
+    }
+    RoutingStats {
+        per_machine,
+        total_sends,
+        broadcasts,
+        docs: views.len(),
+    }
+}
+
+/// Raw routing counts for one batch of views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Documents received per machine.
+    pub per_machine: Vec<usize>,
+    /// Total document transmissions (sum over machines).
+    pub total_sends: usize,
+    /// Documents that matched no partition and were broadcast.
+    pub broadcasts: usize,
+    /// Number of documents routed.
+    pub docs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ag(avps: &[u32], load: usize) -> AssociationGroup {
+        AssociationGroup {
+            avps: avps.iter().map(|&a| AvpId(a)).collect(),
+            load,
+        }
+    }
+
+    #[test]
+    fn seeds_take_largest_groups() {
+        let groups = vec![ag(&[1], 10), ag(&[2], 20), ag(&[3], 5), ag(&[4], 8)];
+        let table = assign_groups(groups, 2);
+        // Largest (20) and second (10) seed the two partitions; 8 joins the
+        // 10-partition (load 18), 5 joins the 20-partition (load 25)?
+        // Greedy: after seeds loads are [20,10]; 8 → partition with 10 →
+        // [20,18]; 5 → partition with 18? No: min is 18 vs 20 → 18 → 23.
+        let loads = [table.declared_load(0), table.declared_load(1)];
+        let mut sorted = loads;
+        sorted.sort();
+        assert_eq!(sorted, [20, 23]);
+    }
+
+    #[test]
+    fn route_matches_any_shared_pair() {
+        let table = assign_groups(vec![ag(&[1, 2], 4), ag(&[3], 2)], 2);
+        let p12 = table.partitions_of(AvpId(1))[0];
+        let p3 = table.partitions_of(AvpId(3))[0];
+        assert_ne!(p12, p3);
+        assert_eq!(table.route(&[AvpId(1)]), Route::To(vec![p12]));
+        assert_eq!(table.route(&[AvpId(2), AvpId(3)]), {
+            let mut t = vec![p12, p3];
+            t.sort();
+            Route::To(t)
+        });
+    }
+
+    #[test]
+    fn unmatched_view_broadcasts() {
+        let table = assign_groups(vec![ag(&[1], 1)], 3);
+        assert_eq!(table.route(&[AvpId(99)]), Route::Broadcast);
+        assert_eq!(table.route(&[AvpId(99)]).fanout(3), 3);
+        assert_eq!(table.route(&[]), Route::Broadcast);
+    }
+
+    #[test]
+    fn empty_table_broadcasts_everything() {
+        let table = PartitionTable::empty(4);
+        assert!(table.is_empty());
+        assert_eq!(table.route(&[AvpId(0)]), Route::Broadcast);
+    }
+
+    #[test]
+    fn add_avp_is_idempotent() {
+        let mut table = PartitionTable::empty(2);
+        table.add_avp(1, AvpId(7));
+        table.add_avp(1, AvpId(7));
+        assert_eq!(table.partitions_of(AvpId(7)), &[1]);
+        assert_eq!(table.members(1), &[AvpId(7)]);
+        assert_eq!(table.pair_count(), 1);
+    }
+
+    #[test]
+    fn known_fraction() {
+        let table = assign_groups(vec![ag(&[1, 2], 2)], 2);
+        assert_eq!(table.known_fraction(&[AvpId(1), AvpId(9)]), 0.5);
+        assert_eq!(table.known_fraction(&[]), 1.0);
+    }
+
+    #[test]
+    fn route_batch_counts() {
+        let table = assign_groups(vec![ag(&[1], 1), ag(&[2], 1)], 2);
+        let views = vec![
+            vec![AvpId(1)],
+            vec![AvpId(2)],
+            vec![AvpId(1), AvpId(2)],
+            vec![AvpId(42)], // broadcast
+        ];
+        let stats = route_batch(&table, &views);
+        assert_eq!(stats.docs, 4);
+        assert_eq!(stats.broadcasts, 1);
+        // sends: 1 + 1 + 2 + 2 = 6
+        assert_eq!(stats.total_sends, 6);
+        assert_eq!(stats.per_machine.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn more_partitions_than_groups_leaves_spares_empty() {
+        let table = assign_groups(vec![ag(&[1], 3)], 4);
+        let loaded = (0..4).filter(|&p| table.declared_load(p) > 0).count();
+        assert_eq!(loaded, 1);
+        // Routing still works and unmatched docs broadcast to all 4.
+        assert_eq!(table.route(&[AvpId(5)]).fanout(4), 4);
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use crate::groups::AssociationGroup;
+
+    fn ag(avps: &[u32], load: usize) -> AssociationGroup {
+        AssociationGroup {
+            avps: avps.iter().map(|&a| AvpId(a)).collect(),
+            load,
+        }
+    }
+
+    #[test]
+    fn export_import_preserves_routing() {
+        let table = assign_groups(
+            vec![ag(&[1, 2], 10), ag(&[3], 5), ag(&[4, 5, 6], 8)],
+            3,
+        );
+        let text = table.export().to_json();
+        let reread = ssj_json::parse(&text).unwrap();
+        let table2 = PartitionTable::import(&reread).unwrap();
+        assert_eq!(table2.m(), table.m());
+        for id in 0..8u32 {
+            assert_eq!(
+                table2.partitions_of(AvpId(id)),
+                table.partitions_of(AvpId(id)),
+                "pair {id}"
+            );
+        }
+        for p in 0..3 {
+            assert_eq!(table2.declared_load(p), table.declared_load(p));
+        }
+        // Routing behaves identically, including broadcasts.
+        assert_eq!(
+            table2.route(&[AvpId(1), AvpId(4)]),
+            table.route(&[AvpId(1), AvpId(4)])
+        );
+        assert_eq!(table2.route(&[AvpId(99)]), Route::Broadcast);
+    }
+
+    #[test]
+    fn import_rejects_malformed_tables() {
+        for bad in [
+            "{}",
+            r#"{"m":0,"partitions":[]}"#,
+            r#"{"m":2,"partitions":[]}"#,
+            r#"{"m":1,"partitions":[{"avps":[1]}]}"#,
+            r#"{"m":1,"partitions":[{"load":1,"avps":[-3]}]}"#,
+        ] {
+            let v = ssj_json::parse(bad).unwrap();
+            assert!(PartitionTable::import(&v).is_err(), "{bad}");
+        }
+    }
+}

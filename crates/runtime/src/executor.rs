@@ -1,0 +1,566 @@
+//! The threaded executor: one OS thread per task, crossbeam channels for
+//! tuple transport, punctuation alignment, and end-of-stream termination.
+//!
+//! Semantics:
+//! * Delivery is reliable and in order per (sender task, receiver task) —
+//!   in-process channels give us the exactly-once processing Storm is
+//!   configured to guarantee in the paper.
+//! * A **punctuation** emitted by the spouts (window boundary) is aligned:
+//!   a bolt task sees `on_punct(p)` only after receiving punctuation `p`
+//!   from *every* forward upstream task, then forwards it downstream —
+//!   windows therefore tumble consistently across the whole topology.
+//! * **End of stream**: when every spout finishes, EOS tokens flow along
+//!   forward edges; a bolt task finishes after EOS from all forward
+//!   upstream tasks. Feedback edges carry data but never gate termination.
+//! * A panicking task is reported in [`RunError::TaskPanicked`]; remaining
+//!   tasks drain and shut down (disconnected channels count as EOS).
+
+use crate::topology::{Component, ComponentKind, Grouping, Subscription, Topology};
+use crate::{Bolt, Spout, SpoutEmit, TaskInfo};
+use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Internal envelope moving between tasks.
+enum Envelope<M> {
+    /// A data message from global task `from`.
+    Data(M, usize),
+    /// Punctuation `id` from global task `from`.
+    Punct(u64, usize),
+    /// End of stream from global task `from`.
+    Eos(usize),
+}
+
+/// Per-task throughput counters, reported in [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskMetrics {
+    /// Component name.
+    pub component: String,
+    /// Task index within the component.
+    pub task: usize,
+    /// Data messages received.
+    pub received: u64,
+    /// Data messages emitted (counting each delivered copy).
+    pub emitted: u64,
+    /// Punctuations processed.
+    pub puncts: u64,
+    /// Time spent inside user code (`execute` / `on_punct` / spout `next`),
+    /// excluding channel waits — the task's *busy* time.
+    pub busy: std::time::Duration,
+}
+
+/// The outcome of a completed run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// One entry per task.
+    pub tasks: Vec<TaskMetrics>,
+}
+
+impl RunReport {
+    /// Sum of received counts for one component.
+    pub fn received(&self, component: &str) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.component == component)
+            .map(|t| t.received)
+            .sum()
+    }
+
+    /// Sum of emitted counts for one component.
+    pub fn emitted(&self, component: &str) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.component == component)
+            .map(|t| t.emitted)
+            .sum()
+    }
+
+    /// Per-task received counts for one component, ordered by task index.
+    pub fn received_per_task(&self, component: &str) -> Vec<u64> {
+        let mut v: Vec<(usize, u64)> = self
+            .tasks
+            .iter()
+            .filter(|t| t.component == component)
+            .map(|t| (t.task, t.received))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Errors surfaced by [`run`].
+#[derive(Debug)]
+pub enum RunError {
+    /// One or more tasks panicked; the payload lists `component[task]`.
+    TaskPanicked(Vec<String>),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::TaskPanicked(tasks) => {
+                write!(f, "tasks panicked: {}", tasks.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One outgoing subscription as seen by a producer task.
+struct OutEdge<M> {
+    grouping: Grouping<M>,
+    /// Sender to each task of the subscribing component.
+    targets: Vec<Sender<Envelope<M>>>,
+    /// Round-robin cursor for shuffle.
+    cursor: usize,
+}
+
+/// The producer-side API handed to spouts and bolts.
+pub struct Outbox<M> {
+    my_global: usize,
+    edges: Vec<OutEdge<M>>,
+    emitted: u64,
+}
+
+impl<M: Clone> Outbox<M> {
+    /// Emit `msg` to every non-direct subscription, routed per grouping.
+    /// Each delivery clones; callers stream `Arc`-wrapped payloads, so a
+    /// clone is a reference-count bump.
+    pub fn emit(&mut self, msg: M) {
+        for edge in &mut self.edges {
+            match &edge.grouping {
+                Grouping::Direct => continue,
+                Grouping::Shuffle => {
+                    let t = edge.cursor % edge.targets.len();
+                    edge.cursor = edge.cursor.wrapping_add(1);
+                    if edge.targets[t].send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                        self.emitted += 1;
+                    }
+                }
+                Grouping::Fields(key) => {
+                    let h = key(&msg);
+                    let t = (h % edge.targets.len() as u64) as usize;
+                    if edge.targets[t].send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                        self.emitted += 1;
+                    }
+                }
+                Grouping::Global => {
+                    if edge.targets[0].send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                        self.emitted += 1;
+                    }
+                }
+                Grouping::All => {
+                    for t in &edge.targets {
+                        if t.send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                            self.emitted += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit `msg` to task `task` of every direct-grouped subscription.
+    pub fn emit_direct(&mut self, task: usize, msg: M) {
+        for edge in &mut self.edges {
+            if matches!(edge.grouping, Grouping::Direct) {
+                if let Some(sender) = edge.targets.get(task) {
+                    if sender.send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                        self.emitted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn punctuate(&mut self, p: u64) {
+        for edge in &mut self.edges {
+            for t in &edge.targets {
+                let _ = t.send(Envelope::Punct(p, self.my_global));
+            }
+        }
+    }
+
+    fn eos(&mut self) {
+        for edge in &mut self.edges {
+            for t in &edge.targets {
+                let _ = t.send(Envelope::Eos(self.my_global));
+            }
+        }
+    }
+}
+
+struct TaskWiring<M> {
+    info: TaskInfo,
+    rx: Receiver<Envelope<M>>,
+    outbox: Outbox<M>,
+    fb_rx: Receiver<Envelope<M>>,
+    /// Global ids of forward upstream tasks (gate punct/EOS).
+    forward_upstreams: Vec<usize>,
+    /// The component subscribes to at least one feedback edge: after EOS it
+    /// drains in-flight control traffic until every sender disconnects.
+    has_feedback_upstream: bool,
+    kind: TaskKind<M>,
+}
+
+enum TaskKind<M> {
+    Spout(Box<dyn Spout<M>>),
+    Bolt(Box<dyn Bolt<M>>),
+}
+
+/// Run a topology to completion and report per-task metrics.
+pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport, RunError> {
+    let Topology {
+        components,
+        index,
+        channel_capacity,
+    } = topology;
+
+    // Global task numbering: components in order, tasks within.
+    let mut base: Vec<usize> = Vec::with_capacity(components.len());
+    let mut total = 0usize;
+    for c in &components {
+        base.push(total);
+        total += c.parallelism;
+    }
+
+    // Two channels per task: a *bounded* one for forward traffic (the
+    // forward graph is a DAG, so bounded sends give deadlock-free
+    // backpressure — a flooding spout is throttled by its slowest consumer)
+    // and an *unbounded* one for feedback control traffic (bounding a cycle
+    // could deadlock).
+    let cap = channel_capacity;
+    let mut fwd_senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(total);
+    let mut fwd_receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(total);
+    let mut fb_senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(total);
+    let mut fb_receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(total);
+    for _ in 0..total {
+        let (tx, rx) = bounded(cap);
+        fwd_senders.push(tx);
+        fwd_receivers.push(Some(rx));
+        let (tx, rx) = unbounded();
+        fb_senders.push(tx);
+        fb_receivers.push(Some(rx));
+    }
+
+    // Outgoing edges per component: (grouping, subscriber component index).
+    let mut out_edges: Vec<Vec<(Grouping<M>, usize, bool)>> = vec![Vec::new(); components.len()];
+    for (ci, c) in components.iter().enumerate() {
+        for Subscription {
+            source,
+            grouping,
+            feedback,
+        } in &c.subscriptions
+        {
+            let si = index[source];
+            out_edges[si].push((grouping.clone(), ci, *feedback));
+        }
+    }
+
+    // Forward upstream task lists per component, and feedback presence.
+    let mut forward_upstreams: Vec<Vec<usize>> = vec![Vec::new(); components.len()];
+    let mut has_feedback: Vec<bool> = vec![false; components.len()];
+    for (ci, c) in components.iter().enumerate() {
+        for s in &c.subscriptions {
+            if s.feedback {
+                has_feedback[ci] = true;
+            } else {
+                let si = index[&s.source];
+                for t in 0..components[si].parallelism {
+                    forward_upstreams[ci].push(base[si] + t);
+                }
+            }
+        }
+    }
+
+    // Build task wirings.
+    let par: Vec<usize> = components.iter().map(|c| c.parallelism).collect();
+    let mut wirings: Vec<TaskWiring<M>> = Vec::with_capacity(total);
+    for (ci, c) in components.into_iter().enumerate() {
+        let Component {
+            name,
+            parallelism,
+            kind,
+            subscriptions: _,
+        } = c;
+        for task in 0..parallelism {
+            let global = base[ci] + task;
+            let edges: Vec<OutEdge<M>> = out_edges[ci]
+                .iter()
+                .map(|(grouping, target_ci, feedback)| OutEdge {
+                    grouping: grouping.clone(),
+                    targets: (0..par[*target_ci])
+                        .map(|t| {
+                            let g = base[*target_ci] + t;
+                            if *feedback {
+                                fb_senders[g].clone()
+                            } else {
+                                fwd_senders[g].clone()
+                            }
+                        })
+                        .collect(),
+                    // Stagger shuffle cursors per producer so k producers
+                    // doing round-robin do not all hit the same target.
+                    cursor: global,
+                })
+                .collect();
+            let outbox = Outbox {
+                my_global: global,
+                edges,
+                emitted: 0,
+            };
+            let instance = match &kind {
+                ComponentKind::Spout(f) => TaskKind::Spout(f(task)),
+                ComponentKind::Bolt(f) => TaskKind::Bolt(f(task)),
+            };
+            wirings.push(TaskWiring {
+                info: TaskInfo {
+                    component: name.clone(),
+                    task_index: task,
+                    parallelism,
+                },
+                rx: fwd_receivers[global].take().expect("receiver unclaimed"),
+                fb_rx: fb_receivers[global].take().expect("fb receiver unclaimed"),
+                outbox,
+                forward_upstreams: forward_upstreams[ci].clone(),
+                has_feedback_upstream: has_feedback[ci],
+                kind: instance,
+            });
+        }
+    }
+    drop(fwd_senders); // tasks own the only senders now (inside outboxes)
+    drop(fb_senders);
+    drop(fwd_receivers);
+    drop(fb_receivers);
+
+    let metrics: Arc<Mutex<Vec<TaskMetrics>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::with_capacity(wirings.len());
+    for wiring in wirings {
+        let metrics = Arc::clone(&metrics);
+        let label = format!("{}[{}]", wiring.info.component, wiring.info.task_index);
+        let handle = std::thread::Builder::new()
+            .name(label.clone())
+            .spawn(move || run_task(wiring, metrics))
+            .expect("spawn task thread");
+        handles.push((label, handle));
+    }
+
+    let mut panicked = Vec::new();
+    for (label, handle) in handles {
+        if handle.join().is_err() {
+            panicked.push(label);
+        }
+    }
+    if !panicked.is_empty() {
+        return Err(RunError::TaskPanicked(panicked));
+    }
+    let tasks = std::mem::take(&mut *metrics.lock());
+    Ok(RunReport { tasks })
+}
+
+/// Punctuation alignment with per-upstream blocking.
+///
+/// A forward upstream that has already punctuated the window being aligned
+/// is *blocked*: its subsequent envelopes are buffered until the punctuation
+/// has arrived from every forward upstream. This keeps window contents exact
+/// even when upstream tasks run at different speeds — without it, data from
+/// fast upstreams would leak into the previous window.
+struct Aligner<M> {
+    forward: std::collections::HashSet<usize>,
+    needed: usize,
+    /// Punctuations processed but not yet aligned, per upstream.
+    ahead: HashMap<usize, u32>,
+    /// Buffered envelopes per blocked upstream, FIFO.
+    queues: HashMap<usize, std::collections::VecDeque<Envelope<M>>>,
+    punct_counts: HashMap<u64, usize>,
+    eos_seen: usize,
+}
+
+impl<M: Clone> Aligner<M> {
+    fn new(forward_upstreams: &[usize]) -> Self {
+        Aligner {
+            forward: forward_upstreams.iter().copied().collect(),
+            needed: forward_upstreams.len(),
+            ahead: HashMap::new(),
+            queues: HashMap::new(),
+            punct_counts: HashMap::new(),
+            eos_seen: 0,
+        }
+    }
+
+    /// Feed one envelope; returns `true` once every forward upstream
+    /// delivered EOS.
+    fn handle(
+        &mut self,
+        env: Envelope<M>,
+        bolt: &mut dyn Bolt<M>,
+        out: &mut Outbox<M>,
+        m: &mut TaskMetrics,
+    ) -> bool {
+        let from = match &env {
+            Envelope::Data(_, f) | Envelope::Punct(_, f) | Envelope::Eos(f) => *f,
+        };
+        if !self.forward.contains(&from) {
+            // Feedback edge: data flows immediately, control is ignored.
+            if let Envelope::Data(msg, _) = env {
+                m.received += 1;
+                bolt.execute(msg, out);
+            }
+            return false;
+        }
+        if self.ahead.get(&from).copied().unwrap_or(0) > 0 {
+            self.queues.entry(from).or_default().push_back(env);
+        } else {
+            self.process(env, bolt, out, m);
+            self.drain(bolt, out, m);
+        }
+        self.eos_seen == self.needed
+    }
+
+    fn process(
+        &mut self,
+        env: Envelope<M>,
+        bolt: &mut dyn Bolt<M>,
+        out: &mut Outbox<M>,
+        m: &mut TaskMetrics,
+    ) {
+        match env {
+            Envelope::Data(msg, _) => {
+                m.received += 1;
+                bolt.execute(msg, out);
+            }
+            Envelope::Punct(p, from) => {
+                *self.ahead.entry(from).or_insert(0) += 1;
+                let c = self.punct_counts.entry(p).or_insert(0);
+                *c += 1;
+                if *c == self.needed {
+                    self.punct_counts.remove(&p);
+                    m.puncts += 1;
+                    bolt.on_punct(p, out);
+                    out.punctuate(p);
+                    // Retire each upstream's oldest outstanding punctuation.
+                    for a in self.ahead.values_mut() {
+                        *a = a.saturating_sub(1);
+                    }
+                }
+            }
+            Envelope::Eos(_) => self.eos_seen += 1,
+        }
+    }
+
+    /// Replay buffered envelopes from upstreams that are no longer blocked;
+    /// an alignment completed during replay can unblock further upstreams.
+    fn drain(&mut self, bolt: &mut dyn Bolt<M>, out: &mut Outbox<M>, m: &mut TaskMetrics) {
+        loop {
+            let candidate = self
+                .queues
+                .iter()
+                .find(|(u, q)| {
+                    !q.is_empty() && self.ahead.get(u).copied().unwrap_or(0) == 0
+                })
+                .map(|(&u, _)| u);
+            match candidate {
+                Some(u) => {
+                    let env = self
+                        .queues
+                        .get_mut(&u)
+                        .and_then(|q| q.pop_front())
+                        .expect("candidate queue non-empty");
+                    self.process(env, bolt, out, m);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+fn run_task<M: Clone + Send + 'static>(
+    mut w: TaskWiring<M>,
+    metrics: Arc<Mutex<Vec<TaskMetrics>>>,
+) {
+    let mut m = TaskMetrics {
+        component: w.info.component.clone(),
+        task: w.info.task_index,
+        ..TaskMetrics::default()
+    };
+
+    match &mut w.kind {
+        TaskKind::Spout(spout) => loop {
+            let t0 = std::time::Instant::now();
+            let emission = spout.next();
+            m.busy += t0.elapsed();
+            match emission {
+                SpoutEmit::Message(msg) => {
+                    w.outbox.emit(msg);
+                }
+                SpoutEmit::Punctuate(p) => {
+                    m.puncts += 1;
+                    w.outbox.punctuate(p);
+                }
+                SpoutEmit::Done => {
+                    w.outbox.eos();
+                    break;
+                }
+            }
+        },
+        TaskKind::Bolt(bolt) => {
+            bolt.prepare(&w.info);
+            let mut align = Aligner::new(&w.forward_upstreams);
+            let mut fwd_open = true;
+            let mut fb_open = w.has_feedback_upstream;
+            'run: while fwd_open {
+                // Select over the forward (bounded) and feedback (unbounded)
+                // channels; feedback control traffic interleaves with data.
+                let mut sel = Select::new();
+                let fwd_idx = sel.recv(&w.rx);
+                let fb_idx = if fb_open { Some(sel.recv(&w.fb_rx)) } else { None };
+                let op = sel.select();
+                let idx = op.index();
+                if idx == fwd_idx {
+                    match op.recv(&w.rx) {
+                        Ok(envelope) => {
+                            let t0 = std::time::Instant::now();
+                            let done =
+                                align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                            m.busy += t0.elapsed();
+                            if done {
+                                break 'run; // all forward upstreams at EOS
+                            }
+                        }
+                        // All forward senders gone (e.g. upstream panicked).
+                        Err(_) => fwd_open = false,
+                    }
+                } else if Some(idx) == fb_idx {
+                    match op.recv(&w.fb_rx) {
+                        Ok(envelope) => {
+                            let t0 = std::time::Instant::now();
+                            let _ =
+                                align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                            m.busy += t0.elapsed();
+                        }
+                        Err(_) => fb_open = false,
+                    }
+                }
+            }
+            bolt.finish(&mut w.outbox);
+            w.outbox.eos();
+            if w.has_feedback_upstream {
+                // Control loops may still be sending while their own
+                // shutdown propagates; drain and process those messages so
+                // adaptive state and counters stay exact. Feedback senders
+                // terminate on forward EOS and drop the channel, ending
+                // this loop. (Feedback edges must therefore not form cycles
+                // among themselves.)
+                while let Ok(envelope) = w.fb_rx.recv() {
+                    let _ = align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                }
+            }
+        }
+    }
+
+    m.emitted = w.outbox.emitted;
+    metrics.lock().push(m);
+}

@@ -1,0 +1,664 @@
+//! # ssj-runtime — a compact Storm-like stream processing runtime
+//!
+//! The substrate the paper runs on (Apache Storm, §III-B), rebuilt from
+//! scratch: topologies of **spouts** and **bolts** with per-component
+//! parallelism and the Storm stream groupings (*shuffle*, *fields*, *all*,
+//! *direct*, *global*), executed as one thread per task over crossbeam
+//! channels. Window boundaries travel as aligned punctuations; control
+//! loops (Merger → Assigner → Merger in Fig. 2) use feedback edges.
+//!
+//! ```
+//! use ssj_runtime::{TopologyBuilder, Grouping, VecSpout, CollectorBolt, run};
+//!
+//! let sink = CollectorBolt::new();
+//! let collected = sink.handle();
+//! let topology = TopologyBuilder::new()
+//!     .spout("numbers", 1, |_| VecSpout::boxed(vec![1, 2, 3]))
+//!     .bolt("double", 2, |_| ssj_runtime::fn_bolt(|x: i32, out| out.emit(x * 2)))
+//!     .subscribe("numbers", Grouping::Shuffle)
+//!     .done()
+//!     .bolt("sink", 1, move |_| Box::new(sink.clone()))
+//!     .subscribe("double", Grouping::Global)
+//!     .done()
+//!     .build()
+//!     .unwrap();
+//! run(topology).unwrap();
+//! let mut got = collected.take();
+//! got.sort();
+//! assert_eq!(got, vec![2, 4, 6]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod executor;
+pub mod topology;
+
+pub use executor::{run, Outbox, RunError, RunReport, TaskMetrics};
+pub use topology::{BoltHandle, Grouping, Topology, TopologyBuilder, TopologyError};
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identity of a task, passed to [`Bolt::prepare`].
+#[derive(Debug, Clone)]
+pub struct TaskInfo {
+    /// The component this task belongs to.
+    pub component: String,
+    /// Index of the task within the component (0-based).
+    pub task_index: usize,
+    /// Total number of tasks of the component.
+    pub parallelism: usize,
+}
+
+/// What a spout produces on each call to [`Spout::next`].
+pub enum SpoutEmit<M> {
+    /// A data message.
+    Message(M),
+    /// A punctuation (window boundary) with an id; forwarded and aligned
+    /// through the whole topology.
+    Punctuate(u64),
+    /// The spout is exhausted; triggers end-of-stream shutdown.
+    Done,
+}
+
+/// A stream source. One instance runs per task.
+pub trait Spout<M>: Send {
+    /// Produce the next emission. Called in a tight loop by the executor.
+    fn next(&mut self) -> SpoutEmit<M>;
+}
+
+/// A stream processor. One instance runs per task.
+pub trait Bolt<M>: Send {
+    /// Called once before any message, with the task's identity.
+    fn prepare(&mut self, _info: &TaskInfo) {}
+    /// Handle one message; emit results through `out`.
+    fn execute(&mut self, msg: M, out: &mut Outbox<M>);
+    /// Handle an aligned punctuation (window boundary).
+    fn on_punct(&mut self, _punct: u64, _out: &mut Outbox<M>) {}
+    /// Called once after the last message, before shutdown.
+    fn finish(&mut self, _out: &mut Outbox<M>) {}
+}
+
+/// A spout replaying a vector, punctuating optionally every `punct_every`
+/// messages — handy in tests and examples.
+pub struct VecSpout<M> {
+    items: std::vec::IntoIter<M>,
+    punct_every: Option<usize>,
+    since_punct: usize,
+    next_punct: u64,
+    done: bool,
+}
+
+impl<M: Send + 'static> VecSpout<M> {
+    /// Replay `items` with no punctuation.
+    pub fn new(items: Vec<M>) -> Self {
+        VecSpout {
+            items: items.into_iter(),
+            punct_every: None,
+            since_punct: 0,
+            next_punct: 0,
+            done: false,
+        }
+    }
+
+    /// Replay `items`, punctuating after every `every` messages and once
+    /// more before finishing.
+    pub fn with_punctuation(items: Vec<M>, every: usize) -> Self {
+        let mut s = Self::new(items);
+        s.punct_every = Some(every.max(1));
+        s
+    }
+
+    /// Boxed constructor for use in topology factories.
+    pub fn boxed(items: Vec<M>) -> Box<dyn Spout<M>> {
+        Box::new(Self::new(items))
+    }
+}
+
+impl<M: Send + 'static> Spout<M> for VecSpout<M> {
+    fn next(&mut self) -> SpoutEmit<M> {
+        if self.done {
+            return SpoutEmit::Done;
+        }
+        if let Some(every) = self.punct_every {
+            if self.since_punct == every {
+                self.since_punct = 0;
+                let p = self.next_punct;
+                self.next_punct += 1;
+                return SpoutEmit::Punctuate(p);
+            }
+        }
+        match self.items.next() {
+            Some(m) => {
+                self.since_punct += 1;
+                SpoutEmit::Message(m)
+            }
+            None => {
+                self.done = true;
+                if self.punct_every.is_some() && self.since_punct > 0 {
+                    let p = self.next_punct;
+                    self.next_punct += 1;
+                    return SpoutEmit::Punctuate(p);
+                }
+                SpoutEmit::Done
+            }
+        }
+    }
+}
+
+/// Wrap a closure as a bolt.
+pub fn fn_bolt<M, F>(f: F) -> Box<dyn Bolt<M>>
+where
+    M: Send + 'static,
+    F: FnMut(M, &mut Outbox<M>) + Send + 'static,
+{
+    struct FnBolt<F>(F);
+    impl<M: Send + 'static, F: FnMut(M, &mut Outbox<M>) + Send + 'static> Bolt<M> for FnBolt<F> {
+        fn execute(&mut self, msg: M, out: &mut Outbox<M>) {
+            (self.0)(msg, out)
+        }
+    }
+    Box::new(FnBolt(f))
+}
+
+/// A sink bolt collecting every message into a shared vector.
+pub struct CollectorBolt<M> {
+    sink: Arc<Mutex<Vec<M>>>,
+}
+
+impl<M> Clone for CollectorBolt<M> {
+    fn clone(&self) -> Self {
+        CollectorBolt {
+            sink: Arc::clone(&self.sink),
+        }
+    }
+}
+
+impl<M> Default for CollectorBolt<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> CollectorBolt<M> {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        CollectorBolt {
+            sink: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle to read the collected messages after the run.
+    pub fn handle(&self) -> CollectorHandle<M> {
+        CollectorHandle {
+            sink: Arc::clone(&self.sink),
+        }
+    }
+}
+
+impl<M: Send + 'static> Bolt<M> for CollectorBolt<M> {
+    fn execute(&mut self, msg: M, _out: &mut Outbox<M>) {
+        self.sink.lock().push(msg);
+    }
+}
+
+/// Read side of a [`CollectorBolt`].
+pub struct CollectorHandle<M> {
+    sink: Arc<Mutex<Vec<M>>>,
+}
+
+impl<M> CollectorHandle<M> {
+    /// Take all collected messages.
+    pub fn take(&self) -> Vec<M> {
+        std::mem::take(&mut *self.sink.lock())
+    }
+
+    /// Number of collected messages.
+    pub fn len(&self) -> usize {
+        self.sink.lock().len()
+    }
+
+    /// True when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.sink.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_ints(topology: Topology<i32>, handle: &CollectorHandle<i32>) -> Vec<i32> {
+        run(topology).unwrap();
+        let mut v = handle.take();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn linear_pipeline_shuffle() {
+        let sink = CollectorBolt::new();
+        let handle = sink.handle();
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed((1..=100).collect()))
+            .bolt("add", 4, |_| fn_bolt(|x: i32, out| out.emit(x + 1)))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("sink", 1, move |_| Box::new(sink.clone()))
+            .subscribe("add", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        assert_eq!(collect_ints(t, &handle), (2..=101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_balances_across_tasks() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed((0..1000).collect()))
+            .bolt("work", 4, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        let per_task = report.received_per_task("work");
+        assert_eq!(per_task.len(), 4);
+        for &r in &per_task {
+            assert_eq!(r, 250, "round-robin must be perfectly even: {per_task:?}");
+        }
+    }
+
+    #[test]
+    fn fields_grouping_routes_equal_keys_together() {
+        let seen = Arc::new(Mutex::new(Vec::<(usize, i32)>::new()));
+        let seen2 = Arc::clone(&seen);
+        struct Tagger {
+            task: usize,
+            seen: Arc<Mutex<Vec<(usize, i32)>>>,
+        }
+        impl Bolt<i32> for Tagger {
+            fn prepare(&mut self, info: &TaskInfo) {
+                self.task = info.task_index;
+            }
+            fn execute(&mut self, msg: i32, _out: &mut Outbox<i32>) {
+                self.seen.lock().push((self.task, msg));
+            }
+        }
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| {
+                VecSpout::boxed(vec![1, 2, 3, 1, 2, 3, 1, 2, 3])
+            })
+            .bolt("part", 3, move |_| {
+                Box::new(Tagger {
+                    task: usize::MAX,
+                    seen: Arc::clone(&seen2),
+                })
+            })
+            .subscribe("src", Grouping::Fields(Arc::new(|x: &i32| *x as u64)))
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        // Same key always lands on the same task.
+        let log = seen.lock();
+        for key in [1, 2, 3] {
+            let tasks: std::collections::HashSet<usize> = log
+                .iter()
+                .filter(|(_, k)| *k == key)
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(tasks.len(), 1, "key {key} hit tasks {tasks:?}");
+        }
+    }
+
+    #[test]
+    fn all_grouping_replicates() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![7; 10]))
+            .bolt("bcast", 3, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("src", Grouping::All)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        assert_eq!(report.received("bcast"), 30);
+        assert_eq!(report.received_per_task("bcast"), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn direct_grouping_targets_chosen_task() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed((0..9).collect()))
+            .bolt("router", 1, |_| {
+                fn_bolt(|x: i32, out: &mut Outbox<i32>| out.emit_direct((x % 3) as usize, x))
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("worker", 3, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("router", Grouping::Direct)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        assert_eq!(report.received_per_task("worker"), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn global_grouping_hits_task_zero() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed((0..5).collect()))
+            .bolt("g", 3, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("src", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        assert_eq!(report.received_per_task("g"), vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn punctuation_aligned_across_parallel_stage() {
+        // Windowed counter: counts per punctuated window must survive an
+        // intermediate parallel stage (punct seen once per window).
+        struct WindowCounter {
+            count: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Bolt<i32> for WindowCounter {
+            fn execute(&mut self, _msg: i32, _out: &mut Outbox<i32>) {
+                self.count += 1;
+            }
+            fn on_punct(&mut self, _p: u64, _out: &mut Outbox<i32>) {
+                self.out.lock().push(self.count);
+                self.count = 0;
+            }
+        }
+        let windows = Arc::new(Mutex::new(Vec::new()));
+        let w2 = Arc::clone(&windows);
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| {
+                Box::new(VecSpout::with_punctuation((0..20).collect(), 5))
+            })
+            .bolt("mid", 3, |_| fn_bolt(|x: i32, out| out.emit(x)))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("win", 1, move |_| {
+                Box::new(WindowCounter {
+                    count: 0,
+                    out: Arc::clone(&w2),
+                })
+            })
+            .subscribe("mid", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        let got = windows.lock().clone();
+        assert_eq!(got, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn multiple_spout_tasks_align_punctuation() {
+        struct PunctCount {
+            puncts: Arc<Mutex<u64>>,
+        }
+        impl Bolt<i32> for PunctCount {
+            fn execute(&mut self, _m: i32, _o: &mut Outbox<i32>) {}
+            fn on_punct(&mut self, _p: u64, _o: &mut Outbox<i32>) {
+                *self.puncts.lock() += 1;
+            }
+        }
+        let puncts = Arc::new(Mutex::new(0u64));
+        let p2 = Arc::clone(&puncts);
+        let t = TopologyBuilder::new()
+            .spout("src", 3, |_| {
+                Box::new(VecSpout::with_punctuation(vec![1, 2, 3, 4], 2))
+            })
+            .bolt("win", 1, move |_| {
+                Box::new(PunctCount {
+                    puncts: Arc::clone(&p2),
+                })
+            })
+            .subscribe("src", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        // Each of the 3 spout tasks punctuates twice (ids 0 and 1); aligned
+        // → the bolt sees each id exactly once.
+        assert_eq!(*puncts.lock(), 2);
+    }
+
+    #[test]
+    fn feedback_edge_allows_cycles() {
+        // fwd: src -> a -> b ; feedback: b -> a. b echoes messages back to
+        // a once; a counts both originals and echoes.
+        #[derive(Clone)]
+        enum Msg {
+            Fresh(i32),
+            Echo,
+        }
+        let count = Arc::new(Mutex::new(0i32));
+        let c2 = Arc::clone(&count);
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| {
+                VecSpout::boxed((0..10).map(Msg::Fresh).collect())
+            })
+            .bolt("a", 1, move |_| {
+                let c = Arc::clone(&c2);
+                fn_bolt(move |m: Msg, out: &mut Outbox<Msg>| {
+                    *c.lock() += 1;
+                    if let Msg::Fresh(x) = m {
+                        out.emit(Msg::Fresh(x));
+                    }
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .subscribe_feedback("b", Grouping::Shuffle)
+            .done()
+            .bolt("b", 1, |_| {
+                fn_bolt(|m: Msg, out: &mut Outbox<Msg>| {
+                    if let Msg::Fresh(_x) = m {
+                        out.emit(Msg::Echo);
+                    }
+                })
+            })
+            .subscribe("a", Grouping::Shuffle)
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        // a sees 10 fresh; echoes are best-effort (a may already have shut
+        // down), so the count is between 10 and 20.
+        let seen = *count.lock();
+        assert!((10..=20).contains(&seen), "a saw {seen}");
+    }
+
+    #[test]
+    fn forward_cycle_rejected() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![1]))
+            .bolt("a", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("src", Grouping::Shuffle)
+            .subscribe("b", Grouping::Shuffle)
+            .done()
+            .bolt("b", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("a", Grouping::Shuffle)
+            .done()
+            .build();
+        assert!(matches!(t, Err(TopologyError::ForwardCycle(_))));
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![1]))
+            .bolt("a", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("ghost", Grouping::Shuffle)
+            .done()
+            .build();
+        assert!(matches!(t, Err(TopologyError::UnknownSource { .. })));
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let t = TopologyBuilder::new()
+            .spout("x", 1, |_| VecSpout::boxed(vec![1]))
+            .bolt("x", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("x", Grouping::Shuffle)
+            .done()
+            .build();
+        assert!(matches!(t, Err(TopologyError::DuplicateComponent(_))));
+    }
+
+    #[test]
+    fn no_spout_rejected() {
+        let t = TopologyBuilder::<i32>::new().build();
+        assert!(matches!(t, Err(TopologyError::NoSpout)));
+    }
+
+    #[test]
+    fn zero_parallelism_rejected() {
+        let t = TopologyBuilder::new()
+            .spout("src", 0, |_| VecSpout::boxed(vec![1]))
+            .build();
+        assert!(matches!(t, Err(TopologyError::ZeroParallelism(_))));
+    }
+
+    #[test]
+    fn panicking_bolt_reported() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![1, 2, 3]))
+            .bolt("boom", 1, |_| {
+                fn_bolt(|x: i32, _out: &mut Outbox<i32>| {
+                    if x == 2 {
+                        panic!("injected failure");
+                    }
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("down", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("boom", Grouping::Shuffle)
+            .done()
+            .build()
+            .unwrap();
+        match run(t) {
+            Err(RunError::TaskPanicked(tasks)) => {
+                assert!(tasks.iter().any(|t| t.contains("boom")));
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finish_called_on_shutdown() {
+        struct Finisher {
+            flag: Arc<Mutex<bool>>,
+        }
+        impl Bolt<i32> for Finisher {
+            fn execute(&mut self, _m: i32, _o: &mut Outbox<i32>) {}
+            fn finish(&mut self, _o: &mut Outbox<i32>) {
+                *self.flag.lock() = true;
+            }
+        }
+        let flag = Arc::new(Mutex::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![1]))
+            .bolt("fin", 1, move |_| {
+                Box::new(Finisher {
+                    flag: Arc::clone(&f2),
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        assert!(*flag.lock());
+    }
+
+    #[test]
+    fn diamond_topology_eos_counts() {
+        // src -> (a, b) -> join: join waits for EOS from both branches.
+        let sink = CollectorBolt::new();
+        let handle = sink.handle();
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed((0..10).collect()))
+            .bolt("a", 2, |_| fn_bolt(|x: i32, out| out.emit(x)))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("b", 2, |_| fn_bolt(|x: i32, out| out.emit(x * 10)))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("join", 1, move |_| Box::new(sink.clone()))
+            .subscribe("a", Grouping::Global)
+            .subscribe("b", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        assert_eq!(handle.len(), 20);
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_export_lists_components_and_edges() {
+        let t = TopologyBuilder::new()
+            .spout("src", 2, |_| VecSpout::boxed(vec![1]))
+            .bolt("work", 3, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("src", Grouping::Shuffle)
+            .subscribe_feedback("sink", Grouping::Global)
+            .done()
+            .bolt("sink", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("work", Grouping::All)
+            .done()
+            .build()
+            .unwrap();
+        let dot = t.to_dot();
+        assert!(dot.contains("digraph topology"));
+        assert!(dot.contains("\"src\" [shape=doublecircle, label=\"src (x2)\"]"));
+        assert!(dot.contains("\"work\" [shape=box"));
+        assert!(dot.contains("\"src\" -> \"work\" [label=\"Shuffle\"]"));
+        assert!(dot.contains("\"work\" -> \"sink\" [label=\"All\"]"));
+        assert!(dot.contains("\"sink\" -> \"work\" [label=\"Global\", style=dashed]"));
+    }
+}
+
+#[cfg(test)]
+mod busy_tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_accumulates_for_working_bolts() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed((0..200u64).collect()))
+            .bolt("worker", 1, |_| {
+                fn_bolt(|x: u64, _out: &mut Outbox<u64>| {
+                    // A measurable amount of work per message.
+                    let mut acc = x;
+                    for i in 0..20_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    std::hint::black_box(acc);
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        let worker = report
+            .tasks
+            .iter()
+            .find(|t| t.component == "worker")
+            .unwrap();
+        assert!(worker.busy > std::time::Duration::ZERO);
+    }
+}

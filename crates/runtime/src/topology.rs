@@ -1,0 +1,383 @@
+//! Topology description: components, parallelism, and stream groupings.
+//!
+//! Mirrors the Storm concepts of §III-B: a topology is a graph of **spouts**
+//! (stream sources) and **bolts** (processors), each instantiated as
+//! `parallelism` independent *tasks*. Bolts subscribe to the output stream
+//! of other components under one of the groupings Storm offers:
+//!
+//! * **shuffle** — round-robin across the subscriber's tasks;
+//! * **fields** — hash of a key extracted from the message;
+//! * **all** — replicate to every task;
+//! * **direct** — the *producer* names the receiving task;
+//! * **global** — everything to task 0.
+//!
+//! Subscriptions may be marked **feedback** for control loops (e.g. Merger →
+//! Assigner → Merger in Fig. 2): feedback edges deliver messages but do not
+//! participate in end-of-stream accounting or punctuation alignment, and the
+//! forward-edge graph must be acyclic.
+
+use crate::{Bolt, Spout};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a subscription distributes messages over the subscriber's tasks.
+pub enum Grouping<M> {
+    /// Round-robin (Storm randomizes; round-robin gives the same balance
+    /// deterministically).
+    Shuffle,
+    /// Hash the extracted key; equal keys reach the same task.
+    Fields(Arc<dyn Fn(&M) -> u64 + Send + Sync>),
+    /// Replicate to all tasks.
+    All,
+    /// Producer picks the task via `Outbox::emit_direct`.
+    Direct,
+    /// Everything to task 0.
+    Global,
+}
+
+impl<M> Clone for Grouping<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Grouping::Shuffle => Grouping::Shuffle,
+            Grouping::Fields(f) => Grouping::Fields(Arc::clone(f)),
+            Grouping::All => Grouping::All,
+            Grouping::Direct => Grouping::Direct,
+            Grouping::Global => Grouping::Global,
+        }
+    }
+}
+
+impl<M> fmt::Debug for Grouping<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Grouping::Shuffle => "Shuffle",
+            Grouping::Fields(_) => "Fields",
+            Grouping::All => "All",
+            Grouping::Direct => "Direct",
+            Grouping::Global => "Global",
+        })
+    }
+}
+
+/// A subscription of one component to another's output stream.
+#[derive(Clone)]
+pub(crate) struct Subscription<M> {
+    pub source: String,
+    pub grouping: Grouping<M>,
+    pub feedback: bool,
+}
+
+/// Factory producing one spout instance per task.
+pub type SpoutFactory<M> = Box<dyn Fn(usize) -> Box<dyn Spout<M>> + Send>;
+/// Factory producing one bolt instance per task.
+pub type BoltFactory<M> = Box<dyn Fn(usize) -> Box<dyn Bolt<M>> + Send>;
+
+pub(crate) enum ComponentKind<M> {
+    Spout(SpoutFactory<M>),
+    Bolt(BoltFactory<M>),
+}
+
+pub(crate) struct Component<M> {
+    pub name: String,
+    pub parallelism: usize,
+    pub kind: ComponentKind<M>,
+    pub subscriptions: Vec<Subscription<M>>,
+}
+
+/// Errors detected while building or validating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A component name was used twice.
+    DuplicateComponent(String),
+    /// A subscription references an unknown component.
+    UnknownSource {
+        /// The subscribing component.
+        component: String,
+        /// The missing source name.
+        source: String,
+    },
+    /// The forward-edge graph contains a cycle (use `feedback` edges).
+    ForwardCycle(Vec<String>),
+    /// The topology has no spout.
+    NoSpout,
+    /// Parallelism must be at least 1.
+    ZeroParallelism(String),
+    /// A component subscribed to itself on a forward edge.
+    SelfLoop(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateComponent(c) => write!(f, "duplicate component '{c}'"),
+            TopologyError::UnknownSource { component, source } => {
+                write!(f, "'{component}' subscribes to unknown component '{source}'")
+            }
+            TopologyError::ForwardCycle(path) => {
+                write!(f, "forward-edge cycle: {}", path.join(" -> "))
+            }
+            TopologyError::NoSpout => f.write_str("topology has no spout"),
+            TopologyError::ZeroParallelism(c) => {
+                write!(f, "component '{c}' has parallelism 0")
+            }
+            TopologyError::SelfLoop(c) => {
+                write!(f, "component '{c}' has a forward self-subscription")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Builder for a [`Topology`].
+pub struct TopologyBuilder<M> {
+    components: Vec<Component<M>>,
+    channel_capacity: usize,
+}
+
+impl<M> Default for TopologyBuilder<M> {
+    fn default() -> Self {
+        TopologyBuilder {
+            components: Vec::new(),
+            channel_capacity: 1024,
+        }
+    }
+}
+
+impl<M> TopologyBuilder<M> {
+    /// Start an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of the bounded forward channels (default 1024). Smaller
+    /// capacities throttle fast producers closer to the pace of the
+    /// slowest consumer; feedback channels stay unbounded regardless.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Add a spout named `name` with `parallelism` tasks.
+    pub fn spout(
+        mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        factory: impl Fn(usize) -> Box<dyn Spout<M>> + Send + 'static,
+    ) -> Self {
+        self.components.push(Component {
+            name: name.into(),
+            parallelism,
+            kind: ComponentKind::Spout(Box::new(factory)),
+            subscriptions: Vec::new(),
+        });
+        self
+    }
+
+    /// Add a bolt named `name` with `parallelism` tasks; attach
+    /// subscriptions with [`BoltHandle::subscribe`] via the returned handle
+    /// pattern: `builder.bolt(..).subscribe(..)`.
+    pub fn bolt(
+        mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        factory: impl Fn(usize) -> Box<dyn Bolt<M>> + Send + 'static,
+    ) -> BoltHandle<M> {
+        self.components.push(Component {
+            name: name.into(),
+            parallelism,
+            kind: ComponentKind::Bolt(Box::new(factory)),
+            subscriptions: Vec::new(),
+        });
+        BoltHandle { builder: self }
+    }
+
+    /// Validate and freeze the topology.
+    pub fn build(self) -> Result<Topology<M>, TopologyError> {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut has_spout = false;
+        for (i, c) in self.components.iter().enumerate() {
+            if index.insert(c.name.clone(), i).is_some() {
+                return Err(TopologyError::DuplicateComponent(c.name.clone()));
+            }
+            if c.parallelism == 0 {
+                return Err(TopologyError::ZeroParallelism(c.name.clone()));
+            }
+            if matches!(c.kind, ComponentKind::Spout(_)) {
+                has_spout = true;
+            }
+        }
+        if !has_spout {
+            return Err(TopologyError::NoSpout);
+        }
+        for c in &self.components {
+            for s in &c.subscriptions {
+                if !index.contains_key(&s.source) {
+                    return Err(TopologyError::UnknownSource {
+                        component: c.name.clone(),
+                        source: s.source.clone(),
+                    });
+                }
+                if !s.feedback && s.source == c.name {
+                    return Err(TopologyError::SelfLoop(c.name.clone()));
+                }
+            }
+        }
+        // Cycle detection over forward edges (source → subscriber).
+        let n = self.components.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, c) in self.components.iter().enumerate() {
+            for s in &c.subscriptions {
+                if !s.feedback {
+                    adj[index[&s.source]].push(ci);
+                }
+            }
+        }
+        let mut state = vec![0u8; n]; // 0 unseen, 1 in-stack, 2 done
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            if let Some(cycle) = dfs_cycle(start, &adj, &mut state, &mut stack) {
+                let names = cycle
+                    .into_iter()
+                    .map(|i| self.components[i].name.clone())
+                    .collect();
+                return Err(TopologyError::ForwardCycle(names));
+            }
+        }
+        Ok(Topology {
+            components: self.components,
+            index,
+            channel_capacity: self.channel_capacity,
+        })
+    }
+}
+
+fn dfs_cycle(
+    node: usize,
+    adj: &[Vec<usize>],
+    state: &mut [u8],
+    stack: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    state[node] = 1;
+    stack.push(node);
+    for &next in &adj[node] {
+        match state[next] {
+            0 => {
+                if let Some(c) = dfs_cycle(next, adj, state, stack) {
+                    return Some(c);
+                }
+            }
+            1 => {
+                let pos = stack.iter().position(|&x| x == next).unwrap_or(0);
+                let mut cycle: Vec<usize> = stack[pos..].to_vec();
+                cycle.push(next);
+                return Some(cycle);
+            }
+            _ => {}
+        }
+    }
+    stack.pop();
+    state[node] = 2;
+    None
+}
+
+/// Fluent handle returned by [`TopologyBuilder::bolt`] for attaching the
+/// new bolt's subscriptions.
+pub struct BoltHandle<M> {
+    builder: TopologyBuilder<M>,
+}
+
+impl<M> BoltHandle<M> {
+    /// Subscribe the bolt to `source`'s stream under `grouping`.
+    pub fn subscribe(mut self, source: impl Into<String>, grouping: Grouping<M>) -> Self {
+        self.builder
+            .components
+            .last_mut()
+            .expect("bolt just added")
+            .subscriptions
+            .push(Subscription {
+                source: source.into(),
+                grouping,
+                feedback: false,
+            });
+        self
+    }
+
+    /// Subscribe via a feedback (control-loop) edge.
+    pub fn subscribe_feedback(
+        mut self,
+        source: impl Into<String>,
+        grouping: Grouping<M>,
+    ) -> Self {
+        self.builder
+            .components
+            .last_mut()
+            .expect("bolt just added")
+            .subscriptions
+            .push(Subscription {
+                source: source.into(),
+                grouping,
+                feedback: true,
+            });
+        self
+    }
+
+    /// Return to the builder.
+    pub fn done(self) -> TopologyBuilder<M> {
+        self.builder
+    }
+}
+
+/// A validated topology, ready to run.
+pub struct Topology<M> {
+    pub(crate) components: Vec<Component<M>>,
+    pub(crate) index: HashMap<String, usize>,
+    pub(crate) channel_capacity: usize,
+}
+
+impl<M> Topology<M> {
+    /// Component names in declaration order.
+    pub fn component_names(&self) -> Vec<&str> {
+        self.components.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Parallelism of a component, if it exists.
+    pub fn parallelism(&self, name: &str) -> Option<usize> {
+        self.index.get(name).map(|&i| self.components[i].parallelism)
+    }
+
+    /// Render the topology as Graphviz DOT: spouts as double circles, bolts
+    /// as boxes, one edge per subscription labelled with its grouping,
+    /// feedback edges dashed. Paste into `dot -Tsvg` to visualize.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph topology {\n  rankdir=LR;\n");
+        for c in &self.components {
+            let shape = match c.kind {
+                ComponentKind::Spout(_) => "doublecircle",
+                ComponentKind::Bolt(_) => "box",
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{} (x{})\"];",
+                c.name, c.name, c.parallelism
+            );
+        }
+        for c in &self.components {
+            for s in &c.subscriptions {
+                let style = if s.feedback { ", style=dashed" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [label=\"{:?}\"{style}];",
+                    s.source, c.name, s.grouping
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}

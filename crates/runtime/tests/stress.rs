@@ -1,0 +1,245 @@
+//! Stress and conformance tests for the Storm-like runtime: high message
+//! volumes, wide fan-out, deep pipelines, window alignment under load, and
+//! shutdown robustness.
+
+use parking_lot::Mutex;
+use ssj_runtime::{
+    fn_bolt, run, Bolt, CollectorBolt, Grouping, Outbox, SpoutEmit, Spout, TaskInfo,
+    TopologyBuilder, VecSpout,
+};
+use std::sync::Arc;
+
+#[test]
+fn hundred_thousand_messages_through_three_stages() {
+    let n = 100_000i64;
+    let sum = Arc::new(Mutex::new(0i64));
+    let s2 = Arc::clone(&sum);
+    let t = TopologyBuilder::new()
+        .spout("src", 1, move |_| VecSpout::boxed((0..n).collect()))
+        .bolt("a", 4, |_| fn_bolt(|x: i64, out| out.emit(x)))
+        .subscribe("src", Grouping::Shuffle)
+        .done()
+        .bolt("b", 4, |_| fn_bolt(|x: i64, out| out.emit(x)))
+        .subscribe("a", Grouping::Shuffle)
+        .done()
+        .bolt("acc", 1, move |_| {
+            let s = Arc::clone(&s2);
+            fn_bolt(move |x: i64, _out: &mut Outbox<i64>| {
+                *s.lock() += x;
+            })
+        })
+        .subscribe("b", Grouping::Global)
+        .done()
+        .build()
+        .unwrap();
+    let report = run(t).unwrap();
+    assert_eq!(*sum.lock(), n * (n - 1) / 2);
+    assert_eq!(report.received("acc"), n as u64);
+}
+
+#[test]
+fn multiple_spout_tasks_deliver_everything() {
+    // 4 spout tasks each emit 0..5000; total messages = 20_000.
+    let t = TopologyBuilder::new()
+        .spout("src", 4, |_| VecSpout::boxed((0..5000).collect::<Vec<i32>>()))
+        .bolt("sink", 3, |_| fn_bolt(|_: i32, _| {}))
+        .subscribe("src", Grouping::Shuffle)
+        .done()
+        .build()
+        .unwrap();
+    let report = run(t).unwrap();
+    assert_eq!(report.received("sink"), 20_000);
+    // Round-robin from each producer keeps the skew tiny.
+    let per_task = report.received_per_task("sink");
+    let max = *per_task.iter().max().unwrap();
+    let min = *per_task.iter().min().unwrap();
+    assert!(max - min <= 8, "skew too high: {per_task:?}");
+}
+
+#[test]
+fn windows_stay_exact_under_parallel_load() {
+    // 40 windows of 250 messages through a 6-way parallel stage; a windowed
+    // counter must see exactly 250 per window despite thread interleaving.
+    struct Counter {
+        seen: u64,
+        windows: Arc<Mutex<Vec<u64>>>,
+    }
+    impl Bolt<i64> for Counter {
+        fn execute(&mut self, _m: i64, _o: &mut Outbox<i64>) {
+            self.seen += 1;
+        }
+        fn on_punct(&mut self, _p: u64, _o: &mut Outbox<i64>) {
+            self.windows.lock().push(self.seen);
+            self.seen = 0;
+        }
+    }
+    let windows = Arc::new(Mutex::new(Vec::new()));
+    let w2 = Arc::clone(&windows);
+    let t = TopologyBuilder::new()
+        .spout("src", 1, |_| {
+            Box::new(VecSpout::with_punctuation((0..10_000i64).collect(), 250))
+        })
+        .bolt("stage", 6, |_| fn_bolt(|x: i64, out| out.emit(x)))
+        .subscribe("src", Grouping::Shuffle)
+        .done()
+        .bolt("win", 1, move |_| {
+            Box::new(Counter {
+                seen: 0,
+                windows: Arc::clone(&w2),
+            })
+        })
+        .subscribe("stage", Grouping::Global)
+        .done()
+        .build()
+        .unwrap();
+    run(t).unwrap();
+    let got = windows.lock().clone();
+    assert_eq!(got.len(), 40);
+    assert!(got.iter().all(|&c| c == 250), "window counts: {got:?}");
+}
+
+#[test]
+fn two_level_windowed_aggregation() {
+    // Parallel per-window partial counts, re-aggregated downstream: the
+    // punctuation must be usable as a fan-in barrier at both levels.
+    struct Partial {
+        count: i64,
+    }
+    impl Bolt<i64> for Partial {
+        fn execute(&mut self, _m: i64, _o: &mut Outbox<i64>) {
+            self.count += 1;
+        }
+        fn on_punct(&mut self, _p: u64, out: &mut Outbox<i64>) {
+            out.emit(self.count);
+            self.count = 0;
+        }
+    }
+    struct Total {
+        sum: i64,
+        totals: Arc<Mutex<Vec<i64>>>,
+    }
+    impl Bolt<i64> for Total {
+        fn execute(&mut self, m: i64, _o: &mut Outbox<i64>) {
+            self.sum += m;
+        }
+        fn on_punct(&mut self, _p: u64, _o: &mut Outbox<i64>) {
+            self.totals.lock().push(self.sum);
+            self.sum = 0;
+        }
+    }
+    let totals = Arc::new(Mutex::new(Vec::new()));
+    let t2 = Arc::clone(&totals);
+    let t = TopologyBuilder::new()
+        .spout("src", 1, |_| {
+            Box::new(VecSpout::with_punctuation((0..3000i64).collect(), 500))
+        })
+        .bolt("partial", 5, |_| Box::new(Partial { count: 0 }))
+        .subscribe("src", Grouping::Shuffle)
+        .done()
+        .bolt("total", 1, move |_| {
+            Box::new(Total {
+                sum: 0,
+                totals: Arc::clone(&t2),
+            })
+        })
+        .subscribe("partial", Grouping::Global)
+        .done()
+        .build()
+        .unwrap();
+    run(t).unwrap();
+    // Partial counts emitted at punct p arrive before punct p completes at
+    // `total` (each partial emits, then forwards its punct; FIFO per sender).
+    let got = totals.lock().clone();
+    assert_eq!(got, vec![500, 500, 500, 500, 500, 500]);
+}
+
+#[test]
+fn custom_spout_trait_object() {
+    // A spout implemented by hand (not VecSpout): Collatz until 1.
+    struct Collatz {
+        x: u64,
+    }
+    impl Spout<u64> for Collatz {
+        fn next(&mut self) -> SpoutEmit<u64> {
+            if self.x == 1 {
+                return SpoutEmit::Done;
+            }
+            self.x = if self.x.is_multiple_of(2) {
+                self.x / 2
+            } else {
+                3 * self.x + 1
+            };
+            SpoutEmit::Message(self.x)
+        }
+    }
+    let sink = CollectorBolt::new();
+    let handle = sink.handle();
+    let t = TopologyBuilder::new()
+        .spout("collatz", 1, |_| Box::new(Collatz { x: 27 }))
+        .bolt("sink", 1, move |_| Box::new(sink.clone()))
+        .subscribe("collatz", Grouping::Shuffle)
+        .done()
+        .build()
+        .unwrap();
+    run(t).unwrap();
+    let seq = handle.take();
+    assert_eq!(*seq.last().unwrap(), 1);
+    assert_eq!(seq.len(), 111); // Collatz(27) takes 111 steps
+}
+
+#[test]
+fn prepare_sees_correct_identity() {
+    let ids = Arc::new(Mutex::new(Vec::new()));
+    let ids2 = Arc::clone(&ids);
+    struct IdBolt {
+        ids: Arc<Mutex<Vec<(String, usize, usize)>>>,
+    }
+    impl Bolt<i32> for IdBolt {
+        fn prepare(&mut self, info: &TaskInfo) {
+            self.ids
+                .lock()
+                .push((info.component.clone(), info.task_index, info.parallelism));
+        }
+        fn execute(&mut self, _m: i32, _o: &mut Outbox<i32>) {}
+    }
+    let t = TopologyBuilder::new()
+        .spout("src", 1, |_| VecSpout::boxed(vec![1]))
+        .bolt("idb", 3, move |_| {
+            Box::new(IdBolt {
+                ids: Arc::clone(&ids2),
+            })
+        })
+        .subscribe("src", Grouping::Shuffle)
+        .done()
+        .build()
+        .unwrap();
+    run(t).unwrap();
+    let mut got = ids.lock().clone();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            ("idb".to_string(), 0, 3),
+            ("idb".to_string(), 1, 3),
+            ("idb".to_string(), 2, 3)
+        ]
+    );
+}
+
+#[test]
+fn emitted_counts_match_deliveries() {
+    let t = TopologyBuilder::new()
+        .spout("src", 1, |_| VecSpout::boxed((0..100i32).collect()))
+        .bolt("fan", 1, |_| fn_bolt(|x: i32, out| out.emit(x)))
+        .subscribe("src", Grouping::Shuffle)
+        .done()
+        .bolt("all3", 3, |_| fn_bolt(|_: i32, _| {}))
+        .subscribe("fan", Grouping::All)
+        .done()
+        .build()
+        .unwrap();
+    let report = run(t).unwrap();
+    // `fan` delivers each message to 3 tasks → 300 emissions.
+    assert_eq!(report.emitted("fan"), 300);
+    assert_eq!(report.received("all3"), 300);
+}

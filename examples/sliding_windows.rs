@@ -1,0 +1,51 @@
+//! Sliding windows over FP-trees — the extension the paper leaves as
+//! ongoing work (§V-A).
+//!
+//! A [`SlidingJoiner`] chains tumbling panes: the open pane buffers raw
+//! documents, frozen panes are immutable FP-trees, and sliding evicts only
+//! the oldest pane. This example streams server-log documents through a
+//! sliding window of 4 panes × 500 documents and reports, for every slide,
+//! how many join partners the newest documents found *across* pane
+//! boundaries — results a tumbling window of the same total size would miss
+//! at its edges.
+//!
+//! ```text
+//! cargo run --release --example sliding_windows
+//! ```
+
+use schema_free_stream_joins::ssj_data::{ServerLogConfig, ServerLogGen};
+use schema_free_stream_joins::ssj_join::SlidingJoiner;
+use schema_free_stream_joins::ssj_json::Dictionary;
+
+fn main() {
+    let dict = Dictionary::new();
+    let mut gen = ServerLogGen::new(ServerLogConfig::default(), dict.clone());
+
+    let pane = 500;
+    let panes = 4;
+    let mut joiner = SlidingJoiner::new(pane, panes);
+
+    let mut window_partners = 0u64;
+    let mut total_partners = 0u64;
+    println!("sliding window: {panes} panes x {pane} docs");
+    for i in 0..6_000u64 {
+        let doc = gen.next_doc();
+        let partners = joiner.insert_and_probe(doc);
+        window_partners += partners.len() as u64;
+        total_partners += partners.len() as u64;
+        if (i + 1) % pane as u64 == 0 {
+            println!(
+                "  after doc {:>5}: {:>7} partners this pane, window holds {:>5} docs, {} frozen panes",
+                i + 1,
+                window_partners,
+                joiner.window_len(),
+                joiner.frozen_panes()
+            );
+            window_partners = 0;
+        }
+    }
+    println!(
+        "\ntotal join partners found: {total_partners} over {} documents",
+        joiner.total_inserted()
+    );
+}

@@ -1,0 +1,44 @@
+//! # Scaling Out Schema-free Stream Joins
+//!
+//! Umbrella crate re-exporting the whole system — a from-scratch Rust
+//! implementation of the ICDE 2020 paper: exact natural joins over streams
+//! of schema-free JSON documents, scaled out across `m` join workers by
+//! association-group partitioning, with FP-tree–based local joins, on a
+//! Storm-like runtime.
+//!
+//! The layers, bottom up:
+//!
+//! * [`ssj_json`] — JSON parsing, flattening, interning, [`ssj_json::Document`];
+//! * [`ssj_join`] — FPTreeJoin and the NLJ / HBJ baselines;
+//! * [`ssj_partition`] — AG / SC / DS partitioners, attribute expansion,
+//!   quality metrics;
+//! * [`ssj_runtime`] — the Storm-like topology runtime;
+//! * [`ssj_core`] — the Fig. 2 topology and the deterministic pipeline;
+//! * [`ssj_data`] — workload generators.
+//!
+//! End to end in a few lines:
+//!
+//! ```
+//! use schema_free_stream_joins::ssj_core::{Pipeline, StreamJoinConfig};
+//! use schema_free_stream_joins::ssj_data::{ServerLogConfig, ServerLogGen};
+//! use schema_free_stream_joins::ssj_json::Dictionary;
+//!
+//! // A schema-free server-log stream…
+//! let dict = Dictionary::new();
+//! let docs = ServerLogGen::new(ServerLogConfig::default(), dict.clone()).take_docs(400);
+//!
+//! // …joined exactly across 4 partitions, windows of 200 documents.
+//! let cfg = StreamJoinConfig::default().with_m(4).with_window(200);
+//! let report = Pipeline::new(cfg, dict).run(docs);
+//!
+//! assert_eq!(report.windows.len(), 2);
+//! assert!(report.total_unique_joins() > 0);
+//! assert!(report.mean_replication() >= 1.0);
+//! ```
+
+pub use ssj_core;
+pub use ssj_data;
+pub use ssj_join;
+pub use ssj_json;
+pub use ssj_partition;
+pub use ssj_runtime;

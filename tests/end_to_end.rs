@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the full system (threaded topology and
+//! deterministic pipeline) against ground truth on both datasets.
+
+use schema_free_stream_joins::ssj_core::{
+    ground_truth_pairs, run_topology, Pipeline, StreamJoinConfig,
+};
+use schema_free_stream_joins::ssj_data::{
+    NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen,
+};
+use schema_free_stream_joins::ssj_json::{Dictionary, Document, FxHashSet};
+use schema_free_stream_joins::ssj_join::JoinAlgo;
+use schema_free_stream_joins::ssj_partition::PartitionerKind;
+
+fn serverlog(dict: &Dictionary, n: usize) -> Vec<Document> {
+    ServerLogGen::new(ServerLogConfig::default(), dict.clone()).take_docs(n)
+}
+
+fn nobench(dict: &Dictionary, n: usize) -> Vec<Document> {
+    NoBenchGen::new(NoBenchConfig::default(), dict.clone()).take_docs(n)
+}
+
+#[test]
+fn pipeline_is_exact_on_server_logs_for_all_partitioners() {
+    for kind in PartitionerKind::all() {
+        let dict = Dictionary::new();
+        let docs = serverlog(&dict, 600);
+        let cfg = StreamJoinConfig::default()
+            .with_m(4)
+            .with_window(200)
+            .with_partitioner(kind);
+        let mut pipeline = Pipeline::new(cfg, dict);
+        for w in 0..3 {
+            let window = &docs[w * 200..(w + 1) * 200];
+            let report = pipeline.process_window(window);
+            let truth = ground_truth_pairs(window);
+            assert_eq!(
+                report.unique_join_pairs,
+                truth.len(),
+                "{}: window {w} lost or invented join results",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_exact_on_nobench_with_expansion() {
+    let dict = Dictionary::new();
+    let docs = nobench(&dict, 400);
+    let cfg = StreamJoinConfig::default()
+        .with_m(6)
+        .with_window(200)
+        .with_expansion(true);
+    let mut pipeline = Pipeline::new(cfg, dict);
+    for w in 0..2 {
+        let window = &docs[w * 200..(w + 1) * 200];
+        let report = pipeline.process_window(window);
+        let truth = ground_truth_pairs(window);
+        assert_eq!(report.unique_join_pairs, truth.len(), "window {w}");
+    }
+}
+
+#[test]
+fn all_join_algorithms_agree_inside_the_pipeline() {
+    let mut counts = Vec::new();
+    for algo in JoinAlgo::all() {
+        let dict = Dictionary::new();
+        let docs = serverlog(&dict, 400);
+        let cfg = StreamJoinConfig::default()
+            .with_m(3)
+            .with_window(200)
+            .with_join(algo);
+        let report = Pipeline::new(cfg, dict).run(docs);
+        counts.push((algo.name(), report.total_unique_joins()));
+    }
+    assert_eq!(counts[0].1, counts[1].1, "{counts:?}");
+    assert_eq!(counts[1].1, counts[2].1, "{counts:?}");
+    assert!(counts[0].1 > 0, "degenerate test: no joins at all");
+}
+
+#[test]
+fn threaded_topology_matches_pipeline_results() {
+    let dict = Dictionary::new();
+    let docs = serverlog(&dict, 450);
+    let mut cfg = StreamJoinConfig::default().with_m(3).with_window(150);
+    cfg.partition_creators = 2;
+    cfg.assigners = 2;
+
+    // Ground truth per window.
+    let truths: Vec<FxHashSet<(u64, u64)>> = (0..3)
+        .map(|w| ground_truth_pairs(&docs[w * 150..(w + 1) * 150]))
+        .collect();
+
+    // Threaded topology.
+    let topo = run_topology(cfg, &dict, docs.clone()).expect("run");
+    assert_eq!(topo.joins_per_window.len(), 3);
+    for (w, truth) in truths.iter().enumerate() {
+        assert_eq!(&topo.joins_per_window[w], truth, "topology window {w}");
+    }
+
+    // Pipeline.
+    let mut pipeline = Pipeline::new(cfg, dict);
+    for (w, truth) in truths.iter().enumerate() {
+        let report = pipeline.process_window(&docs[w * 150..(w + 1) * 150]);
+        assert_eq!(report.unique_join_pairs, truth.len(), "pipeline window {w}");
+    }
+}
+
+#[test]
+fn topology_scales_joiner_count() {
+    for m in [1usize, 2, 6] {
+        let dict = Dictionary::new();
+        let docs = serverlog(&dict, 200);
+        let cfg = StreamJoinConfig::default().with_m(m).with_window(100);
+        let report = run_topology(cfg, &dict, docs.clone()).expect("run");
+        let truth0 = ground_truth_pairs(&docs[..100]);
+        assert_eq!(report.joins_per_window[0], truth0, "m={m}");
+    }
+}
+
+#[test]
+fn repeated_runs_of_pipeline_are_deterministic() {
+    let run_once = || {
+        let dict = Dictionary::new();
+        let docs = serverlog(&dict, 600);
+        let cfg = StreamJoinConfig::default().with_m(4).with_window(200);
+        let mut p = Pipeline::new(cfg, dict);
+        p.compute_joins = false;
+        let r = p.run(docs);
+        (
+            format!("{:.9}", r.mean_replication()),
+            format!("{:.9}", r.mean_max_load()),
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn window_isolation_no_cross_window_joins() {
+    // Two windows engineered so cross-window pairs would join but
+    // within-window pairs would not: tumbling windows must report nothing.
+    let dict = Dictionary::new();
+    let w1: Vec<Document> = (0..10u64)
+        .map(|i| {
+            Document::from_json(
+                ssj_json_docid(i),
+                &format!(r#"{{"k":{},"tag":"x{}"}}"#, i, i),
+                &dict,
+            )
+            .unwrap()
+        })
+        .collect();
+    let w2: Vec<Document> = (10..20u64)
+        .map(|i| {
+            Document::from_json(
+                ssj_json_docid(i),
+                &format!(r#"{{"k":{},"tag":"y{}"}}"#, i - 10, i),
+                &dict,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut all = w1.clone();
+    all.extend(w2.clone());
+    let cfg = StreamJoinConfig::default()
+        .with_m(2)
+        .with_window(10)
+        .with_expansion(false);
+    let report = Pipeline::new(cfg, dict).run(all);
+    assert_eq!(report.windows.len(), 2);
+    for w in &report.windows {
+        assert_eq!(w.unique_join_pairs, 0, "cross-window leak in window {}", w.window);
+    }
+}
+
+fn ssj_json_docid(i: u64) -> schema_free_stream_joins::ssj_json::DocId {
+    schema_free_stream_joins::ssj_json::DocId(i)
+}
+
+#[test]
+fn event_time_windows_drive_the_pipeline() {
+    use schema_free_stream_joins::ssj_core::{windows, WindowSpec};
+    let dict = Dictionary::new();
+    let docs = serverlog(&dict, 1200);
+    // Segment by the Hour attribute (4 half-hour slots per window).
+    let ws = windows(
+        docs.clone(),
+        WindowSpec::ByAttribute {
+            attr: "Hour".into(),
+            width: 4,
+        },
+        &dict,
+    );
+    assert!(ws.len() > 2, "expected several event-time windows");
+    // Every window's documents fall in one 4-slot bucket.
+    let hour = dict.intern_attr("Hour");
+    for w in &ws {
+        let buckets: FxHashSet<i64> = w
+            .iter()
+            .filter_map(|d| d.pair_for_attr(hour))
+            .filter_map(|p| match dict.avp_scalar(p.avp) {
+                schema_free_stream_joins::ssj_json::Scalar::Int(v) => Some(v.div_euclid(4)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(buckets.len(), 1, "window mixes buckets: {buckets:?}");
+    }
+    // The pipeline stays exact window by window.
+    let cfg = StreamJoinConfig::default().with_m(3).with_window(10_000);
+    let mut pipeline = Pipeline::new(cfg, dict);
+    for w in &ws {
+        let report = pipeline.process_window(w);
+        assert_eq!(report.unique_join_pairs, ground_truth_pairs(w).len());
+    }
+}
