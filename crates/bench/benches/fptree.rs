@@ -1,9 +1,59 @@
 //! FP-tree microbenchmarks: construction, probing, and the ablation of the
 //! ubiquitous-attribute fast path (§V-B).
+//!
+//! The benchmarks are split into a *build* side (batch construction and
+//! incremental insertion) and a *probe* side (the four probing strategies,
+//! including steady-state probing through a reused [`fpjoin::ProbeScratch`]).
+//! In bench mode the measured results are written to `BENCH_fptree.json`
+//! at the repository root.
+//!
+//! With `--features count-allocs` a counting global allocator is installed
+//! and the run additionally audits that steady-state probing — warmed
+//! scratch plus reused output buffer — performs **zero** heap allocations
+//! per probe (it aborts the bench if that regresses).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssj_bench::DataSet;
 use ssj_join::{fpjoin, FpTree};
+
+#[cfg(feature = "count-allocs")]
+mod alloc_counter {
+    //! Thread-local allocation counter installed as the global allocator.
+    //! It only counts allocation events; all real work is delegated to the
+    //! system allocator. `try_with` keeps it safe during TLS teardown.
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Allocation events observed on this thread so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+}
 
 fn bench_fptree(c: &mut Criterion) {
     for dataset in DataSet::all() {
@@ -12,11 +62,22 @@ fn bench_fptree(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("fptree/{}", dataset.label()));
         group.sample_size(10);
 
-        group.bench_function("build/2000", |b| {
-            b.iter(|| FpTree::build(docs.iter()))
+        // ----- build side ------------------------------------------------
+        group.bench_function("build/2000", |b| b.iter(|| FpTree::build(&docs)));
+
+        group.bench_with_input(BenchmarkId::new("build/insert", 2000), &docs, |b, docs| {
+            b.iter(|| {
+                let order = ssj_join::AttrOrder::compute(docs.iter());
+                let mut tree = FpTree::new(order);
+                for d in docs {
+                    tree.insert(d);
+                }
+                tree.node_count()
+            })
         });
 
-        let tree = FpTree::build(docs.iter());
+        // ----- probe side ------------------------------------------------
+        let tree = FpTree::build(&docs);
         group.bench_function("probe_all/fast_path", |b| {
             b.iter(|| {
                 let mut found = 0usize;
@@ -46,24 +107,115 @@ fn bench_fptree(c: &mut Criterion) {
                 found
             })
         });
-
-        group.bench_with_input(
-            BenchmarkId::new("insert", 2000),
-            &docs,
-            |b, docs| {
-                b.iter(|| {
-                    let order = ssj_join::AttrOrder::compute(docs.iter());
-                    let mut tree = FpTree::new(order);
-                    for d in docs {
-                        tree.insert(d);
-                    }
-                    tree.node_count()
-                })
-            },
-        );
+        // Steady state: conflict table, DFS stack and output buffer are all
+        // reused across probes — the zero-allocation hot path.
+        let mut scratch = fpjoin::ProbeScratch::new();
+        let mut partners = Vec::new();
+        group.bench_function("probe_all/scratch_reuse", |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for d in &docs {
+                    fpjoin::probe_into(&tree, d, true, &mut scratch, &mut partners);
+                    found += partners.len();
+                }
+                found
+            })
+        });
         group.finish();
     }
 }
 
-criterion_group!(benches, bench_fptree);
+/// Run `probes` over the tree with warmed buffers and return the observed
+/// allocations per probe, or `None` when the counting allocator is not
+/// compiled in.
+fn steady_state_allocs_per_probe(
+    tree: &FpTree,
+    docs: &[ssj_json::Document],
+    scratch: &mut fpjoin::ProbeScratch,
+    partners: &mut Vec<ssj_json::DocId>,
+) -> Option<f64> {
+    #[cfg(feature = "count-allocs")]
+    {
+        let before = alloc_counter::allocations();
+        for d in docs {
+            fpjoin::probe_into(tree, d, true, scratch, partners);
+        }
+        let after = alloc_counter::allocations();
+        let per_probe = (after - before) as f64 / docs.len() as f64;
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state probing must not allocate ({per_probe} allocs/probe observed)"
+        );
+        Some(per_probe)
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        // Exercise the same loop so both builds run identical code paths.
+        for d in docs {
+            fpjoin::probe_into(tree, d, true, scratch, partners);
+        }
+        None
+    }
+}
+
+/// Audit steady-state allocations and persist every measurement of this run
+/// to `BENCH_fptree.json` at the repository root. Runs last in the group so
+/// it sees the full measurement list; no-op outside bench mode.
+fn report(c: &mut Criterion) {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let mut audits = String::new();
+    for (i, dataset) in DataSet::all().iter().enumerate() {
+        let (_dict, docs) = dataset.generate(2000, 42);
+        let tree = FpTree::build(&docs);
+        let mut scratch = fpjoin::ProbeScratch::new();
+        let mut partners = Vec::new();
+        // Warm-up grows every reusable buffer to its steady-state capacity.
+        for d in &docs {
+            fpjoin::probe_into(&tree, d, true, &mut scratch, &mut partners);
+        }
+        let per_probe = steady_state_allocs_per_probe(&tree, &docs, &mut scratch, &mut partners);
+        let (counted, value) = match per_probe {
+            Some(v) => {
+                println!(
+                    "fptree/{}: steady-state allocations per probe: {v}",
+                    dataset.label()
+                );
+                ("true", format!("{v}"))
+            }
+            None => ("false", "null".to_owned()),
+        };
+        if i > 0 {
+            audits.push_str(",\n");
+        }
+        audits.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"counted\": {counted}, \"allocs_per_probe\": {value}}}",
+            dataset.label()
+        ));
+    }
+
+    let mut measurements = String::new();
+    for (i, m) in c.measurements().iter().enumerate() {
+        if i > 0 {
+            measurements.push_str(",\n");
+        }
+        measurements.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+            m.id, m.ns_per_iter, m.iters
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fptree\",\n  \"docs_per_dataset\": 2000,\n  \
+         \"measurements\": [\n{measurements}\n  ],\n  \
+         \"steady_state_allocs\": [\n{audits}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fptree.json");
+    std::fs::write(path, json).expect("write BENCH_fptree.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_fptree, report);
 criterion_main!(benches);

@@ -13,11 +13,9 @@ fn bench_joins(c: &mut Criterion) {
             let (_dict, docs) = dataset.generate(n, 42);
             group.throughput(Throughput::Elements(n as u64));
             for algo in [JoinAlgo::FpTree, JoinAlgo::Hbj, JoinAlgo::Nlj] {
-                group.bench_with_input(
-                    BenchmarkId::new(algo.name(), n),
-                    &docs,
-                    |b, docs| b.iter(|| join_batch(algo, docs)),
-                );
+                group.bench_with_input(BenchmarkId::new(algo.name(), n), &docs, |b, docs| {
+                    b.iter(|| join_batch(algo, docs))
+                });
             }
         }
         group.finish();

@@ -42,7 +42,11 @@ fn bench_partitioners(c: &mut Criterion) {
     group.sample_size(10);
     for expansion in [true, false] {
         group.bench_function(
-            if expansion { "nbData/with_expansion" } else { "nbData/without_expansion" },
+            if expansion {
+                "nbData/with_expansion"
+            } else {
+                "nbData/without_expansion"
+            },
             |b| {
                 b.iter(|| {
                     let (_d, views) = views_of(DataSet::NbData, 1000, expansion, m);

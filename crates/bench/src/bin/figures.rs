@@ -251,10 +251,7 @@ fn fig11(scale: Scale) {
             hbj.push(t.creation.as_secs_f64() + t.join.as_secs_f64());
         }
         print_table(
-            &format!(
-                "Fig. 11 — Competitor joins ({}) [seconds]",
-                dataset.label()
-            ),
+            &format!("Fig. 11 — Competitor joins ({}) [seconds]", dataset.label()),
             "docs",
             &base_sizes,
             &[("NLJ", nlj), ("HBJ", hbj)],

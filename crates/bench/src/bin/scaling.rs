@@ -19,7 +19,10 @@ fn main() {
     let window = (docs_per_run / 8).max(100);
 
     println!("threaded topology throughput ({docs_per_run} docs, window {window})\n");
-    println!("{:<10} {:<6} {:>12} {:>12}", "dataset", "m", "seconds", "docs/sec");
+    println!(
+        "{:<10} {:<6} {:>12} {:>12}",
+        "dataset", "m", "seconds", "docs/sec"
+    );
     for dataset in DataSet::all() {
         for m in [1usize, 2, 4, 8] {
             let (dict, docs) = dataset.generate(docs_per_run, 42);

@@ -13,7 +13,9 @@
 #![warn(missing_docs)]
 
 use ssj_core::{Pipeline, StreamJoinConfig};
-use ssj_data::{ideal_stream, IdealConfig, NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen};
+use ssj_data::{
+    ideal_stream, IdealConfig, NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen,
+};
 use ssj_json::{Dictionary, Document};
 use ssj_partition::PartitionerKind;
 
@@ -130,11 +132,7 @@ pub fn partition_experiment(
 }
 
 /// Run the ideal-execution experiment of Fig. 10.
-pub fn ideal_experiment(
-    kind: PartitionerKind,
-    m: usize,
-    scale: Scale,
-) -> PartitionMeasurement {
+pub fn ideal_experiment(kind: PartitionerKind, m: usize, scale: Scale) -> PartitionMeasurement {
     let dict = Dictionary::new();
     // A stable base window: no novelty, so co-occurrence characteristics
     // repeat exactly (§VII-E-4).

@@ -16,9 +16,23 @@ pub struct Args {
 
 /// Option keys that take a value; anything else starting with `--` is a flag.
 const VALUED: &[&str] = &[
-    "dataset", "count", "seed", "out", "input", "algo", "m", "window", "windows",
-    "partitioner", "theta", "delta", "creators", "assigners", "window-by",
-    "save", "load",
+    "dataset",
+    "count",
+    "seed",
+    "out",
+    "input",
+    "algo",
+    "m",
+    "window",
+    "windows",
+    "partitioner",
+    "theta",
+    "delta",
+    "creators",
+    "assigners",
+    "window-by",
+    "save",
+    "load",
 ];
 
 impl Args {
@@ -89,7 +103,14 @@ mod tests {
 
     #[test]
     fn subcommand_options_and_flags() {
-        let a = parse(&["pipeline", "--m", "8", "--no-expansion", "--dataset", "rwdata"]);
+        let a = parse(&[
+            "pipeline",
+            "--m",
+            "8",
+            "--no-expansion",
+            "--dataset",
+            "rwdata",
+        ]);
         assert_eq!(a.command.as_deref(), Some("pipeline"));
         assert_eq!(a.get("m"), Some("8"));
         assert_eq!(a.get("dataset"), Some("rwdata"));

@@ -12,8 +12,8 @@ mod args;
 use args::Args;
 use ssj_core::{run_topology, Pipeline, StreamJoinConfig};
 use ssj_data::{NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen, TweetConfig, TweetGen};
-use ssj_json::{write_documents_jsonl, Dictionary, DocId, Document, DocumentReader};
 use ssj_join::JoinAlgo;
+use ssj_json::{write_documents_jsonl, Dictionary, DocId, Document, DocumentReader};
 use ssj_partition::PartitionerKind;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -147,7 +147,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let pairs = ssj_join::join_batch(algo, &docs);
     let elapsed = t0.elapsed();
     if args.flag("stats") {
-        let tree = ssj_join::FpTree::build(docs.iter());
+        let tree = ssj_join::FpTree::build(&docs);
         eprintln!("FP-tree: {}", ssj_join::TreeStats::of(&tree).summary());
     }
     eprintln!(
@@ -297,8 +297,7 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
         let mut snapshot = ssj_json::Value::object();
         snapshot.insert("dictionary", dict.export());
         snapshot.insert("table", table.export());
-        std::fs::write(path, snapshot.to_json())
-            .map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("snapshot saved to {path}");
     }
     Ok(())
@@ -363,9 +362,16 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         .map(|(attr, f)| (dict.attr_name(attr), f, dict.attr_distinct_values(attr)))
         .collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    println!("{n} documents, {} attributes, {} pairs interned
-", rows.len(), dict.avp_count());
-    println!("{:<24} {:>10} {:>10} {:>10}", "attribute", "docs", "freq %", "distinct");
+    println!(
+        "{n} documents, {} attributes, {} pairs interned
+",
+        rows.len(),
+        dict.avp_count()
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "attribute", "docs", "freq %", "distinct"
+    );
     for (name, f, distinct) in rows.iter().take(30) {
         let marker = if *f == n { " *" } else { "" };
         println!(
@@ -379,8 +385,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     if rows.len() > 30 {
         println!("… and {} more attributes", rows.len() - 30);
     }
-    println!("
-(* = ubiquitous: candidate for the §V-B fast path / §VI-B expansion)");
+    println!(
+        "
+(* = ubiquitous: candidate for the §V-B fast path / §VI-B expansion)"
+    );
     Ok(())
 }
 
@@ -397,7 +405,10 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
     let t0 = Instant::now();
     let report = run_topology(cfg, &dict, docs).map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
-    println!("{:<7} {:>12} {:>20}", "window", "join pairs", "docs per joiner");
+    println!(
+        "{:<7} {:>12} {:>20}",
+        "window", "join pairs", "docs per joiner"
+    );
     for (w, pairs) in report.joins_per_window.iter().enumerate() {
         println!(
             "{:<7} {:>12} {:>20}",
@@ -406,7 +417,10 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
             format!("{:?}", report.docs_per_joiner.get(w).unwrap_or(&vec![]))
         );
     }
-    println!("\ncompleted in {:.3}s; component counters:", elapsed.as_secs_f64());
+    println!(
+        "\ncompleted in {:.3}s; component counters:",
+        elapsed.as_secs_f64()
+    );
     for component in ["reader", "creator", "merger", "assigner", "joiner"] {
         println!(
             "  {component:<10} received {:>9}  emitted {:>9}",

@@ -19,8 +19,8 @@ use crate::config::StreamJoinConfig;
 use crate::msg::{Msg, TableMsg};
 use ssj_json::{Dictionary, DocRef, FxHashSet};
 use ssj_partition::{
-    association_groups, batch_views, merge_and_assign, Expansion, RepartitionPolicy,
-    Route, RoutingStats, UnseenTracker, View, WindowQuality,
+    association_groups, batch_views, merge_and_assign, Expansion, RepartitionPolicy, Route,
+    RoutingStats, UnseenTracker, View, WindowQuality,
 };
 use ssj_runtime::{Bolt, Outbox, TaskInfo};
 use std::sync::Arc;
@@ -69,8 +69,7 @@ impl Bolt<Msg> for PartitionCreator {
 
     fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
         if self.compute_pending && !self.buffer.is_empty() {
-            let docs: Vec<ssj_json::Document> =
-                self.buffer.iter().map(|d| (**d).clone()).collect();
+            let docs: Vec<ssj_json::Document> = self.buffer.iter().map(|d| (**d).clone()).collect();
             let expansion = if self.config.expansion {
                 Expansion::detect(&docs, &self.dict, self.config.m)
             } else {
@@ -100,7 +99,11 @@ impl Bolt<Msg> for PartitionCreator {
 pub struct Merger {
     config: StreamJoinConfig,
     /// Groups received for the current window, per creator.
-    pending: Vec<(usize, Vec<ssj_partition::AssociationGroup>, Option<Expansion>)>,
+    pending: Vec<(
+        usize,
+        Vec<ssj_partition::AssociationGroup>,
+        Option<Expansion>,
+    )>,
     table: ssj_partition::PartitionTable,
     expansion: Option<Expansion>,
     /// Table changed through updates since the last broadcast.
@@ -138,13 +141,12 @@ impl Bolt<Msg> for Merger {
             } => {
                 self.pending.push((creator, groups, expansion));
             }
-            Msg::UpdateRequest(avp)
-                if self.table.partitions_of(avp).is_empty() => {
-                    let p = self.table.least_loaded();
-                    self.table.add_avp(p, avp);
-                    self.table.bump_load(p, 1);
-                    self.dirty = true;
-                }
+            Msg::UpdateRequest(avp) if self.table.partitions_of(avp).is_empty() => {
+                let p = self.table.least_loaded();
+                self.table.add_avp(p, avp);
+                self.table.bump_load(p, 1);
+                self.dirty = true;
+            }
             // Repartition signals go to the PartitionCreators (which decide
             // to compute); the Merger reacts to the groups they send.
             _ => {}
@@ -160,10 +162,7 @@ impl Bolt<Msg> for Merger {
             // Adopt the first creator's expansion proposal (creators see
             // shuffle-shares of the same window, so they virtually always
             // agree on the disabling/combining chain).
-            self.expansion = self
-                .pending
-                .iter()
-                .find_map(|(_, _, e)| e.clone());
+            self.expansion = self.pending.iter().find_map(|(_, _, e)| e.clone());
             self.dirty = false;
             out.emit(Msg::Table(Arc::new(TableMsg {
                 window,
@@ -293,8 +292,7 @@ impl Bolt<Msg> for Assigner {
                 match &self.baseline {
                     None => self.baseline = Some(quality),
                     Some(base) => {
-                        if !self.signalled && self.policy.should_repartition(base, &quality)
-                        {
+                        if !self.signalled && self.policy.should_repartition(base, &quality) {
                             // One signal per deployed table: creators will
                             // recompute and the merger will broadcast a new
                             // one, which rearms the detector.
@@ -317,6 +315,9 @@ pub struct Joiner {
     config: StreamJoinConfig,
     task: usize,
     buffer: Vec<DocRef>,
+    /// Probe scratch persisted across windows: steady-state probing in this
+    /// bolt allocates nothing once the buffers have warmed up.
+    batch: ssj_join::BatchJoiner,
 }
 
 impl Joiner {
@@ -326,6 +327,7 @@ impl Joiner {
             config,
             task: 0,
             buffer: Vec::new(),
+            batch: ssj_join::BatchJoiner::new(),
         }
     }
 }
@@ -351,7 +353,7 @@ impl Bolt<Msg> for Joiner {
             .filter(|d| seen.insert(d.id().0))
             .map(|d| (**d).clone())
             .collect();
-        let pairs = ssj_join::join_batch(self.config.join_algo, &docs);
+        let pairs = self.batch.join_batch(self.config.join_algo, &docs);
         out.emit(Msg::JoinStats {
             window,
             joiner: self.task,

@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(StreamJoinConfig::default().with_m(0).validate().is_err());
-        assert!(StreamJoinConfig::default().with_window(0).validate().is_err());
+        assert!(StreamJoinConfig::default()
+            .with_window(0)
+            .validate()
+            .is_err());
         let c = StreamJoinConfig {
             assigners: 0,
             ..Default::default()

@@ -41,5 +41,5 @@ pub use config::StreamJoinConfig;
 pub use msg::{Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
 pub use stats::{report_to_csv, summary_line};
-pub use window::{windows, WindowSpec};
 pub use topology::{materialize_joins, run_topology, topology_dot, TopologyRunReport};
+pub use window::{windows, WindowSpec};

@@ -62,7 +62,11 @@ impl std::fmt::Debug for Msg {
                 creator,
                 groups,
                 ..
-            } => write!(f, "LocalGroups(w={window}, c={creator}, n={})", groups.len()),
+            } => write!(
+                f,
+                "LocalGroups(w={window}, c={creator}, n={})",
+                groups.len()
+            ),
             Msg::Table(t) => write!(f, "Table(w={})", t.window),
             Msg::UpdateRequest(a) => write!(f, "UpdateRequest({a})"),
             Msg::Repartition => write!(f, "Repartition"),

@@ -23,9 +23,8 @@
 use crate::config::StreamJoinConfig;
 use ssj_json::{Dictionary, Document, FxHashSet};
 use ssj_partition::{
-    association_groups, batch_views, merge_and_assign, Expansion, PartitionTable,
-    PartitionerKind, RepartitionPolicy, Route, RoutingStats, UnseenTracker, View,
-    WindowQuality,
+    association_groups, batch_views, merge_and_assign, Expansion, PartitionTable, PartitionerKind,
+    RepartitionPolicy, Route, RoutingStats, UnseenTracker, View, WindowQuality,
 };
 
 /// Per-window outcome.
@@ -298,12 +297,7 @@ impl Pipeline {
             let mut e = Value::object();
             e.insert(
                 "chain",
-                Value::Array(
-                    exp.chain
-                        .iter()
-                        .map(|a| Value::Int(a.0 as i64))
-                        .collect(),
-                ),
+                Value::Array(exp.chain.iter().map(|a| Value::Int(a.0 as i64)).collect()),
             );
             e.insert("synth_attr", Value::Int(exp.synth_attr.0 as i64));
             e.insert("pna", Value::Float(exp.pna));
@@ -332,9 +326,8 @@ impl Pipeline {
                 .get("dictionary")
                 .ok_or("snapshot missing 'dictionary'")?,
         )?;
-        let table = PartitionTable::import(
-            snapshot.get("table").ok_or("snapshot missing 'table'")?,
-        )?;
+        let table =
+            PartitionTable::import(snapshot.get("table").ok_or("snapshot missing 'table'")?)?;
         if table.m() != config.m {
             return Err(format!(
                 "snapshot has m={}, configuration wants m={}",
@@ -443,8 +436,8 @@ pub fn ground_truth_pairs(docs: &[Document]) -> FxHashSet<(u64, u64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssj_json::DocId;
     use ssj_join::JoinAlgo;
+    use ssj_json::DocId;
 
     fn doc(dict: &Dictionary, id: u64, json: &str) -> Document {
         Document::from_json(DocId(id), json, dict).unwrap()
@@ -459,7 +452,10 @@ mod tests {
                 doc(
                     dict,
                     base + i,
-                    &format!(r#"{{"User":"u{user}","Severity":"{sev}","MsgId":{}}}"#, i % 7),
+                    &format!(
+                        r#"{{"User":"u{user}","Severity":"{sev}","MsgId":{}}}"#,
+                        i % 7
+                    ),
                 )
             })
             .collect()
@@ -583,7 +579,9 @@ mod tests {
             .collect();
         let r = p.process_window(&docs);
         assert!(r.updates >= 1, "δ update never fired");
-        let pair = dict.lookup("Brand", &ssj_json::Scalar::Str("new".into())).unwrap();
+        let pair = dict
+            .lookup("Brand", &ssj_json::Scalar::Str("new".into()))
+            .unwrap();
         assert!(!p.table().partitions_of(pair.avp).is_empty());
     }
 

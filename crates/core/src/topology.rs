@@ -23,8 +23,7 @@ use crate::config::StreamJoinConfig;
 use crate::msg::Msg;
 use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
 use ssj_runtime::{
-    run, CollectorBolt, CollectorHandle, Grouping, RunError, RunReport, TopologyBuilder,
-    VecSpout,
+    run, CollectorBolt, CollectorHandle, Grouping, RunError, RunReport, TopologyBuilder, VecSpout,
 };
 use std::sync::Arc;
 
@@ -87,10 +86,7 @@ fn build(
     reporter: CollectorBolt<Msg>,
 ) -> ssj_runtime::Topology<Msg> {
     let window = config.window_docs;
-    let msgs: Vec<Msg> = docs
-        .into_iter()
-        .map(|d| Msg::Doc(Arc::new(d)))
-        .collect();
+    let msgs: Vec<Msg> = docs.into_iter().map(|d| Msg::Doc(Arc::new(d))).collect();
     let dict_creator = dict.clone();
     let dict_assigner = dict.clone();
     // Backpressure: keep the reader within roughly one window of the
@@ -300,8 +296,7 @@ mod materialize_tests {
         let dict = Dictionary::new();
         let docs: Vec<Document> = (0..6u64)
             .map(|i| {
-                Document::from_json(DocId(i), &format!(r#"{{"k":{}}}"#, i % 2), &dict)
-                    .unwrap()
+                Document::from_json(DocId(i), &format!(r#"{{"k":{}}}"#, i % 2), &dict).unwrap()
             })
             .collect();
         let pairs = crate::pipeline::ground_truth_pairs(&docs);

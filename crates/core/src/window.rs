@@ -38,7 +38,11 @@ pub struct Windower<I> {
 
 enum Spec {
     Count(usize),
-    ByAttribute { attr: AttrId, width: i64, current: Option<i64> },
+    ByAttribute {
+        attr: AttrId,
+        width: i64,
+        current: Option<i64>,
+    },
 }
 
 impl<I: Iterator<Item = Document>> Windower<I> {
@@ -127,8 +131,7 @@ impl<I: Iterator<Item = Document>> WindowerOwned<I> {
                         width,
                         current,
                     } => {
-                        let bucket =
-                            Windower::<I>::bucket_of(&doc, *attr, *width, &self.dict);
+                        let bucket = Windower::<I>::bucket_of(&doc, *attr, *width, &self.dict);
                         match (bucket, *current) {
                             (Some(b), Some(c)) if b != c => {
                                 // Boundary crossed: close the window, start

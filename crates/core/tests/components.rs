@@ -37,7 +37,12 @@ fn drifting_stream(dict: &Dictionary, windows: usize, per_window: usize) -> Vec<
             let json = if (i as usize) < novel_share {
                 format!(r#"{{"w{w}a":"v{}","w{w}b":{}}}"#, id, i % 3)
             } else {
-                format!(r#"{{"user":"u{}","sev":"s{}","grp":{}}}"#, i % 5, i % 3, i % 4)
+                format!(
+                    r#"{{"user":"u{}","sev":"s{}","grp":{}}}"#,
+                    i % 5,
+                    i % 3,
+                    i % 4
+                )
             };
             out.push(Document::from_json(DocId(id), &json, dict).unwrap());
         }

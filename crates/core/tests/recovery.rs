@@ -44,9 +44,7 @@ fn restored_pipeline_continues_exactly() {
     let rdict = restored.dictionary().clone();
     let rest: Vec<Document> = docs[300..]
         .iter()
-        .map(|d| {
-            Document::from_json(d.id(), &d.to_json(&dict), &rdict).unwrap()
-        })
+        .map(|d| Document::from_json(d.id(), &d.to_json(&dict), &rdict).unwrap())
         .collect();
 
     for (i, w) in [2usize, 3].into_iter().enumerate() {

@@ -30,16 +30,8 @@ impl Default for IdealConfig {
 /// Build the ideal-execution stream: `cfg.windows` copies of `base`, each
 /// copy re-identified and carrying `novel_per_window` brand-new documents.
 /// Returns the documents window by window.
-pub fn ideal_stream(
-    base: &[Document],
-    cfg: IdealConfig,
-    dict: &Dictionary,
-) -> Vec<Vec<Document>> {
-    let mut next_id: u64 = base
-        .iter()
-        .map(|d| d.id().0)
-        .max()
-        .map_or(0, |m| m + 1);
+pub fn ideal_stream(base: &[Document], cfg: IdealConfig, dict: &Dictionary) -> Vec<Vec<Document>> {
+    let mut next_id: u64 = base.iter().map(|d| d.id().0).max().map_or(0, |m| m + 1);
     let mut novel_counter: u64 = 0;
     let mut out = Vec::with_capacity(cfg.windows);
     for w in 0..cfg.windows {

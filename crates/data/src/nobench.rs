@@ -127,10 +127,7 @@ impl NoBenchGen {
             "nested_obj.str",
             Scalar::Str(format!("n{}", self.rng.gen_range(0..200))),
         ));
-        pairs.push(dict.intern(
-            "nested_obj.num",
-            Scalar::Int(self.rng.gen_range(0..50)),
-        ));
+        pairs.push(dict.intern("nested_obj.num", Scalar::Int(self.rng.gen_range(0..50))));
 
         // nested_arr: 0..4 string elements, indexed paths.
         let arr_len = self.rng.gen_range(0..4);
@@ -227,10 +224,7 @@ mod tests {
             .count();
         // The paper: "in every subsequent window [a] large number of the
         // documents consist of previously unseen attribute-value pairs".
-        assert!(
-            unseen > 500,
-            "only {unseen}/1000 docs carry unseen pairs"
-        );
+        assert!(unseen > 500, "only {unseen}/1000 docs carry unseen pairs");
     }
 
     #[test]

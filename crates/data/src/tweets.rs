@@ -78,8 +78,7 @@ impl TweetGen {
         self.next_id += 1;
 
         // Trend drift: rotate one hashtag out of the pool periodically.
-        if self.cfg.drift_every > 0 && id.0 % self.cfg.drift_every == self.cfg.drift_every - 1
-        {
+        if self.cfg.drift_every > 0 && id.0 % self.cfg.drift_every == self.cfg.drift_every - 1 {
             let slot = self.rng.gen_range(0..self.trending.len());
             self.trending[slot] = self.next_tag;
             self.next_tag += 1;
@@ -105,19 +104,13 @@ impl TweetGen {
         for i in 0..n_tags {
             let slot = self.skewed(self.trending.len());
             let tag = self.trending[slot];
-            pairs.push(dict.intern(
-                &format!("hashtags[{i}]"),
-                Scalar::Str(format!("#t{tag}")),
-            ));
+            pairs.push(dict.intern(&format!("hashtags[{i}]"), Scalar::Str(format!("#t{tag}"))));
         }
 
         // Optional place and source.
         if self.rng.gen_bool(0.3) {
             let country = self.skewed(20);
-            pairs.push(dict.intern(
-                "place.country",
-                Scalar::Str(format!("C{country}")),
-            ));
+            pairs.push(dict.intern("place.country", Scalar::Str(format!("C{country}"))));
         }
         if self.rng.gen_bool(0.8) {
             pairs.push(dict.intern(
@@ -195,7 +188,10 @@ mod tests {
         let t1 = tags(&w1);
         let t2 = tags(&w2);
         let fresh = t2.difference(&t1).count();
-        assert!(fresh > 3, "trending pool never drifted ({fresh} fresh tags)");
+        assert!(
+            fresh > 3,
+            "trending pool never drifted ({fresh} fresh tags)"
+        );
     }
 
     #[test]

@@ -14,9 +14,18 @@
 //!    pairs along the path. Documents at a node are reported only when the
 //!    path shares at least one pair with the probe — the correction the
 //!    paper's remark after Algorithm 3 requires.
+//!
+//! # Zero-allocation probing
+//!
+//! The hot entry point is [`probe_into`]: it takes a reusable
+//! [`ProbeScratch`] (DFS stack + an epoch-stamped dense attribute→value
+//! table replacing per-node binary searches) and a caller-provided output
+//! vector, so a steady-state probe performs no heap allocation once the
+//! scratch has warmed up. [`probe`] and [`probe_with_stats`] are thin
+//! allocating conveniences over it.
 
 use crate::fptree::{FpTree, NodeId};
-use ssj_json::{DocId, Document};
+use ssj_json::{AttrId, AvpId, DocId, Document};
 
 /// Statistics of one probe — used by tests and the ablation benches.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -29,11 +38,59 @@ pub struct ProbeStats {
     pub fast_levels: u64,
 }
 
+/// Reusable probe working memory. Create once per worker (or per thread)
+/// and pass to every [`probe_into`] call; all growth is amortised, so
+/// steady-state probes allocate nothing.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Explicit DFS stack of `(node, shared-pair count)` frames.
+    stack: Vec<(NodeId, u32)>,
+    /// `avp[attr.index()]` = the probe's value id for that attribute, valid
+    /// only when `stamp[attr.index()] == epoch` (stamping makes clearing
+    /// the table O(probe pairs), not O(attribute universe)).
+    avp: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ProbeScratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load the probe document's pairs into the dense attr→avp table.
+    fn load(&mut self, probe_doc: &Document) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: old stamps could alias; reset once.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        for pair in probe_doc.pairs() {
+            let i = pair.attr.index();
+            if i >= self.avp.len() {
+                self.avp.resize(i + 1, 0);
+                self.stamp.resize(i + 1, 0);
+            }
+            self.avp[i] = pair.avp.0;
+            self.stamp[i] = self.epoch;
+        }
+    }
+
+    /// The probe's value id for `attr`, if the probe carries the attribute.
+    #[inline]
+    fn probe_avp(&self, attr: AttrId) -> Option<u32> {
+        let i = attr.index();
+        (i < self.stamp.len() && self.stamp[i] == self.epoch).then(|| self.avp[i])
+    }
+}
+
 /// Find all join partners of `probe` in `tree`, using the fast path.
 pub fn probe(tree: &FpTree, probe_doc: &Document) -> Vec<DocId> {
+    let mut scratch = ProbeScratch::new();
     let mut out = Vec::new();
-    let mut stats = ProbeStats::default();
-    probe_into(tree, probe_doc, true, &mut out, &mut stats);
+    probe_into(tree, probe_doc, true, &mut scratch, &mut out);
     out
 }
 
@@ -44,19 +101,25 @@ pub fn probe_with_stats(
     probe_doc: &Document,
     fast_path: bool,
 ) -> (Vec<DocId>, ProbeStats) {
+    let mut scratch = ProbeScratch::new();
     let mut out = Vec::new();
-    let mut stats = ProbeStats::default();
-    probe_into(tree, probe_doc, fast_path, &mut out, &mut stats);
+    let stats = probe_into(tree, probe_doc, fast_path, &mut scratch, &mut out);
     (out, stats)
 }
 
-fn probe_into(
+/// Find all join partners of `probe_doc` in `tree`, writing them into `out`
+/// (cleared first). `scratch` carries the DFS stack and conflict table
+/// across calls; reusing both makes the steady-state probe allocation-free.
+pub fn probe_into(
     tree: &FpTree,
     probe_doc: &Document,
     fast_path: bool,
+    scratch: &mut ProbeScratch,
     out: &mut Vec<DocId>,
-    stats: &mut ProbeStats,
-) {
+) -> ProbeStats {
+    out.clear();
+    scratch.load(probe_doc);
+    let mut stats = ProbeStats::default();
     let order = tree.order();
     let num = order.ubiquitous();
     let mut start = NodeId::ROOT;
@@ -64,19 +127,19 @@ fn probe_into(
 
     if fast_path && num > 0 {
         // The first `num` ranks of the order are exactly the ubiquitous
-        // attributes, so the probe's pair for each level is a binary search
+        // attributes, so the probe's pair for each level is one table load
         // away — no reordering needed. The fast path applies only while the
         // probe carries every ubiquitous attribute; on the first miss we
         // fall back to the general traversal from wherever we got to
         // (sound: levels walked so far matched exactly).
         for &attr in order.attrs().iter().take(num) {
-            let Some(pair) = probe_doc.pair_for_attr(attr) else {
+            let Some(avp) = scratch.probe_avp(attr) else {
                 // Probe lacks this ubiquitous attribute: no conflict is
                 // possible on it, so all children below `start` remain
                 // candidates — handled by the general traversal.
                 break;
             };
-            match tree.child(start, pair.avp) {
+            match tree.child(start, AvpId(avp)) {
                 Some(child) => {
                     start = child;
                     shared += 1;
@@ -89,42 +152,51 @@ fn probe_into(
                     // Every stored document carries this attribute with
                     // some other value — all conflict with the probe.
                     out.retain(|&d| d != probe_doc.id());
-                    return;
+                    return stats;
                 }
             }
         }
     }
 
-    traverse(tree, start, probe_doc, shared, out, stats);
+    traverse(tree, start, shared, scratch, out, &mut stats);
     out.retain(|&d| d != probe_doc.id());
+    stats
 }
 
-/// Algorithm 3 with the shared-pair counter of the paper's remark.
+/// Algorithm 3 with the shared-pair counter of the paper's remark, run as
+/// an explicit-stack DFS over the scratch buffer (no recursion, no per-call
+/// allocation).
 fn traverse(
     tree: &FpTree,
-    node: NodeId,
-    probe_doc: &Document,
+    start: NodeId,
     shared: u32,
+    scratch: &mut ProbeScratch,
     out: &mut Vec<DocId>,
     stats: &mut ProbeStats,
 ) {
-    for child in tree.children(node) {
-        stats.visited += 1;
-        let label = tree.pair(child);
-        let new_shared = match probe_doc.pair_for_attr(label.attr) {
-            Some(p) if p.avp == label.avp => shared + 1,
-            Some(_) => {
-                // Conflicting value: every document under `child` carries the
-                // conflicting pair — prune the whole subtree (Alg. 3, l. 5-7).
-                stats.pruned += 1;
-                continue;
+    debug_assert!(scratch.stack.is_empty());
+    scratch.stack.push((start, shared));
+    while let Some((node, shared)) = scratch.stack.pop() {
+        let mut child_it = tree.first_child(node);
+        while let Some(child) = child_it {
+            child_it = tree.next_sibling(child);
+            stats.visited += 1;
+            let label = tree.pair(child);
+            let new_shared = match scratch.probe_avp(label.attr) {
+                Some(avp) if avp == label.avp.0 => shared + 1,
+                Some(_) => {
+                    // Conflicting value: every document under `child` carries
+                    // the conflicting pair — prune the subtree (Alg. 3, l. 5-7).
+                    stats.pruned += 1;
+                    continue;
+                }
+                None => shared,
+            };
+            if new_shared > 0 {
+                out.extend_from_slice(tree.docs(child));
             }
-            None => shared,
-        };
-        if new_shared > 0 {
-            out.extend_from_slice(tree.docs(child));
+            scratch.stack.push((child, new_shared));
         }
-        traverse(tree, child, probe_doc, new_shared, out, stats);
     }
 }
 
@@ -132,14 +204,17 @@ fn traverse(
 /// probe each document against the documents before it, then insert it.
 /// Each joinable pair is reported exactly once, as `(earlier, later)`.
 pub fn join_batch(docs: &[Document]) -> (FpTree, Vec<(DocId, DocId)>) {
-    let order = crate::order::AttrOrder::compute(docs.iter());
+    let order = crate::order::AttrOrder::compute(docs);
     let mut tree = FpTree::new(order);
+    let mut scratch = ProbeScratch::new();
+    let mut partners = Vec::new();
     let mut pairs = Vec::new();
     for doc in docs {
-        let partners = probe(&tree, doc);
-        pairs.extend(partners.into_iter().map(|p| (p, doc.id())));
+        probe_into(&tree, doc, true, &mut scratch, &mut partners);
+        pairs.extend(partners.iter().map(|&p| (p, doc.id())));
         tree.insert(doc);
     }
+    tree.seal();
     (tree, pairs)
 }
 
@@ -147,10 +222,13 @@ pub fn join_batch(docs: &[Document]) -> (FpTree, Vec<(DocId, DocId)>) {
 /// ("creation"), then probe every document ("join"), keeping only pairs
 /// `(a, b)` with `a < b` so each result appears once.
 pub fn join_batch_prebuilt(docs: &[Document]) -> (FpTree, Vec<(DocId, DocId)>) {
-    let tree = FpTree::build(docs.iter());
+    let tree = FpTree::build(docs);
+    let mut scratch = ProbeScratch::new();
+    let mut partners = Vec::new();
     let mut pairs = Vec::new();
     for doc in docs {
-        for partner in probe(&tree, doc) {
+        probe_into(&tree, doc, true, &mut scratch, &mut partners);
+        for &partner in &partners {
             if partner < doc.id() {
                 pairs.push((partner, doc.id()));
             }
@@ -189,7 +267,7 @@ mod tests {
     fn paper_fig5_probe_d1() {
         let dict = Dictionary::new();
         let ds = table1(&dict);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         let (found, stats) = probe_with_stats(&tree, &ds[0], true);
         assert_eq!(found, vec![DocId(3)]);
         // One ubiquitous level (b) navigated via the fast path...
@@ -202,7 +280,7 @@ mod tests {
     fn fast_path_and_full_traversal_agree() {
         let dict = Dictionary::new();
         let ds = table1(&dict);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         for d in &ds {
             let (mut fast, _) = probe_with_stats(&tree, d, true);
             let (mut slow, _) = probe_with_stats(&tree, d, false);
@@ -227,7 +305,7 @@ mod tests {
                 r#"{"u":"B","s":"W"}"#,
             ],
         );
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         for d in &ds {
             let mut got = probe(&tree, d);
             got.sort();
@@ -245,7 +323,7 @@ mod tests {
     fn docs_sharing_nothing_are_not_reported() {
         let dict = Dictionary::new();
         let ds = docs(&dict, &[r#"{"a":1}"#, r#"{"b":2}"#]);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         assert!(probe(&tree, &ds[0]).is_empty());
         assert!(probe(&tree, &ds[1]).is_empty());
     }
@@ -254,7 +332,7 @@ mod tests {
     fn probe_excludes_self() {
         let dict = Dictionary::new();
         let ds = table1(&dict);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         for d in &ds {
             assert!(!probe(&tree, d).contains(&d.id()));
         }
@@ -264,7 +342,7 @@ mod tests {
     fn duplicate_documents_join_each_other() {
         let dict = Dictionary::new();
         let ds = docs(&dict, &[r#"{"x":1}"#, r#"{"x":1}"#]);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         assert_eq!(probe(&tree, &ds[0]), vec![DocId(2)]);
         assert_eq!(probe(&tree, &ds[1]), vec![DocId(1)]);
     }
@@ -274,7 +352,7 @@ mod tests {
         let dict = Dictionary::new();
         // b is ubiquitous in the batch; the late probe has no b at all.
         let ds = table1(&dict);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         let late = Document::from_json(DocId(50), r#"{"a":3,"c":1}"#, &dict).unwrap();
         let (mut got, stats) = probe_with_stats(&tree, &late, true);
         got.sort();
@@ -288,9 +366,8 @@ mod tests {
     fn probe_with_conflicting_ubiquitous_value_returns_empty() {
         let dict = Dictionary::new();
         let ds = table1(&dict);
-        let tree = FpTree::build(ds.iter());
-        let probe_doc =
-            Document::from_json(DocId(60), r#"{"b":99,"a":3}"#, &dict).unwrap();
+        let tree = FpTree::build(&ds);
+        let probe_doc = Document::from_json(DocId(60), r#"{"b":99,"a":3}"#, &dict).unwrap();
         // b:99 exists nowhere: every stored doc carries b with another value.
         assert!(probe(&tree, &probe_doc).is_empty());
     }
@@ -329,6 +406,28 @@ mod tests {
         assert_eq!(inc, pre);
     }
 
+    /// One scratch reused across many probes (including epoch reuse after
+    /// wraparound-adjacent states) must behave like a fresh one per probe.
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let dict = Dictionary::new();
+        let ds = table1(&dict);
+        let tree = FpTree::build(&ds);
+        let mut scratch = ProbeScratch::new();
+        scratch.epoch = u32::MAX - 2; // cross the wraparound reset path
+        let mut out = Vec::new();
+        for _ in 0..6 {
+            for d in &ds {
+                probe_into(&tree, d, true, &mut scratch, &mut out);
+                let mut got = out.clone();
+                got.sort();
+                let mut want = probe(&tree, d);
+                want.sort();
+                assert_eq!(got, want, "probe {}", d.id());
+            }
+        }
+    }
+
     #[test]
     fn deep_tree_with_many_ubiquitous_levels() {
         let dict = Dictionary::new();
@@ -348,7 +447,7 @@ mod tests {
         }
         let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
         let ds = docs(&dict, &refs);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         assert_eq!(tree.order().ubiquitous(), 3);
         for d in &ds {
             let (got, stats) = probe_with_stats(&tree, d, true);

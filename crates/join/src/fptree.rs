@@ -1,14 +1,32 @@
 //! The FP-tree document store (§V-A).
 //!
-//! An arena-backed prefix tree over attribute-value pairs, ordered by a
-//! frozen [`AttrOrder`]. Each node is labelled with one interned pair,
-//! carries the ids of the documents whose insertion path *terminates* there
-//! (exactly as in the paper's Fig. 4), and is chained into a header list
-//! connecting equally-labelled nodes, as in the original FP-tree of Han et
-//! al. Every root-to-leaf path is a *branch* with a unique branch id.
+//! A cache-friendly structure-of-arrays arena over attribute-value pairs,
+//! ordered by a frozen [`AttrOrder`]. Node fields live in parallel vectors
+//! (label, parent, depth, branch, first-child, next-sibling, header chain),
+//! so hot traversals touch dense homogeneous memory instead of chasing
+//! per-node heap objects. Children are linked first-child/next-sibling;
+//! exact child lookup during insertion goes through a single open-addressed
+//! map keyed by `(parent, label)`. Each node is labelled with one interned
+//! pair, carries the ids of the documents whose insertion path *terminates*
+//! there (exactly as in the paper's Fig. 4), and is chained into a header
+//! list connecting equally-labelled nodes, as in the original FP-tree of
+//! Han et al. Every root-to-leaf path is a *branch* with a unique branch id.
+//!
+//! # Document storage
+//!
+//! Per-node document lists are slices `(offset, len, cap)` of one shared
+//! pool ([`FpTree::docs`] returns `&[DocId]` directly out of it). Appends go
+//! in place while a slice has spare capacity or sits at the pool's end;
+//! otherwise the slice is relocated to the end with geometric
+//! over-allocation, leaving a hole. [`FpTree::seal`] compacts the holes away
+//! once a window's build completes, so frozen trees store doc ids densely in
+//! node order — the order probes walk them.
 
 use crate::order::AttrOrder;
 use ssj_json::{DocId, Document, FxHashMap, Pair};
+
+/// Sentinel for "no node" in the intrusive child/sibling/header links.
+const NIL: u32 = u32::MAX;
 
 /// Index of a node in the tree arena. `NodeId::ROOT` is the synthetic root.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,74 +42,74 @@ impl NodeId {
     }
 }
 
-#[derive(Debug)]
-struct Node {
-    /// Label: the attribute-value pair; undefined for the root.
-    pair: Pair,
-    parent: NodeId,
-    depth: u32,
-    /// Child nodes keyed by their label's pair id.
-    children: FxHashMap<u32, NodeId>,
-    /// Documents whose pair sequence ends at this node.
-    docs: Vec<DocId>,
-    /// Next node with the same label (header-table chain).
-    next_same_label: Option<NodeId>,
-    /// Id of the branch this node extended when created.
-    branch: u32,
-}
-
-/// An FP-tree over one window of documents.
+/// An FP-tree over one window of documents, stored as parallel arrays.
 #[derive(Debug)]
 pub struct FpTree {
     order: AttrOrder,
-    nodes: Vec<Node>,
-    /// First node per label, as in the classic FP-tree header table.
-    header: FxHashMap<u32, NodeId>,
-    /// Last node per label, for O(1) chain appends.
-    header_tail: FxHashMap<u32, NodeId>,
+    /// Node labels; undefined for the root.
+    label: Vec<Pair>,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    /// Id of the branch each node extended when created.
+    branch: Vec<u32>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    /// Next node with the same label (header-table chain); `NIL` at chain end.
+    next_same_label: Vec<u32>,
+    /// Exact child lookup: `(parent << 32 | avp) → node`.
+    child_index: FxHashMap<u64, u32>,
+    /// Header table: label → (first, last) chain nodes.
+    header: FxHashMap<u32, (u32, u32)>,
+    /// Shared pool backing every node's document list.
+    pool: Vec<DocId>,
+    doc_off: Vec<u32>,
+    doc_len: Vec<u32>,
+    doc_cap: Vec<u32>,
     doc_count: usize,
     next_branch: u32,
     /// Documents removed since construction (tombstoned paths).
     removed: u64,
+    /// Reused by `insert`/`remove` so steady-state updates don't allocate.
+    reorder_buf: Vec<Pair>,
 }
 
 impl FpTree {
     /// Create an empty tree governed by `order`.
     pub fn new(order: AttrOrder) -> Self {
-        let root = Node {
-            pair: Pair {
-                attr: ssj_json::AttrId(u32::MAX),
-                avp: ssj_json::AvpId(u32::MAX),
-            },
-            parent: NodeId::ROOT,
-            depth: 0,
-            children: FxHashMap::default(),
-            docs: Vec::new(),
-            next_same_label: None,
-            branch: 0,
-        };
         FpTree {
             order,
-            nodes: vec![root],
+            label: vec![Pair {
+                attr: ssj_json::AttrId(u32::MAX),
+                avp: ssj_json::AvpId(u32::MAX),
+            }],
+            parent: vec![0],
+            depth: vec![0],
+            branch: vec![0],
+            first_child: vec![NIL],
+            next_sibling: vec![NIL],
+            next_same_label: vec![NIL],
+            child_index: FxHashMap::default(),
             header: FxHashMap::default(),
-            header_tail: FxHashMap::default(),
+            pool: Vec::new(),
+            doc_off: vec![0],
+            doc_len: vec![0],
+            doc_cap: vec![0],
             doc_count: 0,
             next_branch: 0,
             removed: 0,
+            reorder_buf: Vec::new(),
         }
     }
 
-    /// Build a tree for a batch: compute the attribute order, then insert
-    /// every document.
-    pub fn build<'a, I>(docs: I) -> Self
-    where
-        I: IntoIterator<Item = &'a Document> + Clone,
-    {
-        let order = AttrOrder::compute(docs.clone());
+    /// Build a tree for a batch: compute the attribute order, insert every
+    /// document, then [`seal`](FpTree::seal) the document pool.
+    pub fn build(docs: &[Document]) -> Self {
+        let order = AttrOrder::compute(docs);
         let mut tree = FpTree::new(order);
         for doc in docs {
             tree.insert(doc);
         }
+        tree.seal();
         tree
     }
 
@@ -103,49 +121,100 @@ impl FpTree {
 
     /// Insert one document; returns the terminal node of its path.
     pub fn insert(&mut self, doc: &Document) -> NodeId {
-        let ordered = self.order.reorder(doc);
-        let mut node = NodeId::ROOT;
+        let mut ordered = std::mem::take(&mut self.reorder_buf);
+        self.order.reorder_into(doc, &mut ordered);
+        let mut node = 0u32;
         let mut extended = false;
-        for pair in ordered {
-            if let Some(&child) = self.nodes[node.index()].children.get(&pair.avp.0) {
-                node = child;
-            } else {
-                node = self.add_child(node, pair);
-                extended = true;
+        for &pair in &ordered {
+            let key = child_key(node, pair.avp.0);
+            match self.child_index.get(&key) {
+                Some(&child) => node = child,
+                None => {
+                    node = self.add_child(node, pair);
+                    extended = true;
+                }
             }
         }
+        self.reorder_buf = ordered;
         if extended {
             self.next_branch += 1;
         }
-        self.nodes[node.index()].docs.push(doc.id());
+        self.push_doc(node, doc.id());
         self.doc_count += 1;
-        node
+        NodeId(node)
     }
 
-    fn add_child(&mut self, parent: NodeId, pair: Pair) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        let depth = self.nodes[parent.index()].depth + 1;
-        self.nodes.push(Node {
-            pair,
-            parent,
-            depth,
-            children: FxHashMap::default(),
-            docs: Vec::new(),
-            next_same_label: None,
-            branch: self.next_branch,
-        });
-        self.nodes[parent.index()].children.insert(pair.avp.0, id);
+    fn add_child(&mut self, parent: u32, pair: Pair) -> u32 {
+        let id = self.label.len() as u32;
+        self.label.push(pair);
+        self.parent.push(parent);
+        self.depth.push(self.depth[parent as usize] + 1);
+        self.branch.push(self.next_branch);
+        self.first_child.push(NIL);
+        // Prepend to the parent's child chain (reverse insertion order).
+        self.next_sibling.push(self.first_child[parent as usize]);
+        self.first_child[parent as usize] = id;
+        self.next_same_label.push(NIL);
+        self.doc_off.push(0);
+        self.doc_len.push(0);
+        self.doc_cap.push(0);
+        self.child_index.insert(child_key(parent, pair.avp.0), id);
         // Maintain the header chain of equally-labelled nodes.
-        match self.header_tail.get(&pair.avp.0).copied() {
-            Some(tail) => {
-                self.nodes[tail.index()].next_same_label = Some(id);
+        match self.header.get_mut(&pair.avp.0) {
+            Some((_, tail)) => {
+                self.next_same_label[*tail as usize] = id;
+                *tail = id;
             }
             None => {
-                self.header.insert(pair.avp.0, id);
+                self.header.insert(pair.avp.0, (id, id));
             }
         }
-        self.header_tail.insert(pair.avp.0, id);
         id
+    }
+
+    /// Append `doc` to `node`'s slice of the shared pool: in place when the
+    /// slice has spare capacity or ends the pool, otherwise relocate it to
+    /// the pool's end with geometric over-allocation (amortised O(1)).
+    fn push_doc(&mut self, node: u32, doc: DocId) {
+        let i = node as usize;
+        let (off, len, cap) = (self.doc_off[i], self.doc_len[i], self.doc_cap[i]);
+        if len < cap {
+            self.pool[(off + len) as usize] = doc;
+            self.doc_len[i] = len + 1;
+        } else if (off + len) as usize == self.pool.len() {
+            self.pool.push(doc);
+            self.doc_len[i] = len + 1;
+            self.doc_cap[i] = len + 1;
+        } else {
+            let new_off = self.pool.len() as u32;
+            let new_cap = (2 * len + 1).max(4);
+            self.pool.reserve(new_cap as usize);
+            self.pool
+                .extend_from_within(off as usize..(off + len) as usize);
+            self.pool.push(doc);
+            // Pad the reserved tail so later appends can write in place.
+            self.pool
+                .resize((new_off + new_cap) as usize, DocId(u64::MAX));
+            self.doc_off[i] = new_off;
+            self.doc_len[i] = len + 1;
+            self.doc_cap[i] = new_cap;
+        }
+    }
+
+    /// Compact the shared document pool: drop relocation holes and spare
+    /// capacity, laying every node's slice out densely in node order. Called
+    /// by [`build`](FpTree::build) when a window closes; safe (and cheap) to
+    /// call again at any time.
+    pub fn seal(&mut self) {
+        let mut packed = Vec::with_capacity(self.doc_count);
+        for i in 0..self.doc_len.len() {
+            let off = self.doc_off[i] as usize;
+            let len = self.doc_len[i] as usize;
+            self.doc_off[i] = packed.len() as u32;
+            self.doc_cap[i] = len as u32;
+            packed.extend_from_slice(&self.pool[off..off + len]);
+        }
+        self.pool = packed;
     }
 
     /// Remove one previously inserted document (the "tree updates" the
@@ -158,18 +227,30 @@ impl FpTree {
     /// Returns `false` when the document is not in the tree (wrong path or
     /// id not present).
     pub fn remove(&mut self, doc: &Document) -> bool {
-        let ordered = self.order.reorder(doc);
-        let mut node = NodeId::ROOT;
-        for pair in ordered {
-            match self.nodes[node.index()].children.get(&pair.avp.0) {
+        let mut ordered = std::mem::take(&mut self.reorder_buf);
+        self.order.reorder_into(doc, &mut ordered);
+        let mut node = 0u32;
+        let mut found = true;
+        for &pair in &ordered {
+            match self.child_index.get(&child_key(node, pair.avp.0)) {
                 Some(&child) => node = child,
-                None => return false,
+                None => {
+                    found = false;
+                    break;
+                }
             }
         }
-        let docs = &mut self.nodes[node.index()].docs;
-        match docs.iter().position(|&d| d == doc.id()) {
+        self.reorder_buf = ordered;
+        if !found {
+            return false;
+        }
+        let i = node as usize;
+        let (off, len) = (self.doc_off[i] as usize, self.doc_len[i] as usize);
+        let slice = &mut self.pool[off..off + len];
+        match slice.iter().position(|&d| d == doc.id()) {
             Some(pos) => {
-                docs.swap_remove(pos);
+                slice.swap(pos, len - 1);
+                self.doc_len[i] = (len - 1) as u32;
                 self.doc_count -= 1;
                 self.removed += 1;
                 true
@@ -192,51 +273,76 @@ impl FpTree {
     /// The label of `node` (undefined for the root).
     #[inline]
     pub fn pair(&self, node: NodeId) -> Pair {
-        self.nodes[node.index()].pair
+        self.label[node.index()]
     }
 
     /// The parent of `node`.
     #[inline]
     pub fn parent(&self, node: NodeId) -> NodeId {
-        self.nodes[node.index()].parent
+        NodeId(self.parent[node.index()])
     }
 
     /// Depth of `node` (root = 0).
     #[inline]
     pub fn depth(&self, node: NodeId) -> u32 {
-        self.nodes[node.index()].depth
+        self.depth[node.index()]
     }
 
     /// Child of `node` labelled with pair id `avp`, if present.
     #[inline]
     pub fn child(&self, node: NodeId, avp: ssj_json::AvpId) -> Option<NodeId> {
-        self.nodes[node.index()].children.get(&avp.0).copied()
+        self.child_index
+            .get(&child_key(node.0, avp.0))
+            .map(|&c| NodeId(c))
     }
 
-    /// Iterate the children of `node`.
+    /// First child of `node` in the sibling chain, if any.
+    #[inline]
+    pub fn first_child(&self, node: NodeId) -> Option<NodeId> {
+        link(self.first_child[node.index()])
+    }
+
+    /// Next sibling of `node`, if any.
+    #[inline]
+    pub fn next_sibling(&self, node: NodeId) -> Option<NodeId> {
+        link(self.next_sibling[node.index()])
+    }
+
+    /// Iterate the children of `node` (reverse insertion order).
     pub fn children(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes[node.index()].children.values().copied()
+        let mut cur = self.first_child[node.index()];
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let id = cur;
+                cur = self.next_sibling[id as usize];
+                Some(NodeId(id))
+            }
+        })
     }
 
     /// Documents terminating at `node`.
     #[inline]
     pub fn docs(&self, node: NodeId) -> &[DocId] {
-        &self.nodes[node.index()].docs
+        let i = node.index();
+        let off = self.doc_off[i] as usize;
+        &self.pool[off..off + self.doc_len[i] as usize]
     }
 
     /// First node carrying label `avp` (header table entry).
     pub fn header_first(&self, avp: ssj_json::AvpId) -> Option<NodeId> {
-        self.header.get(&avp.0).copied()
+        self.header.get(&avp.0).map(|&(head, _)| NodeId(head))
     }
 
     /// Follow the header chain from a node to the next equally-labelled one.
     pub fn next_same_label(&self, node: NodeId) -> Option<NodeId> {
-        self.nodes[node.index()].next_same_label
+        link(self.next_same_label[node.index()])
     }
 
     /// The branch id assigned when `node` was created.
     pub fn branch(&self, node: NodeId) -> u32 {
-        self.nodes[node.index()].branch
+        self.branch[node.index()]
     }
 
     /// Number of inserted documents.
@@ -247,7 +353,7 @@ impl FpTree {
 
     /// Number of nodes including the root.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.label.len()
     }
 
     /// Number of distinct branches (root-to-leaf paths created so far).
@@ -258,13 +364,15 @@ impl FpTree {
     /// Maximum node depth — useful to verify the compression the paper
     /// relies on for "deep trees" with few distinct frequent values.
     pub fn max_depth(&self) -> u32 {
-        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+        self.depth.iter().copied().max().unwrap_or(0)
     }
 
     /// All `(node, doc)` pairs — diagnostics and tests.
     pub fn iter_docs(&self) -> impl Iterator<Item = (NodeId, DocId)> + '_ {
-        self.nodes.iter().enumerate().flat_map(|(i, n)| {
-            n.docs.iter().map(move |&d| (NodeId(i as u32), d))
+        (0..self.label.len()).flat_map(move |i| {
+            self.docs(NodeId(i as u32))
+                .iter()
+                .map(move |&d| (NodeId(i as u32), d))
         })
     }
 
@@ -326,6 +434,20 @@ impl FpTree {
     }
 }
 
+#[inline]
+fn child_key(parent: u32, avp: u32) -> u64 {
+    ((parent as u64) << 32) | avp as u64
+}
+
+#[inline]
+fn link(raw: u32) -> Option<NodeId> {
+    if raw == NIL {
+        None
+    } else {
+        Some(NodeId(raw))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +472,7 @@ mod tests {
     fn paper_table1_tree_shape() {
         let dict = Dictionary::new();
         let docs = table1(&dict);
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
 
         assert_eq!(tree.doc_count(), 4);
         // Nodes: root, b:7, a:3, c:1, b:8, a:3, c:2 = 7 nodes.
@@ -387,7 +509,7 @@ mod tests {
     fn header_chain_links_equal_labels() {
         let dict = Dictionary::new();
         let docs = table1(&dict);
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
         let a3 = dict.lookup("a", &ssj_json::Scalar::Int(3)).unwrap();
         let first = tree.header_first(a3.avp).unwrap();
         let second = tree.next_same_label(first).unwrap();
@@ -400,16 +522,14 @@ mod tests {
     #[test]
     fn identical_documents_share_a_path() {
         let dict = Dictionary::new();
-        let d1 = Document::from_json(DocId(1), r#"{"x":1,"y":2}"#, &dict).unwrap();
-        let d2 = Document::from_json(DocId(2), r#"{"y":2,"x":1}"#, &dict).unwrap();
-        let tree = FpTree::build([&d1, &d2]);
+        let docs = vec![
+            Document::from_json(DocId(1), r#"{"x":1,"y":2}"#, &dict).unwrap(),
+            Document::from_json(DocId(2), r#"{"y":2,"x":1}"#, &dict).unwrap(),
+        ];
+        let tree = FpTree::build(&docs);
         // Only root + 2 nodes; both docs at the same terminal node.
         assert_eq!(tree.node_count(), 3);
-        let terminal = tree
-            .iter_docs()
-            .map(|(n, _)| n)
-            .next()
-            .expect("has docs");
+        let terminal = tree.iter_docs().map(|(n, _)| n).next().expect("has docs");
         assert_eq!(tree.docs(terminal), &[DocId(1), DocId(2)]);
     }
 
@@ -417,7 +537,7 @@ mod tests {
     fn branch_count_tracks_distinct_paths() {
         let dict = Dictionary::new();
         let docs = table1(&dict);
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
         // d1 creates branch 1; d2 branch 2; d3 reuses d1's prefix (extends
         // nothing new: b:7→a:3 already exists) — no new branch; d4 branch 3.
         assert_eq!(tree.branch_count(), 3);
@@ -425,7 +545,7 @@ mod tests {
 
     #[test]
     fn empty_tree() {
-        let tree = FpTree::build(std::iter::empty());
+        let tree = FpTree::build(&[]);
         assert_eq!(tree.doc_count(), 0);
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.max_depth(), 0);
@@ -435,9 +555,8 @@ mod tests {
     fn insertion_after_build_with_unseen_attrs() {
         let dict = Dictionary::new();
         let docs = table1(&dict);
-        let mut tree = FpTree::build(docs.iter());
-        let late =
-            Document::from_json(DocId(99), r#"{"b":7,"zz":42}"#, &dict).unwrap();
+        let mut tree = FpTree::build(&docs);
+        let late = Document::from_json(DocId(99), r#"{"b":7,"zz":42}"#, &dict).unwrap();
         let node = tree.insert(&late);
         assert_eq!(tree.docs(node), &[DocId(99)]);
         assert_eq!(tree.doc_count(), 5);
@@ -445,6 +564,60 @@ mod tests {
         assert_eq!(tree.depth(node), 2);
         let parent = tree.parent(node);
         assert_eq!(dict.attr_name(tree.pair(parent).attr), "b");
+    }
+
+    /// Doc slices must stay correct across the pool's relocation and
+    /// sealing machinery: interleave inserts across many terminal nodes so
+    /// slices grow past their capacity and relocate repeatedly.
+    #[test]
+    fn shared_pool_survives_interleaved_growth_and_seal() {
+        let dict = Dictionary::new();
+        let mut docs = Vec::new();
+        let mut id = 0u64;
+        // 8 distinct paths, 9 docs each, round-robin so every append after
+        // the first round hits a slice that is not at the pool's end.
+        for _round in 0..9 {
+            for path in 0..8 {
+                id += 1;
+                docs.push(
+                    Document::from_json(
+                        DocId(id),
+                        &format!(r#"{{"p":{path},"q":{}}}"#, path * 10),
+                        &dict,
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let mut tree = FpTree::build(&docs);
+        let expect =
+            |path: u64| -> Vec<DocId> { (0..9).map(|r| DocId(r * 8 + path + 1)).collect() };
+        let terminals: Vec<NodeId> = {
+            let mut seen: Vec<NodeId> = tree.iter_docs().map(|(n, _)| n).collect();
+            seen.dedup();
+            seen
+        };
+        assert_eq!(terminals.len(), 8);
+        for path in 0..8u64 {
+            let d = &docs[path as usize];
+            let node = tree.insert(d); // re-locate terminal via insert path
+            let mut got = tree.docs(node).to_vec();
+            let removed = tree.remove(d); // undo the probe insert
+            assert!(removed);
+            got.pop();
+            assert_eq!(got, expect(path), "path {path}");
+        }
+        // Seal compacts to exactly doc_count entries, slices intact.
+        tree.seal();
+        assert_eq!(tree.pool.len(), tree.doc_count());
+        for path in 0..8u64 {
+            let d = &docs[path as usize];
+            let node = tree.insert(d);
+            let mut got = tree.docs(node).to_vec();
+            assert!(tree.remove(d));
+            got.pop();
+            assert_eq!(got, expect(path), "sealed path {path}");
+        }
     }
 }
 
@@ -466,7 +639,7 @@ mod render_tests {
         .enumerate()
         .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, &dict).unwrap())
         .collect();
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
         let rendered = tree.render(&dict);
         assert!(rendered.starts_with("root\n"), "{rendered}");
         assert!(rendered.contains("b:7"));

@@ -83,13 +83,23 @@ impl HashIndex {
 
     /// All join partners of `probe_doc` among the stored documents.
     pub fn probe(&mut self, probe_doc: &Document) -> Vec<DocId> {
+        let mut out = Vec::new();
+        self.probe_into(probe_doc, &mut out);
+        out
+    }
+
+    /// As [`probe`](HashIndex::probe), writing partners into a
+    /// caller-provided buffer (cleared first) so steady-state probing does
+    /// not allocate — the index's stamp array already handles dedup without
+    /// per-probe scratch.
+    pub fn probe_into(&mut self, probe_doc: &Document, out: &mut Vec<DocId>) {
+        out.clear();
         self.stamp = self.stamp.wrapping_add(1);
         if self.stamp == 0 {
             // Stamp counter wrapped: reset all marks once.
             self.stamps.fill(0);
             self.stamp = 1;
         }
-        let mut out = Vec::new();
         for pair in probe_doc.pairs() {
             let Some(list) = self.postings.get(&pair.avp) else {
                 continue;
@@ -106,7 +116,6 @@ impl HashIndex {
                 }
             }
         }
-        out
     }
 }
 

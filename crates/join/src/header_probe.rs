@@ -41,7 +41,14 @@ pub fn probe_via_header(tree: &FpTree, probe_doc: &Document) -> Vec<DocId> {
             }
             // Everything stored at or below `node` carries the shared pair;
             // walk down with conflict pruning.
-            collect_below(tree, node, probe_doc, &mut seen_nodes, &mut seen_docs, &mut out);
+            collect_below(
+                tree,
+                node,
+                probe_doc,
+                &mut seen_nodes,
+                &mut seen_docs,
+                &mut out,
+            );
         }
     }
     out.retain(|&d| d != probe_doc.id());
@@ -118,7 +125,7 @@ mod tests {
                 r#"{"b":8,"c":2}"#,
             ],
         );
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         for d in &ds {
             let mut via_header = probe_via_header(&tree, d);
             let mut topdown = fpjoin::probe(&tree, d);
@@ -144,7 +151,7 @@ mod tests {
                 r#"{"z":9}"#,
             ],
         );
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         for d in &ds {
             let mut got = probe_via_header(&tree, d);
             got.sort();
@@ -164,7 +171,7 @@ mod tests {
         // Every pair of the stored doc matches the probe: the doc must be
         // reported exactly once despite being reachable via 3 chains.
         let ds = docs(&dict, &[r#"{"a":1,"b":2,"c":3}"#]);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         let probe_doc =
             Document::from_json(DocId(50), r#"{"a":1,"b":2,"c":3,"d":4}"#, &dict).unwrap();
         assert_eq!(probe_via_header(&tree, &probe_doc), vec![DocId(1)]);
@@ -174,7 +181,7 @@ mod tests {
     fn probe_with_unseen_pairs_only() {
         let dict = Dictionary::new();
         let ds = docs(&dict, &[r#"{"a":1}"#]);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         let probe_doc = Document::from_json(DocId(9), r#"{"zz":7}"#, &dict).unwrap();
         assert!(probe_via_header(&tree, &probe_doc).is_empty());
     }
@@ -183,7 +190,7 @@ mod tests {
     fn excludes_self() {
         let dict = Dictionary::new();
         let ds = docs(&dict, &[r#"{"a":1}"#, r#"{"a":1}"#]);
-        let tree = FpTree::build(ds.iter());
+        let tree = FpTree::build(&ds);
         assert_eq!(probe_via_header(&tree, &ds[0]), vec![DocId(2)]);
     }
 }

@@ -51,10 +51,42 @@ impl std::str::FromStr for JoinAlgo {
 /// Join one window's documents with the chosen algorithm; every joinable
 /// pair appears exactly once as `(earlier, later)`.
 pub fn join_batch(algo: JoinAlgo, docs: &[Document]) -> Vec<(DocId, DocId)> {
-    match algo {
-        JoinAlgo::FpTree => fpjoin::join_batch(docs).1,
-        JoinAlgo::Nlj => nlj::join_batch(docs),
-        JoinAlgo::Hbj => hbj::join_batch(docs),
+    BatchJoiner::new().join_batch(algo, docs)
+}
+
+/// Per-worker batch-join state: the probe scratch and partner buffer live
+/// here so consecutive windows handled by one worker (e.g. a Joiner bolt)
+/// reuse the same allocations instead of re-growing them every window.
+#[derive(Debug, Default)]
+pub struct BatchJoiner {
+    scratch: fpjoin::ProbeScratch,
+    partners: Vec<DocId>,
+}
+
+impl BatchJoiner {
+    /// Fresh state; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// As [`join_batch`], reusing this worker's scratch buffers.
+    pub fn join_batch(&mut self, algo: JoinAlgo, docs: &[Document]) -> Vec<(DocId, DocId)> {
+        match algo {
+            JoinAlgo::FpTree => {
+                let order = crate::order::AttrOrder::compute(docs);
+                let mut tree = crate::fptree::FpTree::new(order);
+                let mut pairs = Vec::new();
+                for doc in docs {
+                    fpjoin::probe_into(&tree, doc, true, &mut self.scratch, &mut self.partners);
+                    // Probe precedes insert, so every partner is earlier.
+                    pairs.extend(self.partners.iter().map(|&p| (p, doc.id())));
+                    tree.insert(doc);
+                }
+                pairs
+            }
+            JoinAlgo::Nlj => nlj::join_batch(docs),
+            JoinAlgo::Hbj => hbj::join_batch(docs),
+        }
     }
 }
 
@@ -75,16 +107,15 @@ pub fn split_timings(algo: JoinAlgo, docs: &[Document]) -> JoinTimings {
     match algo {
         JoinAlgo::FpTree => {
             let t0 = Instant::now();
-            let tree = crate::fptree::FpTree::build(docs.iter());
+            let tree = crate::fptree::FpTree::build(docs);
             let creation = t0.elapsed();
             let t1 = Instant::now();
             let mut pairs = 0usize;
+            let mut scratch = fpjoin::ProbeScratch::new();
+            let mut partners = Vec::new();
             for doc in docs {
-                for partner in fpjoin::probe(&tree, doc) {
-                    if partner < doc.id() {
-                        pairs += 1;
-                    }
-                }
+                fpjoin::probe_into(&tree, doc, true, &mut scratch, &mut partners);
+                pairs += partners.iter().filter(|&&p| p < doc.id()).count();
             }
             JoinTimings {
                 creation,
@@ -107,12 +138,10 @@ pub fn split_timings(algo: JoinAlgo, docs: &[Document]) -> JoinTimings {
             let creation = t0.elapsed();
             let t1 = Instant::now();
             let mut pairs = 0usize;
+            let mut partners = Vec::new();
             for doc in docs {
-                for partner in idx.probe(doc) {
-                    if partner < doc.id() {
-                        pairs += 1;
-                    }
-                }
+                idx.probe_into(doc, &mut partners);
+                pairs += partners.iter().filter(|&&p| p < doc.id()).count();
             }
             JoinTimings {
                 creation,

@@ -22,7 +22,7 @@
 //! .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, &dict).unwrap())
 //! .collect();
 //!
-//! let tree = FpTree::build(docs.iter());
+//! let tree = FpTree::build(&docs);
 //! // Fig. 5: the only join partner of d1 is d3.
 //! assert_eq!(fpjoin::probe(&tree, &docs[0]), vec![DocId(3)]);
 //! ```
@@ -39,10 +39,13 @@ pub mod order;
 pub mod sliding;
 pub mod tree_stats;
 
-pub use fpjoin::{join_batch as fp_join_batch, probe as fp_probe, ProbeStats};
+pub use fpjoin::{
+    join_batch as fp_join_batch, probe as fp_probe, probe_into as fp_probe_into, ProbeScratch,
+    ProbeStats,
+};
 pub use fptree::{FpTree, NodeId};
 pub use header_probe::probe_via_header;
-pub use joiner::{join_batch, split_timings, JoinAlgo, JoinTimings};
+pub use joiner::{join_batch, split_timings, BatchJoiner, JoinAlgo, JoinTimings};
 pub use order::AttrOrder;
 pub use sliding::{IncrementalSlidingJoiner, SlidingJoiner};
 pub use tree_stats::TreeStats;

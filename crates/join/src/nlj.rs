@@ -22,11 +22,21 @@ pub fn join_batch(docs: &[Document]) -> Vec<(DocId, DocId)> {
 
 /// Find all partners of `probe` among `stored` (streaming-style probe).
 pub fn probe(stored: &[Document], probe_doc: &Document) -> Vec<DocId> {
-    stored
-        .iter()
-        .filter(|d| d.id() != probe_doc.id() && d.joins_with(probe_doc))
-        .map(|d| d.id())
-        .collect()
+    let mut out = Vec::new();
+    probe_into(stored, probe_doc, &mut out);
+    out
+}
+
+/// As [`probe`], writing partners into a caller-provided buffer (cleared
+/// first) so repeated probes reuse one allocation.
+pub fn probe_into(stored: &[Document], probe_doc: &Document, out: &mut Vec<DocId>) {
+    out.clear();
+    out.extend(
+        stored
+            .iter()
+            .filter(|d| d.id() != probe_doc.id() && d.joins_with(probe_doc))
+            .map(|d| d.id()),
+    );
 }
 
 #[inline]

@@ -92,9 +92,21 @@ impl AttrOrder {
     /// Reorder a document's pairs by rank (stable for unseen attributes:
     /// they keep relative id order after all ranked attributes).
     pub fn reorder(&self, doc: &Document) -> Vec<Pair> {
-        let mut pairs: Vec<Pair> = doc.pairs().to_vec();
-        pairs.sort_by_key(|p| (self.rank(p.attr), p.attr));
+        let mut pairs = Vec::new();
+        self.reorder_into(doc, &mut pairs);
         pairs
+    }
+
+    /// [`reorder`](AttrOrder::reorder) into a caller-provided buffer, so
+    /// hot paths (tree insertion, probing) reuse one allocation. The buffer
+    /// is cleared first; its capacity is retained.
+    pub fn reorder_into(&self, doc: &Document, out: &mut Vec<Pair>) {
+        out.clear();
+        out.extend_from_slice(doc.pairs());
+        // Sort key includes the attr id so unseen attrs (rank u32::MAX)
+        // stay deterministic; sort_unstable is fine because keys are unique
+        // (a document holds at most one pair per attribute).
+        out.sort_unstable_by_key(|p| (self.rank(p.attr), p.attr));
     }
 }
 
@@ -155,10 +167,7 @@ mod tests {
         );
         let order = AttrOrder::compute(&ds);
         let reordered = order.reorder(&ds[0]);
-        let names: Vec<String> = reordered
-            .iter()
-            .map(|p| dict.attr_name(p.attr))
-            .collect();
+        let names: Vec<String> = reordered.iter().map(|p| dict.attr_name(p.attr)).collect();
         assert_eq!(names, vec!["b", "a", "c"]);
     }
 

@@ -8,7 +8,7 @@
 //! frozen into an FP-tree. Probing consults the open buffer plus every frozen
 //! pane; sliding evicts only the oldest pane — never a full rebuild.
 
-use crate::fpjoin;
+use crate::fpjoin::{self, ProbeScratch};
 use crate::fptree::FpTree;
 use ssj_json::{DocId, Document};
 use std::collections::VecDeque;
@@ -35,6 +35,9 @@ pub struct SlidingJoiner {
     /// The open pane's raw documents.
     open: Vec<Document>,
     total_inserted: u64,
+    /// Reused probe working memory (zero-alloc steady state).
+    scratch: ProbeScratch,
+    probe_buf: Vec<DocId>,
 }
 
 impl SlidingJoiner {
@@ -50,6 +53,8 @@ impl SlidingJoiner {
             frozen: VecDeque::new(),
             open: Vec::with_capacity(pane_size),
             total_inserted: 0,
+            scratch: ProbeScratch::new(),
+            probe_buf: Vec::new(),
         }
     }
 
@@ -58,7 +63,8 @@ impl SlidingJoiner {
     pub fn insert_and_probe(&mut self, doc: Document) -> Vec<DocId> {
         let mut partners: Vec<DocId> = Vec::new();
         for pane in &self.frozen {
-            partners.extend(fpjoin::probe(pane, &doc));
+            fpjoin::probe_into(pane, &doc, true, &mut self.scratch, &mut self.probe_buf);
+            partners.extend_from_slice(&self.probe_buf);
         }
         partners.extend(
             self.open
@@ -70,7 +76,7 @@ impl SlidingJoiner {
         self.total_inserted += 1;
         if self.open.len() >= self.pane_size {
             let docs = std::mem::take(&mut self.open);
-            self.frozen.push_back(FpTree::build(docs.iter()));
+            self.frozen.push_back(FpTree::build(&docs));
             // Keep at most panes_per_window - 1 frozen panes plus the open
             // one, so the window always spans panes_per_window panes.
             while self.frozen.len() >= self.panes_per_window {
@@ -113,6 +119,7 @@ pub struct IncrementalSlidingJoiner {
     /// disables it until the next rebuild.
     fast_path_safe: bool,
     rebuilds: u64,
+    scratch: ProbeScratch,
 }
 
 impl IncrementalSlidingJoiner {
@@ -129,16 +136,24 @@ impl IncrementalSlidingJoiner {
             window,
             rebuild_at,
             buf: VecDeque::new(),
-            tree: FpTree::build(std::iter::empty()),
+            tree: FpTree::build(&[]),
             fast_path_safe: true,
             rebuilds: 0,
+            scratch: ProbeScratch::new(),
         }
     }
 
     /// Probe the window for partners of `doc`, insert it, evict the oldest
     /// document when the window is full.
     pub fn insert_and_probe(&mut self, doc: Document) -> Vec<DocId> {
-        let partners = fpjoin::probe_with_stats(&self.tree, &doc, self.fast_path_safe).0;
+        let mut partners = Vec::new();
+        fpjoin::probe_into(
+            &self.tree,
+            &doc,
+            self.fast_path_safe,
+            &mut self.scratch,
+            &mut partners,
+        );
         self.tree.insert(&doc);
         // A document missing any ubiquitous attribute invalidates the
         // fast-path invariant until the next rebuild.
@@ -158,7 +173,7 @@ impl IncrementalSlidingJoiner {
             debug_assert!(removed, "evicted document must be in the tree");
         }
         if self.tree.tombstone_ratio() > self.rebuild_at {
-            self.tree = FpTree::build(self.buf.iter());
+            self.tree = FpTree::build(self.buf.make_contiguous());
             self.fast_path_safe = true;
             self.rebuilds += 1;
         }
@@ -210,12 +225,8 @@ mod tests {
                 let k = rng.gen_range(0..4);
                 let v = rng.gen_range(0..6);
                 let extra = rng.gen_range(0..3);
-                Document::from_json(
-                    DocId(i),
-                    &format!(r#"{{"k{k}":{v},"e":{extra}}}"#),
-                    &dict,
-                )
-                .unwrap()
+                Document::from_json(DocId(i), &format!(r#"{{"k{k}":{v},"e":{extra}}}"#), &dict)
+                    .unwrap()
             })
             .collect();
         let window = 50;
@@ -250,20 +261,13 @@ mod tests {
         // without "a": partners must still be found (no fast-path miss).
         let mut j = IncrementalSlidingJoiner::new(100, 0.99);
         j.insert_and_probe(doc(&dict, 1, "a", 1));
-        j.insert_and_probe(
-            Document::from_json(DocId(2), r#"{"a":1,"b":2}"#, &dict).unwrap(),
-        );
+        j.insert_and_probe(Document::from_json(DocId(2), r#"{"a":1,"b":2}"#, &dict).unwrap());
         // Rebuild has not happened; order from the empty initial tree means
         // everything is un-ranked, but force a realistic case: rebuild now.
         let mut j = IncrementalSlidingJoiner::new(100, 0.99);
         let base: Vec<Document> = (0..10u64)
             .map(|i| {
-                Document::from_json(
-                    DocId(i),
-                    &format!(r#"{{"a":1,"t":{i}}}"#),
-                    &dict,
-                )
-                .unwrap()
+                Document::from_json(DocId(i), &format!(r#"{{"a":1,"t":{i}}}"#), &dict).unwrap()
             })
             .collect();
         for d in &base {

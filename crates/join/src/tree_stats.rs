@@ -103,7 +103,7 @@ mod tests {
                 r#"{"b":8,"c":2}"#,
             ],
         );
-        let tree = crate::FpTree::build(ds.iter());
+        let tree = crate::FpTree::build(&ds);
         let stats = TreeStats::of(&tree);
         assert_eq!(stats.docs, 4);
         assert_eq!(stats.nodes, 6);
@@ -118,10 +118,12 @@ mod tests {
     #[test]
     fn identical_documents_compress_maximally() {
         let dict = Dictionary::new();
-        let srcs: Vec<String> = (0..50).map(|_| r#"{"x":1,"y":2,"z":3}"#.to_string()).collect();
+        let srcs: Vec<String> = (0..50)
+            .map(|_| r#"{"x":1,"y":2,"z":3}"#.to_string())
+            .collect();
         let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
         let ds = docs(&dict, &refs);
-        let tree = crate::FpTree::build(ds.iter());
+        let tree = crate::FpTree::build(&ds);
         let stats = TreeStats::of(&tree);
         assert_eq!(stats.nodes, 3, "one shared path");
         assert!((stats.compression - 50.0).abs() < 1e-9);
@@ -133,7 +135,7 @@ mod tests {
         let srcs: Vec<String> = (0..10).map(|i| format!(r#"{{"k{i}":{i}}}"#)).collect();
         let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
         let ds = docs(&dict, &refs);
-        let tree = crate::FpTree::build(ds.iter());
+        let tree = crate::FpTree::build(&ds);
         let stats = TreeStats::of(&tree);
         assert!((stats.compression - 1.0).abs() < 1e-9);
         assert_eq!(stats.levels, vec![10]);
@@ -141,7 +143,7 @@ mod tests {
 
     #[test]
     fn empty_tree_statistics() {
-        let tree = crate::FpTree::build(std::iter::empty());
+        let tree = crate::FpTree::build(&[]);
         let stats = TreeStats::of(&tree);
         assert_eq!(stats.docs, 0);
         assert_eq!(stats.nodes, 0);

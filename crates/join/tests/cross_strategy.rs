@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ssj_json::{Dictionary, DocId, Document, Scalar};
 use ssj_join::{fpjoin, hbj, nlj, probe_via_header, FpTree, JoinAlgo, SlidingJoiner};
+use ssj_json::{Dictionary, DocId, Document, Scalar};
 
 /// A mixed batch: log-like docs with hubs, conflicts, and unique tails.
 fn batch(dict: &Dictionary, n: usize, seed: u64) -> Vec<Document> {
@@ -52,7 +52,7 @@ fn five_hundred_docs_all_strategies_agree() {
     assert_eq!(via_hbj, reference, "HBJ");
 
     // Probe APIs over the full tree.
-    let tree = FpTree::build(docs.iter());
+    let tree = FpTree::build(&docs);
     let mut via_probe = Vec::new();
     let mut via_header = Vec::new();
     let mut via_slow = Vec::new();

@@ -320,7 +320,7 @@ mod tests {
         assert!(d5.joins_with(d6)); // share User:B, Severity:Critical
         assert!(d7.joins_with(d4)); // Severity:Warning
         assert!(!d7.joins_with(d6)); // Severity conflicts
-        // d7's pr1 partner is d4 (Severity:Warning); User:B conflicts with d1/d2.
+                                     // d7's pr1 partner is d4 (Severity:Warning); User:B conflicts with d1/d2.
         assert!(!d7.joins_with(d1));
         assert!(!d7.joins_with(d5)); // shares User:B but Severity conflicts
     }

@@ -162,11 +162,7 @@ fn ensure_array(v: &mut Value) -> &mut Vec<Value> {
     }
 }
 
-fn obj_slot<'a>(
-    fields: &'a mut Vec<(String, Value)>,
-    key: &str,
-    default: Value,
-) -> &'a mut Value {
+fn obj_slot<'a>(fields: &'a mut Vec<(String, Value)>, key: &str, default: Value) -> &'a mut Value {
     if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
         &mut fields[pos].1
     } else {
@@ -184,10 +180,7 @@ mod tests {
         let v = parse(src).unwrap();
         let mut pairs = flatten_value(&v).unwrap();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        pairs
-            .into_iter()
-            .map(|(p, s)| (p, s.render()))
-            .collect()
+        pairs.into_iter().map(|(p, s)| (p, s.render())).collect()
     }
 
     #[test]

@@ -130,6 +130,10 @@ mod tests {
         // Sequential ids must not collide modulo small table sizes too badly;
         // check the bottom 6 bits take many distinct values over 64 inputs.
         let distinct: FxHashSet<u64> = (0u64..64).map(|i| hash_u64(i) & 63).collect();
-        assert!(distinct.len() > 32, "only {} distinct buckets", distinct.len());
+        assert!(
+            distinct.len() > 32,
+            "only {} distinct buckets",
+            distinct.len()
+        );
     }
 }

@@ -3,17 +3,50 @@
 //! Every hot algorithm in this workspace (partitioning, FP-tree construction,
 //! joining) operates on dense `u32` ids instead of strings: [`AttrId`] for an
 //! attribute (a flattened path) and [`AvpId`] for one attribute-value pair.
-//! The [`Dictionary`] is shared across threads behind an `Arc`; interning
-//! takes a write lock, lookups a read lock (both `parking_lot`).
+//! The [`Dictionary`] is shared across threads behind an `Arc`.
 //!
 //! Ids are dense and allocation-ordered, so `Vec`-indexed side tables keyed by
 //! id are cheap everywhere else.
+//!
+//! # Concurrency and locking protocol
+//!
+//! The dictionary is split to keep parser threads from serialising on one
+//! big lock:
+//!
+//! * **Forward maps** (`name → AttrId`, `(AttrId, Scalar) → AvpId`) are
+//!   hash-striped over [`SHARDS`] independent `RwLock`ed maps. The common
+//!   *hit* takes exactly one shard **read** lock: hash the key, lock its
+//!   shard shared, look up, return. A *miss* upgrades by re-locking the same
+//!   shard exclusively and re-checking (another thread may have interned the
+//!   key between the two locks) before allocating.
+//! * **Reverse store** (`id → name / attr / scalar`, plus per-attribute
+//!   distinct-value counts) is one append-only table behind its own
+//!   `RwLock`. New ids are allocated by appending under the store's write
+//!   lock *while holding the shard write lock*, and published to the shard
+//!   map only afterwards — so any id observed through a forward map is
+//!   already resolvable through the store.
+//! * **Lock order** is always shard → store; no path takes two shard locks
+//!   at once, so the scheme cannot deadlock.
+//! * **Per-thread hot cache**: each thread keeps a small
+//!   `(AttrId, Scalar) → AvpId` map, valid for one dictionary *generation*
+//!   (a process-unique id minted per `Dictionary`). Interned pairs are
+//!   immutable, so cached mappings never go stale; a repeat `intern_avp`
+//!   of a hot pair touches no lock at all.
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHasher};
 use crate::Scalar;
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of independent lock stripes for the forward maps.
+pub const SHARDS: usize = 16;
+
+/// Entries kept per thread in the hot pair cache before it is reset.
+const HOT_CACHE_CAP: usize = 8192;
 
 /// Dense id of an interned attribute (flattened JSON path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,15 +95,55 @@ pub struct Pair {
     pub avp: AvpId,
 }
 
+/// The append-only reverse store: everything indexed by dense id.
 #[derive(Default)]
-struct Inner {
+struct Store {
     attr_names: Vec<String>,
-    attr_map: FxHashMap<String, AttrId>,
     /// Per-attribute count of distinct values seen so far.
     attr_distinct: Vec<u32>,
     avp_attr: Vec<AttrId>,
     avp_scalar: Vec<Scalar>,
-    avp_map: FxHashMap<(AttrId, Scalar), AvpId>,
+}
+
+struct Shared {
+    /// Forward map stripes: attribute name → id.
+    attr_shards: [RwLock<FxHashMap<String, AttrId>>; SHARDS],
+    /// Forward map stripes: (attribute, value) → pair id.
+    avp_shards: [RwLock<FxHashMap<(AttrId, Scalar), AvpId>>; SHARDS],
+    store: RwLock<Store>,
+    /// Process-unique generation — keys the per-thread hot caches.
+    generation: u64,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+        Shared {
+            attr_shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            avp_shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            store: RwLock::new(Store::default()),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-thread pair cache: the generation of the dictionary it belongs to
+/// plus its hot `(AttrId, Scalar) → AvpId` mappings.
+type HotPairCache = (u64, FxHashMap<(AttrId, Scalar), AvpId>);
+
+thread_local! {
+    /// Hot `(AttrId, Scalar) → AvpId` mappings of the dictionary generation
+    /// this thread touched last. Read-mostly: a hit costs no lock.
+    static HOT_PAIRS: RefCell<HotPairCache> = RefCell::new((0, FxHashMap::default()));
+}
+
+#[inline]
+fn shard_of<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    // Low bits of Fx output correlate with the map's bucket choice; mix in
+    // the high bits so stripe choice and bucket choice stay independent.
+    (h.finish() >> 7) as usize & (SHARDS - 1)
 }
 
 /// The shared attribute / attribute-value-pair dictionary.
@@ -78,7 +151,7 @@ struct Inner {
 /// Cloning is cheap (an `Arc` clone); all clones observe the same ids.
 #[derive(Clone, Default)]
 pub struct Dictionary {
-    inner: Arc<RwLock<Inner>>,
+    inner: Arc<Shared>,
 }
 
 impl Dictionary {
@@ -89,37 +162,78 @@ impl Dictionary {
 
     /// Intern an attribute name, returning its stable id.
     pub fn intern_attr(&self, name: &str) -> AttrId {
-        if let Some(&id) = self.inner.read().attr_map.get(name) {
+        let shard = &self.inner.attr_shards[shard_of(name)];
+        // Hit path: exactly one shard read lock.
+        if let Some(&id) = shard.read().get(name) {
             return id;
         }
-        let mut inner = self.inner.write();
-        if let Some(&id) = inner.attr_map.get(name) {
+        let mut map = shard.write();
+        // Re-check: the key may have been interned between the two locks.
+        if let Some(&id) = map.get(name) {
             return id;
         }
-        let id = AttrId(inner.attr_names.len() as u32);
-        inner.attr_names.push(name.to_owned());
-        inner.attr_distinct.push(0);
-        inner.attr_map.insert(name.to_owned(), id);
+        let id = {
+            let mut store = self.inner.store.write();
+            let id = AttrId(store.attr_names.len() as u32);
+            store.attr_names.push(name.to_owned());
+            store.attr_distinct.push(0);
+            id
+        };
+        map.insert(name.to_owned(), id);
         id
     }
 
     /// Intern an attribute-value pair, returning a [`Pair`].
     pub fn intern_avp(&self, attr: AttrId, value: Scalar) -> Pair {
-        {
-            let inner = self.inner.read();
-            if let Some(&avp) = inner.avp_map.get(&(attr, value.clone())) {
-                return Pair { attr, avp };
-            }
-        }
-        let mut inner = self.inner.write();
-        if let Some(&avp) = inner.avp_map.get(&(attr, value.clone())) {
+        let generation = self.inner.generation;
+        let key = (attr, value);
+        // Lock-free hit on this thread's hot cache.
+        let cached = HOT_PAIRS.with(|c| {
+            let c = c.borrow();
+            (c.0 == generation)
+                .then(|| c.1.get(&key).copied())
+                .flatten()
+        });
+        if let Some(avp) = cached {
             return Pair { attr, avp };
         }
-        let avp = AvpId(inner.avp_attr.len() as u32);
-        inner.avp_attr.push(attr);
-        inner.avp_scalar.push(value.clone());
-        inner.avp_map.insert((attr, value), avp);
-        inner.attr_distinct[attr.index()] += 1;
+        let shard = &self.inner.avp_shards[shard_of(&key)];
+        // NB: bind the read result first — a `match shard.read().get(..)`
+        // scrutinee would keep the read guard alive into the write arm.
+        let hit = shard.read().get(&key).copied();
+        let avp = match hit {
+            // Hit path: one shard read lock.
+            Some(avp) => avp,
+            None => {
+                let mut map = shard.write();
+                match map.get(&key).copied() {
+                    Some(avp) => avp,
+                    None => {
+                        let avp = {
+                            let mut store = self.inner.store.write();
+                            let avp = AvpId(store.avp_attr.len() as u32);
+                            store.avp_attr.push(attr);
+                            store.avp_scalar.push(key.1.clone());
+                            store.attr_distinct[attr.index()] += 1;
+                            avp
+                        };
+                        map.insert(key.clone(), avp);
+                        avp
+                    }
+                }
+            }
+        };
+        HOT_PAIRS.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.0 != generation {
+                // The thread switched dictionaries: restart the cache.
+                c.0 = generation;
+                c.1.clear();
+            } else if c.1.len() >= HOT_CACHE_CAP {
+                c.1.clear();
+            }
+            c.1.insert(key, avp);
+        });
         Pair { attr, avp }
     }
 
@@ -131,51 +245,57 @@ impl Dictionary {
 
     /// Look up a pair without interning; `None` when unseen.
     pub fn lookup(&self, attr_name: &str, value: &Scalar) -> Option<Pair> {
-        let inner = self.inner.read();
-        let &attr = inner.attr_map.get(attr_name)?;
-        let &avp = inner.avp_map.get(&(attr, value.clone()))?;
+        let attr = self.inner.attr_shards[shard_of(attr_name)]
+            .read()
+            .get(attr_name)
+            .copied()?;
+        let key = (attr, value.clone());
+        let avp = self.inner.avp_shards[shard_of(&key)]
+            .read()
+            .get(&key)
+            .copied()?;
         Some(Pair { attr, avp })
     }
 
     /// The attribute name for `id`. Panics on foreign ids.
     pub fn attr_name(&self, id: AttrId) -> String {
-        self.inner.read().attr_names[id.index()].clone()
+        self.inner.store.read().attr_names[id.index()].clone()
     }
 
     /// The attribute an interned pair belongs to.
     pub fn avp_attr(&self, id: AvpId) -> AttrId {
-        self.inner.read().avp_attr[id.index()]
+        self.inner.store.read().avp_attr[id.index()]
     }
 
     /// The scalar value of an interned pair.
     pub fn avp_scalar(&self, id: AvpId) -> Scalar {
-        self.inner.read().avp_scalar[id.index()].clone()
+        self.inner.store.read().avp_scalar[id.index()].clone()
     }
 
     /// Render an interned pair as `attr:value` (diagnostics, examples).
     pub fn render_avp(&self, id: AvpId) -> String {
-        let inner = self.inner.read();
-        let attr = inner.avp_attr[id.index()];
+        let store = self.inner.store.read();
+        let attr = store.avp_attr[id.index()];
         format!(
             "{}:{}",
-            inner.attr_names[attr.index()],
-            inner.avp_scalar[id.index()]
+            store.attr_names[attr.index()],
+            store.avp_scalar[id.index()]
         )
     }
 
     /// Number of distinct values interned for `attr` so far.
     pub fn attr_distinct_values(&self, attr: AttrId) -> usize {
-        self.inner.read().attr_distinct[attr.index()] as usize
+        self.inner.store.read().attr_distinct[attr.index()] as usize
     }
 
     /// Total number of interned attributes.
     pub fn attr_count(&self) -> usize {
-        self.inner.read().attr_names.len()
+        self.inner.store.read().attr_names.len()
     }
 
     /// Total number of interned attribute-value pairs.
     pub fn avp_count(&self) -> usize {
-        self.inner.read().avp_attr.len()
+        self.inner.store.read().avp_attr.len()
     }
 
     /// Export the whole dictionary as a JSON value:
@@ -183,24 +303,21 @@ impl Dictionary {
     /// Importing the export yields identical ids, so snapshots of id-based
     /// structures (partition tables, FP-trees) stay valid.
     pub fn export(&self) -> crate::Value {
-        let inner = self.inner.read();
+        let store = self.inner.store.read();
         let attrs = crate::Value::Array(
-            inner
+            store
                 .attr_names
                 .iter()
                 .map(|n| crate::Value::Str(n.clone()))
                 .collect(),
         );
         let avps = crate::Value::Array(
-            inner
+            store
                 .avp_attr
                 .iter()
-                .zip(&inner.avp_scalar)
+                .zip(&store.avp_scalar)
                 .map(|(attr, scalar)| {
-                    crate::Value::Array(vec![
-                        crate::Value::Int(attr.0 as i64),
-                        scalar.to_value(),
-                    ])
+                    crate::Value::Array(vec![crate::Value::Int(attr.0 as i64), scalar.to_value()])
                 })
                 .collect(),
         );
@@ -240,8 +357,8 @@ impl Dictionary {
                 .as_int()
                 .filter(|&v| (v as usize) < attrs.len() && v >= 0)
                 .ok_or(format!("avps[{i}] has an invalid attribute id"))?;
-            let scalar = Scalar::from_value(scalar)
-                .ok_or(format!("avps[{i}] value is not a scalar"))?;
+            let scalar =
+                Scalar::from_value(scalar).ok_or(format!("avps[{i}] value is not a scalar"))?;
             let pair = dict.intern_avp(AttrId(attr_id as u32), scalar);
             if pair.avp.index() != i {
                 return Err(format!("duplicate pair at avps[{i}]"));
@@ -253,10 +370,10 @@ impl Dictionary {
 
 impl fmt::Debug for Dictionary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.read();
+        let store = self.inner.store.read();
         f.debug_struct("Dictionary")
-            .field("attrs", &inner.attr_names.len())
-            .field("avps", &inner.avp_attr.len())
+            .field("attrs", &store.attr_names.len())
+            .field("avps", &store.avp_attr.len())
             .finish()
     }
 }
@@ -339,6 +456,64 @@ mod tests {
         assert_eq!(d.attr_count(), 1);
         assert_eq!(d.avp_count(), 50);
     }
+
+    /// Many attributes and values spread over every stripe, interned from
+    /// several racing threads: ids must come out dense and consistent.
+    #[test]
+    fn concurrent_sharded_interning_is_dense_and_consistent() {
+        let d = Dictionary::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200i64 {
+                        // All threads intern the same universe, shifted so
+                        // each thread starts on different keys.
+                        let k = (i + t * 25) % 200;
+                        d.intern(&format!("attr{}", k % 40), Scalar::Int(k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.attr_count(), 40);
+        // Each attribute holds the values k with k % 40 == attr index:
+        // 200 / 40 = 5 distinct values per attribute.
+        assert_eq!(d.avp_count(), 200);
+        for a in 0..40u32 {
+            assert_eq!(d.attr_distinct_values(AttrId(a)), 5, "attr{a}");
+        }
+        // Every id in 0..avp_count resolves through the reverse store, and
+        // re-interning maps back to the same id (forward/reverse agree).
+        for i in 0..200u32 {
+            let attr = d.avp_attr(AvpId(i));
+            let scalar = d.avp_scalar(AvpId(i));
+            let again = d.intern_avp(attr, scalar);
+            assert_eq!(again.avp, AvpId(i));
+        }
+    }
+
+    /// The thread-local hot cache must not leak mappings across distinct
+    /// dictionaries used by the same thread.
+    #[test]
+    fn hot_cache_is_per_dictionary_generation() {
+        let d1 = Dictionary::new();
+        let d2 = Dictionary::new();
+        // Same (attr, value) key in both dictionaries, interleaved on one
+        // thread; a stale cache would return d1's id for d2.
+        let a1 = d1.intern("k", Scalar::Int(1));
+        let b1 = d2.intern("other", Scalar::Str("pad".into()));
+        let b2 = d2.intern("k", Scalar::Int(1));
+        let a2 = d1.intern("k", Scalar::Int(1));
+        assert_eq!(a1, a2);
+        assert_ne!(b1.avp, b2.avp);
+        assert_eq!(d2.avp_attr(b2.avp), b2.attr);
+        assert_eq!(d2.avp_scalar(b2.avp), Scalar::Int(1));
+        assert_eq!(d1.avp_count(), 1);
+        assert_eq!(d2.avp_count(), 2);
+    }
 }
 
 #[cfg(test)]
@@ -373,18 +548,17 @@ mod persist_tests {
     #[test]
     fn import_rejects_malformed_snapshots() {
         assert!(Dictionary::import(&crate::parse("{}").unwrap()).is_err());
-        assert!(Dictionary::import(
-            &crate::parse(r#"{"attrs":["a"],"avps":[[5,1]]}"#).unwrap()
-        )
-        .is_err());
-        assert!(Dictionary::import(
-            &crate::parse(r#"{"attrs":["a"],"avps":[[0,[1]]]}"#).unwrap()
-        )
-        .is_err());
-        assert!(Dictionary::import(
-            &crate::parse(r#"{"attrs":["a","a"],"avps":[]}"#).unwrap()
-        )
-        .is_err());
+        assert!(
+            Dictionary::import(&crate::parse(r#"{"attrs":["a"],"avps":[[5,1]]}"#).unwrap())
+                .is_err()
+        );
+        assert!(
+            Dictionary::import(&crate::parse(r#"{"attrs":["a"],"avps":[[0,[1]]]}"#).unwrap())
+                .is_err()
+        );
+        assert!(
+            Dictionary::import(&crate::parse(r#"{"attrs":["a","a"],"avps":[]}"#).unwrap()).is_err()
+        );
     }
 
     #[test]

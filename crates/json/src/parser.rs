@@ -230,9 +230,10 @@ impl<'a> Parser<'a> {
             }
             if self.pos > start {
                 // Safe: input was a &str, and we only stopped at ASCII bounds.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
-                    |_| self.err("invalid UTF-8 inside string"),
-                )?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 inside string"))?,
+                );
             }
             match self.bump() {
                 None => return Err(self.err("unterminated string")),
@@ -258,13 +259,11 @@ impl<'a> Parser<'a> {
                                 return Err(self.err("invalid low surrogate in \\u escape"));
                             }
                             let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                            char::from_u32(c)
-                                .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))?
                         } else if (0xDC00..0xE000).contains(&cp) {
                             return Err(self.err("unpaired low surrogate in \\u escape"));
                         } else {
-                            char::from_u32(cp)
-                                .ok_or_else(|| self.err("invalid \\u escape"))?
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid \\u escape"))?
                         };
                         out.push(ch);
                     }

@@ -76,9 +76,7 @@ impl PartialEq for Scalar {
             (Scalar::Null, Scalar::Null) => true,
             (Scalar::Bool(a), Scalar::Bool(b)) => a == b,
             (Scalar::Int(a), Scalar::Int(b)) => a == b,
-            (Scalar::Float(a), Scalar::Float(b)) => {
-                Self::float_bits(*a) == Self::float_bits(*b)
-            }
+            (Scalar::Float(a), Scalar::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
             (Scalar::Str(a), Scalar::Str(b)) => a == b,
             _ => false,
         }

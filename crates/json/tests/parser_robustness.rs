@@ -10,9 +10,7 @@ use ssj_json::{flatten_value, parse, unflatten, Dictionary, DocId, Document, Val
 /// object or array (those cannot survive flatten → unflatten).
 fn has_empty_container(v: &Value) -> bool {
     match v {
-        Value::Array(items) => {
-            items.is_empty() || items.iter().any(has_empty_container)
-        }
+        Value::Array(items) => items.is_empty() || items.iter().any(has_empty_container),
         Value::Object(fields) => {
             fields.is_empty() || fields.iter().any(|(_, v)| has_empty_container(v))
         }

@@ -79,7 +79,13 @@ impl Expansion {
             let next = freq
                 .iter()
                 .filter(|&(a, _)| !chain.contains(a))
-                .max_by_key(|&(a, &f)| (f, std::cmp::Reverse(distinct[a].len()), std::cmp::Reverse(a.0)))
+                .max_by_key(|&(a, &f)| {
+                    (
+                        f,
+                        std::cmp::Reverse(distinct[a].len()),
+                        std::cmp::Reverse(a.0),
+                    )
+                })
                 .map(|(&a, _)| a);
             match next {
                 Some(a) => {

@@ -192,8 +192,7 @@ mod tests {
         // eg1={A:2,C:7} (doc 0), eg2={B:3} (docs 0,1), eg3={A:7,C:4}
         // (docs 1,3), eg4={D:13} (doc 2).
         assert_eq!(egs.len(), 4);
-        let sizes: Vec<(usize, usize)> =
-            egs.iter().map(|g| (g.avps.len(), g.docs.len())).collect();
+        let sizes: Vec<(usize, usize)> = egs.iter().map(|g| (g.avps.len(), g.docs.len())).collect();
         assert!(sizes.contains(&(2, 1))); // {A:2,C:7}
         assert!(sizes.contains(&(1, 2))); // {B:3}
         assert!(sizes.contains(&(2, 2))); // {A:7,C:4}
@@ -281,8 +280,7 @@ mod tests {
             ],
         );
         let ags = association_groups(&vs);
-        let covered: FxHashSet<AvpId> =
-            ags.iter().flat_map(|g| g.avps.iter().copied()).collect();
+        let covered: FxHashSet<AvpId> = ags.iter().flat_map(|g| g.avps.iter().copied()).collect();
         for v in &vs {
             for avp in v {
                 assert!(covered.contains(avp));

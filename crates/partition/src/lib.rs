@@ -38,8 +38,10 @@ pub mod sc;
 pub use ag::AgPartitioner;
 pub use ds::{component_count, DsPartitioner, UnionFind};
 pub use expansion::{batch_views, Expansion};
+pub use groups::{
+    association_groups, equivalence_groups, AssociationGroup, EquivalenceGroup, View,
+};
 pub use hashpart::HashPartitioner;
-pub use groups::{association_groups, equivalence_groups, AssociationGroup, EquivalenceGroup, View};
 pub use merger::{consolidate, merge_and_assign};
 pub use partitions::{assign_groups, route_batch, PartitionTable, Route, RoutingStats};
 pub use quality::{gini, RepartitionPolicy, UnseenTracker, WindowQuality};
@@ -73,7 +75,11 @@ impl PartitionerKind {
     /// baseline is excluded here (the evaluation compares AG/SC/DS); use
     /// [`PartitionerKind::with_baselines`] to include it.
     pub fn all() -> [PartitionerKind; 3] {
-        [PartitionerKind::Ag, PartitionerKind::Sc, PartitionerKind::Ds]
+        [
+            PartitionerKind::Ag,
+            PartitionerKind::Sc,
+            PartitionerKind::Ds,
+        ]
     }
 
     /// All partitioners including the hash ablation baseline.

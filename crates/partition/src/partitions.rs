@@ -417,10 +417,7 @@ mod persist_tests {
 
     #[test]
     fn export_import_preserves_routing() {
-        let table = assign_groups(
-            vec![ag(&[1, 2], 10), ag(&[3], 5), ag(&[4, 5, 6], 8)],
-            3,
-        );
+        let table = assign_groups(vec![ag(&[1, 2], 10), ag(&[3], 5), ag(&[4, 5, 6], 8)], 3);
         let text = table.export().to_json();
         let reread = ssj_json::parse(&text).unwrap();
         let table2 = PartitionTable::import(&reread).unwrap();

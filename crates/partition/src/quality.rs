@@ -56,13 +56,7 @@ impl WindowQuality {
             load_balance: gini(&stats.per_machine),
             // §VII-C: the share of the window's emitted documents assigned
             // to the busiest Joiner — 1.0 when one machine sees everything.
-            max_processing_load: stats
-                .per_machine
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0) as f64
-                / docs,
+            max_processing_load: stats.per_machine.iter().copied().max().unwrap_or(0) as f64 / docs,
             broadcast_fraction: stats.broadcasts as f64 / docs,
         }
     }

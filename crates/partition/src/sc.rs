@@ -59,17 +59,16 @@ impl Partitioner for ScPartitioner {
         let mut taken = vec![false; sets.len()];
         let mut loads = vec![0usize; m];
 
-        let cover_set = |set_idx: usize,
-                             covered: &mut FxHashSet<AvpId>,
-                             uncovered: &mut Vec<usize>| {
-            for &avp in &sets[set_idx] {
-                if covered.insert(avp) {
-                    for &d in &containing[&avp] {
-                        uncovered[d as usize] -= 1;
+        let cover_set =
+            |set_idx: usize, covered: &mut FxHashSet<AvpId>, uncovered: &mut Vec<usize>| {
+                for &avp in &sets[set_idx] {
+                    if covered.insert(avp) {
+                        for &d in &containing[&avp] {
+                            uncovered[d as usize] -= 1;
+                        }
                     }
                 }
-            }
-        };
+            };
 
         // Phase 1: seed partitions.
         let seeds = m.min(sets.len());

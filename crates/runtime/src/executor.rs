@@ -136,19 +136,28 @@ impl<M: Clone> Outbox<M> {
                 Grouping::Shuffle => {
                     let t = edge.cursor % edge.targets.len();
                     edge.cursor = edge.cursor.wrapping_add(1);
-                    if edge.targets[t].send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                    if edge.targets[t]
+                        .send(Envelope::Data(msg.clone(), self.my_global))
+                        .is_ok()
+                    {
                         self.emitted += 1;
                     }
                 }
                 Grouping::Fields(key) => {
                     let h = key(&msg);
                     let t = (h % edge.targets.len() as u64) as usize;
-                    if edge.targets[t].send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                    if edge.targets[t]
+                        .send(Envelope::Data(msg.clone(), self.my_global))
+                        .is_ok()
+                    {
                         self.emitted += 1;
                     }
                 }
                 Grouping::Global => {
-                    if edge.targets[0].send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                    if edge.targets[0]
+                        .send(Envelope::Data(msg.clone(), self.my_global))
+                        .is_ok()
+                    {
                         self.emitted += 1;
                     }
                 }
@@ -168,7 +177,10 @@ impl<M: Clone> Outbox<M> {
         for edge in &mut self.edges {
             if matches!(edge.grouping, Grouping::Direct) {
                 if let Some(sender) = edge.targets.get(task) {
-                    if sender.send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
+                    if sender
+                        .send(Envelope::Data(msg.clone(), self.my_global))
+                        .is_ok()
+                    {
                         self.emitted += 1;
                     }
                 }
@@ -458,9 +470,7 @@ impl<M: Clone> Aligner<M> {
             let candidate = self
                 .queues
                 .iter()
-                .find(|(u, q)| {
-                    !q.is_empty() && self.ahead.get(u).copied().unwrap_or(0) == 0
-                })
+                .find(|(u, q)| !q.is_empty() && self.ahead.get(u).copied().unwrap_or(0) == 0)
                 .map(|(&u, _)| u);
             match candidate {
                 Some(u) => {
@@ -516,15 +526,18 @@ fn run_task<M: Clone + Send + 'static>(
                 // channels; feedback control traffic interleaves with data.
                 let mut sel = Select::new();
                 let fwd_idx = sel.recv(&w.rx);
-                let fb_idx = if fb_open { Some(sel.recv(&w.fb_rx)) } else { None };
+                let fb_idx = if fb_open {
+                    Some(sel.recv(&w.fb_rx))
+                } else {
+                    None
+                };
                 let op = sel.select();
                 let idx = op.index();
                 if idx == fwd_idx {
                     match op.recv(&w.rx) {
                         Ok(envelope) => {
                             let t0 = std::time::Instant::now();
-                            let done =
-                                align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                            let done = align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
                             m.busy += t0.elapsed();
                             if done {
                                 break 'run; // all forward upstreams at EOS
@@ -537,8 +550,7 @@ fn run_task<M: Clone + Send + 'static>(
                     match op.recv(&w.fb_rx) {
                         Ok(envelope) => {
                             let t0 = std::time::Instant::now();
-                            let _ =
-                                align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                            let _ = align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
                             m.busy += t0.elapsed();
                         }
                         Err(_) => fb_open = false,

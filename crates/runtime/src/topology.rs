@@ -112,7 +112,10 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::DuplicateComponent(c) => write!(f, "duplicate component '{c}'"),
             TopologyError::UnknownSource { component, source } => {
-                write!(f, "'{component}' subscribes to unknown component '{source}'")
+                write!(
+                    f,
+                    "'{component}' subscribes to unknown component '{source}'"
+                )
             }
             TopologyError::ForwardCycle(path) => {
                 write!(f, "forward-edge cycle: {}", path.join(" -> "))
@@ -308,11 +311,7 @@ impl<M> BoltHandle<M> {
     }
 
     /// Subscribe via a feedback (control-loop) edge.
-    pub fn subscribe_feedback(
-        mut self,
-        source: impl Into<String>,
-        grouping: Grouping<M>,
-    ) -> Self {
+    pub fn subscribe_feedback(mut self, source: impl Into<String>, grouping: Grouping<M>) -> Self {
         self.builder
             .components
             .last_mut()
@@ -347,7 +346,9 @@ impl<M> Topology<M> {
 
     /// Parallelism of a component, if it exists.
     pub fn parallelism(&self, name: &str) -> Option<usize> {
-        self.index.get(name).map(|&i| self.components[i].parallelism)
+        self.index
+            .get(name)
+            .map(|&i| self.components[i].parallelism)
     }
 
     /// Render the topology as Graphviz DOT: spouts as double circles, bolts

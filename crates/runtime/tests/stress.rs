@@ -4,7 +4,7 @@
 
 use parking_lot::Mutex;
 use ssj_runtime::{
-    fn_bolt, run, Bolt, CollectorBolt, Grouping, Outbox, SpoutEmit, Spout, TaskInfo,
+    fn_bolt, run, Bolt, CollectorBolt, Grouping, Outbox, Spout, SpoutEmit, TaskInfo,
     TopologyBuilder, VecSpout,
 };
 use std::sync::Arc;
@@ -41,7 +41,9 @@ fn hundred_thousand_messages_through_three_stages() {
 fn multiple_spout_tasks_deliver_everything() {
     // 4 spout tasks each emit 0..5000; total messages = 20_000.
     let t = TopologyBuilder::new()
-        .spout("src", 4, |_| VecSpout::boxed((0..5000).collect::<Vec<i32>>()))
+        .spout("src", 4, |_| {
+            VecSpout::boxed((0..5000).collect::<Vec<i32>>())
+        })
         .bolt("sink", 3, |_| fn_bolt(|_: i32, _| {}))
         .subscribe("src", Grouping::Shuffle)
         .done()

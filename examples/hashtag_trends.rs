@@ -27,8 +27,7 @@ fn main() {
 
         println!("window {w}: {} association groups", groups.len());
         for (rank, g) in groups.iter().take(5).enumerate() {
-            let mut rendered: Vec<String> =
-                g.avps.iter().map(|&a| dict.render_avp(a)).collect();
+            let mut rendered: Vec<String> = g.avps.iter().map(|&a| dict.render_avp(a)).collect();
             rendered.sort();
             let shown = rendered.len().min(6);
             let more = if rendered.len() > shown {

@@ -43,8 +43,8 @@ fn main() {
     for kind in PartitionerKind::all() {
         for expansion in [true, false] {
             let dict = Dictionary::new();
-            let docs = NoBenchGen::new(NoBenchConfig::default(), dict.clone())
-                .take_docs(window * windows);
+            let docs =
+                NoBenchGen::new(NoBenchConfig::default(), dict.clone()).take_docs(window * windows);
             let cfg = StreamJoinConfig::default()
                 .with_m(m)
                 .with_window(window)

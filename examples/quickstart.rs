@@ -37,12 +37,7 @@ fn main() {
         for b in &docs[i + 1..] {
             if a.joins_with(b) {
                 let joined = a.merge(b, DocId(100 + i as u64));
-                println!(
-                    "  {} ⋈ {} -> {}",
-                    a.id(),
-                    b.id(),
-                    joined.to_json(&dict)
-                );
+                println!("  {} ⋈ {} -> {}", a.id(), b.id(), joined.to_json(&dict));
             }
         }
     }
@@ -59,7 +54,7 @@ fn main() {
     .enumerate()
     .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, &dict).unwrap())
     .collect();
-    let tree = FpTree::build(table1.iter());
+    let tree = FpTree::build(&table1);
     println!(
         "  tree: {} nodes, depth {}, {} ubiquitous attribute(s)",
         tree.node_count(),
@@ -102,9 +97,13 @@ fn main() {
         })
         .collect();
     for (i, group) in association_groups(&views).iter().enumerate() {
-        let rendered: Vec<String> =
-            group.avps.iter().map(|&a| dict.render_avp(a)).collect();
-        println!("  ag{} = {{{}}} load={}", i + 1, rendered.join(", "), group.load);
+        let rendered: Vec<String> = group.avps.iter().map(|&a| dict.render_avp(a)).collect();
+        println!(
+            "  ag{} = {{{}}} load={}",
+            i + 1,
+            rendered.join(", "),
+            group.load
+        );
     }
     let table = AgPartitioner.create(&views, 2);
     for v in &views {

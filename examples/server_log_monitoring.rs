@@ -18,8 +18,7 @@ fn main() {
     let dict = schema_free_stream_joins::ssj_json::Dictionary::new();
     let mut gen = ServerLogGen::new(ServerLogConfig::default(), dict.clone());
     let docs = gen.take_docs(6_000);
-    let by_id: FxHashMap<u64, Document> =
-        docs.iter().map(|d| (d.id().0, d.clone())).collect();
+    let by_id: FxHashMap<u64, Document> = docs.iter().map(|d| (d.id().0, d.clone())).collect();
 
     let mut cfg = StreamJoinConfig::default().with_m(4).with_window(1_500);
     cfg.partition_creators = 2;
@@ -58,8 +57,7 @@ fn main() {
                     .map(|p| bad_sev.contains(&p.avp))
                     .unwrap_or(false)
             });
-            let has_denied =
-                denied.is_some_and(|dp| [da, db].iter().any(|d| d.has_avp(dp)));
+            let has_denied = denied.is_some_and(|dp| [da, db].iter().any(|d| d.has_avp(dp)));
             if has_bad_sev && has_denied {
                 alerts += 1;
                 if alerts <= 3 {

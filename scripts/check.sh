@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests.
+#
+# Usage: scripts/check.sh
+# Run from anywhere; operates on the workspace containing this script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

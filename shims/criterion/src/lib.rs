@@ -1,0 +1,329 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Reproduces the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a
+//! simple wall-clock measurer instead of criterion's statistical engine.
+//!
+//! Run modes (the same binary serves both, like upstream criterion):
+//! * `cargo bench` passes `--bench`: each benchmark is warmed up and then
+//!   sampled for ~`measure_ms` milliseconds; a `name  time: X ns/iter`
+//!   line is printed, plus derived throughput when configured.
+//! * `cargo test` (no `--bench` flag): each benchmark body runs once so
+//!   the bench compiles and executes but adds no meaningful test latency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function[/param]`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations actually timed.
+    pub iters: u64,
+    /// Group throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_ms: u64,
+    run_full: bool,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let run_full = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure_ms: 120,
+            run_full,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept and ignore CLI arguments (upstream-compatible no-op beyond
+    /// the `--bench` detection done in `default()`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far (bench mode only).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print a closing line (upstream prints a summary; we keep it short).
+    pub fn final_summary(&self) {
+        if self.run_full {
+            eprintln!(
+                "[criterion-shim] {} benchmarks measured",
+                self.results.len()
+            );
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes sample counts; the shim measures by wall-clock
+    /// budget, so this only scales the budget mildly.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Map criterion's 10..=100 default range onto 40..=400 ms.
+        self.criterion.measure_ms = (n as u64).clamp(10, 100) * 4;
+        self
+    }
+
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Define and run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Define and run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream emits plots; the shim needs no action).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{id}", self.name);
+        let mut bencher = Bencher {
+            mode: if self.criterion.run_full {
+                Mode::Measure {
+                    budget: Duration::from_millis(self.criterion.measure_ms),
+                }
+            } else {
+                Mode::Once
+            },
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.criterion.run_full {
+            let m = Measurement {
+                id: full_id,
+                ns_per_iter: bencher.ns_per_iter,
+                iters: bencher.iters,
+                throughput: self.throughput,
+            };
+            let rate = match m.throughput {
+                Some(Throughput::Elements(n)) if m.ns_per_iter > 0.0 => {
+                    format!("  ({:.3} Melem/s)", n as f64 * 1e3 / m.ns_per_iter)
+                }
+                Some(Throughput::Bytes(n)) if m.ns_per_iter > 0.0 => {
+                    format!(
+                        "  ({:.1} MiB/s)",
+                        n as f64 * 1e9 / m.ns_per_iter / (1 << 20) as f64
+                    )
+                }
+                _ => String::new(),
+            };
+            println!(
+                "{:<48} time: {:>12.1} ns/iter  ({} iters){rate}",
+                m.id, m.ns_per_iter, m.iters
+            );
+            self.criterion.results.push(m);
+        }
+    }
+}
+
+enum Mode {
+    /// Test mode: run the body exactly once.
+    Once,
+    /// Bench mode: warm up, then sample for the given wall-clock budget.
+    Measure { budget: Duration },
+}
+
+/// Timing harness handed to each benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, discarding its output through [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+                self.iters = 1;
+            }
+            Mode::Measure { budget } => {
+                // Warm-up and per-iteration cost estimate: double the batch
+                // until it takes at least ~1 ms.
+                let mut batch: u64 = 1;
+                let est = loop {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    let dt = t0.elapsed();
+                    if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                        break dt.as_secs_f64() / batch as f64;
+                    }
+                    batch *= 2;
+                };
+                let total = (budget.as_secs_f64() / est.max(1e-9)).clamp(1.0, 5e7) as u64;
+                let t0 = Instant::now();
+                for _ in 0..total {
+                    black_box(f());
+                }
+                let dt = t0.elapsed();
+                self.ns_per_iter = dt.as_secs_f64() * 1e9 / total as f64;
+                self.iters = total;
+            }
+        }
+    }
+}
+
+/// Expand to a function running every listed benchmark with one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $bench_fn(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Expand to `main` invoking every listed [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            measure_ms: 10,
+            run_full: false,
+            results: Vec::new(),
+        };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+        assert!(c.measurements().is_empty());
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion {
+            measure_ms: 5,
+            run_full: true,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("add", 3), |b| {
+            b.iter(|| black_box(1u64 + 2))
+        });
+        group.finish();
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "g/add/3");
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter >= 0.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the `crossbeam::channel` subset this workspace consumes:
+//! [`channel::bounded`] / [`channel::unbounded`] MPSC channels with
+//! cloneable senders, blocking `send`/`recv` with disconnect detection, and
+//! [`channel::Select`] over multiple receivers. Built on `std::sync`
+//! condvars; the `Select` implementation registers one shared waker with
+//! every watched channel and re-scans readiness after each wakeup.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, Weak};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty (senders still connected).
+        Empty,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+        /// Wakers registered by `Select` instances watching this channel.
+        wakers: Vec<Weak<Waker>>,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when the queue gains an item or loses all senders.
+        not_empty: Condvar,
+        /// Signalled when the queue loses an item or loses all receivers.
+        not_full: Condvar,
+    }
+
+    pub(crate) struct Waker {
+        pub(crate) lock: Mutex<bool>,
+        pub(crate) cv: Condvar,
+    }
+
+    impl Waker {
+        fn wake(&self) {
+            *self.lock.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl<T> Shared<T> {
+        /// Notify selects watching this channel; prunes dead wakers.
+        fn notify_selects(state: &mut State<T>) {
+            state.wakers.retain(|w| match w.upgrade() {
+                Some(w) => {
+                    w.wake();
+                    true
+                }
+                None => false,
+            });
+        }
+    }
+
+    /// The sending half; cloneable (MPSC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// A channel holding at most `cap` in-flight messages; `send` blocks
+    /// when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap))
+    }
+
+    /// A channel with no capacity bound; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+                wakers: Vec::new(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                Shared::notify_selects(&mut st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `msg`, blocking while a bounded channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            Shared::notify_selects(&mut st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message arrives. Fails only when the
+        /// channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Ready means: a recv would not block (message queued, or
+        /// disconnected so recv returns an error immediately).
+        fn is_ready(&self) -> bool {
+            let st = self.shared.state.lock().unwrap();
+            !st.queue.is_empty() || st.senders == 0
+        }
+
+        fn register_waker(&self, waker: &Arc<Waker>) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.wakers.push(Arc::downgrade(waker));
+        }
+    }
+
+    trait SelectTarget {
+        fn ready(&self) -> bool;
+        fn register(&self, waker: &Arc<Waker>);
+    }
+
+    impl<T> SelectTarget for Receiver<T> {
+        fn ready(&self) -> bool {
+            self.is_ready()
+        }
+        fn register(&self, waker: &Arc<Waker>) {
+            self.register_waker(waker)
+        }
+    }
+
+    /// Block until one of several receive operations is ready.
+    ///
+    /// Mirrors `crossbeam::channel::Select`: register receivers with
+    /// [`Select::recv`] (which returns the operation's index), block in
+    /// [`Select::select`], then complete the operation by calling
+    /// [`SelectedOperation::recv`] **on the same receiver** that was
+    /// registered under the returned index.
+    #[derive(Default)]
+    pub struct Select<'a> {
+        targets: Vec<&'a dyn SelectTarget>,
+        waker: Option<Arc<Waker>>,
+    }
+
+    /// A ready operation produced by [`Select::select`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl<'a> Select<'a> {
+        /// New selector with no registered operations.
+        pub fn new() -> Self {
+            Select {
+                targets: Vec::new(),
+                waker: None,
+            }
+        }
+
+        /// Register a receive on `r`; returns the operation index.
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.targets.push(r);
+            self.targets.len() - 1
+        }
+
+        /// Block until some registered operation is ready.
+        ///
+        /// Rotates the scan starting point between wakeups so one busy
+        /// channel cannot starve the others.
+        pub fn select(&mut self) -> SelectedOperation {
+            assert!(
+                !self.targets.is_empty(),
+                "select with no registered operations"
+            );
+            let waker = self
+                .waker
+                .get_or_insert_with(|| {
+                    let waker = Arc::new(Waker {
+                        lock: Mutex::new(false),
+                        cv: Condvar::new(),
+                    });
+                    for t in &self.targets {
+                        t.register(&waker);
+                    }
+                    waker
+                })
+                .clone();
+            let mut start = 0usize;
+            loop {
+                {
+                    // Arm the waker *before* scanning, so a send landing
+                    // between the scan and the wait is not lost.
+                    *waker.lock.lock().unwrap() = false;
+                }
+                for off in 0..self.targets.len() {
+                    let i = (start + off) % self.targets.len();
+                    if self.targets[i].ready() {
+                        return SelectedOperation { index: i };
+                    }
+                }
+                start = start.wrapping_add(1);
+                let mut woken = waker.lock.lock().unwrap();
+                while !*woken {
+                    woken = waker.cv.wait(woken).unwrap();
+                }
+            }
+        }
+    }
+
+    impl SelectedOperation {
+        /// Index the ready operation was registered under.
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Complete the receive on the registered receiver.
+        ///
+        /// With a single consumer thread (the only pattern this workspace
+        /// uses) the message observed by `select` is still there, so this
+        /// does not block.
+        pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+            match r.try_recv() {
+                Ok(msg) => Ok(msg),
+                Err(TryRecvError::Disconnected) => Err(RecvError),
+                // Lost a race with another consumer; fall back to blocking.
+                Err(TryRecvError::Empty) => r.recv(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, Select};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a recv frees a slot
+            "done"
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), "done");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn mpsc_from_many_threads() {
+        let (tx, rx) = bounded(4);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for j in 0..100 {
+                        tx.send(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        let want: Vec<i32> = (0..800).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_picks_ready_channel() {
+        let (tx_a, rx_a) = bounded::<i32>(4);
+        let (tx_b, rx_b) = unbounded::<i32>();
+        tx_b.send(7).unwrap();
+        let mut sel = Select::new();
+        let ia = sel.recv(&rx_a);
+        let ib = sel.recv(&rx_b);
+        let op = sel.select();
+        assert_eq!(op.index(), ib);
+        assert_eq!(op.recv(&rx_b), Ok(7));
+        drop(sel);
+
+        // Now wake from a blocked select via a cross-thread send.
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx_a.send(9).unwrap();
+        });
+        let mut sel = Select::new();
+        let ia2 = sel.recv(&rx_a);
+        let _ib2 = sel.recv(&rx_b);
+        let op = sel.select();
+        assert_eq!(op.index(), ia2);
+        assert_eq!(op.recv(&rx_a), Ok(9));
+        t.join().unwrap();
+        let _ = ia;
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(tx);
+        });
+        let mut sel = Select::new();
+        let i = sel.recv(&rx);
+        let op = sel.select();
+        assert_eq!(op.index(), i);
+        assert_eq!(op.recv(&rx), Err(RecvError));
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reproduces the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, regex-character-class string
+//! strategies (`"[a-z]{1,6}"`), [`collection::vec`], `any::<T>()`,
+//! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from upstream, by design: no shrinking (a failing case is
+//! reported as-is with its case number and seed), and generation is driven
+//! by a deterministic per-test RNG seeded from the test's name, so failures
+//! reproduce on re-run.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+/// `any::<T>()` strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix full-range values with small ones: edge-adjacent
+                    // magnitudes find more bugs than uniform noise alone.
+                    if rng.0.gen_bool(0.5) {
+                        rng.0.gen_range(<$t>::MIN..=<$t>::MAX)
+                    } else {
+                        rng.0.gen_range(-16i32 as $t..=16 as $t)
+                    }
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64);
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    if rng.0.gen_bool(0.5) {
+                        rng.0.gen_range(<$t>::MIN..=<$t>::MAX)
+                    } else {
+                        rng.0.gen_range(0..=32 as $t)
+                    }
+                }
+            }
+        )*};
+    }
+    arb_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = rng.0.gen_range(0usize..=16);
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                let c = match rng.0.gen_range(0u32..10) {
+                    // Mostly printable ASCII...
+                    0..=5 => char::from(rng.0.gen_range(0x20u8..0x7f)),
+                    // ...some whitespace/control...
+                    6 => *['\n', '\t', '\r', '\u{0}']
+                        .get(rng.0.gen_range(0usize..4))
+                        .unwrap(),
+                    // ...some multi-byte scalars across the BMP and beyond.
+                    _ => loop {
+                        if let Some(c) = char::from_u32(rng.0.gen_range(0x80u32..0x11_0000)) {
+                            break c;
+                        }
+                    },
+                };
+                s.push(c);
+            }
+            s
+        }
+    }
+}
+
+pub use arbitrary::{any, Arbitrary};
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.0.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Combine strategies, choosing one uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fail the enclosing property if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the enclosing property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Fail the enclosing property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{}: {:?} == {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                    )+
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{} of `{}` failed: {e}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u8..9, b in -5i64..5, f in -1.5f64..2.5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn regex_class_shapes(s in "[a-z]{1,6}", t in "[A-C_][0-9x]{0,3}") {
+            prop_assert!((1..=6).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let mut chars = t.chars();
+            let head = chars.next().unwrap();
+            prop_assert!(matches!(head, 'A'..='C' | '_'), "head {head:?}");
+            prop_assert!(chars.all(|c| c.is_ascii_digit() || c == 'x'));
+            prop_assert!(t.len() <= 4);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(items in vec((0u8..10, 0u8..5), 1..6)) {
+            prop_assert!((1..6).contains(&items.len()));
+            for (a, v) in items {
+                prop_assert!(a < 10 && v < 5);
+            }
+        }
+
+        #[test]
+        fn recursion_is_depth_bounded(t in tree_strategy()) {
+            // depth=3 recursion budget → up to 4 container levels + leaf.
+            prop_assert!(depth(&t) <= 5, "depth {} tree {t:?}", depth(&t));
+        }
+
+        #[test]
+        fn early_return_ok_works(n in 0u8..10) {
+            if n < 10 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    fn tree_strategy() -> impl Strategy<Value = Tree> {
+        let leaf = any::<i64>().prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            prop_oneof![
+                vec(inner.clone(), 0..4).prop_map(Tree::Node),
+                inner.prop_map(|t| Tree::Node(vec![t])),
+            ]
+        })
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::from_name("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.new_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let strat = "[a-z]{1,6}";
+        let mut r1 = crate::test_runner::TestRng::from_name("same");
+        let mut r2 = crate::test_runner::TestRng::from_name("same");
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut r1), strat.new_value(&mut r2));
+        }
+    }
+}

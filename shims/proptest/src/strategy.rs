@@ -1,0 +1,389 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::cell::{Cell, OnceCell};
+use std::rc::{Rc, Weak};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// maps an RNG state straight to a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `f` turns a
+    /// handle to the whole strategy into the branch strategy. `depth`
+    /// bounds recursion; `_desired_size` and `_expected_branch_size` are
+    /// accepted for upstream signature compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        Recursive::new(self.boxed(), depth, f)
+    }
+
+    /// Type-erase the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always generates a clone of the held value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform choice among several strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// A union over the given (non-empty) alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.gen_range(0..self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recursive strategies
+// ---------------------------------------------------------------------
+
+struct RecursiveInner<T> {
+    leaf: BoxedStrategy<T>,
+    depth: u32,
+    /// Remaining recursion budget while a value is being generated.
+    budget: Cell<u32>,
+    expanded: OnceCell<BoxedStrategy<T>>,
+}
+
+/// The result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    inner: Rc<RecursiveInner<T>>,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// The self-handle passed to the `prop_recursive` closure: generates a
+/// leaf when the depth budget is spent, otherwise recurses.
+struct RecursiveProxy<T> {
+    inner: Weak<RecursiveInner<T>>,
+}
+
+impl<T: 'static> Recursive<T> {
+    fn new<S, F>(leaf: BoxedStrategy<T>, depth: u32, f: F) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+        F: Fn(BoxedStrategy<T>) -> S,
+    {
+        let inner = Rc::new(RecursiveInner {
+            leaf,
+            depth,
+            budget: Cell::new(depth),
+            expanded: OnceCell::new(),
+        });
+        let proxy = BoxedStrategy(Rc::new(RecursiveProxy {
+            inner: Rc::downgrade(&inner),
+        }) as Rc<dyn Strategy<Value = T>>);
+        let expanded = f(proxy).boxed();
+        inner
+            .expanded
+            .set(expanded)
+            .unwrap_or_else(|_| unreachable!("expanded set once"));
+        Recursive { inner }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.budget.set(self.inner.depth);
+        // Sometimes the whole value is a leaf, like upstream.
+        if self.inner.depth == 0 || rng.0.gen_bool(0.25) {
+            self.inner.leaf.new_value(rng)
+        } else {
+            self.inner.expanded.get().expect("built").new_value(rng)
+        }
+    }
+}
+
+impl<T: 'static> Strategy for RecursiveProxy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let inner = self.inner.upgrade().expect("recursive root alive");
+        let budget = inner.budget.get();
+        if budget == 0 || rng.0.gen_bool(0.3) {
+            return inner.leaf.new_value(rng);
+        }
+        inner.budget.set(budget - 1);
+        let v = inner.expanded.get().expect("built").new_value(rng);
+        inner.budget.set(budget);
+        v
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+// ---------------------------------------------------------------------
+// Regex-lite string strategies: `"[class]{lo,hi}"` patterns
+// ---------------------------------------------------------------------
+
+/// One pattern atom: a set of char ranges plus a repetition count.
+struct Atom {
+    /// Inclusive char ranges to draw from.
+    ranges: Vec<(char, char)>,
+    lo: u32,
+    hi: u32,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parse the regex subset used by this workspace's tests: a concatenation
+/// of literal chars and `[...]` classes, each optionally followed by
+/// `{n}` or `{lo,hi}`.
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => {
+                let mut members: Vec<char> = Vec::new();
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated char class in pattern {pat:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                            members.push(unescape(e));
+                        }
+                        '-' if !members.is_empty() && chars.peek() != Some(&']') => {
+                            let start = members.pop().expect("range start");
+                            let mut end = chars.next().expect("range end");
+                            if end == '\\' {
+                                end = unescape(chars.next().expect("escaped range end"));
+                            }
+                            assert!(start <= end, "bad range {start}-{end} in {pat:?}");
+                            ranges.push((start, end));
+                        }
+                        other => members.push(other),
+                    }
+                }
+                ranges.extend(members.into_iter().map(|m| (m, m)));
+                assert!(!ranges.is_empty(), "empty char class in {pat:?}");
+                ranges
+            }
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                let c = unescape(e);
+                vec![(c, c)]
+            }
+            other => vec![(other, other)],
+        };
+        // Optional quantifier.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut first = String::new();
+            let mut second: Option<String> = None;
+            loop {
+                match chars.next().expect("unterminated quantifier") {
+                    '}' => break,
+                    ',' => second = Some(String::new()),
+                    d => match &mut second {
+                        Some(s) => s.push(d),
+                        None => first.push(d),
+                    },
+                }
+            }
+            let lo: u32 = first.parse().expect("quantifier lower bound");
+            let hi = match second {
+                Some(s) => s.parse().expect("quantifier upper bound"),
+                None => lo,
+            };
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { ranges, lo, hi });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.0.gen_range(atom.lo..=atom.hi);
+            let total: u32 = atom
+                .ranges
+                .iter()
+                .map(|&(a, b)| b as u32 - a as u32 + 1)
+                .sum();
+            for _ in 0..n {
+                let mut pick = rng.0.gen_range(0..total);
+                for &(a, b) in &atom.ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        out.push(
+                            char::from_u32(a as u32 + pick)
+                                .expect("range stays within scalar values"),
+                        );
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+}

@@ -7,8 +7,8 @@ use schema_free_stream_joins::ssj_core::{
 use schema_free_stream_joins::ssj_data::{
     NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen,
 };
-use schema_free_stream_joins::ssj_json::{Dictionary, Document, FxHashSet};
 use schema_free_stream_joins::ssj_join::JoinAlgo;
+use schema_free_stream_joins::ssj_json::{Dictionary, Document, FxHashSet};
 use schema_free_stream_joins::ssj_partition::PartitionerKind;
 
 fn serverlog(dict: &Dictionary, n: usize) -> Vec<Document> {
@@ -169,7 +169,11 @@ fn window_isolation_no_cross_window_joins() {
     let report = Pipeline::new(cfg, dict).run(all);
     assert_eq!(report.windows.len(), 2);
     for w in &report.windows {
-        assert_eq!(w.unique_join_pairs, 0, "cross-window leak in window {}", w.window);
+        assert_eq!(
+            w.unique_join_pairs, 0,
+            "cross-window leak in window {}",
+            w.window
+        );
     }
 }
 

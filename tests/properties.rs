@@ -3,10 +3,10 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use schema_free_stream_joins::ssj_core::{ground_truth_pairs, Pipeline, StreamJoinConfig};
+use schema_free_stream_joins::ssj_join::{fpjoin, FpTree, JoinAlgo};
 use schema_free_stream_joins::ssj_json::{
     parse, Dictionary, DocId, Document, FxHashSet, Scalar, Value,
 };
-use schema_free_stream_joins::ssj_join::{fpjoin, FpTree, JoinAlgo};
 use schema_free_stream_joins::ssj_partition::{
     association_groups, consolidate, gini, AssociationGroup, PartitionerKind,
 };
@@ -128,7 +128,7 @@ proptest! {
             .map(|&(a, v)| dict.intern(&format!("attr{a}"), Scalar::Int(v as i64)))
             .collect();
         let probe_doc = Document::from_pairs(DocId(10_000), probe_pairs);
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
         // The probe was not part of the order's batch: exercises the
         // fallback for unseen attributes / missing ubiquitous attributes.
         let mut got = fpjoin::probe(&tree, &probe_doc);
@@ -142,11 +142,66 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// The arena probe (reused scratch, fast path on AND off) must return
+    /// exactly the NLJ oracle's partner set — including after post-seal
+    /// inserts force the shared doc pool to relocate slices.
+    #[test]
+    fn arena_probe_matches_nlj_oracle_fast_on_and_off(
+        specs in vec(doc_strategy(), 1..25),
+        late_specs in vec(doc_strategy(), 0..6)
+    ) {
+        let dict = Dictionary::new();
+        let docs = materialize(&specs, &dict);
+        let mut tree = FpTree::build(&docs);
+        let mut scratch = fpjoin::ProbeScratch::new();
+        let mut out = Vec::new();
+        for d in &docs {
+            for fast in [true, false] {
+                fpjoin::probe_into(&tree, d, fast, &mut scratch, &mut out);
+                let mut got = out.clone();
+                got.sort();
+                let mut want =
+                    schema_free_stream_joins::ssj_join::nlj::probe(&docs, d);
+                want.sort();
+                prop_assert_eq!(got, want, "fast={} probe {}", fast, d.id());
+            }
+        }
+        // Grow the sealed arena: late inserts may relocate pool slices. The
+        // fast path's ubiquity invariant no longer holds for late docs, so
+        // (as in production sliding windows) probe with it disabled.
+        let late: Vec<Document> = late_specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let pairs = spec
+                    .iter()
+                    .map(|&(a, v)| {
+                        dict.intern(&format!("attr{a}"), Scalar::Int(v as i64))
+                    })
+                    .collect();
+                Document::from_pairs(DocId(20_000 + i as u64), pairs)
+            })
+            .collect();
+        let mut all = docs.clone();
+        for d in &late {
+            tree.insert(d);
+            all.push(d.clone());
+        }
+        for d in &all {
+            fpjoin::probe_into(&tree, d, false, &mut scratch, &mut out);
+            let mut got = out.clone();
+            got.sort();
+            let mut want = schema_free_stream_joins::ssj_join::nlj::probe(&all, d);
+            want.sort();
+            prop_assert_eq!(got, want, "post-insert probe {}", d.id());
+        }
+    }
+
     #[test]
     fn header_probe_matches_topdown(specs in vec(doc_strategy(), 1..25)) {
         let dict = Dictionary::new();
         let docs = materialize(&specs, &dict);
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
         for d in &docs {
             let mut via_header =
                 schema_free_stream_joins::ssj_join::probe_via_header(&tree, d);
@@ -161,7 +216,7 @@ proptest! {
     fn fast_path_never_changes_results(specs in vec(doc_strategy(), 1..25)) {
         let dict = Dictionary::new();
         let docs = materialize(&specs, &dict);
-        let tree = FpTree::build(docs.iter());
+        let tree = FpTree::build(&docs);
         for d in &docs {
             let (mut fast, _) = fpjoin::probe_with_stats(&tree, d, true);
             let (mut slow, _) = fpjoin::probe_with_stats(&tree, d, false);
