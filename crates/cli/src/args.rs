@@ -30,6 +30,7 @@ const VALUED: &[&str] = &[
     "delta",
     "creators",
     "assigners",
+    "batch",
     "window-by",
     "save",
     "load",

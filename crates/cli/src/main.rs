@@ -43,6 +43,7 @@ COMMANDS
              values, ubiquity) --dataset ...|--input FILE [--count N]
   topology   run the threaded Fig. 2 topology
              same data options; [--creators N] [--assigners N] [--dot]
+             [--batch N]  transport micro-batch size (default 64, 1 = off)
   help       show this text
 ";
 
@@ -186,6 +187,7 @@ fn pipeline_config(args: &Args) -> Result<StreamJoinConfig, String> {
     cfg.delta = args.get_or("delta", 3)?;
     cfg.partition_creators = args.get_or("creators", 2)?;
     cfg.assigners = args.get_or("assigners", 6)?;
+    cfg.batch_size = args.get_or("batch", cfg.batch_size)?;
     cfg.validate()?;
     Ok(cfg)
 }

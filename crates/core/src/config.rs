@@ -26,6 +26,9 @@ pub struct StreamJoinConfig {
     pub partition_creators: usize,
     /// Parallelism of the Assigner component.
     pub assigners: usize,
+    /// Micro-batch size for forward-edge transport in the runtime
+    /// (`TopologyBuilder::batch_size`); 1 disables batching.
+    pub batch_size: usize,
 }
 
 impl Default for StreamJoinConfig {
@@ -40,6 +43,7 @@ impl Default for StreamJoinConfig {
             expansion: true,
             partition_creators: 2,
             assigners: 6,
+            batch_size: 64,
         }
     }
 }
@@ -81,6 +85,12 @@ impl StreamJoinConfig {
         self
     }
 
+    /// Builder-style override of the transport micro-batch size.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.m == 0 {
@@ -94,6 +104,9 @@ impl StreamJoinConfig {
         }
         if !(0.0..=10.0).contains(&self.theta) {
             return Err("theta out of range".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be at least 1".into());
         }
         Ok(())
     }
@@ -142,5 +155,9 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        assert!(StreamJoinConfig::default()
+            .with_batch_size(0)
+            .validate()
+            .is_err());
     }
 }

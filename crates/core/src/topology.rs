@@ -91,10 +91,19 @@ fn build(
     let dict_assigner = dict.clone();
     // Backpressure: keep the reader within roughly one window of the
     // slowest Assigner so the Merger's adaptive feedback loop stays in
-    // (event-time) sync with the data path.
-    let capacity = (window / config.assigners.max(1)).clamp(16, 1024);
+    // (event-time) sync with the data path. Channel capacity counts
+    // envelopes, and with batched transport one envelope holds up to
+    // `batch_size` tuples, so the tuple budget is split between batch
+    // size and slot count. The batch itself is clamped to a fraction of
+    // the per-assigner window share: a batch the size of a whole window
+    // would let the reader run a full window ahead of the repartition
+    // signals, silently disabling §VI-A adaptivity.
+    let share = (window / config.assigners.max(1)).clamp(16, 1024);
+    let batch = config.batch_size.min((share / 4).max(1));
+    let capacity = (share / batch).max(4);
     TopologyBuilder::new()
         .channel_capacity(capacity)
+        .batch_size(batch)
         .spout("reader", 1, move |_| {
             Box::new(VecSpout::with_punctuation(msgs.clone(), window))
         })

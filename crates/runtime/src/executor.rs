@@ -14,23 +14,47 @@
 //!   upstream tasks. Feedback edges carry data but never gate termination.
 //! * A panicking task is reported in [`RunError::TaskPanicked`]; remaining
 //!   tasks drain and shut down (disconnected channels count as EOS).
+//!
+//! Transport batching: tuples crossing a forward edge are accumulated in
+//! per-target output buffers and shipped as one [`Envelope::Batch`] once
+//! `batch_size` messages are pending for that target, amortizing the
+//! per-message channel cost (lock, wakeup, envelope) over the batch.
+//! Buffers are flushed *before* every punctuation and EOS token, so window
+//! contents are exactly those of an unbatched run and latency is bounded by
+//! window boundaries; [`Outbox::flush`] forces delivery mid-window.
+//! Feedback edges bypass batching entirely — control loops (δ-updates,
+//! repartition signals) stay low-latency.
 
 use crate::topology::{Component, ComponentKind, Grouping, Subscription, Topology};
 use crate::{Bolt, Spout, SpoutEmit, TaskInfo};
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 /// Internal envelope moving between tasks.
 enum Envelope<M> {
-    /// A data message from global task `from`.
+    /// One data message from global task `from` (the unbatched path:
+    /// `batch_size == 1`, feedback edges, and single-message flushes).
     Data(M, usize),
+    /// A batch of data messages from global task `from`; never empty.
+    Batch(Vec<M>, usize),
     /// Punctuation `id` from global task `from`.
     Punct(u64, usize),
     /// End of stream from global task `from`.
     Eos(usize),
+}
+
+impl<M> Envelope<M> {
+    fn source_task(&self) -> usize {
+        match self {
+            Envelope::Data(_, f)
+            | Envelope::Batch(_, f)
+            | Envelope::Punct(_, f)
+            | Envelope::Eos(f) => *f,
+        }
+    }
 }
 
 /// Per-task throughput counters, reported in [`RunReport`].
@@ -44,11 +68,25 @@ pub struct TaskMetrics {
     pub received: u64,
     /// Data messages emitted (counting each delivered copy).
     pub emitted: u64,
+    /// Data envelopes (batches) sent; an unbatched send counts as a batch
+    /// of one, so `emitted / batches` is the average batch size.
+    pub batches: u64,
     /// Punctuations processed.
     pub puncts: u64,
     /// Time spent inside user code (`execute` / `on_punct` / spout `next`),
     /// excluding channel waits — the task's *busy* time.
     pub busy: std::time::Duration,
+}
+
+impl TaskMetrics {
+    /// Average messages per sent data envelope (0 when nothing was sent).
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.emitted as f64 / self.batches as f64
+        }
+    }
 }
 
 /// The outcome of a completed run.
@@ -75,6 +113,25 @@ impl RunReport {
             .filter(|t| t.component == component)
             .map(|t| t.emitted)
             .sum()
+    }
+
+    /// Sum of sent data-envelope counts for one component.
+    pub fn batches(&self, component: &str) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.component == component)
+            .map(|t| t.batches)
+            .sum()
+    }
+
+    /// Average batch size over one component's emissions (0 when idle).
+    pub fn avg_batch_size(&self, component: &str) -> f64 {
+        let b = self.batches(component);
+        if b == 0 {
+            0.0
+        } else {
+            self.emitted(component) as f64 / b as f64
+        }
     }
 
     /// Per-task received counts for one component, ordered by task index.
@@ -114,81 +171,192 @@ struct OutEdge<M> {
     grouping: Grouping<M>,
     /// Sender to each task of the subscribing component.
     targets: Vec<Sender<Envelope<M>>>,
-    /// Round-robin cursor for shuffle.
+    /// Pending messages per target; flushed at `batch_size`, punctuation,
+    /// EOS, and [`Outbox::flush`]. Unused (left unallocated) on the
+    /// unbatched paths.
+    bufs: Vec<Vec<M>>,
+    /// Next shuffle target; always `< targets.len()` so target selection
+    /// needs no modulo on the send path.
     cursor: usize,
+    /// Feedback edges bypass batching: control loops stay low-latency and
+    /// their channels unbounded (bounding a cycle could deadlock).
+    feedback: bool,
+}
+
+impl<M> OutEdge<M> {
+    /// Queue `msg` for `target`, shipping the buffer once it holds
+    /// `batch_size` messages. Unbatched edges (`batch_size == 1`, feedback)
+    /// send immediately without touching the buffers.
+    #[inline]
+    fn push(
+        &mut self,
+        target: usize,
+        msg: M,
+        from: usize,
+        batch_size: usize,
+        emitted: &mut u64,
+        batches: &mut u64,
+    ) {
+        if batch_size <= 1 || self.feedback {
+            if self.targets[target].send(Envelope::Data(msg, from)).is_ok() {
+                *emitted += 1;
+                *batches += 1;
+            }
+            return;
+        }
+        let buf = &mut self.bufs[target];
+        if buf.capacity() == 0 {
+            buf.reserve_exact(batch_size);
+        }
+        buf.push(msg);
+        if buf.len() >= batch_size {
+            Self::flush_target(
+                &self.targets,
+                &mut self.bufs,
+                target,
+                batch_size,
+                from,
+                emitted,
+                batches,
+            );
+        }
+    }
+
+    /// Ship whatever is pending for `target` (no-op on an empty buffer).
+    fn flush_target(
+        targets: &[Sender<Envelope<M>>],
+        bufs: &mut [Vec<M>],
+        target: usize,
+        batch_size: usize,
+        from: usize,
+        emitted: &mut u64,
+        batches: &mut u64,
+    ) {
+        let buf = &mut bufs[target];
+        match buf.len() {
+            0 => {}
+            1 => {
+                let msg = buf.pop().expect("length checked");
+                if targets[target].send(Envelope::Data(msg, from)).is_ok() {
+                    *emitted += 1;
+                    *batches += 1;
+                }
+            }
+            n => {
+                let full = std::mem::replace(buf, Vec::with_capacity(batch_size));
+                if targets[target].send(Envelope::Batch(full, from)).is_ok() {
+                    *emitted += n as u64;
+                    *batches += 1;
+                }
+            }
+        }
+    }
+
+    /// Ship every pending buffer of this edge.
+    fn flush_all(&mut self, from: usize, batch_size: usize, emitted: &mut u64, batches: &mut u64) {
+        if self.bufs.iter().all(Vec::is_empty) {
+            return;
+        }
+        for t in 0..self.targets.len() {
+            Self::flush_target(
+                &self.targets,
+                &mut self.bufs,
+                t,
+                batch_size,
+                from,
+                emitted,
+                batches,
+            );
+        }
+    }
 }
 
 /// The producer-side API handed to spouts and bolts.
 pub struct Outbox<M> {
     my_global: usize,
     edges: Vec<OutEdge<M>>,
+    /// Messages per transport batch on forward edges (1 = unbatched).
+    batch_size: usize,
     emitted: u64,
+    batches: u64,
 }
 
 impl<M: Clone> Outbox<M> {
     /// Emit `msg` to every non-direct subscription, routed per grouping.
     /// Each delivery clones; callers stream `Arc`-wrapped payloads, so a
-    /// clone is a reference-count bump.
+    /// clone is a reference-count bump. Delivery may be deferred until the
+    /// target's buffer fills, the next punctuation/EOS, or [`Outbox::flush`].
     pub fn emit(&mut self, msg: M) {
-        for edge in &mut self.edges {
-            match &edge.grouping {
+        let Outbox {
+            my_global,
+            edges,
+            batch_size,
+            emitted,
+            batches,
+        } = self;
+        let (from, bs) = (*my_global, *batch_size);
+        for edge in edges.iter_mut() {
+            let n = edge.targets.len();
+            let target = match &edge.grouping {
                 Grouping::Direct => continue,
-                Grouping::Shuffle => {
-                    let t = edge.cursor % edge.targets.len();
-                    edge.cursor = edge.cursor.wrapping_add(1);
-                    if edge.targets[t]
-                        .send(Envelope::Data(msg.clone(), self.my_global))
-                        .is_ok()
-                    {
-                        self.emitted += 1;
-                    }
-                }
-                Grouping::Fields(key) => {
-                    let h = key(&msg);
-                    let t = (h % edge.targets.len() as u64) as usize;
-                    if edge.targets[t]
-                        .send(Envelope::Data(msg.clone(), self.my_global))
-                        .is_ok()
-                    {
-                        self.emitted += 1;
-                    }
-                }
-                Grouping::Global => {
-                    if edge.targets[0]
-                        .send(Envelope::Data(msg.clone(), self.my_global))
-                        .is_ok()
-                    {
-                        self.emitted += 1;
-                    }
-                }
+                // Whole batches round-robin across the subscriber's tasks:
+                // the cursor advances when the current target's batch ships.
+                Grouping::Shuffle => edge.cursor,
+                Grouping::Fields(key) => (key(&msg) % n as u64) as usize,
+                Grouping::Global => 0,
                 Grouping::All => {
-                    for t in &edge.targets {
-                        if t.send(Envelope::Data(msg.clone(), self.my_global)).is_ok() {
-                            self.emitted += 1;
-                        }
+                    for t in 0..n {
+                        edge.push(t, msg.clone(), from, bs, emitted, batches);
                     }
+                    continue;
                 }
+            };
+            edge.push(target, msg.clone(), from, bs, emitted, batches);
+            if matches!(edge.grouping, Grouping::Shuffle)
+                && (bs <= 1 || edge.feedback || edge.bufs[target].is_empty())
+            {
+                edge.cursor = if target + 1 == n { 0 } else { target + 1 };
             }
         }
     }
 
     /// Emit `msg` to task `task` of every direct-grouped subscription.
     pub fn emit_direct(&mut self, task: usize, msg: M) {
-        for edge in &mut self.edges {
-            if matches!(edge.grouping, Grouping::Direct) {
-                if let Some(sender) = edge.targets.get(task) {
-                    if sender
-                        .send(Envelope::Data(msg.clone(), self.my_global))
-                        .is_ok()
-                    {
-                        self.emitted += 1;
-                    }
-                }
+        let Outbox {
+            my_global,
+            edges,
+            batch_size,
+            emitted,
+            batches,
+        } = self;
+        for edge in edges.iter_mut() {
+            if matches!(edge.grouping, Grouping::Direct) && task < edge.targets.len() {
+                edge.push(task, msg.clone(), *my_global, *batch_size, emitted, batches);
             }
         }
     }
 
+    /// Ship every pending output buffer immediately. Emission already
+    /// flushes at `batch_size`, punctuation, and EOS; call this to bound
+    /// latency mid-window (e.g. before blocking on external work).
+    pub fn flush(&mut self) {
+        let Outbox {
+            my_global,
+            edges,
+            batch_size,
+            emitted,
+            batches,
+        } = self;
+        for edge in edges.iter_mut() {
+            edge.flush_all(*my_global, *batch_size, emitted, batches);
+        }
+    }
+
+    /// Data buffered ahead of a punctuation belongs to the closing window:
+    /// flush before sending the token so per-channel FIFO keeps windows
+    /// exactly as an unbatched run would see them.
     fn punctuate(&mut self, p: u64) {
+        self.flush();
         for edge in &mut self.edges {
             for t in &edge.targets {
                 let _ = t.send(Envelope::Punct(p, self.my_global));
@@ -197,6 +365,7 @@ impl<M: Clone> Outbox<M> {
     }
 
     fn eos(&mut self) {
+        self.flush();
         for edge in &mut self.edges {
             for t in &edge.targets {
                 let _ = t.send(Envelope::Eos(self.my_global));
@@ -229,6 +398,7 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         components,
         index,
         channel_capacity,
+        batch_size,
     } = topology;
 
     // Global task numbering: components in order, tasks within.
@@ -241,9 +411,10 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
 
     // Two channels per task: a *bounded* one for forward traffic (the
     // forward graph is a DAG, so bounded sends give deadlock-free
-    // backpressure — a flooding spout is throttled by its slowest consumer)
-    // and an *unbounded* one for feedback control traffic (bounding a cycle
-    // could deadlock).
+    // backpressure — a flooding spout is throttled by its slowest consumer;
+    // with batching, in-flight data is bounded by `capacity × batch_size`
+    // per channel) and an *unbounded* one for feedback control traffic
+    // (bounding a cycle could deadlock).
     let cap = channel_capacity;
     let mut fwd_senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(total);
     let mut fwd_receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(total);
@@ -302,27 +473,38 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
             let global = base[ci] + task;
             let edges: Vec<OutEdge<M>> = out_edges[ci]
                 .iter()
-                .map(|(grouping, target_ci, feedback)| OutEdge {
-                    grouping: grouping.clone(),
-                    targets: (0..par[*target_ci])
-                        .map(|t| {
-                            let g = base[*target_ci] + t;
-                            if *feedback {
-                                fb_senders[g].clone()
-                            } else {
-                                fwd_senders[g].clone()
-                            }
-                        })
-                        .collect(),
-                    // Stagger shuffle cursors per producer so k producers
-                    // doing round-robin do not all hit the same target.
-                    cursor: global,
+                .map(|(grouping, target_ci, feedback)| {
+                    let n = par[*target_ci];
+                    // The builder rejects zero parallelism, so every edge
+                    // has at least one target; the shuffle cursor relies on
+                    // this to advance without re-checking.
+                    debug_assert!(n > 0, "edge to component {target_ci} has no target tasks");
+                    OutEdge {
+                        grouping: grouping.clone(),
+                        targets: (0..n)
+                            .map(|t| {
+                                let g = base[*target_ci] + t;
+                                if *feedback {
+                                    fb_senders[g].clone()
+                                } else {
+                                    fwd_senders[g].clone()
+                                }
+                            })
+                            .collect(),
+                        bufs: (0..n).map(|_| Vec::new()).collect(),
+                        // Stagger shuffle cursors per producer so k producers
+                        // doing round-robin do not all hit the same target.
+                        cursor: global % n,
+                        feedback: *feedback,
+                    }
                 })
                 .collect();
             let outbox = Outbox {
                 my_global: global,
                 edges,
+                batch_size,
                 emitted: 0,
+                batches: 0,
             };
             let instance = match &kind {
                 ComponentKind::Spout(f) => TaskKind::Spout(f(task)),
@@ -373,6 +555,17 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     Ok(RunReport { tasks })
 }
 
+/// Alignment state for one forward upstream task.
+struct UpstreamState<M> {
+    /// Punctuations processed but not yet aligned; `> 0` means *blocked* —
+    /// envelopes from this upstream are buffered, not processed.
+    ahead: u32,
+    /// Buffered envelopes while blocked, FIFO.
+    queue: VecDeque<Envelope<M>>,
+    /// Already enqueued in the aligner's ready queue.
+    in_ready: bool,
+}
+
 /// Punctuation alignment with per-upstream blocking.
 ///
 /// A forward upstream that has already punctuated the window being aligned
@@ -380,27 +573,60 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
 /// has arrived from every forward upstream. This keeps window contents exact
 /// even when upstream tasks run at different speeds — without it, data from
 /// fast upstreams would leak into the previous window.
+///
+/// Upstream state lives in a dense `Vec` indexed through a one-time global
+/// id → slot map (with a last-sender cache, since consecutive envelopes
+/// usually share a sender), and upstreams unblocked by a completed
+/// alignment go onto a ready queue — replay is O(1) amortized per buffered
+/// envelope instead of a scan over all upstreams per step.
 struct Aligner<M> {
-    forward: std::collections::HashSet<usize>,
+    states: Vec<UpstreamState<M>>,
+    /// Global upstream task id → slot in `states`.
+    index_of: HashMap<usize, usize>,
+    /// `(global, slot)` of the last sender seen.
+    last: Option<(usize, usize)>,
     needed: usize,
-    /// Punctuations processed but not yet aligned, per upstream.
-    ahead: HashMap<usize, u32>,
-    /// Buffered envelopes per blocked upstream, FIFO.
-    queues: HashMap<usize, std::collections::VecDeque<Envelope<M>>>,
     punct_counts: HashMap<u64, usize>,
     eos_seen: usize,
+    /// Slots that became unblocked while holding buffered envelopes.
+    ready: VecDeque<usize>,
 }
 
 impl<M: Clone> Aligner<M> {
     fn new(forward_upstreams: &[usize]) -> Self {
         Aligner {
-            forward: forward_upstreams.iter().copied().collect(),
+            states: forward_upstreams
+                .iter()
+                .map(|_| UpstreamState {
+                    ahead: 0,
+                    queue: VecDeque::new(),
+                    in_ready: false,
+                })
+                .collect(),
+            index_of: forward_upstreams
+                .iter()
+                .enumerate()
+                .map(|(slot, &g)| (g, slot))
+                .collect(),
+            last: None,
             needed: forward_upstreams.len(),
-            ahead: HashMap::new(),
-            queues: HashMap::new(),
             punct_counts: HashMap::new(),
             eos_seen: 0,
+            ready: VecDeque::new(),
         }
+    }
+
+    /// Slot of a forward upstream, `None` for feedback senders.
+    #[inline]
+    fn slot_of(&mut self, from: usize) -> Option<usize> {
+        if let Some((global, slot)) = self.last {
+            if global == from {
+                return Some(slot);
+            }
+        }
+        let slot = self.index_of.get(&from).copied()?;
+        self.last = Some((from, slot));
+        Some(slot)
     }
 
     /// Feed one envelope; returns `true` once every forward upstream
@@ -412,21 +638,28 @@ impl<M: Clone> Aligner<M> {
         out: &mut Outbox<M>,
         m: &mut TaskMetrics,
     ) -> bool {
-        let from = match &env {
-            Envelope::Data(_, f) | Envelope::Punct(_, f) | Envelope::Eos(f) => *f,
-        };
-        if !self.forward.contains(&from) {
+        let from = env.source_task();
+        let Some(slot) = self.slot_of(from) else {
             // Feedback edge: data flows immediately, control is ignored.
-            if let Envelope::Data(msg, _) = env {
-                m.received += 1;
-                bolt.execute(msg, out);
+            match env {
+                Envelope::Data(msg, _) => {
+                    m.received += 1;
+                    bolt.execute(msg, out);
+                }
+                Envelope::Batch(msgs, _) => {
+                    m.received += msgs.len() as u64;
+                    for msg in msgs {
+                        bolt.execute(msg, out);
+                    }
+                }
+                _ => {}
             }
             return false;
-        }
-        if self.ahead.get(&from).copied().unwrap_or(0) > 0 {
-            self.queues.entry(from).or_default().push_back(env);
+        };
+        if self.states[slot].ahead > 0 {
+            self.states[slot].queue.push_back(env);
         } else {
-            self.process(env, bolt, out, m);
+            self.process(slot, env, bolt, out, m);
             self.drain(bolt, out, m);
         }
         self.eos_seen == self.needed
@@ -434,6 +667,7 @@ impl<M: Clone> Aligner<M> {
 
     fn process(
         &mut self,
+        slot: usize,
         env: Envelope<M>,
         bolt: &mut dyn Bolt<M>,
         out: &mut Outbox<M>,
@@ -444,8 +678,14 @@ impl<M: Clone> Aligner<M> {
                 m.received += 1;
                 bolt.execute(msg, out);
             }
-            Envelope::Punct(p, from) => {
-                *self.ahead.entry(from).or_insert(0) += 1;
+            Envelope::Batch(msgs, _) => {
+                m.received += msgs.len() as u64;
+                for msg in msgs {
+                    bolt.execute(msg, out);
+                }
+            }
+            Envelope::Punct(p, _) => {
+                self.states[slot].ahead += 1;
                 let c = self.punct_counts.entry(p).or_insert(0);
                 *c += 1;
                 if *c == self.needed {
@@ -453,9 +693,14 @@ impl<M: Clone> Aligner<M> {
                     m.puncts += 1;
                     bolt.on_punct(p, out);
                     out.punctuate(p);
-                    // Retire each upstream's oldest outstanding punctuation.
-                    for a in self.ahead.values_mut() {
-                        *a = a.saturating_sub(1);
+                    // Retire each upstream's oldest outstanding punctuation;
+                    // upstreams that held buffered envelopes become ready.
+                    for (i, st) in self.states.iter_mut().enumerate() {
+                        st.ahead = st.ahead.saturating_sub(1);
+                        if st.ahead == 0 && !st.queue.is_empty() && !st.in_ready {
+                            st.in_ready = true;
+                            self.ready.push_back(i);
+                        }
                     }
                 }
             }
@@ -464,115 +709,128 @@ impl<M: Clone> Aligner<M> {
     }
 
     /// Replay buffered envelopes from upstreams that are no longer blocked;
-    /// an alignment completed during replay can unblock further upstreams.
+    /// an alignment completed during replay can enqueue further upstreams.
     fn drain(&mut self, bolt: &mut dyn Bolt<M>, out: &mut Outbox<M>, m: &mut TaskMetrics) {
-        loop {
-            let candidate = self
-                .queues
-                .iter()
-                .find(|(u, q)| !q.is_empty() && self.ahead.get(u).copied().unwrap_or(0) == 0)
-                .map(|(&u, _)| u);
-            match candidate {
-                Some(u) => {
-                    let env = self
-                        .queues
-                        .get_mut(&u)
-                        .and_then(|q| q.pop_front())
-                        .expect("candidate queue non-empty");
-                    self.process(env, bolt, out, m);
-                }
-                None => break,
+        while let Some(slot) = self.ready.pop_front() {
+            self.states[slot].in_ready = false;
+            while self.states[slot].ahead == 0 {
+                let Some(env) = self.states[slot].queue.pop_front() else {
+                    break;
+                };
+                self.process(slot, env, bolt, out, m);
             }
         }
     }
 }
 
-fn run_task<M: Clone + Send + 'static>(
-    mut w: TaskWiring<M>,
-    metrics: Arc<Mutex<Vec<TaskMetrics>>>,
-) {
+fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<TaskMetrics>>>) {
+    let TaskWiring {
+        info,
+        rx,
+        fb_rx,
+        mut outbox,
+        forward_upstreams,
+        has_feedback_upstream,
+        kind,
+    } = w;
     let mut m = TaskMetrics {
-        component: w.info.component.clone(),
-        task: w.info.task_index,
+        component: info.component.clone(),
+        task: info.task_index,
         ..TaskMetrics::default()
     };
 
-    match &mut w.kind {
-        TaskKind::Spout(spout) => loop {
+    match kind {
+        TaskKind::Spout(mut spout) => loop {
             let t0 = std::time::Instant::now();
             let emission = spout.next();
             m.busy += t0.elapsed();
             match emission {
                 SpoutEmit::Message(msg) => {
-                    w.outbox.emit(msg);
+                    outbox.emit(msg);
                 }
                 SpoutEmit::Punctuate(p) => {
                     m.puncts += 1;
-                    w.outbox.punctuate(p);
+                    outbox.punctuate(p);
                 }
                 SpoutEmit::Done => {
-                    w.outbox.eos();
+                    outbox.eos();
                     break;
                 }
             }
         },
-        TaskKind::Bolt(bolt) => {
-            bolt.prepare(&w.info);
-            let mut align = Aligner::new(&w.forward_upstreams);
+        TaskKind::Bolt(mut bolt) => {
+            bolt.prepare(&info);
+            let mut align = Aligner::new(&forward_upstreams);
             let mut fwd_open = true;
-            let mut fb_open = w.has_feedback_upstream;
-            'run: while fwd_open {
-                // Select over the forward (bounded) and feedback (unbounded)
-                // channels; feedback control traffic interleaves with data.
-                let mut sel = Select::new();
-                let fwd_idx = sel.recv(&w.rx);
-                let fb_idx = if fb_open {
-                    Some(sel.recv(&w.fb_rx))
-                } else {
-                    None
-                };
-                let op = sel.select();
-                let idx = op.index();
-                if idx == fwd_idx {
-                    match op.recv(&w.rx) {
+            let mut fb_open = has_feedback_upstream;
+            // The selector over the forward (bounded) and feedback
+            // (unbounded) channels is built ONCE, outside the receive loop —
+            // rebuilding it per message was a measurable per-tuple cost. It
+            // is only consulted while both channels are live; with a single
+            // live channel the loop below falls back to a plain `recv`.
+            let mut sel = Select::new();
+            let fwd_idx = sel.recv(&rx);
+            let fb_idx = sel.recv(&fb_rx);
+            while fwd_open {
+                if !fb_open {
+                    // Hot path (no feedback upstream, or feedback senders
+                    // already gone): single-channel blocking receive.
+                    match rx.recv() {
                         Ok(envelope) => {
                             let t0 = std::time::Instant::now();
-                            let done = align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                            let done = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
                             m.busy += t0.elapsed();
                             if done {
-                                break 'run; // all forward upstreams at EOS
+                                break; // all forward upstreams at EOS
                             }
                         }
                         // All forward senders gone (e.g. upstream panicked).
                         Err(_) => fwd_open = false,
                     }
-                } else if Some(idx) == fb_idx {
-                    match op.recv(&w.fb_rx) {
+                    continue;
+                }
+                let op = sel.select();
+                let idx = op.index();
+                if idx == fwd_idx {
+                    match op.recv(&rx) {
                         Ok(envelope) => {
                             let t0 = std::time::Instant::now();
-                            let _ = align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                            let done = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
+                            m.busy += t0.elapsed();
+                            if done {
+                                break; // all forward upstreams at EOS
+                            }
+                        }
+                        Err(_) => fwd_open = false,
+                    }
+                } else if idx == fb_idx {
+                    match op.recv(&fb_rx) {
+                        Ok(envelope) => {
+                            let t0 = std::time::Instant::now();
+                            let _ = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
                             m.busy += t0.elapsed();
                         }
                         Err(_) => fb_open = false,
                     }
                 }
             }
-            bolt.finish(&mut w.outbox);
-            w.outbox.eos();
-            if w.has_feedback_upstream {
+            bolt.finish(&mut outbox);
+            outbox.eos();
+            if has_feedback_upstream {
                 // Control loops may still be sending while their own
                 // shutdown propagates; drain and process those messages so
                 // adaptive state and counters stay exact. Feedback senders
                 // terminate on forward EOS and drop the channel, ending
                 // this loop. (Feedback edges must therefore not form cycles
                 // among themselves.)
-                while let Ok(envelope) = w.fb_rx.recv() {
-                    let _ = align.handle(envelope, bolt.as_mut(), &mut w.outbox, &mut m);
+                while let Ok(envelope) = fb_rx.recv() {
+                    let _ = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
                 }
             }
         }
     }
 
-    m.emitted = w.outbox.emitted;
+    m.emitted = outbox.emitted;
+    m.batches = outbox.batches;
     metrics.lock().push(m);
 }

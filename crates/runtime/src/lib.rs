@@ -7,6 +7,11 @@
 //! channels. Window boundaries travel as aligned punctuations; control
 //! loops (Merger → Assigner → Merger in Fig. 2) use feedback edges.
 //!
+//! Forward-edge transport is micro-batched: producers buffer up to
+//! [`TopologyBuilder::batch_size`] messages per target and ship them as one
+//! envelope, flushing on punctuation and EOS so windows stay exact (see the
+//! module docs of the executor). Feedback edges are never batched.
+//!
 //! ```
 //! use ssj_runtime::{TopologyBuilder, Grouping, VecSpout, CollectorBolt, run};
 //!
@@ -601,6 +606,222 @@ mod tests {
             .unwrap();
         run(t).unwrap();
         assert_eq!(handle.len(), 20);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn batched_pipeline_matches_unbatched() {
+        let mut results = Vec::new();
+        for bs in [1usize, 7, 64] {
+            let sink = CollectorBolt::new();
+            let handle = sink.handle();
+            let t = TopologyBuilder::new()
+                .batch_size(bs)
+                .spout("src", 1, |_| VecSpout::boxed((1..=100).collect()))
+                .bolt("add", 4, |_| fn_bolt(|x: i32, out| out.emit(x + 1)))
+                .subscribe("src", Grouping::Shuffle)
+                .done()
+                .bolt("sink", 1, move |_| Box::new(sink.clone()))
+                .subscribe("add", Grouping::Global)
+                .done()
+                .build()
+                .unwrap();
+            run(t).unwrap();
+            let mut v = handle.take();
+            v.sort();
+            results.push(v);
+        }
+        assert_eq!(results[0], (2..=101).collect::<Vec<_>>());
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn shuffle_round_robins_whole_batches() {
+        let t = TopologyBuilder::new()
+            .batch_size(100)
+            .spout("src", 1, |_| VecSpout::boxed((0..1200).collect()))
+            .bolt("work", 3, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        // 12 full batches of 100 round-robin across 3 tasks → 4 each.
+        assert_eq!(report.received_per_task("work"), vec![400, 400, 400]);
+        assert_eq!(report.batches("src"), 12);
+        assert!((report.avg_batch_size("src") - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eos_flushes_partial_batches() {
+        // batch_size far larger than the stream: everything rides the final
+        // EOS flush.
+        let sink = CollectorBolt::new();
+        let handle = sink.handle();
+        let t = TopologyBuilder::new()
+            .batch_size(1000)
+            .spout("src", 1, |_| VecSpout::boxed((0..10).collect()))
+            .bolt("sink", 1, move |_| Box::new(sink.clone()))
+            .subscribe("src", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        let mut v = handle.take();
+        v.sort();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+        assert_eq!(report.batches("src"), 1);
+        assert!((report.avg_batch_size("src") - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_punctuation_windows_exact() {
+        struct WindowCounter {
+            count: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Bolt<i32> for WindowCounter {
+            fn execute(&mut self, _msg: i32, _out: &mut Outbox<i32>) {
+                self.count += 1;
+            }
+            fn on_punct(&mut self, _p: u64, _out: &mut Outbox<i32>) {
+                self.out.lock().push(self.count);
+                self.count = 0;
+            }
+        }
+        for bs in [7usize, 64] {
+            let windows = Arc::new(Mutex::new(Vec::new()));
+            let w2 = Arc::clone(&windows);
+            let t = TopologyBuilder::new()
+                .batch_size(bs)
+                .spout("src", 1, |_| {
+                    Box::new(VecSpout::with_punctuation((0..20).collect(), 5))
+                })
+                .bolt("mid", 3, |_| fn_bolt(|x: i32, out| out.emit(x)))
+                .subscribe("src", Grouping::Shuffle)
+                .done()
+                .bolt("win", 1, move |_| {
+                    Box::new(WindowCounter {
+                        count: 0,
+                        out: Arc::clone(&w2),
+                    })
+                })
+                .subscribe("mid", Grouping::Global)
+                .done()
+                .build()
+                .unwrap();
+            run(t).unwrap();
+            let got = windows.lock().clone();
+            assert_eq!(got, vec![5, 5, 5, 5], "batch_size={bs}");
+        }
+    }
+
+    #[test]
+    fn fields_grouping_batched_routes_equal_keys_together() {
+        let seen = Arc::new(Mutex::new(Vec::<(usize, i32)>::new()));
+        let seen2 = Arc::clone(&seen);
+        struct Tagger {
+            task: usize,
+            seen: Arc<Mutex<Vec<(usize, i32)>>>,
+        }
+        impl Bolt<i32> for Tagger {
+            fn prepare(&mut self, info: &TaskInfo) {
+                self.task = info.task_index;
+            }
+            fn execute(&mut self, msg: i32, _out: &mut Outbox<i32>) {
+                self.seen.lock().push((self.task, msg));
+            }
+        }
+        let t = TopologyBuilder::new()
+            .batch_size(4)
+            .spout("src", 1, |_| {
+                VecSpout::boxed((0..30).map(|i| i % 5).collect())
+            })
+            .bolt("part", 3, move |_| {
+                Box::new(Tagger {
+                    task: usize::MAX,
+                    seen: Arc::clone(&seen2),
+                })
+            })
+            .subscribe("src", Grouping::Fields(Arc::new(|x: &i32| *x as u64)))
+            .done()
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        let log = seen.lock();
+        assert_eq!(log.len(), 30);
+        for key in 0..5 {
+            let tasks: std::collections::HashSet<usize> = log
+                .iter()
+                .filter(|(_, k)| *k == key)
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(tasks.len(), 1, "key {key} hit tasks {tasks:?}");
+        }
+    }
+
+    #[test]
+    fn direct_grouping_batched() {
+        let t = TopologyBuilder::new()
+            .batch_size(4)
+            .spout("src", 1, |_| VecSpout::boxed((0..9).collect()))
+            .bolt("router", 1, |_| {
+                fn_bolt(|x: i32, out: &mut Outbox<i32>| out.emit_direct((x % 3) as usize, x))
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .bolt("worker", 3, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("router", Grouping::Direct)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        assert_eq!(report.received_per_task("worker"), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn explicit_flush_ships_partial_batch() {
+        // A bolt that flushes after every emit produces one batch per message
+        // even with a large batch_size configured.
+        let t = TopologyBuilder::new()
+            .batch_size(64)
+            .spout("src", 1, |_| VecSpout::boxed((0..10).collect()))
+            .bolt("eager", 1, |_| {
+                fn_bolt(|x: i32, out: &mut Outbox<i32>| {
+                    out.emit(x);
+                    out.flush();
+                })
+            })
+            .subscribe("src", Grouping::Global)
+            .done()
+            .bolt("sink", 1, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("eager", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        assert_eq!(report.received("sink"), 10);
+        assert_eq!(report.batches("eager"), 10);
+        assert!((report.avg_batch_size("eager") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_grouping_batched_replicates() {
+        let t = TopologyBuilder::new()
+            .batch_size(4)
+            .spout("src", 1, |_| VecSpout::boxed(vec![7; 10]))
+            .bolt("bcast", 3, |_| fn_bolt(|_x: i32, _out| {}))
+            .subscribe("src", Grouping::All)
+            .done()
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        assert_eq!(report.received_per_task("bcast"), vec![10, 10, 10]);
     }
 }
 

@@ -137,6 +137,7 @@ impl std::error::Error for TopologyError {}
 pub struct TopologyBuilder<M> {
     components: Vec<Component<M>>,
     channel_capacity: usize,
+    batch_size: usize,
 }
 
 impl<M> Default for TopologyBuilder<M> {
@@ -144,6 +145,7 @@ impl<M> Default for TopologyBuilder<M> {
         TopologyBuilder {
             components: Vec::new(),
             channel_capacity: 1024,
+            batch_size: 1,
         }
     }
 }
@@ -159,6 +161,17 @@ impl<M> TopologyBuilder<M> {
     /// slowest consumer; feedback channels stay unbounded regardless.
     pub fn channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Messages per transport batch on forward edges (default 1 =
+    /// unbatched). Producers buffer up to `n` messages per target and ship
+    /// them as one envelope, amortizing the per-message channel cost;
+    /// buffers always flush before punctuation and EOS, so window contents
+    /// are identical to an unbatched run and latency is bounded by window
+    /// boundaries. Feedback edges are never batched.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
         self
     }
 
@@ -255,6 +268,7 @@ impl<M> TopologyBuilder<M> {
             components: self.components,
             index,
             channel_capacity: self.channel_capacity,
+            batch_size: self.batch_size,
         })
     }
 }
@@ -336,6 +350,7 @@ pub struct Topology<M> {
     pub(crate) components: Vec<Component<M>>,
     pub(crate) index: HashMap<String, usize>,
     pub(crate) channel_capacity: usize,
+    pub(crate) batch_size: usize,
 }
 
 impl<M> Topology<M> {

@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> runtime throughput smoke bench vs committed baseline"
+cargo build --release -q -p ssj-bench --bin bench_runtime
+./target/release/bench_runtime --check BENCH_runtime.json
+
 echo "==> all checks passed"
