@@ -13,7 +13,12 @@
 //!   at the repository root;
 //! * `--smoke`: run only the (fast) smoke suite, write the same file;
 //! * `--check FILE`: rerun the smoke suite and exit non-zero if any smoke
-//!   measurement regresses by more than 20% versus the baseline in FILE.
+//!   measurement regresses by more than 20% versus the baseline in FILE,
+//!   or if the metrics-enabled join run falls more than 5% behind the
+//!   metrics-off join run of the same session (observability overhead
+//!   budget);
+//! * `--overhead`: run only the paired metrics-off / metrics-on join
+//!   comparison and apply the 5% gate.
 //!
 //! The JSON is written one measurement per line so the `--check` mode (and
 //! shell tooling) can parse it without a JSON library.
@@ -93,14 +98,18 @@ fn chain_run(n: u64, batch: usize) -> Measurement {
     }
 }
 
-/// The real join topology on nbData documents.
-fn join_run(docs_n: usize, window: usize, batch: usize) -> Measurement {
+/// The real join topology on nbData documents, with or without the full
+/// observability layer (histograms + per-window snapshots + trace).
+fn join_run(docs_n: usize, window: usize, batch: usize, metrics: bool) -> Measurement {
     let (dict, docs) = DataSet::NbData.generate(docs_n, 42);
     let cfg = StreamJoinConfig::default()
         .with_m(4)
         .with_window(window)
         .with_expansion(false)
-        .with_batch_size(batch);
+        .with_batch_size(batch)
+        .with_metrics(metrics)
+        .build()
+        .unwrap();
     let start = Instant::now();
     let report = run_topology(cfg, &dict, docs).unwrap();
     let secs = start.elapsed().as_secs_f64();
@@ -112,8 +121,15 @@ fn join_run(docs_n: usize, window: usize, batch: usize) -> Measurement {
         docs_n / window,
         "join topology lost windows"
     );
+    if metrics {
+        assert!(
+            !report.runtime.windows.is_empty(),
+            "metrics run produced no per-window snapshots"
+        );
+    }
+    let tag = if metrics { "/metrics" } else { "" };
     Measurement {
-        id: format!("join/nbData/batch={batch}"),
+        id: format!("join/nbData{tag}/batch={batch}"),
         tuples_per_sec: docs_n as f64 / secs,
         tuples: docs_n as u64,
         secs,
@@ -151,14 +167,49 @@ fn run_suite(
         out.push(m);
     }
     for &b in &[1usize, 64] {
-        let m = best_of(reps, || join_run(join_n, join_n / 3, b));
+        let m = best_of(reps, || join_run(join_n, join_n / 3, b, false));
         println!(
             "{name}: {} -> {:.0} docs/s ({} docs in {:.3}s, avg batch {:.1})",
             m.id, m.tuples_per_sec, m.tuples, m.secs, m.avg_batch
         );
         out.push(m);
     }
+    // The same join with the full observability layer on: histograms on the
+    // hot path, a collector snapshotting per punctuation, and the trace
+    // ring. Its rate versus the metrics-off run above is the overhead gate.
+    let m = best_of(reps, || join_run(join_n, join_n / 3, 64, true));
+    println!(
+        "{name}: {} -> {:.0} docs/s ({} docs in {:.3}s, avg batch {:.1})",
+        m.id, m.tuples_per_sec, m.tuples, m.secs, m.avg_batch
+    );
+    out.push(m);
     out
+}
+
+/// Paired metrics-off / metrics-on comparison; returns the on/off ratio.
+fn overhead_ratio(reps: usize, join_n: usize) -> f64 {
+    let off = best_of(reps, || join_run(join_n, join_n / 3, 64, false));
+    let on = best_of(reps, || join_run(join_n, join_n / 3, 64, true));
+    let ratio = on.tuples_per_sec / off.tuples_per_sec;
+    println!(
+        "overhead: metrics off {:.0} docs/s, on {:.0} docs/s ({:.3}x)",
+        off.tuples_per_sec, on.tuples_per_sec, ratio
+    );
+    ratio
+}
+
+/// Exit code for the 5% observability-overhead budget.
+fn overhead_gate(ratio: f64) -> i32 {
+    if ratio < 0.95 {
+        eprintln!(
+            "metrics overhead exceeds the 5% budget ({:.1}% slower)",
+            (1.0 - ratio) * 100.0
+        );
+        1
+    } else {
+        println!("metrics overhead within the 5% budget");
+        0
+    }
 }
 
 fn smoke() -> Vec<Measurement> {
@@ -281,8 +332,22 @@ fn check(baseline_path: &str) -> i32 {
             m.tuples_per_sec, ratio
         );
     }
+    // Observability-overhead budget: the metrics-on join of this same
+    // session must stay within 5% of the metrics-off join. Paired fresh
+    // runs, so machine-to-machine noise cancels out.
+    let rate = |id: &str| fresh.iter().find(|m| m.id == id).map(|m| m.tuples_per_sec);
+    if let (Some(off), Some(on)) = (
+        rate("join/nbData/batch=64"),
+        rate("join/nbData/metrics/batch=64"),
+    ) {
+        let ratio = on / off;
+        println!("check join metrics on/off: {ratio:.3}x");
+        if overhead_gate(ratio) != 0 {
+            failed = true;
+        }
+    }
     if failed {
-        eprintln!("runtime throughput regressed >20% versus {baseline_path}");
+        eprintln!("runtime throughput regressed versus {baseline_path} or the overhead budget");
         1
     } else {
         0
@@ -304,6 +369,10 @@ fn main() {
             speedup_summary(&s);
             write_report(&s, None);
         }
+        Some("--overhead") => {
+            let ratio = overhead_ratio(5, 4_500);
+            std::process::exit(overhead_gate(ratio));
+        }
         None => {
             let s = smoke();
             let f = full();
@@ -312,7 +381,9 @@ fn main() {
             write_report(&s, Some(&f));
         }
         Some(other) => {
-            eprintln!("unknown argument {other}; usage: bench_runtime [--smoke | --check FILE]");
+            eprintln!(
+                "unknown argument {other}; usage: bench_runtime [--smoke | --overhead | --check FILE]"
+            );
             std::process::exit(2);
         }
     }

@@ -26,9 +26,13 @@ fn main() {
     for dataset in DataSet::all() {
         for m in [1usize, 2, 4, 8] {
             let (dict, docs) = dataset.generate(docs_per_run, 42);
-            let mut cfg = StreamJoinConfig::default().with_m(m).with_window(window);
-            cfg.partition_creators = 2;
-            cfg.assigners = 4;
+            let cfg = StreamJoinConfig::default()
+                .with_m(m)
+                .with_window(window)
+                .with_partition_creators(2)
+                .with_assigners(4)
+                .build()
+                .expect("valid scaling config");
             let t0 = Instant::now();
             let report = run_topology(cfg, &dict, docs).expect("run");
             let secs = t0.elapsed().as_secs_f64();
@@ -48,12 +52,14 @@ fn main() {
     println!("{:<6} {:>12} {:>12}", "algo", "seconds", "docs/sec");
     for algo in JoinAlgo::all() {
         let (dict, docs) = DataSet::RwData.generate(docs_per_run, 42);
-        let mut cfg = StreamJoinConfig::default()
+        let cfg = StreamJoinConfig::default()
             .with_m(4)
             .with_window(window)
-            .with_join(algo);
-        cfg.partition_creators = 2;
-        cfg.assigners = 4;
+            .with_join(algo)
+            .with_partition_creators(2)
+            .with_assigners(4)
+            .build()
+            .expect("valid scaling config");
         let t0 = Instant::now();
         run_topology(cfg, &dict, docs).expect("run");
         let secs = t0.elapsed().as_secs_f64();

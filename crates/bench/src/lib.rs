@@ -119,7 +119,9 @@ pub fn partition_experiment(
         .with_window(window_docs)
         .with_theta(theta)
         .with_partitioner(kind)
-        .with_expansion(true);
+        .with_expansion(true)
+        .build()
+        .expect("valid experiment config");
     let mut pipeline = Pipeline::new(cfg, dict);
     pipeline.compute_joins = false;
     let report = pipeline.run(docs);
@@ -157,7 +159,9 @@ pub fn ideal_experiment(kind: PartitionerKind, m: usize, scale: Scale) -> Partit
         .with_m(m)
         .with_window(base.len() + base.len() / 100)
         .with_partitioner(kind)
-        .with_expansion(true);
+        .with_expansion(true)
+        .build()
+        .expect("valid experiment config");
     let mut pipeline = Pipeline::new(cfg, dict);
     pipeline.compute_joins = false;
     let mut reports = Vec::new();

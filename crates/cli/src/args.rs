@@ -1,7 +1,237 @@
-//! A small hand-rolled argument parser: `--key value` pairs, `--flag`
-//! booleans, and one positional subcommand.
+//! Declarative command-line parsing.
+//!
+//! Every subcommand declares its flag table — name, whether it takes a
+//! value, the displayed default, and a help line — and both the parser and
+//! the `--help`/usage text are generated from that one table. Adding a flag
+//! is one [`FlagSpec`] entry; unknown options are rejected at parse time.
 
 use std::collections::HashMap;
+
+/// One command-line option of a subcommand.
+pub struct FlagSpec {
+    /// Name without the leading `--`.
+    pub name: &'static str,
+    /// Whether the option consumes the following argument as its value.
+    pub takes_value: bool,
+    /// Default shown in the generated help (`None` for optional/boolean).
+    pub default: Option<&'static str>,
+    /// One help line.
+    pub help: &'static str,
+}
+
+/// A valued option.
+const fn opt(name: &'static str, default: Option<&'static str>, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+        default,
+        help,
+    }
+}
+
+/// A boolean flag.
+const fn flag(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+        default: None,
+        help,
+    }
+}
+
+/// One subcommand and its flag table.
+pub struct CommandSpec {
+    /// Subcommand name.
+    pub name: &'static str,
+    /// One-line summary for the usage text.
+    pub summary: &'static str,
+    /// Accepted options, in help order.
+    pub flags: &'static [FlagSpec],
+}
+
+const DATASET: FlagSpec = opt(
+    "dataset",
+    Some("rwdata"),
+    "rwdata|nbdata|tweets (aliases: rw, nb)",
+);
+const INPUT: FlagSpec = opt("input", None, "read documents from a JSON Lines file");
+const COUNT: FlagSpec = opt("count", Some("10000"), "documents to generate");
+const SEED: FlagSpec = opt("seed", Some("42"), "generator seed");
+const M: FlagSpec = opt("m", Some("8"), "partitions = Joiner instances");
+const WINDOW: FlagSpec = opt("window", Some("1500"), "documents per tumbling window");
+const WINDOWS: FlagSpec = opt("windows", None, "truncate the stream to K windows");
+const PARTITIONER: FlagSpec = opt("partitioner", Some("ag"), "ag|sc|ds|hash");
+const THETA: FlagSpec = opt("theta", Some("0.2"), "repartitioning threshold");
+const DELTA: FlagSpec = opt("delta", Some("3"), "unseen-pair update threshold");
+const CREATORS: FlagSpec = opt("creators", Some("2"), "PartitionCreator parallelism");
+const ASSIGNERS: FlagSpec = opt("assigners", Some("6"), "Assigner parallelism");
+const BATCH: FlagSpec = opt("batch", Some("64"), "transport micro-batch size (1 = off)");
+const ALGO: FlagSpec = opt("algo", Some("fpj"), "local join algorithm: fpj|nlj|hbj");
+const NO_EXPANSION: FlagSpec = flag("no-expansion", "disable attribute-value expansion");
+const METRICS_OUT: FlagSpec = opt(
+    "metrics-out",
+    None,
+    "write per-window metrics + trace as JSON lines to FILE",
+);
+const NO_METRICS: FlagSpec = flag("no-metrics", "disable histogram/trace collection");
+
+/// Every subcommand of the `ssj` binary.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "generate",
+        summary: "produce a synthetic document stream as JSON Lines",
+        flags: &[
+            DATASET,
+            COUNT,
+            SEED,
+            opt("out", None, "write to FILE instead of stdout"),
+        ],
+    },
+    CommandSpec {
+        name: "join",
+        summary: "join one batch of documents locally",
+        flags: &[
+            ALGO,
+            INPUT,
+            DATASET,
+            COUNT,
+            SEED,
+            flag("emit", "print the joined documents"),
+            flag("stats", "print FP-tree statistics"),
+        ],
+    },
+    CommandSpec {
+        name: "pipeline",
+        summary: "run the deterministic window pipeline, print per-window metrics",
+        flags: &[
+            DATASET,
+            INPUT,
+            COUNT,
+            SEED,
+            M,
+            WINDOW,
+            WINDOWS,
+            PARTITIONER,
+            THETA,
+            DELTA,
+            CREATORS,
+            ASSIGNERS,
+            BATCH,
+            ALGO,
+            opt(
+                "window-by",
+                None,
+                "ATTR:WIDTH — event-time windows instead of counts",
+            ),
+            NO_EXPANSION,
+            flag("no-joins", "route only, skip join computation"),
+            flag("csv", "emit per-window rows as CSV"),
+            flag("jsonl", "emit per-window rows as JSON lines"),
+        ],
+    },
+    CommandSpec {
+        name: "partition",
+        summary: "create partitions from one window and dump them",
+        flags: &[
+            DATASET,
+            INPUT,
+            COUNT,
+            SEED,
+            M,
+            PARTITIONER,
+            NO_EXPANSION,
+            opt("save", None, "save the partition snapshot to FILE"),
+        ],
+    },
+    CommandSpec {
+        name: "route",
+        summary: "route documents with a saved partition snapshot",
+        flags: &[
+            opt("load", None, "partition snapshot to route with (required)"),
+            INPUT,
+            DATASET,
+            COUNT,
+            SEED,
+        ],
+    },
+    CommandSpec {
+        name: "stats",
+        summary: "attribute statistics of a document batch",
+        flags: &[DATASET, INPUT, COUNT, SEED],
+    },
+    CommandSpec {
+        name: "topology",
+        summary: "run the threaded Fig. 2 topology",
+        flags: &[
+            DATASET,
+            INPUT,
+            COUNT,
+            SEED,
+            M,
+            WINDOW,
+            PARTITIONER,
+            THETA,
+            DELTA,
+            CREATORS,
+            ASSIGNERS,
+            BATCH,
+            ALGO,
+            NO_EXPANSION,
+            flag("dot", "print the topology as Graphviz DOT and exit"),
+        ],
+    },
+    CommandSpec {
+        name: "run",
+        summary: "run the threaded topology with full observability",
+        flags: &[
+            DATASET,
+            INPUT,
+            COUNT,
+            SEED,
+            M,
+            WINDOW,
+            PARTITIONER,
+            THETA,
+            DELTA,
+            CREATORS,
+            ASSIGNERS,
+            BATCH,
+            ALGO,
+            NO_EXPANSION,
+            METRICS_OUT,
+            NO_METRICS,
+        ],
+    },
+    CommandSpec {
+        name: "help",
+        summary: "show this text",
+        flags: &[],
+    },
+];
+
+/// The usage text, generated from [`COMMANDS`].
+pub fn usage() -> String {
+    let mut s = String::from(
+        "ssj — scale-out natural joins over schema-free JSON streams\n\n\
+         USAGE: ssj <command> [options]\n\nCOMMANDS\n",
+    );
+    for c in COMMANDS {
+        s.push_str(&format!("  {:<10} {}\n", c.name, c.summary));
+        for f in c.flags {
+            let left = if f.takes_value {
+                format!("--{} <V>", f.name)
+            } else {
+                format!("--{}", f.name)
+            };
+            let default = match f.default {
+                Some(d) => format!(" [default: {d}]"),
+                None => String::new(),
+            };
+            s.push_str(&format!("             {left:<18} {}{default}\n", f.help));
+        }
+    }
+    s
+}
 
 /// Parsed command line: the subcommand plus its options.
 #[derive(Debug, Default)]
@@ -14,36 +244,21 @@ pub struct Args {
     pub positionals: Vec<String>,
 }
 
-/// Option keys that take a value; anything else starting with `--` is a flag.
-const VALUED: &[&str] = &[
-    "dataset",
-    "count",
-    "seed",
-    "out",
-    "input",
-    "algo",
-    "m",
-    "window",
-    "windows",
-    "partitioner",
-    "theta",
-    "delta",
-    "creators",
-    "assigners",
-    "batch",
-    "window-by",
-    "save",
-    "load",
-];
-
 impl Args {
     /// Parse from an iterator of arguments (without the program name).
+    /// Options are validated against the subcommand's [`CommandSpec`]:
+    /// unknown options and missing values are rejected here.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
         let mut out = Args::default();
-        let mut it = args.into_iter().peekable();
+        let mut spec: Option<&CommandSpec> = None;
+        let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                if VALUED.contains(&key) {
+                let cmd = out.command.as_deref().unwrap_or("<none>");
+                let Some(f) = spec.and_then(|s| s.flags.iter().find(|f| f.name == key)) else {
+                    return Err(format!("unknown option --{key} for '{cmd}'"));
+                };
+                if f.takes_value {
                     let value = it
                         .next()
                         .ok_or_else(|| format!("--{key} requires a value"))?;
@@ -52,6 +267,10 @@ impl Args {
                     out.flags.push(key.to_owned());
                 }
             } else if out.command.is_none() {
+                spec = COMMANDS.iter().find(|c| c.name == arg);
+                if spec.is_none() {
+                    return Err(format!("unknown command '{arg}'"));
+                }
                 out.command = Some(arg);
             } else {
                 out.positionals.push(arg);
@@ -82,16 +301,6 @@ impl Args {
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
-
-    /// Reject unknown flags (typo guard).
-    pub fn check_flags(&self, allowed: &[&str]) -> Result<(), String> {
-        for f in &self.flags {
-            if !allowed.contains(&f.as_str()) {
-                return Err(format!("unknown flag --{f}"));
-            }
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -116,7 +325,7 @@ mod tests {
         assert_eq!(a.get("m"), Some("8"));
         assert_eq!(a.get("dataset"), Some("rwdata"));
         assert!(a.flag("no-expansion"));
-        assert!(!a.flag("dot"));
+        assert!(!a.flag("csv"));
     }
 
     #[test]
@@ -140,9 +349,26 @@ mod tests {
     }
 
     #[test]
-    fn unknown_flag_detected() {
-        let a = parse(&["join", "--frobnicate"]);
-        assert!(a.check_flags(&["emit"]).is_err());
-        assert!(a.check_flags(&["frobnicate"]).is_ok());
+    fn unknown_option_rejected_at_parse() {
+        let err = Args::parse(["join".to_string(), "--frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        // The same option is fine on a command that declares it.
+        assert!(parse(&["run", "--no-metrics"]).flag("no-metrics"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = Args::parse(["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn usage_is_generated_from_the_spec() {
+        let text = usage();
+        for c in COMMANDS {
+            assert!(text.contains(c.name), "usage misses {}", c.name);
+        }
+        assert!(text.contains("--metrics-out"));
+        assert!(text.contains("[default: 1500]"));
     }
 }

@@ -10,7 +10,9 @@
 mod args;
 
 use args::Args;
-use ssj_core::{run_topology, Pipeline, StreamJoinConfig};
+use ssj_core::{
+    run_topology, CsvSink, HumanSummarySink, JsonlSink, Pipeline, ReportSink, StreamJoinConfig,
+};
 use ssj_data::{NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen, TweetConfig, TweetGen};
 use ssj_join::JoinAlgo;
 use ssj_json::{write_documents_jsonl, Dictionary, DocId, Document, DocumentReader};
@@ -19,39 +21,11 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::time::Instant;
 
-const USAGE: &str = "\
-ssj — scale-out natural joins over schema-free JSON streams
-
-USAGE: ssj <command> [options]
-
-COMMANDS
-  generate   produce a synthetic document stream as JSON Lines
-             --dataset rwdata|nbdata|tweets  --count N  [--seed S] [--out FILE]
-  join       join one batch of documents locally
-             --algo fpj|nlj|hbj  [--input FILE]  [--emit]  [--stats]
-  pipeline   run the deterministic window pipeline, print per-window metrics
-             --dataset ...|--input FILE  --m M --window W [--windows K]
-             [--partitioner ag|sc|ds|hash] [--theta T] [--delta D]
-             [--no-expansion] [--count N] [--seed S] [--csv]
-             [--window-by ATTR:WIDTH]   event-time windows instead of counts
-  partition  create partitions from one window and dump them
-             --dataset ...|--input FILE  --m M [--partitioner ag|sc|ds|hash]
-             [--no-expansion] [--count N] [--seed S] [--save FILE]
-  route      route documents with a saved partition snapshot
-             --load FILE  [--input FILE | --dataset ... --count N]
-  stats      attribute statistics of a document batch (frequency, distinct
-             values, ubiquity) --dataset ...|--input FILE [--count N]
-  topology   run the threaded Fig. 2 topology
-             same data options; [--creators N] [--assigners N] [--dot]
-             [--batch N]  transport micro-batch size (default 64, 1 = off)
-  help       show this text
-";
-
 fn main() {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", args::usage());
             std::process::exit(2);
         }
     };
@@ -63,11 +37,12 @@ fn main() {
         Some("route") => cmd_route(&args),
         Some("stats") => cmd_stats(&args),
         Some("topology") => cmd_topology(&args),
+        Some("run") => cmd_run(&args),
         Some("help") | None => {
-            print!("{USAGE}");
+            print!("{}", args::usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", args::usage())),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
@@ -79,7 +54,7 @@ fn generate_docs(args: &Args, dict: &Dictionary) -> Result<Vec<Document>, String
     let count: usize = args.get_or("count", 10_000)?;
     let seed: u64 = args.get_or("seed", 42)?;
     match args.get("dataset").unwrap_or("rwdata") {
-        "rwdata" => Ok(ServerLogGen::new(
+        "rwdata" | "rw" => Ok(ServerLogGen::new(
             ServerLogConfig {
                 seed,
                 ..Default::default()
@@ -87,7 +62,7 @@ fn generate_docs(args: &Args, dict: &Dictionary) -> Result<Vec<Document>, String
             dict.clone(),
         )
         .take_docs(count)),
-        "nbdata" => Ok(NoBenchGen::new(
+        "nbdata" | "nb" => Ok(NoBenchGen::new(
             NoBenchConfig {
                 seed,
                 ..Default::default()
@@ -103,7 +78,9 @@ fn generate_docs(args: &Args, dict: &Dictionary) -> Result<Vec<Document>, String
             dict.clone(),
         )
         .take_docs(count)),
-        other => Err(format!("unknown dataset '{other}' (rwdata|nbdata|tweets)")),
+        other => Err(format!(
+            "unknown dataset '{other}' (rwdata|nbdata|tweets, aliases rw|nb)"
+        )),
     }
 }
 
@@ -121,7 +98,6 @@ fn load_docs(args: &Args, dict: &Dictionary) -> Result<Vec<Document>, String> {
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
-    args.check_flags(&[])?;
     let dict = Dictionary::new();
     let docs = generate_docs(args, &dict)?;
     let write = |w: &mut dyn Write| -> io::Result<usize> {
@@ -140,7 +116,6 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_join(args: &Args) -> Result<(), String> {
-    args.check_flags(&["emit", "stats"])?;
     let algo: JoinAlgo = args.get("algo").unwrap_or("fpj").parse()?;
     let dict = Dictionary::new();
     let docs = load_docs(args, &dict)?;
@@ -172,8 +147,8 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn pipeline_config(args: &Args) -> Result<StreamJoinConfig, String> {
-    let mut cfg = StreamJoinConfig::default()
+fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, String> {
+    let cfg = StreamJoinConfig::default()
         .with_m(args.get_or("m", 8)?)
         .with_window(args.get_or("window", 1_500)?)
         .with_theta(args.get_or("theta", 0.2)?)
@@ -183,18 +158,18 @@ fn pipeline_config(args: &Args) -> Result<StreamJoinConfig, String> {
                 .parse::<PartitionerKind>()?,
         )
         .with_join(args.get("algo").unwrap_or("fpj").parse()?)
-        .with_expansion(!args.flag("no-expansion"));
-    cfg.delta = args.get_or("delta", 3)?;
-    cfg.partition_creators = args.get_or("creators", 2)?;
-    cfg.assigners = args.get_or("assigners", 6)?;
-    cfg.batch_size = args.get_or("batch", cfg.batch_size)?;
-    cfg.validate()?;
+        .with_expansion(!args.flag("no-expansion"))
+        .with_delta(args.get_or("delta", 3)?)
+        .with_partition_creators(args.get_or("creators", 2)?)
+        .with_assigners(args.get_or("assigners", 6)?)
+        .with_batch_size(args.get_or("batch", 64)?)
+        .with_metrics(metrics)
+        .build()?;
     Ok(cfg)
 }
 
 fn cmd_pipeline(args: &Args) -> Result<(), String> {
-    args.check_flags(&["no-expansion", "no-joins", "csv"])?;
-    let cfg = pipeline_config(args)?;
+    let cfg = pipeline_config(args, false)?;
     let dict = Dictionary::new();
     let mut docs = load_docs(args, &dict)?;
     if let Some(w) = args
@@ -222,43 +197,29 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
     let windows = ssj_core::windows(docs, spec, &dict);
     let mut pipeline = Pipeline::new(cfg, dict);
     pipeline.compute_joins = !args.flag("no-joins");
-    let csv = args.flag("csv");
-    if csv {
-        println!("{}", ssj_core::stats::CSV_HEADER);
+    // One ReportSink consumes every window as it is produced (streaming),
+    // then the whole-run aggregates.
+    let stdout = io::stdout();
+    let out = BufWriter::new(stdout.lock());
+    let mut sink: Box<dyn ReportSink> = if args.flag("csv") {
+        Box::new(CsvSink::new(out))
+    } else if args.flag("jsonl") {
+        Box::new(JsonlSink::new(out))
     } else {
-        println!(
-            "{:<7} {:>12} {:>8} {:>10} {:>8} {:>8} {:>10}",
-            "window", "replication", "gini", "max load", "repart", "updates", "join pairs"
-        );
-    }
+        Box::new(HumanSummarySink::new(out))
+    };
     let mut reports = Vec::new();
     for window in &windows {
         let r = pipeline.process_window(window);
-        if csv {
-            println!("{}", ssj_core::stats::window_csv_row(&r));
-        } else {
-            println!(
-                "{:<7} {:>12.3} {:>8.3} {:>10.3} {:>8} {:>8} {:>10}",
-                r.window,
-                r.quality.replication,
-                r.quality.load_balance,
-                r.quality.max_processing_load,
-                if r.repartitioned { "yes" } else { "-" },
-                r.updates,
-                r.unique_join_pairs
-            );
-        }
+        sink.window(&r).map_err(|e| e.to_string())?;
         reports.push(r);
     }
-    if !csv {
-        let report = ssj_core::PipelineReport { windows: reports };
-        eprintln!("{}", ssj_core::summary_line(&report));
-    }
+    let report = ssj_core::PipelineReport { windows: reports };
+    sink.finish(&report).map_err(|e| e.to_string())?;
     Ok(())
 }
 
 fn cmd_partition(args: &Args) -> Result<(), String> {
-    args.check_flags(&["no-expansion"])?;
     let m: usize = args.get_or("m", 8)?;
     let kind: PartitionerKind = args.get("partitioner").unwrap_or("ag").parse()?;
     let dict = Dictionary::new();
@@ -308,7 +269,6 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
 /// Route documents with a previously saved partition snapshot: one line per
 /// document listing the machines it is sent to.
 fn cmd_route(args: &Args) -> Result<(), String> {
-    args.check_flags(&[])?;
     let path = args.get("load").ok_or("route requires --load FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let snapshot = ssj_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -349,7 +309,6 @@ fn cmd_route(args: &Args) -> Result<(), String> {
 /// the number of distinct values, and whether it is ubiquitous — the inputs
 /// to the FP-tree ordering (§V-A) and the §VI-B expansion chain.
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    args.check_flags(&[])?;
     let dict = Dictionary::new();
     let docs = load_docs(args, &dict)?;
     let n = docs.len();
@@ -395,8 +354,7 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_topology(args: &Args) -> Result<(), String> {
-    args.check_flags(&["no-expansion", "dot"])?;
-    let cfg = pipeline_config(args)?;
+    let cfg = pipeline_config(args, false)?;
     let dict = Dictionary::new();
     let docs = load_docs(args, &dict)?;
     if args.flag("dot") {
@@ -430,5 +388,46 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
             report.runtime.emitted(component)
         );
     }
+    Ok(())
+}
+
+/// Run the threaded topology with the full observability layer: per-window
+/// registry snapshots, latency histograms, and the window-lifecycle trace.
+/// `--metrics-out FILE` dumps everything as JSON lines; stdout gets the
+/// per-component summary table.
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let metrics_on = !args.flag("no-metrics");
+    let cfg = pipeline_config(args, metrics_on)?;
+    let dict = Dictionary::new();
+    let docs = load_docs(args, &dict)?;
+    let n = docs.len();
+    let t0 = Instant::now();
+    let report = run_topology(cfg, &dict, docs).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    if let Some(path) = args.get("metrics-out") {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut out = BufWriter::new(file);
+        report
+            .runtime
+            .write_jsonl(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {} window snapshots, {} task records, {} trace events to {path}",
+            report.runtime.windows.len(),
+            report.runtime.tasks.len(),
+            report.runtime.trace.len()
+        );
+    }
+    print!("{}", report.runtime.summary_table());
+    let joins: usize = report.joins_per_window.iter().map(|w| w.len()).sum();
+    println!(
+        "{} documents, {} windows, {} join pairs in {:.3}s ({:.0} docs/s)",
+        n,
+        report.joins_per_window.len(),
+        joins,
+        elapsed.as_secs_f64(),
+        n as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
     Ok(())
 }

@@ -22,8 +22,9 @@ use ssj_partition::{
     association_groups, batch_views, merge_and_assign, Expansion, RepartitionPolicy, Route,
     RoutingStats, UnseenTracker, View, WindowQuality,
 };
-use ssj_runtime::{Bolt, Outbox, TaskInfo};
+use ssj_runtime::{Bolt, Outbox, TaskInfo, TaskInstruments, TraceKind};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// PartitionCreator bolt (§IV-A phase 1).
 ///
@@ -39,6 +40,7 @@ pub struct PartitionCreator {
     buffer: Vec<DocRef>,
     /// Compute local groups at the next window boundary.
     compute_pending: bool,
+    inst: Option<Arc<TaskInstruments>>,
 }
 
 impl PartitionCreator {
@@ -50,11 +52,16 @@ impl PartitionCreator {
             task: 0,
             buffer: Vec::new(),
             compute_pending: true, // bootstrap window
+            inst: None,
         }
     }
 }
 
 impl Bolt<Msg> for PartitionCreator {
+    fn attach_instruments(&mut self, inst: &Arc<TaskInstruments>) {
+        self.inst = Some(Arc::clone(inst));
+    }
+
     fn prepare(&mut self, info: &TaskInfo) {
         self.task = info.task_index;
     }
@@ -69,6 +76,11 @@ impl Bolt<Msg> for PartitionCreator {
 
     fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
         if self.compute_pending && !self.buffer.is_empty() {
+            let t0 = self
+                .inst
+                .as_deref()
+                .filter(|i| i.enabled())
+                .map(|_| Instant::now());
             let docs: Vec<ssj_json::Document> = self.buffer.iter().map(|d| (**d).clone()).collect();
             let expansion = if self.config.expansion {
                 Expansion::detect(&docs, &self.dict, self.config.m)
@@ -87,6 +99,13 @@ impl Bolt<Msg> for PartitionCreator {
                 expansion,
             });
             self.compute_pending = false;
+            if let Some(inst) = &self.inst {
+                inst.counter("group_computations").inc();
+                if let Some(t0) = t0 {
+                    inst.histogram("groups_ns")
+                        .record_ns(t0.elapsed().as_nanos() as u64);
+                }
+            }
         }
         self.buffer.clear();
     }
@@ -108,6 +127,7 @@ pub struct Merger {
     expansion: Option<Expansion>,
     /// Table changed through updates since the last broadcast.
     dirty: bool,
+    inst: Option<Arc<TaskInstruments>>,
 }
 
 impl Merger {
@@ -118,12 +138,24 @@ impl Merger {
             pending: Vec::new(),
             expansion: None,
             dirty: false,
+            inst: None,
             config,
+        }
+    }
+
+    fn trace_table(&self, window: u64) {
+        if let Some(inst) = &self.inst {
+            inst.counter("table_broadcasts").inc();
+            inst.trace(TraceKind::Table, window, std::time::Duration::ZERO);
         }
     }
 }
 
 impl Bolt<Msg> for Merger {
+    fn attach_instruments(&mut self, inst: &Arc<TaskInstruments>) {
+        self.inst = Some(Arc::clone(inst));
+    }
+
     fn prepare(&mut self, info: &TaskInfo) {
         assert_eq!(
             info.parallelism, 1,
@@ -146,6 +178,9 @@ impl Bolt<Msg> for Merger {
                 self.table.add_avp(p, avp);
                 self.table.bump_load(p, 1);
                 self.dirty = true;
+                if let Some(inst) = &self.inst {
+                    inst.counter("delta_updates").inc();
+                }
             }
             // Repartition signals go to the PartitionCreators (which decide
             // to compute); the Merger reacts to the groups they send.
@@ -169,6 +204,7 @@ impl Bolt<Msg> for Merger {
                 table: self.table.clone(),
                 expansion: self.expansion.clone(),
             })));
+            self.trace_table(window);
         } else if self.dirty {
             self.dirty = false;
             out.emit(Msg::Table(Arc::new(TableMsg {
@@ -176,6 +212,7 @@ impl Bolt<Msg> for Merger {
                 table: self.table.clone(),
                 expansion: self.expansion.clone(),
             })));
+            self.trace_table(window);
         }
         self.pending.clear();
     }
@@ -201,6 +238,8 @@ pub struct Assigner {
     sends: usize,
     broadcasts: usize,
     docs: usize,
+    update_reqs: usize,
+    inst: Option<Arc<TaskInstruments>>,
 }
 
 impl Assigner {
@@ -217,6 +256,8 @@ impl Assigner {
             sends: 0,
             broadcasts: 0,
             docs: 0,
+            update_reqs: 0,
+            inst: None,
             config,
             dict,
         }
@@ -231,6 +272,10 @@ impl Assigner {
 }
 
 impl Bolt<Msg> for Assigner {
+    fn attach_instruments(&mut self, inst: &Arc<TaskInstruments>) {
+        self.inst = Some(Arc::clone(inst));
+    }
+
     fn execute(&mut self, msg: Msg, out: &mut Outbox<Msg>) {
         match msg {
             Msg::Doc(doc) => {
@@ -243,6 +288,7 @@ impl Bolt<Msg> for Assigner {
                             if t.table.partitions_of(*avp).is_empty() {
                                 unknown = true;
                                 if self.unseen.observe(*avp) {
+                                    self.update_reqs += 1;
                                     out.emit(Msg::UpdateRequest(*avp));
                                 }
                             }
@@ -276,7 +322,12 @@ impl Bolt<Msg> for Assigner {
         }
     }
 
-    fn on_punct(&mut self, _window: u64, out: &mut Outbox<Msg>) {
+    fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
+        if let Some(inst) = &self.inst {
+            inst.counter("routed_sends").add(self.sends as u64);
+            inst.counter("broadcast_docs").add(self.broadcasts as u64);
+            inst.counter("update_requests").add(self.update_reqs as u64);
+        }
         if self.docs > 0 {
             let quality = WindowQuality::from_stats(&RoutingStats {
                 per_machine: std::mem::replace(&mut self.per_machine, vec![0; self.config.m]),
@@ -298,6 +349,14 @@ impl Bolt<Msg> for Assigner {
                             // one, which rearms the detector.
                             self.signalled = true;
                             out.emit(Msg::Repartition);
+                            if let Some(inst) = &self.inst {
+                                inst.counter("repartition_signals").inc();
+                                inst.trace(
+                                    TraceKind::Repartition,
+                                    window,
+                                    std::time::Duration::ZERO,
+                                );
+                            }
                         }
                     }
                 }
@@ -306,6 +365,7 @@ impl Bolt<Msg> for Assigner {
         self.sends = 0;
         self.broadcasts = 0;
         self.docs = 0;
+        self.update_reqs = 0;
         self.per_machine.iter_mut().for_each(|c| *c = 0);
     }
 }
@@ -318,6 +378,7 @@ pub struct Joiner {
     /// Probe scratch persisted across windows: steady-state probing in this
     /// bolt allocates nothing once the buffers have warmed up.
     batch: ssj_join::BatchJoiner,
+    inst: Option<Arc<TaskInstruments>>,
 }
 
 impl Joiner {
@@ -328,11 +389,16 @@ impl Joiner {
             task: 0,
             buffer: Vec::new(),
             batch: ssj_join::BatchJoiner::new(),
+            inst: None,
         }
     }
 }
 
 impl Bolt<Msg> for Joiner {
+    fn attach_instruments(&mut self, inst: &Arc<TaskInstruments>) {
+        self.inst = Some(Arc::clone(inst));
+    }
+
     fn prepare(&mut self, info: &TaskInfo) {
         self.task = info.task_index;
     }
@@ -353,7 +419,21 @@ impl Bolt<Msg> for Joiner {
             .filter(|d| seen.insert(d.id().0))
             .map(|d| (**d).clone())
             .collect();
+        let t0 = self
+            .inst
+            .as_deref()
+            .filter(|i| i.enabled())
+            .map(|_| Instant::now());
         let pairs = self.batch.join_batch(self.config.join_algo, &docs);
+        if let Some(inst) = &self.inst {
+            inst.counter("join_pairs").add(pairs.len() as u64);
+            inst.counter("window_docs").add(docs.len() as u64);
+            if let Some(t0) = t0 {
+                let dt = t0.elapsed();
+                inst.histogram("probe_ns").record_ns(dt.as_nanos() as u64);
+                inst.trace(TraceKind::Probe, window, dt);
+            }
+        }
         out.emit(Msg::JoinStats {
             window,
             joiner: self.task,

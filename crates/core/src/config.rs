@@ -2,9 +2,16 @@
 
 use ssj_join::JoinAlgo;
 use ssj_partition::PartitionerKind;
+use std::fmt;
 
 /// All tunables of the topology and pipeline, with the paper's defaults
 /// (`m = 8`, `w = 6`, `θ = 0.2`, `δ = 3`, six Assigners).
+///
+/// Construct via the builder — `StreamJoinConfig::default().with_m(4)`
+/// starts a [`ConfigBuilder`], and every chain terminates in
+/// [`ConfigBuilder::build`], which validates and returns
+/// `Result<StreamJoinConfig, ConfigError>`. A constructed config is
+/// therefore always valid.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamJoinConfig {
     /// Number of partitions = number of Joiner instances (`m`).
@@ -29,6 +36,9 @@ pub struct StreamJoinConfig {
     /// Micro-batch size for forward-edge transport in the runtime
     /// (`TopologyBuilder::batch_size`); 1 disables batching.
     pub batch_size: usize,
+    /// Enable full metrics collection in the runtime: latency histograms,
+    /// the window-lifecycle trace, and per-punctuation registry snapshots.
+    pub metrics: bool,
 }
 
 impl Default for StreamJoinConfig {
@@ -44,71 +54,183 @@ impl Default for StreamJoinConfig {
             partition_creators: 2,
             assigners: 6,
             batch_size: 64,
+            metrics: false,
         }
     }
 }
 
+/// Why a [`ConfigBuilder::build`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `m` (partitions / Joiners) must be at least 1.
+    ZeroPartitions,
+    /// The tumbling window must hold at least 1 document.
+    ZeroWindow,
+    /// Every component needs at least one task.
+    ZeroParallelism,
+    /// `θ` must lie in `[0, 10]`; carries the rejected value.
+    ThetaOutOfRange(f64),
+    /// The transport micro-batch must hold at least 1 message.
+    ZeroBatchSize,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPartitions => f.write_str("m must be at least 1"),
+            ConfigError::ZeroWindow => f.write_str("window_docs must be at least 1"),
+            ConfigError::ZeroParallelism => f.write_str("component parallelism must be at least 1"),
+            ConfigError::ThetaOutOfRange(t) => {
+                write!(f, "theta {t} out of range (expected 0.0..=10.0)")
+            }
+            ConfigError::ZeroBatchSize => f.write_str("batch_size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> String {
+        e.to_string()
+    }
+}
+
+/// Fluent builder for [`StreamJoinConfig`]; obtained from any `with_*`
+/// method on the config (which seeds the builder with that config's values)
+/// and terminated with [`ConfigBuilder::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigBuilder {
+    cfg: StreamJoinConfig,
+}
+
+macro_rules! builder_setters {
+    () => {
+        /// Override `m` (partitions / Joiner instances).
+        pub fn with_m(self, m: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.m = m;
+            b
+        }
+
+        /// Override the tumbling-window size in documents.
+        pub fn with_window(self, docs: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.window_docs = docs;
+            b
+        }
+
+        /// Override the repartitioning threshold `θ`.
+        pub fn with_theta(self, theta: f64) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.theta = theta;
+            b
+        }
+
+        /// Override the unseen-pair update threshold `δ`.
+        pub fn with_delta(self, delta: u32) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.delta = delta;
+            b
+        }
+
+        /// Override the partitioning algorithm.
+        pub fn with_partitioner(self, p: PartitionerKind) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.partitioner = p;
+            b
+        }
+
+        /// Override the local join algorithm.
+        pub fn with_join(self, j: JoinAlgo) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.join_algo = j;
+            b
+        }
+
+        /// Override attribute-value expansion.
+        pub fn with_expansion(self, on: bool) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.expansion = on;
+            b
+        }
+
+        /// Override the PartitionCreator parallelism.
+        pub fn with_partition_creators(self, n: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.partition_creators = n;
+            b
+        }
+
+        /// Override the Assigner parallelism.
+        pub fn with_assigners(self, n: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.assigners = n;
+            b
+        }
+
+        /// Override the transport micro-batch size.
+        pub fn with_batch_size(self, n: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.batch_size = n;
+            b
+        }
+
+        /// Enable or disable full metrics collection.
+        pub fn with_metrics(self, on: bool) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.metrics = on;
+            b
+        }
+    };
+}
+
 impl StreamJoinConfig {
-    /// Builder-style override of `m`.
-    pub fn with_m(mut self, m: usize) -> Self {
-        self.m = m;
-        self
+    fn into_builder(self) -> ConfigBuilder {
+        ConfigBuilder { cfg: self }
     }
 
-    /// Builder-style override of the window size.
-    pub fn with_window(mut self, docs: usize) -> Self {
-        self.window_docs = docs;
-        self
+    /// Start a builder seeded with this config's values.
+    pub fn builder(self) -> ConfigBuilder {
+        self.into_builder()
     }
 
-    /// Builder-style override of `θ`.
-    pub fn with_theta(mut self, theta: f64) -> Self {
-        self.theta = theta;
-        self
-    }
+    builder_setters!();
 
-    /// Builder-style override of the partitioner.
-    pub fn with_partitioner(mut self, p: PartitionerKind) -> Self {
-        self.partitioner = p;
-        self
-    }
-
-    /// Builder-style override of the join algorithm.
-    pub fn with_join(mut self, j: JoinAlgo) -> Self {
-        self.join_algo = j;
-        self
-    }
-
-    /// Builder-style override of expansion.
-    pub fn with_expansion(mut self, on: bool) -> Self {
-        self.expansion = on;
-        self
-    }
-
-    /// Builder-style override of the transport micro-batch size.
-    pub fn with_batch_size(mut self, n: usize) -> Self {
-        self.batch_size = n;
-        self
-    }
-
-    /// Validate the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Check the invariants a built config must satisfy. Configs coming out
+    /// of [`ConfigBuilder::build`] always pass; this re-check exists for
+    /// configs restored from external state (snapshots, deserialization).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.m == 0 {
-            return Err("m must be at least 1".into());
+            return Err(ConfigError::ZeroPartitions);
         }
         if self.window_docs == 0 {
-            return Err("window_docs must be at least 1".into());
+            return Err(ConfigError::ZeroWindow);
         }
         if self.partition_creators == 0 || self.assigners == 0 {
-            return Err("component parallelism must be at least 1".into());
+            return Err(ConfigError::ZeroParallelism);
         }
         if !(0.0..=10.0).contains(&self.theta) {
-            return Err("theta out of range".into());
+            return Err(ConfigError::ThetaOutOfRange(self.theta));
         }
         if self.batch_size == 0 {
-            return Err("batch_size must be at least 1".into());
+            return Err(ConfigError::ZeroBatchSize);
         }
         Ok(())
+    }
+}
+
+impl ConfigBuilder {
+    fn into_builder(self) -> ConfigBuilder {
+        self
+    }
+
+    builder_setters!();
+
+    /// Validate and return the finished config.
+    pub fn build(self) -> Result<StreamJoinConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -123,6 +245,7 @@ mod tests {
         assert_eq!(c.delta, 3);
         assert!((c.theta - 0.2).abs() < 1e-12);
         assert_eq!(c.assigners, 6);
+        assert!(!c.metrics);
         c.validate().unwrap();
     }
 
@@ -132,32 +255,63 @@ mod tests {
             .with_m(20)
             .with_window(3000)
             .with_theta(0.6)
+            .with_delta(5)
             .with_partitioner(PartitionerKind::Ds)
             .with_join(JoinAlgo::Hbj)
-            .with_expansion(false);
+            .with_expansion(false)
+            .with_partition_creators(3)
+            .with_assigners(4)
+            .with_metrics(true)
+            .build()
+            .unwrap();
         assert_eq!(c.m, 20);
         assert_eq!(c.window_docs, 3000);
+        assert_eq!(c.delta, 5);
         assert_eq!(c.partitioner, PartitionerKind::Ds);
         assert_eq!(c.join_algo, JoinAlgo::Hbj);
         assert!(!c.expansion);
-        c.validate().unwrap();
+        assert_eq!(c.partition_creators, 3);
+        assert_eq!(c.assigners, 4);
+        assert!(c.metrics);
     }
 
     #[test]
-    fn invalid_configs_rejected() {
-        assert!(StreamJoinConfig::default().with_m(0).validate().is_err());
-        assert!(StreamJoinConfig::default()
-            .with_window(0)
-            .validate()
-            .is_err());
-        let c = StreamJoinConfig {
-            assigners: 0,
-            ..Default::default()
-        };
-        assert!(c.validate().is_err());
-        assert!(StreamJoinConfig::default()
-            .with_batch_size(0)
-            .validate()
-            .is_err());
+    fn invalid_configs_rejected_with_typed_errors() {
+        assert_eq!(
+            StreamJoinConfig::default().with_m(0).build().unwrap_err(),
+            ConfigError::ZeroPartitions
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_window(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWindow
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_assigners(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroParallelism
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_batch_size(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroBatchSize
+        );
+        match StreamJoinConfig::default().with_theta(-1.0).build() {
+            Err(ConfigError::ThetaOutOfRange(t)) => assert!((t + 1.0).abs() < 1e-12),
+            other => panic!("expected theta error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_error_converts_to_string() {
+        let e = StreamJoinConfig::default().with_m(0).build().unwrap_err();
+        let s: String = e.into();
+        assert!(s.contains("m must be"), "{s}");
     }
 }

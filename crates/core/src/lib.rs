@@ -22,7 +22,11 @@
 //!         &dict,
 //!     ).unwrap())
 //!     .collect();
-//! let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+//! let cfg = StreamJoinConfig::default()
+//!     .with_m(2)
+//!     .with_window(10)
+//!     .build()
+//!     .unwrap();
 //! let report = Pipeline::new(cfg, dict).run(docs);
 //! assert_eq!(report.windows.len(), 2);
 //! ```
@@ -37,9 +41,9 @@ pub mod stats;
 pub mod topology;
 pub mod window;
 
-pub use config::StreamJoinConfig;
+pub use config::{ConfigBuilder, ConfigError, StreamJoinConfig};
 pub use msg::{Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
-pub use stats::{report_to_csv, summary_line};
+pub use stats::{CsvSink, HumanSummarySink, JsonlSink, ReportSink};
 pub use topology::{materialize_joins, run_topology, topology_dot, TopologyRunReport};
 pub use window::{windows, WindowSpec};

@@ -467,7 +467,9 @@ mod tests {
         let cfg = StreamJoinConfig::default()
             .with_m(4)
             .with_window(40)
-            .with_join(JoinAlgo::FpTree);
+            .with_join(JoinAlgo::FpTree)
+            .build()
+            .unwrap();
         let mut p = Pipeline::new(cfg, dict.clone());
         for w in 0..3 {
             let docs = window(&dict, w * 1000, 40);
@@ -489,7 +491,9 @@ mod tests {
             let cfg = StreamJoinConfig::default()
                 .with_m(3)
                 .with_window(30)
-                .with_partitioner(kind);
+                .with_partitioner(kind)
+                .build()
+                .unwrap();
             let mut p = Pipeline::new(cfg, dict.clone());
             let docs = window(&dict, 500, 30);
             let report = p.process_window(&docs);
@@ -506,7 +510,11 @@ mod tests {
     #[test]
     fn replication_bounded_by_m() {
         let dict = Dictionary::new();
-        let cfg = StreamJoinConfig::default().with_m(4).with_window(50);
+        let cfg = StreamJoinConfig::default()
+            .with_m(4)
+            .with_window(50)
+            .build()
+            .unwrap();
         let mut p = Pipeline::new(cfg, dict.clone());
         let r = p.process_window(&window(&dict, 0, 50));
         assert!(r.quality.replication >= 1.0);
@@ -520,7 +528,9 @@ mod tests {
             .with_m(4)
             .with_window(30)
             .with_theta(0.1)
-            .with_expansion(false);
+            .with_expansion(false)
+            .build()
+            .unwrap();
         let mut p = Pipeline::new(cfg, dict.clone());
         p.compute_joins = false;
         // Window 0 establishes partitions on users u0..u4.
@@ -550,7 +560,9 @@ mod tests {
         let cfg = StreamJoinConfig::default()
             .with_m(4)
             .with_window(40)
-            .with_theta(0.2);
+            .with_theta(0.2)
+            .build()
+            .unwrap();
         let mut p = Pipeline::new(cfg, dict.clone());
         p.compute_joins = false;
         let mut reparts = 0;
@@ -569,7 +581,9 @@ mod tests {
             .with_m(2)
             .with_window(20)
             .with_theta(5.0) // effectively disable repartitioning
-            .with_expansion(false);
+            .with_expansion(false)
+            .build()
+            .unwrap();
         let mut p = Pipeline::new(cfg, dict.clone());
         p.compute_joins = false;
         p.process_window(&window(&dict, 0, 20));
@@ -588,7 +602,11 @@ mod tests {
     #[test]
     fn run_chunks_stream_into_windows() {
         let dict = Dictionary::new();
-        let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+        let cfg = StreamJoinConfig::default()
+            .with_m(2)
+            .with_window(10)
+            .build()
+            .unwrap();
         let docs = window(&dict, 0, 25);
         let report = Pipeline::new(cfg, dict).run(docs);
         assert_eq!(report.windows.len(), 3); // 10 + 10 + 5
@@ -598,7 +616,11 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let dict = Dictionary::new();
-        let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+        let cfg = StreamJoinConfig::default()
+            .with_m(2)
+            .with_window(10)
+            .build()
+            .unwrap();
         let report = Pipeline::new(cfg, dict.clone()).run(window(&dict, 0, 30));
         assert!(report.mean_replication() >= 1.0);
         assert!(report.mean_max_load() > 0.0);

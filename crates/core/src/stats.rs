@@ -1,50 +1,176 @@
-//! Report rendering: per-window time series as CSV or an aligned text table.
+//! Report rendering behind one surface: [`ReportSink`].
+//!
+//! A sink consumes [`WindowReport`]s as they are produced (streaming, so a
+//! long run prints rows live) and finishes with whole-run aggregates. Three
+//! implementations ship: [`CsvSink`] (machine-readable per-window rows),
+//! [`JsonlSink`] (one JSON object per window plus a final summary record),
+//! and [`HumanSummarySink`] (aligned table with a one-line footer).
 
 use crate::pipeline::{PipelineReport, WindowReport};
+use std::io::{self, Write};
 
-/// CSV header matching [`window_csv_row`].
-pub const CSV_HEADER: &str =
-    "window,replication,gini,max_processing_load,broadcast_fraction,repartitioned,updates,join_pairs,unique_join_pairs";
+/// Column order shared by the CSV header and rows.
+const CSV_COLUMNS: &str = "window,replication,gini,max_processing_load,broadcast_fraction,repartitioned,updates,join_pairs,unique_join_pairs";
 
-/// One CSV row for a window report.
-pub fn window_csv_row(w: &WindowReport) -> String {
-    format!(
-        "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
-        w.window,
-        w.quality.replication,
-        w.quality.load_balance,
-        w.quality.max_processing_load,
-        w.quality.broadcast_fraction,
-        w.repartitioned as u8,
-        w.updates,
-        w.join_pairs,
-        w.unique_join_pairs
-    )
-}
+/// A consumer of pipeline reports. Call [`ReportSink::window`] per window as
+/// results appear, then [`ReportSink::finish`] once with the complete
+/// report; or hand a finished report to [`ReportSink::emit`].
+pub trait ReportSink {
+    /// Consume one window's report (called in window order).
+    fn window(&mut self, w: &WindowReport) -> io::Result<()>;
 
-/// Render a whole run as CSV (header + one row per window).
-pub fn report_to_csv(report: &PipelineReport) -> String {
-    let mut out = String::with_capacity(64 * (report.windows.len() + 1));
-    out.push_str(CSV_HEADER);
-    out.push('\n');
-    for w in &report.windows {
-        out.push_str(&window_csv_row(w));
-        out.push('\n');
+    /// Consume the whole-run aggregates after the last window.
+    fn finish(&mut self, report: &PipelineReport) -> io::Result<()>;
+
+    /// Drive a complete report through the sink.
+    fn emit(&mut self, report: &PipelineReport) -> io::Result<()> {
+        for w in &report.windows {
+            self.window(w)?;
+        }
+        self.finish(report)
     }
-    out
 }
 
-/// Summarize a run in one line (for logs and CLI footers).
-pub fn summary_line(report: &PipelineReport) -> String {
-    format!(
-        "{} windows | replication {:.3} | gini {:.3} | max load {:.3} | repartitions {:.1}% | joins {}",
-        report.windows.len(),
-        report.mean_replication(),
-        report.mean_load_balance(),
-        report.mean_max_load(),
-        report.repartition_fraction() * 100.0,
-        report.total_unique_joins()
-    )
+/// Per-window CSV rows under a fixed header; no footer.
+pub struct CsvSink<W> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A CSV sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out,
+            wrote_header: false,
+        }
+    }
+}
+
+impl<W: Write> ReportSink for CsvSink<W> {
+    fn window(&mut self, w: &WindowReport) -> io::Result<()> {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            writeln!(self.out, "{CSV_COLUMNS}")?;
+        }
+        writeln!(
+            self.out,
+            "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
+            w.window,
+            w.quality.replication,
+            w.quality.load_balance,
+            w.quality.max_processing_load,
+            w.quality.broadcast_fraction,
+            w.repartitioned as u8,
+            w.updates,
+            w.join_pairs,
+            w.unique_join_pairs
+        )
+    }
+
+    fn finish(&mut self, _report: &PipelineReport) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// One JSON object per window, then a final `"summary"` record with the
+/// whole-run aggregates — the pipeline-side companion of the runtime's
+/// metrics JSON lines.
+pub struct JsonlSink<W> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A JSON-lines sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write> ReportSink for JsonlSink<W> {
+    fn window(&mut self, w: &WindowReport) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"window\":{},\"replication\":{:.6},\"gini\":{:.6},\"max_processing_load\":{:.6},\"broadcast_fraction\":{:.6},\"repartitioned\":{},\"updates\":{},\"join_pairs\":{},\"unique_join_pairs\":{}}}",
+            w.window,
+            w.quality.replication,
+            w.quality.load_balance,
+            w.quality.max_processing_load,
+            w.quality.broadcast_fraction,
+            w.repartitioned,
+            w.updates,
+            w.join_pairs,
+            w.unique_join_pairs
+        )
+    }
+
+    fn finish(&mut self, report: &PipelineReport) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{{\"summary\":{{\"windows\":{},\"mean_replication\":{:.6},\"mean_gini\":{:.6},\"mean_max_load\":{:.6},\"repartition_fraction\":{:.6},\"unique_join_pairs\":{}}}}}",
+            report.windows.len(),
+            report.mean_replication(),
+            report.mean_load_balance(),
+            report.mean_max_load(),
+            report.repartition_fraction(),
+            report.total_unique_joins()
+        )?;
+        self.out.flush()
+    }
+}
+
+/// An aligned per-window table with a one-line summary footer.
+pub struct HumanSummarySink<W> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> HumanSummarySink<W> {
+    /// A human-readable sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        HumanSummarySink {
+            out,
+            wrote_header: false,
+        }
+    }
+}
+
+impl<W: Write> ReportSink for HumanSummarySink<W> {
+    fn window(&mut self, w: &WindowReport) -> io::Result<()> {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            writeln!(
+                self.out,
+                "{:<7} {:>12} {:>8} {:>10} {:>8} {:>8} {:>10}",
+                "window", "replication", "gini", "max load", "repart", "updates", "join pairs"
+            )?;
+        }
+        writeln!(
+            self.out,
+            "{:<7} {:>12.3} {:>8.3} {:>10.3} {:>8} {:>8} {:>10}",
+            w.window,
+            w.quality.replication,
+            w.quality.load_balance,
+            w.quality.max_processing_load,
+            if w.repartitioned { "yes" } else { "-" },
+            w.updates,
+            w.unique_join_pairs
+        )
+    }
+
+    fn finish(&mut self, report: &PipelineReport) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{} windows | replication {:.3} | gini {:.3} | max load {:.3} | repartitions {:.1}% | joins {}",
+            report.windows.len(),
+            report.mean_replication(),
+            report.mean_load_balance(),
+            report.mean_max_load(),
+            report.repartition_fraction() * 100.0,
+            report.total_unique_joins()
+        )?;
+        self.out.flush()
+    }
 }
 
 #[cfg(test)]
@@ -66,19 +192,32 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+        let cfg = StreamJoinConfig::default()
+            .with_m(2)
+            .with_window(10)
+            .build()
+            .unwrap();
         Pipeline::new(cfg, dict).run(docs)
+    }
+
+    fn render(
+        sink_for: impl FnOnce(&mut Vec<u8>) -> Box<dyn ReportSink + '_>,
+        r: &PipelineReport,
+    ) -> String {
+        let mut buf = Vec::new();
+        sink_for(&mut buf).emit(r).unwrap();
+        String::from_utf8(buf).unwrap()
     }
 
     #[test]
     fn csv_has_header_and_one_row_per_window() {
         let report = small_report();
-        let csv = report_to_csv(&report);
+        let csv = render(|b| Box::new(CsvSink::new(b)), &report);
         let lines: Vec<&str> = csv.trim_end().lines().collect();
-        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines[0], CSV_COLUMNS);
         assert_eq!(lines.len(), report.windows.len() + 1);
         // Every row has the same number of fields as the header.
-        let fields = CSV_HEADER.split(',').count();
+        let fields = CSV_COLUMNS.split(',').count();
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), fields, "{row}");
         }
@@ -87,7 +226,7 @@ mod tests {
     #[test]
     fn csv_rows_parse_back_numerically() {
         let report = small_report();
-        let csv = report_to_csv(&report);
+        let csv = render(|b| Box::new(CsvSink::new(b)), &report);
         for row in csv.trim_end().lines().skip(1) {
             let cols: Vec<&str> = row.split(',').collect();
             let _: u64 = cols[0].parse().unwrap();
@@ -99,10 +238,39 @@ mod tests {
     }
 
     #[test]
-    fn summary_line_mentions_windows_and_joins() {
+    fn jsonl_one_record_per_window_plus_summary() {
         let report = small_report();
-        let line = summary_line(&report);
-        assert!(line.contains("2 windows"), "{line}");
-        assert!(line.contains("joins"), "{line}");
+        let text = render(|b| Box::new(JsonlSink::new(b)), &report);
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), report.windows.len() + 1);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        assert!(lines[0].contains("\"window\":0"));
+        assert!(lines.last().unwrap().contains("\"summary\""));
+    }
+
+    #[test]
+    fn human_summary_mentions_windows_and_joins() {
+        let report = small_report();
+        let text = render(|b| Box::new(HumanSummarySink::new(b)), &report);
+        assert!(text.contains("window"), "{text}");
+        assert!(text.contains("2 windows"), "{text}");
+        assert!(text.contains("joins"), "{text}");
+    }
+
+    #[test]
+    fn streaming_and_batch_emission_agree() {
+        let report = small_report();
+        let batch = render(|b| Box::new(CsvSink::new(b)), &report);
+        let mut buf = Vec::new();
+        {
+            let mut sink = CsvSink::new(&mut buf);
+            for w in &report.windows {
+                sink.window(w).unwrap();
+            }
+            sink.finish(&report).unwrap();
+        }
+        assert_eq!(batch, String::from_utf8(buf).unwrap());
     }
 }

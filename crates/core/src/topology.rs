@@ -104,6 +104,7 @@ fn build(
     TopologyBuilder::new()
         .channel_capacity(capacity)
         .batch_size(batch)
+        .metrics(config.metrics)
         .spout("reader", 1, move |_| {
             Box::new(VecSpout::with_punctuation(msgs.clone(), window))
         })
@@ -217,12 +218,14 @@ mod tests {
     fn topology_produces_exact_join_results() {
         let dict = Dictionary::new();
         let docs = stream(&dict, 120);
-        let mut cfg = StreamJoinConfig::default()
+        let cfg = StreamJoinConfig::default()
             .with_m(3)
             .with_window(40)
-            .with_expansion(false);
-        cfg.partition_creators = 2;
-        cfg.assigners = 3;
+            .with_expansion(false)
+            .with_partition_creators(2)
+            .with_assigners(3)
+            .build()
+            .unwrap();
         let report = run_topology(cfg, &dict, docs.clone()).unwrap();
         assert_eq!(report.joins_per_window.len(), 3);
         for (w, found) in report.joins_per_window.iter().enumerate() {
@@ -253,9 +256,13 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let mut cfg = StreamJoinConfig::default().with_m(4).with_window(30);
-        cfg.partition_creators = 2;
-        cfg.assigners = 2;
+        let cfg = StreamJoinConfig::default()
+            .with_m(4)
+            .with_window(30)
+            .with_partition_creators(2)
+            .with_assigners(2)
+            .build()
+            .unwrap();
         let report = run_topology(cfg, &dict, docs.clone()).unwrap();
         for (w, found) in report.joins_per_window.iter().enumerate() {
             let truth = ground_truth_pairs(&docs[w * 30..(w + 1) * 30]);
@@ -270,11 +277,62 @@ mod tests {
         let cfg = StreamJoinConfig::default()
             .with_m(2)
             .with_window(30)
-            .with_expansion(false);
+            .with_expansion(false)
+            .build()
+            .unwrap();
         let report = run_topology(cfg, &dict, docs).unwrap();
         assert_eq!(report.runtime.received("creator"), 60);
         assert!(report.runtime.received("joiner") > 0);
         assert!(!report.docs_per_joiner.is_empty());
+    }
+
+    #[test]
+    fn metrics_enabled_topology_conserves_counts() {
+        let dict = Dictionary::new();
+        let docs = stream(&dict, 120);
+        let cfg = StreamJoinConfig::default()
+            .with_m(3)
+            .with_window(40)
+            .with_expansion(false)
+            .with_metrics(true)
+            .build()
+            .unwrap();
+        let report = run_topology(cfg, &dict, docs.clone()).unwrap();
+        let rt = &report.runtime;
+        // Per-window snapshots and the lifecycle trace exist when metrics on.
+        assert_eq!(rt.windows.len(), 3, "one snapshot per punctuated window");
+        assert!(!rt.trace.is_empty(), "window-lifecycle trace retained");
+        // Conservation through the document path: every doc the reader
+        // emits reaches the creators (plus any feedback control messages),
+        // and every doc window-counted by the joiners matches the join
+        // results' basis.
+        assert!(rt.received("creator") >= 120);
+        let window_docs: u64 = rt
+            .tasks
+            .iter()
+            .filter(|t| t.component == "joiner")
+            .map(|t| t.counter("window_docs"))
+            .sum();
+        assert!(window_docs >= 120, "joiners saw every routed document");
+        // Domain counters line up with the join report itself.
+        let join_pairs: u64 = rt
+            .tasks
+            .iter()
+            .filter(|t| t.component == "joiner")
+            .map(|t| t.counter("join_pairs"))
+            .sum();
+        let reported: usize = report.joins_per_window.iter().map(|w| w.len()).sum();
+        assert!(
+            join_pairs as usize >= reported,
+            "join_pairs counter {join_pairs} below reported pairs {reported}"
+        );
+        // Every joiner task's probe histogram accounts for its probes.
+        for t in rt.tasks.iter().filter(|t| t.component == "joiner") {
+            if let Some(h) = t.histogram("probe_ns") {
+                assert!(h.count > 0);
+                assert_eq!(h.buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count);
+            }
+        }
     }
 }
 

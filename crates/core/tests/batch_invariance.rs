@@ -57,7 +57,7 @@ fn join_output_identical_across_batch_sizes() {
         .with_window(per_window)
         .with_expansion(false);
 
-    let unbatched = sorted_windows(base_cfg.with_batch_size(1), &dict, &docs);
+    let unbatched = sorted_windows(base_cfg.with_batch_size(1).build().unwrap(), &dict, &docs);
 
     // The unbatched run must itself be exact versus brute force.
     assert_eq!(unbatched.len(), windows);
@@ -69,7 +69,7 @@ fn join_output_identical_across_batch_sizes() {
     }
 
     for bs in [7usize, 64] {
-        let batched = sorted_windows(base_cfg.with_batch_size(bs), &dict, &docs);
+        let batched = sorted_windows(base_cfg.with_batch_size(bs).build().unwrap(), &dict, &docs);
         assert_eq!(
             unbatched, batched,
             "per-window join output diverged at batch_size={bs}"

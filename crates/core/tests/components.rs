@@ -51,13 +51,14 @@ fn drifting_stream(dict: &Dictionary, windows: usize, per_window: usize) -> Vec<
 }
 
 fn config(m: usize, window: usize) -> StreamJoinConfig {
-    let mut cfg = StreamJoinConfig::default()
+    StreamJoinConfig::default()
         .with_m(m)
         .with_window(window)
-        .with_expansion(false);
-    cfg.partition_creators = 2;
-    cfg.assigners = 2;
-    cfg
+        .with_expansion(false)
+        .with_partition_creators(2)
+        .with_assigners(2)
+        .build()
+        .unwrap()
 }
 
 #[test]

@@ -19,7 +19,11 @@ fn stream(dict: &Dictionary, n: usize) -> Vec<Document> {
 
 #[test]
 fn restored_pipeline_continues_exactly() {
-    let cfg = StreamJoinConfig::default().with_m(4).with_window(150);
+    let cfg = StreamJoinConfig::default()
+        .with_m(4)
+        .with_window(150)
+        .build()
+        .unwrap();
     let dict = Dictionary::new();
     let docs = stream(&dict, 600);
 
@@ -69,13 +73,17 @@ fn restored_pipeline_continues_exactly() {
 
 #[test]
 fn restore_rejects_mismatched_m() {
-    let cfg = StreamJoinConfig::default().with_m(4).with_window(100);
+    let cfg = StreamJoinConfig::default()
+        .with_m(4)
+        .with_window(100)
+        .build()
+        .unwrap();
     let dict = Dictionary::new();
     let docs = stream(&dict, 100);
     let mut p = Pipeline::new(cfg, dict);
     p.process_window(&docs);
     let snap = p.snapshot();
-    let err = match Pipeline::restore(cfg.with_m(8), &snap) {
+    let err = match Pipeline::restore(cfg.with_m(8).build().unwrap(), &snap) {
         Err(e) => e,
         Ok(_) => panic!("mismatched m must be rejected"),
     };
@@ -84,7 +92,11 @@ fn restore_rejects_mismatched_m() {
 
 #[test]
 fn restore_rejects_garbage() {
-    let cfg = StreamJoinConfig::default().with_m(2).with_window(10);
+    let cfg = StreamJoinConfig::default()
+        .with_m(2)
+        .with_window(10)
+        .build()
+        .unwrap();
     for bad in ["{}", r#"{"dictionary":{"attrs":[],"avps":[]}}"#] {
         let v = ssj_json::parse(bad).unwrap();
         assert!(Pipeline::restore(cfg, &v).is_err(), "{bad}");
@@ -96,7 +108,11 @@ fn snapshot_preserves_expansion() {
     // NoBench-style data forces an expansion; the snapshot must carry it.
     let dict = Dictionary::new();
     let docs = ssj_data::NoBenchGen::new(Default::default(), dict.clone()).take_docs(200);
-    let cfg = StreamJoinConfig::default().with_m(6).with_window(200);
+    let cfg = StreamJoinConfig::default()
+        .with_m(6)
+        .with_window(200)
+        .build()
+        .unwrap();
     let mut p = Pipeline::new(cfg, dict);
     p.process_window(&docs);
     assert!(p.expansion().is_some(), "expansion should engage on nbData");

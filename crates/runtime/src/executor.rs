@@ -25,13 +25,17 @@
 //! Feedback edges bypass batching entirely — control loops (δ-updates,
 //! repartition signals) stay low-latency.
 
+use crate::metrics::{
+    self, LocalHistogram, MetricsConfig, MetricsRegistry, TaskInstruments, TaskSnapshot,
+    TraceEvent, TraceKind, WindowSnapshot,
+};
 use crate::topology::{Component, ComponentKind, Grouping, Subscription, Topology};
 use crate::{Bolt, Spout, SpoutEmit, TaskInfo};
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Internal envelope moving between tasks.
 enum Envelope<M> {
@@ -57,7 +61,9 @@ impl<M> Envelope<M> {
     }
 }
 
-/// Per-task throughput counters, reported in [`RunReport`].
+/// Per-task throughput counters in the legacy flat shape, reconstructed
+/// from the metrics registry by [`RunReport::legacy_tasks`]. New code should
+/// read [`TaskSnapshot`]s from [`RunReport::tasks`] instead.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TaskMetrics {
     /// Component name.
@@ -89,39 +95,44 @@ impl TaskMetrics {
     }
 }
 
-/// The outcome of a completed run.
+/// The outcome of a completed run: final per-task instrument snapshots, the
+/// per-punctuation time series collected while the run was live (empty
+/// unless [`TopologyBuilder::metrics`](crate::TopologyBuilder::metrics) was
+/// enabled), and the retained window-lifecycle trace.
 #[derive(Debug)]
 pub struct RunReport {
-    /// One entry per task.
-    pub tasks: Vec<TaskMetrics>,
+    /// Final snapshot of every task's instruments, in global task order.
+    pub tasks: Vec<TaskSnapshot>,
+    /// One whole-registry snapshot per fully-aligned punctuation, ascending
+    /// by window id. Counters are cumulative, so the series is monotone.
+    pub windows: Vec<WindowSnapshot>,
+    /// Retained window-lifecycle trace events, oldest first.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunReport {
-    /// Sum of received counts for one component.
-    pub fn received(&self, component: &str) -> u64 {
+    /// Sum of one core counter over one component's tasks.
+    fn sum(&self, component: &str, counter: &str) -> u64 {
         self.tasks
             .iter()
             .filter(|t| t.component == component)
-            .map(|t| t.received)
+            .map(|t| t.counter(counter))
             .sum()
+    }
+
+    /// Sum of received counts for one component.
+    pub fn received(&self, component: &str) -> u64 {
+        self.sum(component, "received")
     }
 
     /// Sum of emitted counts for one component.
     pub fn emitted(&self, component: &str) -> u64 {
-        self.tasks
-            .iter()
-            .filter(|t| t.component == component)
-            .map(|t| t.emitted)
-            .sum()
+        self.sum(component, "emitted")
     }
 
     /// Sum of sent data-envelope counts for one component.
     pub fn batches(&self, component: &str) -> u64 {
-        self.tasks
-            .iter()
-            .filter(|t| t.component == component)
-            .map(|t| t.batches)
-            .sum()
+        self.sum(component, "batches")
     }
 
     /// Average batch size over one component's emissions (0 when idle).
@@ -140,10 +151,37 @@ impl RunReport {
             .tasks
             .iter()
             .filter(|t| t.component == component)
-            .map(|t| (t.task, t.received))
+            .map(|t| (t.task, t.counter("received")))
             .collect();
         v.sort();
         v.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The final per-task counters in the legacy flat [`TaskMetrics`] shape.
+    pub fn legacy_tasks(&self) -> Vec<TaskMetrics> {
+        self.tasks
+            .iter()
+            .map(|t| TaskMetrics {
+                component: t.component.clone(),
+                task: t.task,
+                received: t.counter("received"),
+                emitted: t.counter("emitted"),
+                batches: t.counter("batches"),
+                puncts: t.counter("puncts"),
+                busy: Duration::from_nanos(t.counter("busy_ns")),
+            })
+            .collect()
+    }
+
+    /// Write the report as JSON lines: one record per `(window, task)`, one
+    /// final record per task, then one record per retained trace event.
+    pub fn write_jsonl<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        metrics::write_jsonl(out, &self.windows, &self.tasks, &self.trace)
+    }
+
+    /// Render the per-component human summary table.
+    pub fn summary_table(&self) -> String {
+        metrics::summary_table(&self.tasks)
     }
 }
 
@@ -385,6 +423,87 @@ struct TaskWiring<M> {
     /// drains in-flight control traffic until every sender disconnects.
     has_feedback_upstream: bool,
     kind: TaskKind<M>,
+    /// This task's instrument set in the run's metrics registry.
+    inst: Arc<TaskInstruments>,
+    /// Window-close notifications to the collector thread (present only
+    /// when full metrics collection is on).
+    notify: Option<Sender<u64>>,
+}
+
+/// The executor's task-local metering state: plain (non-atomic) counters and
+/// histograms on the hot path, published into the shared [`TaskInstruments`]
+/// only at window boundaries and at end of stream.
+struct TaskMeter {
+    stats: TaskMetrics,
+    handle_hist: LocalHistogram,
+    close_hist: LocalHistogram,
+    inst: Arc<TaskInstruments>,
+    /// Full collection (histograms, traces, per-window snapshots) on?
+    enabled: bool,
+    /// Windows closed during the current receive step, pending publication
+    /// and collector notification (always empty when collection is off).
+    closed: Vec<u64>,
+}
+
+impl TaskMeter {
+    fn new(info: &TaskInfo, inst: Arc<TaskInstruments>) -> Self {
+        TaskMeter {
+            stats: TaskMetrics {
+                component: info.component.clone(),
+                task: info.task_index,
+                ..TaskMetrics::default()
+            },
+            handle_hist: LocalHistogram::new(),
+            close_hist: LocalHistogram::new(),
+            enabled: inst.enabled(),
+            inst,
+            closed: Vec::new(),
+        }
+    }
+
+    /// Record a processed window boundary (close-to-emit span `dur`).
+    fn window_closed(&mut self, p: u64, dur: Duration) {
+        if !self.enabled {
+            return;
+        }
+        self.close_hist.record_ns(dur.as_nanos() as u64);
+        self.inst.trace(TraceKind::WindowClose, p, dur);
+        self.closed.push(p);
+    }
+
+    /// Publish all task-local state into the shared instrument set.
+    fn publish(&self, emitted: u64, batches: u64) {
+        self.inst.publish_core(
+            self.stats.received,
+            emitted,
+            batches,
+            self.stats.puncts,
+            self.stats.busy.as_nanos() as u64,
+        );
+        if self.enabled {
+            self.inst
+                .publish_histograms(&self.handle_hist, &self.close_hist);
+        }
+    }
+
+    /// Window-boundary bookkeeping after a receive step that closed one or
+    /// more windows: sample queue depth, publish locals, notify collector.
+    #[cold]
+    fn flush_windows(
+        &mut self,
+        emitted: u64,
+        batches: u64,
+        queue_depth: usize,
+        notify: &Option<Sender<u64>>,
+    ) {
+        self.inst.queue_depth_gauge().set(queue_depth as i64);
+        self.publish(emitted, batches);
+        for w in self.closed.drain(..) {
+            if let Some(tx) = notify {
+                let _ = tx.send(w);
+            }
+        }
+    }
 }
 
 enum TaskKind<M> {
@@ -399,7 +518,13 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         index,
         channel_capacity,
         batch_size,
+        metrics: metrics_on,
+        trace_capacity,
     } = topology;
+    let mut registry = MetricsRegistry::new(MetricsConfig {
+        enabled: metrics_on,
+        trace_capacity,
+    });
 
     // Global task numbering: components in order, tasks within.
     let mut base: Vec<usize> = Vec::with_capacity(components.len());
@@ -522,6 +647,8 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
                 forward_upstreams: forward_upstreams[ci].clone(),
                 has_feedback_upstream: has_feedback[ci],
                 kind: instance,
+                inst: registry.register(&name, task),
+                notify: None, // filled in below once the collector exists
             });
         }
     }
@@ -530,14 +657,34 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     drop(fwd_receivers);
     drop(fb_receivers);
 
-    let metrics: Arc<Mutex<Vec<TaskMetrics>>> = Arc::new(Mutex::new(Vec::new()));
+    // With full collection on, a collector thread turns per-task
+    // window-close notifications into per-punctuation registry snapshots:
+    // once every task reported window `w`, all locals covering `w` have
+    // been published and a whole-registry snapshot is consistent.
+    let registry = Arc::new(registry);
+    let collector = if metrics_on {
+        let (tx, rx) = unbounded::<u64>();
+        for w in &mut wirings {
+            w.notify = Some(tx.clone());
+        }
+        drop(tx); // tasks hold the only senders; disconnect ends the thread
+        let reg = Arc::clone(&registry);
+        Some(
+            std::thread::Builder::new()
+                .name("metrics-collector".to_owned())
+                .spawn(move || collect_windows(rx, reg, total))
+                .expect("spawn collector thread"),
+        )
+    } else {
+        None
+    };
+
     let mut handles = Vec::with_capacity(wirings.len());
     for wiring in wirings {
-        let metrics = Arc::clone(&metrics);
         let label = format!("{}[{}]", wiring.info.component, wiring.info.task_index);
         let handle = std::thread::Builder::new()
             .name(label.clone())
-            .spawn(move || run_task(wiring, metrics))
+            .spawn(move || run_task(wiring))
             .expect("spawn task thread");
         handles.push((label, handle));
     }
@@ -548,11 +695,45 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
             panicked.push(label);
         }
     }
+    // All task threads are gone, so all notify senders are dropped and the
+    // collector terminates even after a panic.
+    let windows = collector
+        .map(|h| h.join().expect("collector thread panicked"))
+        .unwrap_or_default();
     if !panicked.is_empty() {
         return Err(RunError::TaskPanicked(panicked));
     }
-    let tasks = std::mem::take(&mut *metrics.lock());
-    Ok(RunReport { tasks })
+    Ok(RunReport {
+        tasks: registry.snapshot_tasks(),
+        windows,
+        trace: registry.trace().events(),
+    })
+}
+
+/// Collector loop: count window-close notifications; when all `total` tasks
+/// reported window `w`, snapshot the whole registry for it.
+fn collect_windows(
+    rx: Receiver<u64>,
+    registry: Arc<MetricsRegistry>,
+    total: usize,
+) -> Vec<WindowSnapshot> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    let mut snaps: Vec<WindowSnapshot> = Vec::new();
+    while let Ok(w) = rx.recv() {
+        let c = counts.entry(w).or_insert(0);
+        *c += 1;
+        if *c == total {
+            counts.remove(&w);
+            snaps.push(WindowSnapshot {
+                window: w,
+                tasks: registry.snapshot_tasks(),
+            });
+        }
+    }
+    // Alignment means completion order is ascending in practice, but the
+    // channel interleaving is not guaranteed; keep the series sorted.
+    snaps.sort_by_key(|s| s.window);
+    snaps
 }
 
 /// Alignment state for one forward upstream task.
@@ -636,18 +817,18 @@ impl<M: Clone> Aligner<M> {
         env: Envelope<M>,
         bolt: &mut dyn Bolt<M>,
         out: &mut Outbox<M>,
-        m: &mut TaskMetrics,
+        m: &mut TaskMeter,
     ) -> bool {
         let from = env.source_task();
         let Some(slot) = self.slot_of(from) else {
             // Feedback edge: data flows immediately, control is ignored.
             match env {
                 Envelope::Data(msg, _) => {
-                    m.received += 1;
+                    m.stats.received += 1;
                     bolt.execute(msg, out);
                 }
                 Envelope::Batch(msgs, _) => {
-                    m.received += msgs.len() as u64;
+                    m.stats.received += msgs.len() as u64;
                     for msg in msgs {
                         bolt.execute(msg, out);
                     }
@@ -671,15 +852,15 @@ impl<M: Clone> Aligner<M> {
         env: Envelope<M>,
         bolt: &mut dyn Bolt<M>,
         out: &mut Outbox<M>,
-        m: &mut TaskMetrics,
+        m: &mut TaskMeter,
     ) {
         match env {
             Envelope::Data(msg, _) => {
-                m.received += 1;
+                m.stats.received += 1;
                 bolt.execute(msg, out);
             }
             Envelope::Batch(msgs, _) => {
-                m.received += msgs.len() as u64;
+                m.stats.received += msgs.len() as u64;
                 for msg in msgs {
                     bolt.execute(msg, out);
                 }
@@ -690,9 +871,14 @@ impl<M: Clone> Aligner<M> {
                 *c += 1;
                 if *c == self.needed {
                     self.punct_counts.remove(&p);
-                    m.puncts += 1;
+                    // Close-to-emit span: window work plus output flush.
+                    let t0 = m.enabled.then(Instant::now);
+                    m.stats.puncts += 1;
                     bolt.on_punct(p, out);
                     out.punctuate(p);
+                    if let Some(t0) = t0 {
+                        m.window_closed(p, t0.elapsed());
+                    }
                     // Retire each upstream's oldest outstanding punctuation;
                     // upstreams that held buffered envelopes become ready.
                     for (i, st) in self.states.iter_mut().enumerate() {
@@ -710,7 +896,7 @@ impl<M: Clone> Aligner<M> {
 
     /// Replay buffered envelopes from upstreams that are no longer blocked;
     /// an alignment completed during replay can enqueue further upstreams.
-    fn drain(&mut self, bolt: &mut dyn Bolt<M>, out: &mut Outbox<M>, m: &mut TaskMetrics) {
+    fn drain(&mut self, bolt: &mut dyn Bolt<M>, out: &mut Outbox<M>, m: &mut TaskMeter) {
         while let Some(slot) = self.ready.pop_front() {
             self.states[slot].in_ready = false;
             while self.states[slot].ahead == 0 {
@@ -723,7 +909,7 @@ impl<M: Clone> Aligner<M> {
     }
 }
 
-fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<TaskMetrics>>>) {
+fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
     let TaskWiring {
         info,
         rx,
@@ -732,25 +918,28 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<
         forward_upstreams,
         has_feedback_upstream,
         kind,
+        inst,
+        notify,
     } = w;
-    let mut m = TaskMetrics {
-        component: info.component.clone(),
-        task: info.task_index,
-        ..TaskMetrics::default()
-    };
+    let mut meter = TaskMeter::new(&info, inst);
 
     match kind {
         TaskKind::Spout(mut spout) => loop {
-            let t0 = std::time::Instant::now();
+            let t0 = Instant::now();
             let emission = spout.next();
-            m.busy += t0.elapsed();
+            meter.stats.busy += t0.elapsed();
             match emission {
                 SpoutEmit::Message(msg) => {
                     outbox.emit(msg);
                 }
                 SpoutEmit::Punctuate(p) => {
-                    m.puncts += 1;
+                    let t0 = meter.enabled.then(Instant::now);
+                    meter.stats.puncts += 1;
                     outbox.punctuate(p);
+                    if let Some(t0) = t0 {
+                        meter.window_closed(p, t0.elapsed());
+                        meter.flush_windows(outbox.emitted, outbox.batches, 0, &notify);
+                    }
                 }
                 SpoutEmit::Done => {
                     outbox.eos();
@@ -759,10 +948,32 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<
             }
         },
         TaskKind::Bolt(mut bolt) => {
+            bolt.attach_instruments(&meter.inst);
             bolt.prepare(&info);
             let mut align = Aligner::new(&forward_upstreams);
             let mut fwd_open = true;
             let mut fb_open = has_feedback_upstream;
+            // One receive step: time the envelope into busy and the handle
+            // histogram (scaled to the tuples it carried), and run the
+            // window-boundary bookkeeping when the step closed windows.
+            macro_rules! step {
+                ($envelope:expr) => {{
+                    let t0 = Instant::now();
+                    let before = meter.stats.received;
+                    let done = align.handle($envelope, bolt.as_mut(), &mut outbox, &mut meter);
+                    let dt = t0.elapsed();
+                    meter.stats.busy += dt;
+                    if meter.enabled {
+                        meter
+                            .handle_hist
+                            .record_scaled(dt.as_nanos() as u64, meter.stats.received - before);
+                        if !meter.closed.is_empty() {
+                            meter.flush_windows(outbox.emitted, outbox.batches, rx.len(), &notify);
+                        }
+                    }
+                    done
+                }};
+            }
             // The selector over the forward (bounded) and feedback
             // (unbounded) channels is built ONCE, outside the receive loop —
             // rebuilding it per message was a measurable per-tuple cost. It
@@ -777,10 +988,7 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<
                     // already gone): single-channel blocking receive.
                     match rx.recv() {
                         Ok(envelope) => {
-                            let t0 = std::time::Instant::now();
-                            let done = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
-                            m.busy += t0.elapsed();
-                            if done {
+                            if step!(envelope) {
                                 break; // all forward upstreams at EOS
                             }
                         }
@@ -794,10 +1002,7 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<
                 if idx == fwd_idx {
                     match op.recv(&rx) {
                         Ok(envelope) => {
-                            let t0 = std::time::Instant::now();
-                            let done = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
-                            m.busy += t0.elapsed();
-                            if done {
+                            if step!(envelope) {
                                 break; // all forward upstreams at EOS
                             }
                         }
@@ -806,9 +1011,7 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<
                 } else if idx == fb_idx {
                     match op.recv(&fb_rx) {
                         Ok(envelope) => {
-                            let t0 = std::time::Instant::now();
-                            let _ = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
-                            m.busy += t0.elapsed();
+                            let _ = step!(envelope);
                         }
                         Err(_) => fb_open = false,
                     }
@@ -824,13 +1027,18 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>, metrics: Arc<Mutex<Vec<
                 // this loop. (Feedback edges must therefore not form cycles
                 // among themselves.)
                 while let Ok(envelope) = fb_rx.recv() {
-                    let _ = align.handle(envelope, bolt.as_mut(), &mut outbox, &mut m);
+                    let _ = step!(envelope);
                 }
             }
         }
     }
 
-    m.emitted = outbox.emitted;
-    m.batches = outbox.batches;
-    metrics.lock().push(m);
+    meter.stats.emitted = outbox.emitted;
+    meter.stats.batches = outbox.batches;
+    if meter.enabled {
+        meter.inst.trace(TraceKind::Eos, u64::MAX, Duration::ZERO);
+    }
+    meter.publish(outbox.emitted, outbox.batches);
+    // `notify` (if any) drops here; the collector ends once every task's
+    // sender is gone.
 }

@@ -36,9 +36,14 @@
 #![warn(missing_docs)]
 
 mod executor;
+pub mod metrics;
 pub mod topology;
 
 pub use executor::{run, Outbox, RunError, RunReport, TaskMetrics};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, TaskInstruments, TaskSnapshot, TraceEvent,
+    TraceKind, WindowSnapshot,
+};
 pub use topology::{BoltHandle, Grouping, Topology, TopologyBuilder, TopologyError};
 
 use parking_lot::Mutex;
@@ -74,6 +79,14 @@ pub trait Spout<M>: Send {
 
 /// A stream processor. One instance runs per task.
 pub trait Bolt<M>: Send {
+    /// Called once before [`Bolt::prepare`] with this task's instrument set
+    /// in the run's metrics registry. Register named counters, gauges, and
+    /// histograms here, keep the returned `Arc` handles, and record into
+    /// them from the message path; check
+    /// [`TaskInstruments::enabled`](metrics::TaskInstruments::enabled) to
+    /// skip work when full collection is off.
+    fn attach_instruments(&mut self, _inst: &std::sync::Arc<metrics::TaskInstruments>) {}
+
     /// Called once before any message, with the task's identity.
     fn prepare(&mut self, _info: &TaskInfo) {}
     /// Handle one message; emit results through `out`.
@@ -875,11 +888,8 @@ mod busy_tests {
             .build()
             .unwrap();
         let report = run(t).unwrap();
-        let worker = report
-            .tasks
-            .iter()
-            .find(|t| t.component == "worker")
-            .unwrap();
+        let legacy = report.legacy_tasks();
+        let worker = legacy.iter().find(|t| t.component == "worker").unwrap();
         assert!(worker.busy > std::time::Duration::ZERO);
     }
 }

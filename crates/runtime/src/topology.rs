@@ -138,6 +138,8 @@ pub struct TopologyBuilder<M> {
     components: Vec<Component<M>>,
     channel_capacity: usize,
     batch_size: usize,
+    metrics: bool,
+    trace_capacity: usize,
 }
 
 impl<M> Default for TopologyBuilder<M> {
@@ -146,6 +148,8 @@ impl<M> Default for TopologyBuilder<M> {
             components: Vec::new(),
             channel_capacity: 1024,
             batch_size: 1,
+            metrics: false,
+            trace_capacity: 4096,
         }
     }
 }
@@ -172,6 +176,25 @@ impl<M> TopologyBuilder<M> {
     /// boundaries. Feedback edges are never batched.
     pub fn batch_size(mut self, n: usize) -> Self {
         self.batch_size = n.max(1);
+        self
+    }
+
+    /// Enable full metrics collection (default off): latency histograms on
+    /// the task loop, the window-lifecycle trace ring, and one registry
+    /// snapshot per aligned punctuation, all surfaced through
+    /// [`RunReport`](crate::RunReport). Core throughput counters are
+    /// maintained either way; with collection off the hot path carries no
+    /// extra cost.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Capacity of the window-lifecycle trace ring (default 4096 events);
+    /// when full, the oldest events are evicted. Only relevant with
+    /// [`TopologyBuilder::metrics`] enabled.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events.max(1);
         self
     }
 
@@ -269,6 +292,8 @@ impl<M> TopologyBuilder<M> {
             index,
             channel_capacity: self.channel_capacity,
             batch_size: self.batch_size,
+            metrics: self.metrics,
+            trace_capacity: self.trace_capacity,
         })
     }
 }
@@ -351,6 +376,8 @@ pub struct Topology<M> {
     pub(crate) index: HashMap<String, usize>,
     pub(crate) channel_capacity: usize,
     pub(crate) batch_size: usize,
+    pub(crate) metrics: bool,
+    pub(crate) trace_capacity: usize,
 }
 
 impl<M> Topology<M> {

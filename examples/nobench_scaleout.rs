@@ -49,7 +49,9 @@ fn main() {
                 .with_m(m)
                 .with_window(window)
                 .with_partitioner(kind)
-                .with_expansion(expansion);
+                .with_expansion(expansion)
+                .build()
+                .unwrap();
             let mut pipeline = Pipeline::new(cfg, dict);
             pipeline.compute_joins = false;
             let report = pipeline.run(docs);

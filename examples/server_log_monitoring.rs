@@ -20,9 +20,13 @@ fn main() {
     let docs = gen.take_docs(6_000);
     let by_id: FxHashMap<u64, Document> = docs.iter().map(|d| (d.id().0, d.clone())).collect();
 
-    let mut cfg = StreamJoinConfig::default().with_m(4).with_window(1_500);
-    cfg.partition_creators = 2;
-    cfg.assigners = 3;
+    let cfg = StreamJoinConfig::default()
+        .with_m(4)
+        .with_window(1_500)
+        .with_partition_creators(2)
+        .with_assigners(3)
+        .build()
+        .unwrap();
 
     println!(
         "running Fig. 2 topology: {} docs, {} joiners, window {}",

@@ -20,4 +20,7 @@ echo "==> runtime throughput smoke bench vs committed baseline"
 cargo build --release -q -p ssj-bench --bin bench_runtime
 ./target/release/bench_runtime --check BENCH_runtime.json
 
+echo "==> metrics overhead gate (join smoke, metrics on vs off, >5% fails)"
+./target/release/bench_runtime --overhead
+
 echo "==> all checks passed"

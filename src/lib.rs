@@ -28,7 +28,7 @@
 //! let docs = ServerLogGen::new(ServerLogConfig::default(), dict.clone()).take_docs(400);
 //!
 //! // …joined exactly across 4 partitions, windows of 200 documents.
-//! let cfg = StreamJoinConfig::default().with_m(4).with_window(200);
+//! let cfg = StreamJoinConfig::default().with_m(4).with_window(200).build().unwrap();
 //! let report = Pipeline::new(cfg, dict).run(docs);
 //!
 //! assert_eq!(report.windows.len(), 2);

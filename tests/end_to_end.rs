@@ -27,7 +27,9 @@ fn pipeline_is_exact_on_server_logs_for_all_partitioners() {
         let cfg = StreamJoinConfig::default()
             .with_m(4)
             .with_window(200)
-            .with_partitioner(kind);
+            .with_partitioner(kind)
+            .build()
+            .unwrap();
         let mut pipeline = Pipeline::new(cfg, dict);
         for w in 0..3 {
             let window = &docs[w * 200..(w + 1) * 200];
@@ -50,7 +52,9 @@ fn pipeline_is_exact_on_nobench_with_expansion() {
     let cfg = StreamJoinConfig::default()
         .with_m(6)
         .with_window(200)
-        .with_expansion(true);
+        .with_expansion(true)
+        .build()
+        .unwrap();
     let mut pipeline = Pipeline::new(cfg, dict);
     for w in 0..2 {
         let window = &docs[w * 200..(w + 1) * 200];
@@ -69,7 +73,9 @@ fn all_join_algorithms_agree_inside_the_pipeline() {
         let cfg = StreamJoinConfig::default()
             .with_m(3)
             .with_window(200)
-            .with_join(algo);
+            .with_join(algo)
+            .build()
+            .unwrap();
         let report = Pipeline::new(cfg, dict).run(docs);
         counts.push((algo.name(), report.total_unique_joins()));
     }
@@ -82,9 +88,13 @@ fn all_join_algorithms_agree_inside_the_pipeline() {
 fn threaded_topology_matches_pipeline_results() {
     let dict = Dictionary::new();
     let docs = serverlog(&dict, 450);
-    let mut cfg = StreamJoinConfig::default().with_m(3).with_window(150);
-    cfg.partition_creators = 2;
-    cfg.assigners = 2;
+    let cfg = StreamJoinConfig::default()
+        .with_m(3)
+        .with_window(150)
+        .with_partition_creators(2)
+        .with_assigners(2)
+        .build()
+        .unwrap();
 
     // Ground truth per window.
     let truths: Vec<FxHashSet<(u64, u64)>> = (0..3)
@@ -111,7 +121,11 @@ fn topology_scales_joiner_count() {
     for m in [1usize, 2, 6] {
         let dict = Dictionary::new();
         let docs = serverlog(&dict, 200);
-        let cfg = StreamJoinConfig::default().with_m(m).with_window(100);
+        let cfg = StreamJoinConfig::default()
+            .with_m(m)
+            .with_window(100)
+            .build()
+            .unwrap();
         let report = run_topology(cfg, &dict, docs.clone()).expect("run");
         let truth0 = ground_truth_pairs(&docs[..100]);
         assert_eq!(report.joins_per_window[0], truth0, "m={m}");
@@ -123,7 +137,11 @@ fn repeated_runs_of_pipeline_are_deterministic() {
     let run_once = || {
         let dict = Dictionary::new();
         let docs = serverlog(&dict, 600);
-        let cfg = StreamJoinConfig::default().with_m(4).with_window(200);
+        let cfg = StreamJoinConfig::default()
+            .with_m(4)
+            .with_window(200)
+            .build()
+            .unwrap();
         let mut p = Pipeline::new(cfg, dict);
         p.compute_joins = false;
         let r = p.run(docs);
@@ -165,7 +183,9 @@ fn window_isolation_no_cross_window_joins() {
     let cfg = StreamJoinConfig::default()
         .with_m(2)
         .with_window(10)
-        .with_expansion(false);
+        .with_expansion(false)
+        .build()
+        .unwrap();
     let report = Pipeline::new(cfg, dict).run(all);
     assert_eq!(report.windows.len(), 2);
     for w in &report.windows {
@@ -210,7 +230,11 @@ fn event_time_windows_drive_the_pipeline() {
         assert_eq!(buckets.len(), 1, "window mixes buckets: {buckets:?}");
     }
     // The pipeline stays exact window by window.
-    let cfg = StreamJoinConfig::default().with_m(3).with_window(10_000);
+    let cfg = StreamJoinConfig::default()
+        .with_m(3)
+        .with_window(10_000)
+        .build()
+        .unwrap();
     let mut pipeline = Pipeline::new(cfg, dict);
     for w in &ws {
         let report = pipeline.process_window(w);

@@ -417,7 +417,9 @@ proptest! {
             .with_m(m)
             .with_window(1000) // windows driven manually below
             .with_partitioner(kind)
-            .with_expansion(expansion);
+            .with_expansion(expansion)
+            .build()
+            .unwrap();
         let mut pipeline = Pipeline::new(cfg, dict.clone());
         let mut id = 0u64;
         for specs in &windows {
