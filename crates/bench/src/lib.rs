@@ -177,6 +177,128 @@ pub fn ideal_experiment(kind: PartitionerKind, m: usize, scale: Scale) -> Partit
     }
 }
 
+pub mod testutil {
+    //! Reusable run-equivalence assertions for integration, recovery, and
+    //! chaos tests: canonicalize a run's per-window join output and compare
+    //! two runs window by window with a readable diff.
+
+    use ssj_core::TopologyRunReport;
+    use std::fmt::Debug;
+
+    /// Canonical per-window join output: `windows[w]` holds the window's
+    /// unique `(min, max)` document-id pairs, sorted.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RunWindows {
+        /// Sorted unique pairs, one `Vec` per window in window order.
+        pub windows: Vec<Vec<(u64, u64)>>,
+    }
+
+    impl RunWindows {
+        /// Canonicalize raw per-window pair collections (order and
+        /// duplicates are normalized away; each pair is flipped to
+        /// `(min, max)`).
+        pub fn from_pairs<I>(windows: I) -> RunWindows
+        where
+            I: IntoIterator,
+            I::Item: IntoIterator<Item = (u64, u64)>,
+        {
+            let windows = windows
+                .into_iter()
+                .map(|w| {
+                    let mut pairs: Vec<(u64, u64)> =
+                        w.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    pairs
+                })
+                .collect();
+            RunWindows { windows }
+        }
+
+        /// Canonicalize a full topology run.
+        pub fn from_report(report: &TopologyRunReport) -> RunWindows {
+            RunWindows::from_pairs(
+                report
+                    .joins_per_window
+                    .iter()
+                    .map(|w| w.iter().copied().collect::<Vec<_>>()),
+            )
+        }
+    }
+
+    /// Anything comparable as canonical per-window join output.
+    pub trait AsRunWindows {
+        /// The canonical view of this run.
+        fn run_windows(&self) -> RunWindows;
+    }
+
+    impl AsRunWindows for RunWindows {
+        fn run_windows(&self) -> RunWindows {
+            self.clone()
+        }
+    }
+
+    impl AsRunWindows for TopologyRunReport {
+        fn run_windows(&self) -> RunWindows {
+            RunWindows::from_report(self)
+        }
+    }
+
+    /// Assert that two runs produced identical join output in every window;
+    /// panics with the first differing window and both sides' pairs.
+    pub fn assert_runs_equal(a: &impl AsRunWindows, b: &impl AsRunWindows) {
+        let (a, b) = (a.run_windows(), b.run_windows());
+        assert_windows_equal("join pairs", &a.windows, &b.windows);
+    }
+
+    /// Generic per-window equality with a readable per-window diff:
+    /// compares lengths first, then each window, naming `what` differs.
+    pub fn assert_windows_equal<T: PartialEq + Debug>(what: &str, a: &[T], b: &[T]) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "window counts differ for {what}: {} vs {}",
+            a.len(),
+            b.len()
+        );
+        for (w, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x, y,
+                "window {w}: {what} differ\n  left: {x:?}\n right: {y:?}"
+            );
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn canonicalization_flips_sorts_and_dedups() {
+            let a = RunWindows::from_pairs(vec![vec![(2, 1), (1, 2), (3, 4)]]);
+            let b = RunWindows::from_pairs(vec![vec![(3, 4), (1, 2)]]);
+            assert_eq!(a, b);
+            assert_runs_equal(&a, &b);
+        }
+
+        #[test]
+        #[should_panic(expected = "window 1")]
+        fn differing_window_is_named() {
+            let a = RunWindows::from_pairs(vec![vec![(1, 2)], vec![(3, 4)]]);
+            let b = RunWindows::from_pairs(vec![vec![(1, 2)], vec![(3, 5)]]);
+            assert_runs_equal(&a, &b);
+        }
+
+        #[test]
+        #[should_panic(expected = "window counts differ")]
+        fn differing_window_count_is_named() {
+            let a = RunWindows::from_pairs(vec![vec![(1, 2)]]);
+            let b = RunWindows::from_pairs(Vec::<Vec<(u64, u64)>>::new());
+            assert_runs_equal(&a, &b);
+        }
+    }
+}
+
 /// Print a paper-style table: rows = x-axis values, columns = algorithms.
 pub fn print_table<T: std::fmt::Display>(
     title: &str,

@@ -74,6 +74,16 @@ const METRICS_OUT: FlagSpec = opt(
     "write per-window metrics + trace as JSON lines to FILE",
 );
 const NO_METRICS: FlagSpec = flag("no-metrics", "disable histogram/trace collection");
+const RETRIES: FlagSpec = opt(
+    "retries",
+    Some("0"),
+    "supervised-recovery retry budget per task (0 = off)",
+);
+const BACKOFF_MS: FlagSpec = opt("backoff-ms", Some("20"), "base recovery backoff in ms");
+const DEGRADED: FlagSpec = flag(
+    "degraded",
+    "fence retry-exhausted tasks and route around them",
+);
 
 /// Every subcommand of the `ssj` binary.
 pub const COMMANDS: &[CommandSpec] = &[
@@ -177,6 +187,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             BATCH,
             ALGO,
             NO_EXPANSION,
+            RETRIES,
+            BACKOFF_MS,
+            DEGRADED,
             flag("dot", "print the topology as Graphviz DOT and exit"),
         ],
     },
@@ -198,6 +211,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             BATCH,
             ALGO,
             NO_EXPANSION,
+            RETRIES,
+            BACKOFF_MS,
+            DEGRADED,
             METRICS_OUT,
             NO_METRICS,
         ],

@@ -164,6 +164,9 @@ fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, Strin
         .with_assigners(args.get_or("assigners", 6)?)
         .with_batch_size(args.get_or("batch", 64)?)
         .with_metrics(metrics)
+        .with_retries(args.get_or("retries", 0)?)
+        .with_backoff_ms(args.get_or("backoff-ms", 20)?)
+        .with_degraded(args.flag("degraded"))
         .build()?;
     Ok(cfg)
 }
@@ -420,6 +423,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
     }
     print!("{}", report.runtime.summary_table());
+    let faults = report.runtime.total_faults();
+    if faults > 0 {
+        println!(
+            "faults: {} ({} crashes, {} recoveries attempted, {} succeeded, {} tasks fenced)",
+            faults,
+            report.runtime.counter_total("faults_crashes"),
+            report.runtime.counter_total("recoveries_attempted"),
+            report.runtime.counter_total("recoveries_succeeded"),
+            report.runtime.counter_total("faults_fenced"),
+        );
+    }
     let joins: usize = report.joins_per_window.iter().map(|w| w.len()).sum();
     println!(
         "{} documents, {} windows, {} join pairs in {:.3}s ({:.0} docs/s)",

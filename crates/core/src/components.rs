@@ -22,7 +22,7 @@ use ssj_partition::{
     association_groups, batch_views, merge_and_assign, Expansion, RepartitionPolicy, Route,
     RoutingStats, UnseenTracker, View, WindowQuality,
 };
-use ssj_runtime::{Bolt, Outbox, TaskInfo, TaskInstruments, TraceKind};
+use ssj_runtime::{Bolt, BoltState, Outbox, TaskInfo, TaskInstruments, TraceKind};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -109,6 +109,39 @@ impl Bolt<Msg> for PartitionCreator {
         }
         self.buffer.clear();
     }
+
+    // Cross-window state is just the compute flag; the window buffer is
+    // rebuilt by replay, so it is deliberately NOT captured.
+    fn snapshot(&self) -> Option<BoltState> {
+        Some(Box::new(self.compute_pending))
+    }
+
+    fn restore(&mut self, state: &BoltState) -> Result<(), String> {
+        let pending = state
+            .downcast_ref::<bool>()
+            .ok_or_else(|| "PartitionCreator snapshot type mismatch".to_string())?;
+        self.compute_pending = *pending;
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+/// Window-boundary snapshot of the [`Merger`]'s cross-window state.
+#[derive(Clone)]
+struct MergerState {
+    table: ssj_partition::PartitionTable,
+    expansion: Option<Expansion>,
+    dirty: bool,
+}
+
+/// Window-boundary snapshot of the [`Assigner`]'s cross-window state.
+#[derive(Clone)]
+struct AssignerState {
+    current: Option<Arc<TableMsg>>,
+    unseen: UnseenTracker,
+    baseline: Option<WindowQuality>,
+    table_fresh: bool,
+    signalled: bool,
 }
 
 /// Merger bolt (§IV-A consolidation + §VI-A updates). Exactly one instance.
@@ -215,6 +248,27 @@ impl Bolt<Msg> for Merger {
             self.trace_table(window);
         }
         self.pending.clear();
+    }
+
+    // The deployed table survives crashes; per-window `pending` groups are
+    // reconstructed by replay.
+    fn snapshot(&self) -> Option<BoltState> {
+        Some(Box::new(MergerState {
+            table: self.table.clone(),
+            expansion: self.expansion.clone(),
+            dirty: self.dirty,
+        }))
+    }
+
+    fn restore(&mut self, state: &BoltState) -> Result<(), String> {
+        let s = state
+            .downcast_ref::<MergerState>()
+            .ok_or_else(|| "Merger snapshot type mismatch".to_string())?;
+        self.table = s.table.clone();
+        self.expansion = s.expansion.clone();
+        self.dirty = s.dirty;
+        self.pending.clear();
+        Ok(())
     }
 }
 
@@ -368,6 +422,35 @@ impl Bolt<Msg> for Assigner {
         self.update_reqs = 0;
         self.per_machine.iter_mut().for_each(|c| *c = 0);
     }
+
+    // The deployed table, δ-tracker, and θ-baseline survive crashes; the
+    // per-window routing counters are rebuilt by replay.
+    fn snapshot(&self) -> Option<BoltState> {
+        Some(Box::new(AssignerState {
+            current: self.current.clone(),
+            unseen: self.unseen.clone(),
+            baseline: self.baseline,
+            table_fresh: self.table_fresh,
+            signalled: self.signalled,
+        }))
+    }
+
+    fn restore(&mut self, state: &BoltState) -> Result<(), String> {
+        let s = state
+            .downcast_ref::<AssignerState>()
+            .ok_or_else(|| "Assigner snapshot type mismatch".to_string())?;
+        self.current = s.current.clone();
+        self.unseen = s.unseen.clone();
+        self.baseline = s.baseline;
+        self.table_fresh = s.table_fresh;
+        self.signalled = s.signalled;
+        self.per_machine = vec![0; self.config.m];
+        self.sends = 0;
+        self.broadcasts = 0;
+        self.docs = 0;
+        self.update_reqs = 0;
+        Ok(())
+    }
 }
 
 /// Joiner bolt (§V): local window join.
@@ -442,4 +525,8 @@ impl Bolt<Msg> for Joiner {
         });
         self.buffer.clear();
     }
+
+    // No `snapshot` override: Joiner state is strictly window-local (the
+    // buffer is rebuilt by replay; the probe scratch is only a warm cache),
+    // so the default stateless snapshot is exactly right.
 }

@@ -39,6 +39,16 @@ pub struct StreamJoinConfig {
     /// Enable full metrics collection in the runtime: latency histograms,
     /// the window-lifecycle trace, and per-punctuation registry snapshots.
     pub metrics: bool,
+    /// Supervised-recovery retry budget per bolt task (0 = supervision off:
+    /// a task panic aborts the run, exactly as before recovery existed).
+    pub retries: u32,
+    /// Base backoff between recovery attempts, in milliseconds (doubles per
+    /// consecutive attempt, capped at 64×).
+    pub backoff_ms: u64,
+    /// Degraded mode: when a task exhausts its retries, fence it and route
+    /// around it instead of failing the whole run (sacrifices that task's
+    /// share of the result — see DESIGN.md §4d).
+    pub degraded: bool,
 }
 
 impl Default for StreamJoinConfig {
@@ -55,6 +65,9 @@ impl Default for StreamJoinConfig {
             assigners: 6,
             batch_size: 64,
             metrics: false,
+            retries: 0,
+            backoff_ms: 20,
+            degraded: false,
         }
     }
 }
@@ -180,6 +193,28 @@ macro_rules! builder_setters {
         pub fn with_metrics(self, on: bool) -> ConfigBuilder {
             let mut b = self.into_builder();
             b.cfg.metrics = on;
+            b
+        }
+
+        /// Override the supervised-recovery retry budget per bolt task.
+        pub fn with_retries(self, retries: u32) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.retries = retries;
+            b
+        }
+
+        /// Override the base recovery backoff in milliseconds.
+        pub fn with_backoff_ms(self, ms: u64) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.backoff_ms = ms;
+            b
+        }
+
+        /// Enable or disable degraded mode (fence retry-exhausted tasks and
+        /// route around them instead of failing the run).
+        pub fn with_degraded(self, on: bool) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.degraded = on;
             b
         }
     };

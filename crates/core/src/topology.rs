@@ -105,6 +105,12 @@ fn build(
         .channel_capacity(capacity)
         .batch_size(batch)
         .metrics(config.metrics)
+        .recovery(
+            ssj_runtime::RecoveryPolicy::default()
+                .retries(config.retries)
+                .backoff(std::time::Duration::from_millis(config.backoff_ms.max(1)))
+                .degraded(config.degraded),
+        )
         .spout("reader", 1, move |_| {
             Box::new(VecSpout::with_punctuation(msgs.clone(), window))
         })

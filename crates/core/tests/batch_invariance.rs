@@ -1,6 +1,7 @@
 //! Transport batching must not change join results: the full Fig. 2
 //! topology produces identical per-window output for any batch size.
 
+use ssj_bench::testutil::{assert_runs_equal, RunWindows};
 use ssj_core::{ground_truth_pairs, run_topology, StreamJoinConfig};
 use ssj_json::{Dictionary, DocId, Document};
 
@@ -29,24 +30,6 @@ fn stream(dict: &Dictionary, windows: usize, per_window: usize) -> Vec<Document>
     out
 }
 
-/// Per-window join pairs as a sorted vector (set order is not meaningful).
-fn sorted_windows(
-    cfg: StreamJoinConfig,
-    dict: &Dictionary,
-    docs: &[Document],
-) -> Vec<Vec<(u64, u64)>> {
-    let report = run_topology(cfg, dict, docs.to_vec()).unwrap();
-    report
-        .joins_per_window
-        .iter()
-        .map(|w| {
-            let mut v: Vec<(u64, u64)> = w.iter().copied().collect();
-            v.sort_unstable();
-            v
-        })
-        .collect()
-}
-
 #[test]
 fn join_output_identical_across_batch_sizes() {
     let dict = Dictionary::new();
@@ -57,22 +40,28 @@ fn join_output_identical_across_batch_sizes() {
         .with_window(per_window)
         .with_expansion(false);
 
-    let unbatched = sorted_windows(base_cfg.with_batch_size(1).build().unwrap(), &dict, &docs);
+    let unbatched = run_topology(
+        base_cfg.with_batch_size(1).build().unwrap(),
+        &dict,
+        docs.clone(),
+    )
+    .unwrap();
 
     // The unbatched run must itself be exact versus brute force.
-    assert_eq!(unbatched.len(), windows);
-    for (w, got) in unbatched.iter().enumerate() {
-        let truth = ground_truth_pairs(&docs[w * per_window..(w + 1) * per_window]);
-        let mut truth: Vec<(u64, u64)> = truth.iter().copied().collect();
-        truth.sort_unstable();
-        assert_eq!(got, &truth, "window {w} (batch_size=1)");
-    }
+    let truth = RunWindows::from_pairs((0..windows).map(|w| {
+        ground_truth_pairs(&docs[w * per_window..(w + 1) * per_window])
+            .into_iter()
+            .collect::<Vec<_>>()
+    }));
+    assert_runs_equal(&truth, &unbatched);
 
     for bs in [7usize, 64] {
-        let batched = sorted_windows(base_cfg.with_batch_size(bs).build().unwrap(), &dict, &docs);
-        assert_eq!(
-            unbatched, batched,
-            "per-window join output diverged at batch_size={bs}"
-        );
+        let batched = run_topology(
+            base_cfg.with_batch_size(bs).build().unwrap(),
+            &dict,
+            docs.clone(),
+        )
+        .unwrap();
+        assert_runs_equal(&unbatched, &batched);
     }
 }

@@ -2,6 +2,7 @@
 //! failure, the restored pipeline must route and join exactly like the
 //! uninterrupted one.
 
+use ssj_bench::testutil::assert_windows_equal;
 use ssj_core::{ground_truth_pairs, Pipeline, StreamJoinConfig};
 use ssj_data::{ServerLogConfig, ServerLogGen};
 use ssj_json::{Dictionary, Document};
@@ -51,6 +52,7 @@ fn restored_pipeline_continues_exactly() {
         .map(|d| Document::from_json(d.id(), &d.to_json(&dict), &rdict).unwrap())
         .collect();
 
+    let mut restored_reports = Vec::new();
     for (i, w) in [2usize, 3].into_iter().enumerate() {
         let window = &rest[i * 150..(i + 1) * 150];
         let report = restored.process_window(window);
@@ -68,7 +70,19 @@ fn restored_pipeline_continues_exactly() {
             q.replication < cfg.m as f64,
             "window {w} degenerated to full broadcast: {q:?}"
         );
+        restored_reports.push(report);
     }
+
+    // Both the uninterrupted reference and the restored run found the same
+    // number of unique join pairs in the replayed windows (both are exact).
+    let counts = |rs: &[ssj_core::WindowReport]| -> Vec<usize> {
+        rs.iter().map(|r| r.unique_join_pairs).collect()
+    };
+    assert_windows_equal(
+        "unique join pairs",
+        &counts(&ref_reports[2..]),
+        &counts(&restored_reports),
+    );
 }
 
 #[test]

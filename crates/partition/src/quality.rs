@@ -74,7 +74,7 @@ impl WindowQuality {
 
 /// δ-threshold tracking of previously unseen attribute-value pairs (§VI-A):
 /// a pair becomes an *update candidate* once seen `delta` times.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UnseenTracker {
     delta: u32,
     counts: FxHashMap<AvpId, u32>,

@@ -1,0 +1,190 @@
+//! Cross-partitioner differential tests (§IV, §VII-A).
+//!
+//! Every partitioner — AG, SC, DS, and the hash baseline — must satisfy the
+//! same two contracts on a creation batch:
+//!
+//! 1. **Coverage**: every attribute-value pair that occurs in the batch is
+//!    assigned to at least one partition, so no creation-batch document is
+//!    ever broadcast.
+//! 2. **Join exactness** (the differential oracle): routing the batch
+//!    through the table and joining locally on each machine produces exactly
+//!    the pairs of documents that share at least one attribute-value pair —
+//!    no partitioner may lose or invent a join result, and therefore all
+//!    partitioners produce *identical* join output.
+//!
+//! A fifth table built by the Merger path (`merge_and_assign` over locally
+//! computed association groups, §IV-A) is held to the same contracts.
+
+use proptest::prelude::*;
+use ssj_partition::{association_groups, merge_and_assign, PartitionTable, PartitionerKind, View};
+use std::collections::BTreeSet;
+
+use ssj_json::AvpId;
+
+/// Deterministically generate a batch of document views over a small
+/// attribute-value vocabulary. Small vocabularies force shared pairs (and
+/// thus joins); the LCG keeps the batch a pure function of `seed`.
+fn gen_views(seed: u64, docs: usize, vocab: u32, max_len: usize) -> Vec<View> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..docs)
+        .map(|_| {
+            let len = 1 + (next() as usize) % max_len;
+            let mut view: View = (0..len).map(|_| AvpId((next() as u32) % vocab)).collect();
+            view.sort_unstable();
+            view.dedup();
+            view
+        })
+        .collect()
+}
+
+/// The global oracle: every unordered pair of documents sharing at least one
+/// attribute-value pair.
+fn oracle_joins(views: &[View]) -> BTreeSet<(u32, u32)> {
+    let mut out = BTreeSet::new();
+    for i in 0..views.len() {
+        for j in (i + 1)..views.len() {
+            if views[i].iter().any(|a| views[j].binary_search(a).is_ok()) {
+                out.insert((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Route the batch through `table`, join locally on each machine (pairs of
+/// co-located documents sharing a pair), and union the machine-local results
+/// — the distributed join the table is supposed to make exact.
+fn distributed_joins(table: &PartitionTable, views: &[View]) -> BTreeSet<(u32, u32)> {
+    let m = table.m();
+    let mut per_machine: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (i, view) in views.iter().enumerate() {
+        for t in table.route(view).targets(m) {
+            per_machine[t as usize].push(i as u32);
+        }
+    }
+    let mut out = BTreeSet::new();
+    for machine in &per_machine {
+        for (x, &i) in machine.iter().enumerate() {
+            for &j in &machine[x + 1..] {
+                let (vi, vj) = (&views[i as usize], &views[j as usize]);
+                if vi.iter().any(|a| vj.binary_search(a).is_ok()) {
+                    out.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Distinct pairs of the batch.
+fn batch_avps(views: &[View]) -> BTreeSet<AvpId> {
+    views.iter().flatten().copied().collect()
+}
+
+/// Check both contracts for one table.
+fn check_table(
+    name: &str,
+    table: &PartitionTable,
+    views: &[View],
+    oracle: &BTreeSet<(u32, u32)>,
+) -> Result<(), TestCaseError> {
+    for &avp in &batch_avps(views) {
+        prop_assert!(
+            !table.partitions_of(avp).is_empty(),
+            "{name}: pair {avp:?} of the creation batch is unassigned"
+        );
+    }
+    for view in views {
+        prop_assert!(
+            view.is_empty() || !table.route(view).is_broadcast(),
+            "{name}: creation-batch view {view:?} broadcasts"
+        );
+    }
+    let got = distributed_joins(table, views);
+    prop_assert_eq!(
+        &got,
+        oracle,
+        "{} join results diverge from the oracle",
+        name
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four partitioners cover every creation-batch pair and produce
+    /// join results identical to the single-machine oracle (and therefore
+    /// to each other), across batch shapes and machine counts.
+    #[test]
+    fn partitioners_agree_with_join_oracle(
+        seed in 0u64..u64::MAX,
+        docs in 4usize..40,
+        vocab in 3u32..24,
+        max_len in 1usize..6,
+        m in 1usize..6,
+    ) {
+        let views = gen_views(seed, docs, vocab, max_len);
+        let oracle = oracle_joins(&views);
+        for kind in PartitionerKind::with_baselines() {
+            let table = kind.create(&views, m);
+            prop_assert_eq!(table.m(), m);
+            check_table(kind.name(), &table, &views, &oracle)?;
+        }
+    }
+
+    /// The Merger path — association groups computed locally on chunks of
+    /// the batch, then consolidated and assigned (§IV-A) — obeys the same
+    /// coverage and exactness contracts as single-shot creation.
+    #[test]
+    fn merger_consolidation_preserves_join_exactness(
+        seed in 0u64..u64::MAX,
+        docs in 4usize..32,
+        vocab in 3u32..16,
+        chunks in 1usize..5,
+        m in 1usize..5,
+    ) {
+        let views = gen_views(seed, docs, vocab, 5);
+        let oracle = oracle_joins(&views);
+        let per = views.len().div_ceil(chunks);
+        let locals: Vec<_> = views
+            .chunks(per.max(1))
+            .map(association_groups)
+            .collect();
+        let table = merge_and_assign(locals, m);
+        check_table("merge_and_assign", &table, &views, &oracle)?;
+    }
+}
+
+/// Documents whose every pair is unknown to the table broadcast to all
+/// machines, so joins among them — and with any routed document — stay
+/// complete (§VI-A's completeness fallback).
+#[test]
+fn broadcast_fallback_keeps_unseen_joins_complete() {
+    let creation = gen_views(7, 12, 8, 4);
+    for kind in PartitionerKind::with_baselines() {
+        let table = kind.create(&creation, 3);
+        // Probe stream: the creation docs plus documents over a fully
+        // disjoint vocabulary (ids ≥ 100) that can only broadcast.
+        let mut probe = creation.clone();
+        probe.push(vec![AvpId(100), AvpId(101)]);
+        probe.push(vec![AvpId(101), AvpId(102)]);
+        probe.push(vec![AvpId(200)]);
+        for unseen in &probe[creation.len()..] {
+            assert!(
+                table.route(unseen).is_broadcast(),
+                "{}: unseen view must broadcast",
+                kind.name()
+            );
+        }
+        let oracle = oracle_joins(&probe);
+        let got = distributed_joins(&table, &probe);
+        assert_eq!(got, oracle, "{}: broadcast joins diverge", kind.name());
+    }
+}

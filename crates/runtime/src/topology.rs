@@ -16,6 +16,7 @@
 //! participate in end-of-stream accounting or punctuation alignment, and the
 //! forward-edge graph must be acyclic.
 
+use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::{Bolt, Spout};
 use std::collections::HashMap;
 use std::fmt;
@@ -70,8 +71,10 @@ pub(crate) struct Subscription<M> {
 
 /// Factory producing one spout instance per task.
 pub type SpoutFactory<M> = Box<dyn Fn(usize) -> Box<dyn Spout<M>> + Send>;
-/// Factory producing one bolt instance per task.
-pub type BoltFactory<M> = Box<dyn Fn(usize) -> Box<dyn Bolt<M>> + Send>;
+/// Factory producing one bolt instance per task. Shared (`Arc`) so the
+/// supervisor can rebuild a crashed task's bolt from the same factory when
+/// restarting it from a snapshot.
+pub type BoltFactory<M> = Arc<dyn Fn(usize) -> Box<dyn Bolt<M>> + Send + Sync>;
 
 pub(crate) enum ComponentKind<M> {
     Spout(SpoutFactory<M>),
@@ -140,6 +143,8 @@ pub struct TopologyBuilder<M> {
     batch_size: usize,
     metrics: bool,
     trace_capacity: usize,
+    fault_plan: FaultPlan,
+    recovery: RecoveryPolicy,
 }
 
 impl<M> Default for TopologyBuilder<M> {
@@ -150,6 +155,8 @@ impl<M> Default for TopologyBuilder<M> {
             batch_size: 1,
             metrics: false,
             trace_capacity: 4096,
+            fault_plan: FaultPlan::new(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -198,6 +205,24 @@ impl<M> TopologyBuilder<M> {
         self
     }
 
+    /// Attach a deterministic [`FaultPlan`]: injected crashes, envelope
+    /// drops/delays, and stalls fire at the plan's logical stream
+    /// coordinates when the topology runs. An empty plan (the default)
+    /// injects nothing and costs nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Set the [`RecoveryPolicy`] the executor supervises bolts with:
+    /// retry budget, restart backoff, degraded mode, and channel timeouts.
+    /// The default policy is inert — no supervision, panics propagate as
+    /// before.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     /// Add a spout named `name` with `parallelism` tasks.
     pub fn spout(
         mut self,
@@ -221,12 +246,12 @@ impl<M> TopologyBuilder<M> {
         mut self,
         name: impl Into<String>,
         parallelism: usize,
-        factory: impl Fn(usize) -> Box<dyn Bolt<M>> + Send + 'static,
+        factory: impl Fn(usize) -> Box<dyn Bolt<M>> + Send + Sync + 'static,
     ) -> BoltHandle<M> {
         self.components.push(Component {
             name: name.into(),
             parallelism,
-            kind: ComponentKind::Bolt(Box::new(factory)),
+            kind: ComponentKind::Bolt(Arc::new(factory)),
             subscriptions: Vec::new(),
         });
         BoltHandle { builder: self }
@@ -294,6 +319,8 @@ impl<M> TopologyBuilder<M> {
             batch_size: self.batch_size,
             metrics: self.metrics,
             trace_capacity: self.trace_capacity,
+            fault_plan: self.fault_plan,
+            recovery: self.recovery,
         })
     }
 }
@@ -378,6 +405,8 @@ pub struct Topology<M> {
     pub(crate) batch_size: usize,
     pub(crate) metrics: bool,
     pub(crate) trace_capacity: usize,
+    pub(crate) fault_plan: FaultPlan,
+    pub(crate) recovery: RecoveryPolicy,
 }
 
 impl<M> Topology<M> {

@@ -16,6 +16,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos smoke (fault injection + supervised recovery)"
+cargo test -q -p ssj-runtime --test chaos
+cargo test -q -p ssj-partition --test cross_partitioners
+
 echo "==> runtime throughput smoke bench vs committed baseline"
 cargo build --release -q -p ssj-bench --bin bench_runtime
 ./target/release/bench_runtime --check BENCH_runtime.json

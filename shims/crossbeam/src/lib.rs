@@ -2,8 +2,9 @@
 //!
 //! Implements the `crossbeam::channel` subset this workspace consumes:
 //! [`channel::bounded`] / [`channel::unbounded`] MPSC channels with
-//! cloneable senders, blocking `send`/`recv` with disconnect detection, and
-//! [`channel::Select`] over multiple receivers. Built on `std::sync`
+//! cloneable senders, blocking `send`/`recv` with disconnect detection,
+//! timeout variants (`send_timeout` / `recv_timeout` / `select_timeout`),
+//! and [`channel::Select`] over multiple receivers. Built on `std::sync`
 //! condvars; the `Select` implementation registers one shared waker with
 //! every watched channel and re-scans readiness after each wakeup.
 
@@ -11,6 +12,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex, Weak};
+    use std::time::{Duration, Instant};
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +43,29 @@ pub mod channel {
         /// Channel is empty and all senders are gone.
         Disconnected,
     }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline (senders still connected).
+        Timeout,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent
+    /// message back to the caller.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full past the deadline.
+        Timeout(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Select::select_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SelectTimeoutError;
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -176,6 +201,38 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Send `msg`, giving up after `timeout` if a bounded channel stays
+        /// full. On timeout the message is handed back to the caller.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        };
+                        let (guard, timed_out) =
+                            self.shared.not_full.wait_timeout(st, left).unwrap();
+                        st = guard;
+                        if timed_out.timed_out()
+                            && matches!(st.cap, Some(cap) if st.queue.len() >= cap)
+                        {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            Shared::notify_selects(&mut st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -192,6 +249,29 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receive, giving up after `timeout` if nothing arrives.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, timed_out) = self.shared.not_empty.wait_timeout(st, left).unwrap();
+                st = guard;
+                if timed_out.timed_out() && st.queue.is_empty() && st.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -318,6 +398,56 @@ pub mod channel {
                 let mut woken = waker.lock.lock().unwrap();
                 while !*woken {
                     woken = waker.cv.wait(woken).unwrap();
+                }
+            }
+        }
+
+        /// Like [`Select::select`], but give up once `timeout` passes with
+        /// no registered operation becoming ready.
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation, SelectTimeoutError> {
+            assert!(
+                !self.targets.is_empty(),
+                "select with no registered operations"
+            );
+            let deadline = Instant::now() + timeout;
+            let waker = self
+                .waker
+                .get_or_insert_with(|| {
+                    let waker = Arc::new(Waker {
+                        lock: Mutex::new(false),
+                        cv: Condvar::new(),
+                    });
+                    for t in &self.targets {
+                        t.register(&waker);
+                    }
+                    waker
+                })
+                .clone();
+            let mut start = 0usize;
+            loop {
+                {
+                    *waker.lock.lock().unwrap() = false;
+                }
+                for off in 0..self.targets.len() {
+                    let i = (start + off) % self.targets.len();
+                    if self.targets[i].ready() {
+                        return Ok(SelectedOperation { index: i });
+                    }
+                }
+                start = start.wrapping_add(1);
+                let mut woken = waker.lock.lock().unwrap();
+                while !*woken {
+                    let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                        return Err(SelectTimeoutError);
+                    };
+                    let (guard, timed_out) = waker.cv.wait_timeout(woken, left).unwrap();
+                    woken = guard;
+                    if timed_out.timed_out() && !*woken {
+                        return Err(SelectTimeoutError);
+                    }
                 }
             }
         }
