@@ -1,0 +1,484 @@
+//! Partitioning-pipeline benchmark: group build (sequential vs sharded),
+//! incremental association-group maintenance vs from-scratch rebuilds,
+//! Merger consolidation, and document routing (legacy allocating `route()`
+//! vs the zero-alloc `route_into()` + fingerprint-cache fast path).
+//!
+//! Modes:
+//! * no args: run the smoke *and* full suites, verify the two tentpole
+//!   claims (incremental ≥ 2x on steady-state delta windows; fast routing
+//!   beats legacy routing), and write `BENCH_partition.json` at the
+//!   repository root;
+//! * `--smoke`: only the fast suite, same file, same claim checks;
+//! * `--check FILE`: rerun the smoke suite and exit non-zero if any
+//!   measurement regresses by more than 20% versus the baseline in FILE
+//!   or a tentpole claim no longer holds;
+//! * `--audit` (requires `--features count-allocs`): route a warmed
+//!   workload and exit non-zero if the route path performs any heap
+//!   allocation per document.
+//!
+//! The JSON is one measurement per line (see `ssj_bench::report`); for the
+//! `incr/*/delta` and `route/*/fast` rows the `avg_batch` field carries the
+//! speedup factor over the corresponding baseline row.
+
+use ssj_bench::report::{best_of, check_against, parse_section, write_report, Measurement};
+use ssj_bench::DataSet;
+use ssj_json::AvpId;
+use ssj_partition::{
+    assign_groups, association_groups, association_groups_sharded, fingerprint_view,
+    merge_and_assign, GroupIndex, PartitionTable, RouteOutcome, RouteScratch, View,
+};
+use std::time::Instant;
+
+#[cfg(feature = "count-allocs")]
+mod alloc_counter {
+    //! Thread-local allocation counter installed as the global allocator.
+    //! It only counts allocation events; all real work is delegated to the
+    //! system allocator. `try_with` keeps it safe during TLS teardown.
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Allocation events observed on this thread so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+}
+
+const M: usize = 8;
+const BUILD_WORKERS: usize = 4;
+
+/// Partitioning views of `n` dataset documents.
+fn dataset_views(dataset: DataSet, n: usize) -> Vec<View> {
+    let (_dict, docs) = dataset.generate(n, 42);
+    docs.iter().map(|d| d.avps().collect()).collect()
+}
+
+fn measure(id: String, items: u64, secs: f64, secondary: f64) -> Measurement {
+    Measurement {
+        id,
+        tuples_per_sec: items as f64 / secs,
+        tuples: items,
+        secs,
+        avg_batch: secondary,
+    }
+}
+
+/// Sequential and sharded from-scratch group builds.
+fn group_build(dataset: DataSet, views: &[View], reps: usize) -> Vec<Measurement> {
+    let seq = best_of(reps, || {
+        let t0 = Instant::now();
+        let groups = association_groups(views);
+        measure(
+            format!("groups/{}/batch", dataset.label()),
+            views.len() as u64,
+            t0.elapsed().as_secs_f64(),
+            groups.len() as f64,
+        )
+    });
+    let par = best_of(reps, || {
+        let t0 = Instant::now();
+        let groups = association_groups_sharded(views, BUILD_WORKERS);
+        measure(
+            format!("groups/{}/parallel={BUILD_WORKERS}", dataset.label()),
+            views.len() as u64,
+            t0.elapsed().as_secs_f64(),
+            groups.len() as f64,
+        )
+    });
+    vec![seq, par]
+}
+
+/// Steady-state delta windows: a large live population with a small churn
+/// per derive. Incremental maintenance reuses the untouched groups; the
+/// from-scratch baseline rebuilds docsets + equivalence groups every time.
+fn incremental_churn(
+    dataset: DataSet,
+    views: &[View],
+    population: usize,
+    churn: usize,
+    steps: usize,
+    reps: usize,
+) -> Vec<Measurement> {
+    assert!(views.len() >= population + churn * steps);
+
+    // Incremental path: push/expire deltas, derive after each.
+    let delta = best_of(reps, || {
+        let mut idx = GroupIndex::new();
+        let mut live: std::collections::VecDeque<u32> =
+            views[..population].iter().map(|v| idx.push(v)).collect();
+        let mut next = population;
+        idx.association_groups(); // warm: the initial build is not a delta
+        let t0 = Instant::now();
+        let mut groups = 0usize;
+        for _ in 0..steps {
+            for _ in 0..churn {
+                idx.expire(live.pop_front().expect("live view"));
+                live.push_back(idx.push(&views[next]));
+                next += 1;
+            }
+            groups += idx.association_groups().len();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(groups > 0);
+        measure(
+            format!("incr/{}/delta", dataset.label()),
+            steps as u64,
+            secs,
+            0.0,
+        )
+    });
+
+    // From-scratch baseline over the identical window sequence.
+    let scratch = best_of(reps, || {
+        let mut window: Vec<View> = views[..population].to_vec();
+        let mut next = population;
+        let t0 = Instant::now();
+        let mut groups = 0usize;
+        for _ in 0..steps {
+            window.drain(..churn);
+            window.extend_from_slice(&views[next..next + churn]);
+            next += churn;
+            groups += association_groups(&window).len();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(groups > 0);
+        measure(
+            format!("incr/{}/scratch", dataset.label()),
+            steps as u64,
+            secs,
+            0.0,
+        )
+    });
+
+    let speedup = delta.tuples_per_sec / scratch.tuples_per_sec;
+    let delta = Measurement {
+        avg_batch: speedup,
+        ..delta
+    };
+    vec![scratch, delta]
+}
+
+/// Merger consolidation of per-creator local groups.
+fn merge_bench(dataset: DataSet, views: &[View], reps: usize) -> Measurement {
+    let half = views.len() / 2;
+    let locals = vec![
+        association_groups(&views[..half]),
+        association_groups(&views[half..]),
+    ];
+    let group_count: u64 = locals.iter().map(|l| l.len() as u64).sum();
+    best_of(reps, || {
+        let t0 = Instant::now();
+        let iters = 20;
+        let mut pairs = 0usize;
+        for _ in 0..iters {
+            pairs += merge_and_assign(locals.clone(), M).pair_count();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(pairs > 0);
+        measure(
+            format!("merge/{}", dataset.label()),
+            group_count * iters,
+            secs,
+            0.0,
+        )
+    })
+}
+
+/// Route `passes` passes over the views through the legacy allocating
+/// `route()`.
+fn route_legacy(table: &PartitionTable, views: &[View], passes: usize) -> (u64, f64) {
+    let t0 = Instant::now();
+    let mut sends = 0u64;
+    for _ in 0..passes {
+        for v in views {
+            sends += table.route(v).fanout(M) as u64;
+        }
+    }
+    (sends, t0.elapsed().as_secs_f64())
+}
+
+/// The Assigner's fast path: fingerprint cache, bitmask accumulation, and
+/// the reusable scratch buffer. Zero allocations per document once warm.
+fn route_fast(
+    table: &PartitionTable,
+    views: &[View],
+    passes: usize,
+    scratch: &mut RouteScratch,
+) -> (u64, f64) {
+    let t0 = Instant::now();
+    let mut sends = 0u64;
+    for _ in 0..passes {
+        for v in views {
+            sends += route_one_fast(table, v, scratch);
+        }
+    }
+    (sends, t0.elapsed().as_secs_f64())
+}
+
+/// One fast-path route; returns the fanout.
+fn route_one_fast(table: &PartitionTable, view: &[AvpId], scratch: &mut RouteScratch) -> u64 {
+    let fp = fingerprint_view(view.iter().copied());
+    if let Some(mask) = scratch.cache_get(fp) {
+        scratch.set_targets_from_mask(mask);
+        return scratch.targets().len() as u64;
+    }
+    match table.route_into(view, scratch) {
+        RouteOutcome::Matched => {
+            let mask = table.view_mask(view);
+            // Only fully-known views are cacheable; the creation batch is
+            // fully covered, so every view here qualifies.
+            if view.iter().all(|&a| table.avp_mask(a) != 0) {
+                scratch.cache_put(fp, mask);
+            }
+            scratch.targets().len() as u64
+        }
+        RouteOutcome::Broadcast => M as u64,
+    }
+}
+
+fn route_bench(dataset: DataSet, views: &[View], passes: usize, reps: usize) -> Vec<Measurement> {
+    let table = assign_groups(association_groups(views), M);
+    let docs = (views.len() * passes) as u64;
+    let legacy = best_of(reps, || {
+        let (sends, secs) = route_legacy(&table, views, passes);
+        assert!(sends >= docs);
+        measure(format!("route/{}/legacy", dataset.label()), docs, secs, 0.0)
+    });
+    let fast = best_of(reps, || {
+        let mut scratch = RouteScratch::new();
+        let (sends, secs) = route_fast(&table, views, passes, &mut scratch);
+        assert!(sends >= docs);
+        measure(format!("route/{}/fast", dataset.label()), docs, secs, 0.0)
+    });
+    // Cross-check: both paths fan out identically.
+    let (a, _) = route_legacy(&table, views, 1);
+    let mut scratch = RouteScratch::new();
+    let (b, _) = route_fast(&table, views, 1, &mut scratch);
+    assert_eq!(a, b, "fast route disagrees with legacy route");
+    let speedup = fast.tuples_per_sec / legacy.tuples_per_sec;
+    let fast = Measurement {
+        avg_batch: speedup,
+        ..fast
+    };
+    vec![legacy, fast]
+}
+
+struct SuiteSize {
+    group_views: usize,
+    population: usize,
+    churn: usize,
+    steps: usize,
+    route_passes: usize,
+    reps: usize,
+}
+
+// Five reps keep the fastest run stable enough for the 20% regression
+// gate on a shared machine (same policy as bench_runtime's smoke suite).
+const SMOKE: SuiteSize = SuiteSize {
+    group_views: 2_000,
+    population: 2_000,
+    churn: 20,
+    steps: 25,
+    route_passes: 20,
+    reps: 5,
+};
+
+const FULL: SuiteSize = SuiteSize {
+    group_views: 6_000,
+    population: 5_000,
+    churn: 50,
+    steps: 40,
+    route_passes: 40,
+    reps: 3,
+};
+
+fn run_suite(name: &str, size: &SuiteSize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for dataset in DataSet::all() {
+        let views = dataset_views(
+            dataset,
+            size.group_views
+                .max(size.population + size.churn * size.steps),
+        );
+        let group_views = &views[..size.group_views.min(views.len())];
+        out.extend(group_build(dataset, group_views, size.reps));
+        out.extend(incremental_churn(
+            dataset,
+            &views,
+            size.population,
+            size.churn,
+            size.steps,
+            size.reps,
+        ));
+        out.push(merge_bench(dataset, group_views, size.reps));
+        out.extend(route_bench(
+            dataset,
+            group_views,
+            size.route_passes,
+            size.reps,
+        ));
+    }
+    for m in &out {
+        println!(
+            "{name}: {} -> {:.0}/s ({} items in {:.3}s{})",
+            m.id,
+            m.tuples_per_sec,
+            m.tuples,
+            m.secs,
+            if m.avg_batch > 0.0 {
+                format!(", x{:.2}", m.avg_batch)
+            } else {
+                String::new()
+            }
+        );
+    }
+    out
+}
+
+/// The two tentpole claims, applied to a suite's measurements. Returns
+/// `false` (after printing why) if either fails.
+fn verify_claims(ms: &[Measurement]) -> bool {
+    let find = |id: &str| ms.iter().find(|m| m.id == id);
+    let mut ok = true;
+    for dataset in DataSet::all() {
+        let l = dataset.label();
+        if let Some(delta) = find(&format!("incr/{l}/delta")) {
+            println!(
+                "claim incr/{l}: incremental {:.2}x from-scratch",
+                delta.avg_batch
+            );
+            if delta.avg_batch < 2.0 {
+                eprintln!(
+                    "CLAIM FAILED: incr/{l} speedup {:.2}x < 2x",
+                    delta.avg_batch
+                );
+                ok = false;
+            }
+        }
+        if let Some(fast) = find(&format!("route/{l}/fast")) {
+            println!("claim route/{l}: fast {:.2}x legacy", fast.avg_batch);
+            if fast.avg_batch < 1.0 {
+                eprintln!(
+                    "CLAIM FAILED: route/{l} fast path {:.2}x < 1x",
+                    fast.avg_batch
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_partition.json");
+
+fn check(baseline_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let baseline = parse_section(&text, "smoke");
+    if baseline.is_empty() {
+        eprintln!("no smoke measurements found in {baseline_path}");
+        return 2;
+    }
+    let fresh = run_suite("smoke", &SMOKE);
+    let mut ok = check_against(&baseline, &fresh, 0.8);
+    ok &= verify_claims(&fresh);
+    if ok {
+        0
+    } else {
+        eprintln!("partitioning performance regressed versus {baseline_path}");
+        1
+    }
+}
+
+/// Allocation audit: the route fast path must not touch the heap once the
+/// scratch and cache are warm.
+fn audit() -> i32 {
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        eprintln!("--audit requires building with --features count-allocs");
+        2
+    }
+    #[cfg(feature = "count-allocs")]
+    {
+        let views = dataset_views(DataSet::RwData, 2_000);
+        let table = assign_groups(association_groups(&views), M);
+        let mut scratch = RouteScratch::new();
+        // Warm pass: fills the cache and grows the scratch buffers.
+        let _ = route_fast(&table, &views, 1, &mut scratch);
+        let routes = (views.len() * 10) as u64;
+        let before = alloc_counter::allocations();
+        let (sends, _) = route_fast(&table, &views, 10, &mut scratch);
+        let allocs = alloc_counter::allocations() - before;
+        assert!(sends > 0);
+        println!("audit: {allocs} allocations across {routes} warmed routes");
+        if allocs == 0 {
+            println!("route path is allocation-free");
+            0
+        } else {
+            eprintln!("route path allocated {allocs} times in {routes} routes");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("--check requires a baseline file path");
+                std::process::exit(2);
+            };
+            std::process::exit(check(path));
+        }
+        Some("--smoke") => {
+            let s = run_suite("smoke", &SMOKE);
+            let ok = verify_claims(&s);
+            write_report(REPORT_PATH, "partition", &[("smoke", &s)]);
+            std::process::exit(i32::from(!ok));
+        }
+        Some("--audit") => std::process::exit(audit()),
+        None => {
+            let s = run_suite("smoke", &SMOKE);
+            let f = run_suite("full", &FULL);
+            let ok = verify_claims(&s) & verify_claims(&f);
+            write_report(REPORT_PATH, "partition", &[("smoke", &s), ("full", &f)]);
+            std::process::exit(i32::from(!ok));
+        }
+        Some(other) => {
+            eprintln!(
+                "unknown argument {other}; usage: bench_partition [--smoke | --audit | --check FILE]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -23,22 +23,13 @@
 //! The JSON is written one measurement per line so the `--check` mode (and
 //! shell tooling) can parse it without a JSON library.
 
+use ssj_bench::report::{best_of, check_against, parse_section, write_report, Measurement};
 use ssj_bench::DataSet;
 use ssj_core::{run_topology, StreamJoinConfig};
 use ssj_runtime::{fn_bolt, run, Bolt, Grouping, Outbox, TopologyBuilder, VecSpout};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// One throughput measurement.
-struct Measurement {
-    /// e.g. `chain/batch=32` — the key `--check` compares by.
-    id: String,
-    tuples_per_sec: f64,
-    tuples: u64,
-    secs: f64,
-    avg_batch: f64,
-}
 
 /// Terminal aggregation stage: sums locally, publishes once on shutdown.
 struct SumBolt {
@@ -137,19 +128,6 @@ fn join_run(docs_n: usize, window: usize, batch: usize, metrics: bool) -> Measur
     }
 }
 
-/// Best-of-`reps`: wall-clock throughput on a shared machine is noisy, and
-/// the fastest run is the least-perturbed estimate of what the code can do.
-fn best_of(reps: usize, f: impl Fn() -> Measurement) -> Measurement {
-    let mut best = f();
-    for _ in 1..reps {
-        let m = f();
-        if m.tuples_per_sec > best.tuples_per_sec {
-            best = m;
-        }
-    }
-    best
-}
-
 fn run_suite(
     name: &str,
     reps: usize,
@@ -222,32 +200,7 @@ fn full() -> Vec<Measurement> {
     run_suite("full", 3, 600_000, &[1, 8, 32, 128], 12_000)
 }
 
-fn json_section(ms: &[Measurement]) -> String {
-    ms.iter()
-        .map(|m| {
-            format!(
-                "    {{\"id\": \"{}\", \"tuples_per_sec\": {:.1}, \"tuples\": {}, \
-                 \"secs\": {:.4}, \"avg_batch\": {:.2}}}",
-                m.id, m.tuples_per_sec, m.tuples, m.secs, m.avg_batch
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n")
-}
-
-fn write_report(smoke_ms: &[Measurement], full_ms: Option<&[Measurement]>) {
-    let mut body = format!(
-        "{{\n  \"bench\": \"runtime\",\n  \"smoke\": [\n{}\n  ]",
-        json_section(smoke_ms)
-    );
-    if let Some(f) = full_ms {
-        body.push_str(&format!(",\n  \"full\": [\n{}\n  ]", json_section(f)));
-    }
-    body.push_str("\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
-    std::fs::write(path, body).expect("write BENCH_runtime.json");
-    println!("wrote {path}");
-}
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
 
 fn speedup_summary(ms: &[Measurement]) {
     let rate = |id: &str| ms.iter().find(|m| m.id == id).map(|m| m.tuples_per_sec);
@@ -259,46 +212,6 @@ fn speedup_summary(ms: &[Measurement]) {
     }
 }
 
-/// Extract `(id, tuples_per_sec)` pairs from the committed baseline's smoke
-/// section. One-measurement-per-line format; no JSON library needed.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let mut in_smoke = false;
-    for line in text.lines() {
-        if line.contains("\"smoke\"") {
-            in_smoke = true;
-            continue;
-        }
-        if in_smoke && line.trim_start().starts_with(']') {
-            break;
-        }
-        if !in_smoke {
-            continue;
-        }
-        let Some(id) = extract_str(line, "\"id\": \"") else {
-            continue;
-        };
-        let Some(rate) = extract_num(line, "\"tuples_per_sec\": ") else {
-            continue;
-        };
-        out.push((id, rate));
-    }
-    out
-}
-
-fn extract_str(line: &str, key: &str) -> Option<String> {
-    let rest = &line[line.find(key)? + key.len()..];
-    Some(rest[..rest.find('"')?].to_owned())
-}
-
-fn extract_num(line: &str, key: &str) -> Option<f64> {
-    let rest = &line[line.find(key)? + key.len()..];
-    let end = rest
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn check(baseline_path: &str) -> i32 {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -307,31 +220,13 @@ fn check(baseline_path: &str) -> i32 {
             return 2;
         }
     };
-    let baseline = parse_baseline(&text);
+    let baseline = parse_section(&text, "smoke");
     if baseline.is_empty() {
         eprintln!("no smoke measurements found in {baseline_path}");
         return 2;
     }
     let fresh = smoke();
-    let mut failed = false;
-    for (id, base_rate) in &baseline {
-        let Some(m) = fresh.iter().find(|m| &m.id == id) else {
-            eprintln!("baseline id {id} missing from fresh run");
-            failed = true;
-            continue;
-        };
-        let ratio = m.tuples_per_sec / base_rate;
-        let verdict = if ratio < 0.8 {
-            failed = true;
-            "REGRESSION"
-        } else {
-            "ok"
-        };
-        println!(
-            "check {id}: baseline {base_rate:.0}/s, now {:.0}/s ({:.2}x) {verdict}",
-            m.tuples_per_sec, ratio
-        );
-    }
+    let mut failed = !check_against(&baseline, &fresh, 0.8);
     // Observability-overhead budget: the metrics-on join of this same
     // session must stay within 5% of the metrics-off join. Paired fresh
     // runs, so machine-to-machine noise cancels out.
@@ -367,7 +262,7 @@ fn main() {
         Some("--smoke") => {
             let s = smoke();
             speedup_summary(&s);
-            write_report(&s, None);
+            write_report(REPORT_PATH, "runtime", &[("smoke", &s)]);
         }
         Some("--overhead") => {
             let ratio = overhead_ratio(5, 4_500);
@@ -378,7 +273,7 @@ fn main() {
             let f = full();
             speedup_summary(&s);
             speedup_summary(&f);
-            write_report(&s, Some(&f));
+            write_report(REPORT_PATH, "runtime", &[("smoke", &s), ("full", &f)]);
         }
         Some(other) => {
             eprintln!(

@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use ssj_core::{Pipeline, StreamJoinConfig};
 use ssj_data::{
     ideal_stream, IdealConfig, NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen,

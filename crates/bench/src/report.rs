@@ -1,0 +1,171 @@
+//! Shared plumbing for the `bench_*` binaries: the measurement record, the
+//! best-of-N repetition policy, and the one-measurement-per-line JSON report
+//! format that `--check` modes (and shell tooling) can parse without a JSON
+//! library.
+
+/// One throughput measurement.
+pub struct Measurement {
+    /// e.g. `chain/batch=32` — the key `--check` compares by.
+    pub id: String,
+    /// Primary rate (tuples, docs, views or derives per second).
+    pub tuples_per_sec: f64,
+    /// Items processed.
+    pub tuples: u64,
+    /// Wall-clock seconds of the best run.
+    pub secs: f64,
+    /// Benchmark-specific secondary figure (average transport batch for the
+    /// runtime bench, speedup factor for the partition bench; 0 when
+    /// unused).
+    pub avg_batch: f64,
+}
+
+/// Best-of-`reps`: wall-clock throughput on a shared machine is noisy, and
+/// the fastest run is the least-perturbed estimate of what the code can do.
+pub fn best_of(reps: usize, f: impl Fn() -> Measurement) -> Measurement {
+    let mut best = f();
+    for _ in 1..reps {
+        let m = f();
+        if m.tuples_per_sec > best.tuples_per_sec {
+            best = m;
+        }
+    }
+    best
+}
+
+/// Render measurements as the lines of one JSON array (no brackets).
+pub fn json_section(ms: &[Measurement]) -> String {
+    ms.iter()
+        .map(|m| {
+            format!(
+                "    {{\"id\": \"{}\", \"tuples_per_sec\": {:.1}, \"tuples\": {}, \
+                 \"secs\": {:.4}, \"avg_batch\": {:.2}}}",
+                m.id, m.tuples_per_sec, m.tuples, m.secs, m.avg_batch
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Write a `{"bench": name, "<section>": [...], …}` report to `path`.
+pub fn write_report(path: &str, bench: &str, sections: &[(&str, &[Measurement])]) {
+    let mut body = format!("{{\n  \"bench\": \"{bench}\"");
+    for (name, ms) in sections {
+        body.push_str(&format!(",\n  \"{name}\": [\n{}\n  ]", json_section(ms)));
+    }
+    body.push_str("\n}\n");
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Extract `(id, tuples_per_sec)` pairs from one section of a committed
+/// baseline. One-measurement-per-line format; no JSON library needed.
+pub fn parse_section(text: &str, section: &str) -> Vec<(String, f64)> {
+    let header = format!("\"{section}\"");
+    let mut out = Vec::new();
+    let mut inside = false;
+    for line in text.lines() {
+        if line.contains(&header) {
+            inside = true;
+            continue;
+        }
+        if inside && line.trim_start().starts_with(']') {
+            break;
+        }
+        if !inside {
+            continue;
+        }
+        let Some(id) = extract_str(line, "\"id\": \"") else {
+            continue;
+        };
+        let Some(rate) = extract_num(line, "\"tuples_per_sec\": ") else {
+            continue;
+        };
+        out.push((id, rate));
+    }
+    out
+}
+
+/// The string value following `key` on `line`, up to the closing quote.
+pub fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// The number following `key` on `line`.
+pub fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare a fresh run against a baseline section with a relative-rate
+/// floor; prints one line per id and returns `false` on any regression or
+/// missing id. `min_ratio` 0.8 = the standard 20% gate.
+pub fn check_against(baseline: &[(String, f64)], fresh: &[Measurement], min_ratio: f64) -> bool {
+    let mut ok = true;
+    for (id, base_rate) in baseline {
+        let Some(m) = fresh.iter().find(|m| &m.id == id) else {
+            eprintln!("baseline id {id} missing from fresh run");
+            ok = false;
+            continue;
+        };
+        let ratio = m.tuples_per_sec / base_rate;
+        let verdict = if ratio < min_ratio {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "check {id}: baseline {base_rate:.0}/s, now {:.0}/s ({ratio:.2}x) {verdict}",
+            m.tuples_per_sec
+        );
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(id: &str, rate: f64) -> Measurement {
+        Measurement {
+            id: id.into(),
+            tuples_per_sec: rate,
+            tuples: 10,
+            secs: 0.5,
+            avg_batch: 0.0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_section_parser() {
+        let ms = vec![m("a/b", 1234.5), m("c", 9.0)];
+        let body = format!("{{\n  \"smoke\": [\n{}\n  ]\n}}\n", json_section(&ms));
+        let parsed = parse_section(&body, "smoke");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "a/b");
+        assert!((parsed[0].1 - 1234.5).abs() < 1e-6);
+        assert!(parse_section(&body, "full").is_empty());
+    }
+
+    #[test]
+    fn best_of_keeps_fastest() {
+        let rates = std::cell::Cell::new(0.0);
+        let best = best_of(3, || {
+            rates.set(rates.get() + 1.0);
+            m("x", if rates.get() == 2.0 { 100.0 } else { 1.0 })
+        });
+        assert!((best.tuples_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_against_flags_regressions() {
+        let base = vec![("x".to_string(), 100.0)];
+        assert!(check_against(&base, &[m("x", 90.0)], 0.8));
+        assert!(!check_against(&base, &[m("x", 50.0)], 0.8));
+        assert!(!check_against(&base, &[m("y", 100.0)], 0.8));
+    }
+}

@@ -162,6 +162,7 @@ fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, Strin
         .with_delta(args.get_or("delta", 3)?)
         .with_partition_creators(args.get_or("creators", 2)?)
         .with_assigners(args.get_or("assigners", 6)?)
+        .with_build_workers(args.get_or("build-workers", 2)?)
         .with_batch_size(args.get_or("batch", 64)?)
         .with_metrics(metrics)
         .with_retries(args.get_or("retries", 0)?)

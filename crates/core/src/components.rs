@@ -17,10 +17,11 @@
 
 use crate::config::StreamJoinConfig;
 use crate::msg::{Msg, TableMsg};
-use ssj_json::{Dictionary, DocRef, FxHashSet};
+use ssj_json::{AvpId, Dictionary, DocRef, FxHashSet};
 use ssj_partition::{
-    association_groups, batch_views, merge_and_assign, Expansion, RepartitionPolicy, Route,
-    RoutingStats, UnseenTracker, View, WindowQuality,
+    association_groups_parallel, batch_views, fingerprint_view, merge_and_assign, Expansion,
+    GroupIndex, RepartitionPolicy, RouteOutcome, RouteScratch, RoutingStats, UnseenTracker, View,
+    WindowQuality,
 };
 use ssj_runtime::{Bolt, BoltState, Outbox, TaskInfo, TaskInstruments, TraceKind};
 use std::sync::Arc;
@@ -28,16 +29,35 @@ use std::time::Instant;
 
 /// PartitionCreator bolt (§IV-A phase 1).
 ///
-/// Buffers its shuffle-share of each window, but runs the (expensive)
-/// association-group computation only when asked: on the very first window,
-/// and whenever an Assigner has signalled a repartition (§VI-A: "they
-/// inform the Partition Creators and the Merger that in the next window a
-/// recalculation of the partitions should be performed").
+/// Runs the (expensive) association-group computation only when asked: on
+/// the very first window, and whenever an Assigner has signalled a
+/// repartition (§VI-A: "they inform the Partition Creators and the Merger
+/// that in the next window a recalculation of the partitions should be
+/// performed").
+///
+/// Two build paths:
+///
+/// * **Incremental** (expansion off): every arriving document's view is
+///   pushed straight into a persistent [`GroupIndex`], amortizing the
+///   docset/fingerprint work across the window instead of paying it
+///   stop-the-world at the boundary. A computing boundary then only
+///   refreshes the dirty fingerprints and runs the merge scan; afterwards
+///   the window's views are expired (tumbling windows don't overlap).
+/// * **Batch** (expansion on): expansion redefines all views wholesale
+///   (synthetic pairs depend on the whole window), so the creator buffers
+///   documents as before and runs the sharded parallel group build
+///   ([`association_groups_parallel`]) with `config.build_workers` threads.
 pub struct PartitionCreator {
     config: StreamJoinConfig,
     dict: Dictionary,
     task: usize,
     buffer: Vec<DocRef>,
+    /// Persistent group index for the incremental path.
+    index: GroupIndex,
+    /// Index ids of the views pushed in the current window.
+    window_ids: Vec<u32>,
+    /// Reusable view buffer for the incremental push path.
+    view_buf: Vec<AvpId>,
     /// Compute local groups at the next window boundary.
     compute_pending: bool,
     inst: Option<Arc<TaskInstruments>>,
@@ -51,9 +71,17 @@ impl PartitionCreator {
             dict,
             task: 0,
             buffer: Vec::new(),
+            index: GroupIndex::new(),
+            window_ids: Vec::new(),
+            view_buf: Vec::new(),
             compute_pending: true, // bootstrap window
             inst: None,
         }
+    }
+
+    /// Whether this creator maintains the incremental index (expansion off).
+    fn incremental(&self) -> bool {
+        !self.config.expansion
     }
 }
 
@@ -68,30 +96,48 @@ impl Bolt<Msg> for PartitionCreator {
 
     fn execute(&mut self, msg: Msg, _out: &mut Outbox<Msg>) {
         match msg {
-            Msg::Doc(doc) => self.buffer.push(doc),
+            Msg::Doc(doc) => {
+                if self.incremental() {
+                    self.view_buf.clear();
+                    self.view_buf.extend(doc.avps());
+                    let id = self.index.push(&self.view_buf);
+                    self.window_ids.push(id);
+                } else {
+                    self.buffer.push(doc);
+                }
+            }
             Msg::Repartition => self.compute_pending = true,
             _ => {}
         }
     }
 
     fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
-        if self.compute_pending && !self.buffer.is_empty() {
+        let have_docs = if self.incremental() {
+            !self.window_ids.is_empty()
+        } else {
+            !self.buffer.is_empty()
+        };
+        if self.compute_pending && have_docs {
             let t0 = self
                 .inst
                 .as_deref()
                 .filter(|i| i.enabled())
                 .map(|_| Instant::now());
-            let docs: Vec<ssj_json::Document> = self.buffer.iter().map(|d| (**d).clone()).collect();
-            let expansion = if self.config.expansion {
-                Expansion::detect(&docs, &self.dict, self.config.m)
+            let (groups, expansion) = if self.incremental() {
+                (self.index.association_groups(), None)
             } else {
-                None
+                let docs: Vec<ssj_json::Document> =
+                    self.buffer.iter().map(|d| (**d).clone()).collect();
+                let expansion = Expansion::detect(&docs, &self.dict, self.config.m);
+                let views: Vec<View> = batch_views(&docs, expansion.as_ref(), &self.dict)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                (
+                    association_groups_parallel(&views, self.config.build_workers),
+                    expansion,
+                )
             };
-            let views: Vec<View> = batch_views(&docs, expansion.as_ref(), &self.dict)
-                .into_iter()
-                .flatten()
-                .collect();
-            let groups = association_groups(&views);
             out.emit(Msg::LocalGroups {
                 window,
                 creator: self.task,
@@ -101,17 +147,33 @@ impl Bolt<Msg> for PartitionCreator {
             self.compute_pending = false;
             if let Some(inst) = &self.inst {
                 inst.counter("group_computations").inc();
-                if let Some(t0) = t0 {
-                    inst.histogram("groups_ns")
-                        .record_ns(t0.elapsed().as_nanos() as u64);
+                if self.incremental() {
+                    let stats = self.index.stats();
+                    inst.counter("groups_reused").add(stats.reused_groups);
                 }
+                if let Some(t0) = t0 {
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    inst.histogram("groups_ns").record_ns(dt);
+                    inst.histogram("partition_build_ns").record_ns(dt);
+                }
+            }
+        }
+        if self.incremental() {
+            // Tumbling window: this window's views leave the index.
+            let deltas = self.window_ids.len() as u64 * 2; // push + expire
+            for id in self.window_ids.drain(..) {
+                self.index.expire(id);
+            }
+            if let Some(inst) = &self.inst {
+                inst.counter("group_deltas").add(deltas);
             }
         }
         self.buffer.clear();
     }
 
-    // Cross-window state is just the compute flag; the window buffer is
-    // rebuilt by replay, so it is deliberately NOT captured.
+    // Cross-window state is just the compute flag; the window buffer and the
+    // incremental index are rebuilt by replay, so they are deliberately NOT
+    // captured.
     fn snapshot(&self) -> Option<BoltState> {
         Some(Box::new(self.compute_pending))
     }
@@ -122,6 +184,8 @@ impl Bolt<Msg> for PartitionCreator {
             .ok_or_else(|| "PartitionCreator snapshot type mismatch".to_string())?;
         self.compute_pending = *pending;
         self.buffer.clear();
+        self.index = GroupIndex::new();
+        self.window_ids.clear();
         Ok(())
     }
 }
@@ -287,12 +351,20 @@ pub struct Assigner {
     table_fresh: bool,
     /// A repartition was already signalled for the current table.
     signalled: bool,
+    /// Reusable routing buffers + view-fingerprint route cache: the steady
+    /// state document path performs zero heap allocations (audited by
+    /// `bench_partition --audit`).
+    scratch: RouteScratch,
+    /// Reusable view buffer (the pairs of the document being routed).
+    view_buf: Vec<AvpId>,
     // Per-window local routing counters.
     per_machine: Vec<usize>,
     sends: usize,
     broadcasts: usize,
     docs: usize,
     update_reqs: usize,
+    routes_cached: usize,
+    cache_misses: usize,
     inst: Option<Arc<TaskInstruments>>,
 }
 
@@ -306,21 +378,18 @@ impl Assigner {
             table_fresh: false,
             signalled: false,
             current: None,
+            scratch: RouteScratch::new(),
+            view_buf: Vec::new(),
             per_machine: vec![0; config.m],
             sends: 0,
             broadcasts: 0,
             docs: 0,
             update_reqs: 0,
+            routes_cached: 0,
+            cache_misses: 0,
             inst: None,
             config,
             dict,
-        }
-    }
-
-    fn view_of(&self, doc: &DocRef) -> Option<View> {
-        match self.current.as_ref().and_then(|t| t.expansion.as_ref()) {
-            Some(e) => e.view(doc, &self.dict),
-            None => Some(doc.avps().collect()),
         }
     }
 }
@@ -335,34 +404,89 @@ impl Bolt<Msg> for Assigner {
             Msg::Doc(doc) => {
                 self.docs += 1;
                 let m = self.config.m;
-                let route = match (&self.current, self.view_of(&doc)) {
-                    (Some(t), Some(view)) => {
-                        let mut unknown = false;
-                        for avp in &view {
-                            if t.table.partitions_of(*avp).is_empty() {
-                                unknown = true;
-                                if self.unseen.observe(*avp) {
-                                    self.update_reqs += 1;
-                                    out.emit(Msg::UpdateRequest(*avp));
+                // Build the routing view into the reusable buffer (no
+                // allocation once the buffer has warmed up).
+                let have_view = match self.current.as_ref().and_then(|t| t.expansion.as_ref()) {
+                    Some(e) => e.view_into(&doc, &self.dict, &mut self.view_buf),
+                    None => {
+                        self.view_buf.clear();
+                        self.view_buf.extend(doc.avps());
+                        true
+                    }
+                };
+                // matched = targets are in the scratch buffer; otherwise
+                // broadcast (no table yet, expansion failed, unknown pair,
+                // or nothing matched).
+                let matched = match &self.current {
+                    Some(t) if have_view => {
+                        if t.table.mask_supported() {
+                            // Fast path: one u64 OR per pair, where a zero
+                            // pair mask doubles as the unknown-pair test.
+                            // Repeated view shapes hit the fingerprint cache
+                            // and skip the table walk entirely; only fully
+                            // known views are cached, so δ-tracking sees
+                            // every unknown pair exactly as before.
+                            let fp = fingerprint_view(self.view_buf.iter().copied());
+                            if let Some(mask) = self.scratch.cache_get(fp) {
+                                self.routes_cached += 1;
+                                self.scratch.set_targets_from_mask(mask);
+                                true
+                            } else {
+                                self.cache_misses += 1;
+                                let mut mask = 0u64;
+                                let mut unknown = false;
+                                for &avp in &self.view_buf {
+                                    let am = t.table.avp_mask(avp);
+                                    if am == 0 {
+                                        unknown = true;
+                                        if self.unseen.observe(avp) {
+                                            self.update_reqs += 1;
+                                            out.emit(Msg::UpdateRequest(avp));
+                                        }
+                                    }
+                                    mask |= am;
+                                }
+                                if unknown || mask == 0 {
+                                    false
+                                } else {
+                                    self.scratch.cache_put(fp, mask);
+                                    self.scratch.set_targets_from_mask(mask);
+                                    true
                                 }
                             }
-                        }
-                        if unknown {
-                            Route::Broadcast
                         } else {
-                            t.table.route(&view)
+                            // m > 64: no bitmasks; explicit unknown scan,
+                            // then the reusable sort/dedup fallback.
+                            let mut unknown = false;
+                            for &avp in &self.view_buf {
+                                if t.table.partitions_of(avp).is_empty() {
+                                    unknown = true;
+                                    if self.unseen.observe(avp) {
+                                        self.update_reqs += 1;
+                                        out.emit(Msg::UpdateRequest(avp));
+                                    }
+                                }
+                            }
+                            !unknown
+                                && t.table.route_into(&self.view_buf, &mut self.scratch)
+                                    == RouteOutcome::Matched
                         }
                     }
-                    // No table yet (bootstrap window) or expansion failed.
-                    _ => Route::Broadcast,
+                    _ => false,
                 };
-                if route.is_broadcast() {
+                if matched {
+                    for &p in self.scratch.targets() {
+                        self.per_machine[p as usize] += 1;
+                        self.sends += 1;
+                        out.emit_direct(p as usize, Msg::Doc(Arc::clone(&doc)));
+                    }
+                } else {
                     self.broadcasts += 1;
-                }
-                for t in route.targets(m) {
-                    self.per_machine[t as usize] += 1;
-                    self.sends += 1;
-                    out.emit_direct(t as usize, Msg::Doc(Arc::clone(&doc)));
+                    for p in 0..m {
+                        self.per_machine[p] += 1;
+                        self.sends += 1;
+                        out.emit_direct(p, Msg::Doc(Arc::clone(&doc)));
+                    }
                 }
             }
             Msg::Table(t) => {
@@ -371,6 +495,8 @@ impl Bolt<Msg> for Assigner {
                 self.baseline = None;
                 self.table_fresh = true;
                 self.signalled = false;
+                // Cached routes reference the old table.
+                self.scratch.invalidate_cache();
             }
             _ => {}
         }
@@ -381,6 +507,9 @@ impl Bolt<Msg> for Assigner {
             inst.counter("routed_sends").add(self.sends as u64);
             inst.counter("broadcast_docs").add(self.broadcasts as u64);
             inst.counter("update_requests").add(self.update_reqs as u64);
+            inst.counter("routes_cached").add(self.routes_cached as u64);
+            inst.counter("route_cache_misses")
+                .add(self.cache_misses as u64);
         }
         if self.docs > 0 {
             let quality = WindowQuality::from_stats(&RoutingStats {
@@ -420,6 +549,8 @@ impl Bolt<Msg> for Assigner {
         self.broadcasts = 0;
         self.docs = 0;
         self.update_reqs = 0;
+        self.routes_cached = 0;
+        self.cache_misses = 0;
         self.per_machine.iter_mut().for_each(|c| *c = 0);
     }
 
@@ -449,6 +580,10 @@ impl Bolt<Msg> for Assigner {
         self.broadcasts = 0;
         self.docs = 0;
         self.update_reqs = 0;
+        self.routes_cached = 0;
+        self.cache_misses = 0;
+        self.scratch = RouteScratch::new();
+        self.view_buf.clear();
         Ok(())
     }
 }

@@ -33,6 +33,9 @@ pub struct StreamJoinConfig {
     pub partition_creators: usize,
     /// Parallelism of the Assigner component.
     pub assigners: usize,
+    /// Worker threads for the sharded association-group build inside each
+    /// PartitionCreator (1 = sequential).
+    pub build_workers: usize,
     /// Micro-batch size for forward-edge transport in the runtime
     /// (`TopologyBuilder::batch_size`); 1 disables batching.
     pub batch_size: usize,
@@ -63,6 +66,7 @@ impl Default for StreamJoinConfig {
             expansion: true,
             partition_creators: 2,
             assigners: 6,
+            build_workers: 2,
             batch_size: 64,
             metrics: false,
             retries: 0,
@@ -182,6 +186,14 @@ macro_rules! builder_setters {
             b
         }
 
+        /// Override the group-build worker count inside each
+        /// PartitionCreator.
+        pub fn with_build_workers(self, n: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.build_workers = n;
+            b
+        }
+
         /// Override the transport micro-batch size.
         pub fn with_batch_size(self, n: usize) -> ConfigBuilder {
             let mut b = self.into_builder();
@@ -242,7 +254,7 @@ impl StreamJoinConfig {
         if self.window_docs == 0 {
             return Err(ConfigError::ZeroWindow);
         }
-        if self.partition_creators == 0 || self.assigners == 0 {
+        if self.partition_creators == 0 || self.assigners == 0 || self.build_workers == 0 {
             return Err(ConfigError::ZeroParallelism);
         }
         if !(0.0..=10.0).contains(&self.theta) {
@@ -296,6 +308,7 @@ mod tests {
             .with_expansion(false)
             .with_partition_creators(3)
             .with_assigners(4)
+            .with_build_workers(4)
             .with_metrics(true)
             .build()
             .unwrap();
@@ -307,6 +320,7 @@ mod tests {
         assert!(!c.expansion);
         assert_eq!(c.partition_creators, 3);
         assert_eq!(c.assigners, 4);
+        assert_eq!(c.build_workers, 4);
         assert!(c.metrics);
     }
 
@@ -326,6 +340,13 @@ mod tests {
         assert_eq!(
             StreamJoinConfig::default()
                 .with_assigners(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroParallelism
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_build_workers(0)
                 .build()
                 .unwrap_err(),
             ConfigError::ZeroParallelism

@@ -23,8 +23,8 @@
 use crate::config::StreamJoinConfig;
 use ssj_json::{Dictionary, Document, FxHashSet};
 use ssj_partition::{
-    association_groups, batch_views, merge_and_assign, Expansion, PartitionTable, PartitionerKind,
-    RepartitionPolicy, Route, RoutingStats, UnseenTracker, View, WindowQuality,
+    association_groups_parallel, batch_views, merge_and_assign, Expansion, PartitionTable,
+    PartitionerKind, RepartitionPolicy, Route, RoutingStats, UnseenTracker, View, WindowQuality,
 };
 
 /// Per-window outcome.
@@ -269,7 +269,7 @@ impl Pipeline {
                 }
                 let locals: Vec<_> = chunks
                     .iter()
-                    .map(|chunk| association_groups(chunk))
+                    .map(|chunk| association_groups_parallel(chunk, self.config.build_workers))
                     .collect();
                 merge_and_assign(locals, self.config.m)
             }

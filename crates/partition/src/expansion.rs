@@ -143,6 +143,30 @@ impl Expansion {
         Some(view)
     }
 
+    /// Allocation-free [`view`](Self::view): writes the partitioning view
+    /// into `buf` (cleared first) and returns whether the synthetic pair
+    /// could be formed. `false` = a chained attribute is missing, the
+    /// document must be broadcast (`buf` is left empty).
+    pub fn view_into(
+        &self,
+        doc: &Document,
+        dict: &Dictionary,
+        buf: &mut Vec<ssj_json::AvpId>,
+    ) -> bool {
+        buf.clear();
+        let Some(synth) = self.synthetic_pair(doc, dict) else {
+            return false;
+        };
+        buf.extend(
+            doc.pairs()
+                .iter()
+                .filter(|p| !self.chain.contains(&p.attr))
+                .map(|p| p.avp),
+        );
+        buf.push(synth.avp);
+        true
+    }
+
     /// The paper's replication estimate for broadcast fallback: `pna · m`.
     pub fn estimated_extra_replication(&self, m: usize) -> f64 {
         self.pna * m as f64
@@ -276,6 +300,21 @@ mod tests {
         // The noise attribute x is untouched.
         let x_pair = docs[0].pair_for_attr(dict.intern_attr("x")).unwrap();
         assert!(v.contains(&x_pair.avp));
+    }
+
+    #[test]
+    fn view_into_matches_view() {
+        let dict = Dictionary::new();
+        let docs = bool_dataset(&dict);
+        let exp = Expansion::detect(&docs, &dict, 8).unwrap();
+        let mut buf = Vec::new();
+        for d in &docs {
+            assert!(exp.view_into(d, &dict, &mut buf));
+            assert_eq!(buf, exp.view(d, &dict).unwrap());
+        }
+        let orphan = doc(&dict, 99, r#"{"flag":true,"x":5}"#);
+        assert!(!exp.view_into(&orphan, &dict, &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

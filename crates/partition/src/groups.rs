@@ -19,6 +19,16 @@
 
 use ssj_json::{AvpId, FxHashMap, FxHashSet};
 
+/// A borrowed equivalence group: what the merge pipeline actually needs.
+/// The batch path borrows from owned [`EquivalenceGroup`]s; the incremental
+/// [`GroupIndex`](crate::incremental::GroupIndex) borrows straight from its
+/// persistent slots, so a derive never clones a docset.
+#[derive(Clone, Copy)]
+pub(crate) struct EgRef<'a> {
+    pub(crate) avps: &'a [AvpId],
+    pub(crate) docs: &'a [u32],
+}
+
 /// A *partitioning view* of one document: the attribute-value pair ids used
 /// for partition creation and routing. Normally the document's own pairs;
 /// under attribute expansion (§VI-B) some are replaced by synthetic pairs.
@@ -29,7 +39,9 @@ pub type View = Vec<AvpId>;
 pub struct EquivalenceGroup {
     /// The member attribute-value pairs.
     pub avps: Vec<AvpId>,
-    /// Sorted indices (into the batch) of the documents containing them.
+    /// Sorted ids of the containing documents: batch indices on the batch
+    /// path, monotone live-document ids under a
+    /// [`GroupIndex`](crate::incremental::GroupIndex).
     pub docs: Vec<u32>,
 }
 
@@ -43,34 +55,68 @@ pub struct AssociationGroup {
     pub load: usize,
 }
 
-/// Compute the equivalence groups of a batch of views (Definition 1).
-pub fn equivalence_groups(views: &[View]) -> Vec<EquivalenceGroup> {
-    // docset per pair.
+/// Per-pair docsets of a batch: `avp → sorted indices of containing views`.
+pub(crate) fn collect_docsets(views: &[View]) -> FxHashMap<AvpId, Vec<u32>> {
     let mut docsets: FxHashMap<AvpId, Vec<u32>> = FxHashMap::default();
+    let mut seen: FxHashSet<AvpId> = FxHashSet::default();
     for (i, view) in views.iter().enumerate() {
-        let mut seen: FxHashSet<AvpId> = FxHashSet::default();
+        seen.clear();
         for &avp in view {
             if seen.insert(avp) {
                 docsets.entry(avp).or_default().push(i as u32);
             }
         }
     }
-    // Group pairs by identical docset (`avInD` of Algorithm 1, line 1, with
-    // the map key being the document set).
-    let mut by_docs: FxHashMap<Vec<u32>, Vec<AvpId>> = FxHashMap::default();
-    for (avp, docs) in docsets {
-        by_docs.entry(docs).or_default().push(avp);
+    docsets
+}
+
+/// Group pairs with identical docsets (`avInD` of Algorithm 1, line 1).
+///
+/// Keyed by the docset's 128-bit [fingerprint](crate::fingerprint) rather
+/// than the docset vector itself, with a full equality comparison against
+/// the bucket's existing groups on fingerprint collision — same output,
+/// but lookups hash 16 bytes instead of the whole document set and no
+/// docset is ever moved or cloned into a map key.
+pub(crate) fn group_by_docset(docsets: FxHashMap<AvpId, Vec<u32>>) -> Vec<EquivalenceGroup> {
+    group_by_docset_fp(docsets.into_iter().map(|(avp, docs)| {
+        let fp = crate::fingerprint::fingerprint_docs(&docs);
+        (avp, docs, fp)
+    }))
+}
+
+/// [`group_by_docset`] over pre-fingerprinted `(avp, docset, fp)` triples —
+/// the parallel build computes the fingerprints on worker threads.
+pub(crate) fn group_by_docset_fp(
+    triples: impl Iterator<Item = (AvpId, Vec<u32>, crate::fingerprint::Fp128)>,
+) -> Vec<EquivalenceGroup> {
+    use crate::fingerprint::Fp128;
+    // fp → indices into `groups`; collisions resolved by docset equality.
+    let mut buckets: FxHashMap<Fp128, Vec<u32>> = FxHashMap::default();
+    let mut groups: Vec<EquivalenceGroup> = Vec::new();
+    for (avp, docs, fp) in triples {
+        let bucket = buckets.entry(fp).or_default();
+        match bucket.iter().find(|&&gi| groups[gi as usize].docs == docs) {
+            Some(&gi) => groups[gi as usize].avps.push(avp),
+            None => {
+                bucket.push(groups.len() as u32);
+                groups.push(EquivalenceGroup {
+                    avps: vec![avp],
+                    docs,
+                });
+            }
+        }
     }
-    let mut groups: Vec<EquivalenceGroup> = by_docs
-        .into_iter()
-        .map(|(docs, mut avps)| {
-            avps.sort();
-            EquivalenceGroup { avps, docs }
-        })
-        .collect();
+    for g in &mut groups {
+        g.avps.sort();
+    }
     // Deterministic order independent of hash-map iteration.
     groups.sort_by(|a, b| a.docs.cmp(&b.docs).then_with(|| a.avps.cmp(&b.avps)));
     groups
+}
+
+/// Compute the equivalence groups of a batch of views (Definition 1).
+pub fn equivalence_groups(views: &[View]) -> Vec<EquivalenceGroup> {
+    group_by_docset(collect_docsets(views))
 }
 
 /// `true` when every document containing `a` also contains `b` (and `b`
@@ -82,8 +128,26 @@ pub fn implies(a: &EquivalenceGroup, b: &EquivalenceGroup) -> bool {
     is_subset(&a.docs, &b.docs)
 }
 
-/// Two-pointer subset test over sorted slices.
+/// [`implies`] over borrowed groups — the form the merge scan uses.
+pub(crate) fn implies_ref(a: &EgRef, b: &EgRef) -> bool {
+    a.docs.len() < b.docs.len() && is_subset(a.docs, b.docs)
+}
+
+/// Subset test over sorted slices: two-pointer when the sizes are
+/// comparable, galloping binary search when `big` dwarfs `small` (popular
+/// pairs sit in docsets spanning most of the window; walking them linearly
+/// for every candidate dominated the merge scan).
 fn is_subset(small: &[u32], big: &[u32]) -> bool {
+    if big.len() >= 8 * small.len() {
+        let mut rest = big;
+        for &x in small {
+            match rest.binary_search(&x) {
+                Ok(pos) => rest = &rest[pos + 1..],
+                Err(_) => return false,
+            }
+        }
+        return true;
+    }
     let mut j = 0usize;
     for &x in small {
         loop {
@@ -103,53 +167,174 @@ fn is_subset(small: &[u32], big: &[u32]) -> bool {
 
 /// Algorithm 1: association groups from a batch of views.
 pub fn association_groups(views: &[View]) -> Vec<AssociationGroup> {
-    let mut egs = equivalence_groups(views);
-    // Line 3: ascending by document count (determinism: then by contents).
+    association_groups_from(equivalence_groups(views))
+}
+
+/// Algorithm 1's implies-merge scan over already-computed equivalence
+/// groups. Shared by the batch path, the incremental
+/// [`GroupIndex`](crate::incremental::GroupIndex), and the parallel build,
+/// so all three produce identical association groups by construction.
+pub fn association_groups_from(egs: Vec<EquivalenceGroup>) -> Vec<AssociationGroup> {
+    let mut refs: Vec<EgRef> = egs
+        .iter()
+        .map(|g| EgRef {
+            avps: &g.avps,
+            docs: &g.docs,
+        })
+        .collect();
+    merge_refs(&mut refs)
+}
+
+/// The merge scan over borrowed groups: sort, index, absorb, assemble.
+pub(crate) fn merge_refs(refs: &mut [EgRef]) -> Vec<AssociationGroup> {
+    sort_egs_for_merge(refs);
+    let by_doc = DocIndex::build(refs);
+    let absorber = sequential_absorbers(refs, &by_doc);
+    assemble_groups(refs, &absorber)
+}
+
+/// Sentinel in an absorber table: the group was not absorbed.
+pub(crate) const NOT_ABSORBED: u32 = u32::MAX;
+
+/// Algorithm 1 line 3: ascending by document count (determinism: then by
+/// contents). The merge scan requires exactly this order. Sorting the
+/// 32-byte refs moves no docset data.
+pub(crate) fn sort_egs_for_merge(egs: &mut [EgRef]) {
     egs.sort_by(|a, b| {
         a.docs
             .len()
             .cmp(&b.docs.len())
-            .then_with(|| a.docs.cmp(&b.docs))
-            .then_with(|| a.avps.cmp(&b.avps))
+            .then_with(|| a.docs.cmp(b.docs))
+            .then_with(|| a.avps.cmp(b.avps))
     });
+}
 
-    // Inverted index: document -> equivalence groups containing it. Only
-    // groups containing eg_i's first document can be implied supersets.
-    let mut by_doc: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-    for (gi, eg) in egs.iter().enumerate() {
-        for &d in &eg.docs {
-            by_doc.entry(d).or_default().push(gi as u32);
-        }
-    }
+/// Inverted index: document → equivalence groups containing it. Only groups
+/// containing `eg_i`'s first document can be implied supersets of `eg_i`.
+/// Stored as one sorted vector of packed `doc << 32 | group` keys — a
+/// single allocation and an integer sort, against the hash map of per-doc
+/// vectors it replaced.
+pub(crate) struct DocIndex {
+    keys: Vec<u64>,
+}
 
-    let mut absorbed = vec![false; egs.len()];
-    let mut out = Vec::new();
-    for i in 0..egs.len() {
-        if absorbed[i] {
-            continue;
-        }
-        let mut avps = egs[i].avps.clone();
-        // Union of member docsets, for the load l_i.
-        let mut load_docs: FxHashSet<u32> = egs[i].docs.iter().copied().collect();
-        let first_doc = match egs[i].docs.first() {
-            Some(&d) => d,
-            None => continue,
-        };
-        // Candidates appear after i in ascending order and contain first_doc.
-        if let Some(cands) = by_doc.get(&first_doc) {
-            for &cj in cands {
-                let j = cj as usize;
-                if j <= i || absorbed[j] {
-                    continue;
-                }
-                if implies(&egs[i], &egs[j]) {
-                    absorbed[j] = true; // line 10: EG = EG \ EG[j]
-                    avps.extend_from_slice(&egs[j].avps);
-                    load_docs.extend(egs[j].docs.iter().copied());
-                }
+impl DocIndex {
+    pub(crate) fn build(egs: &[EgRef]) -> Self {
+        let total: usize = egs.iter().map(|eg| eg.docs.len()).sum();
+        let mut keys = Vec::with_capacity(total);
+        let (mut min_doc, mut max_doc) = (u32::MAX, 0u32);
+        for (gi, eg) in egs.iter().enumerate() {
+            for &d in eg.docs {
+                keys.push(((d as u64) << 32) | gi as u64);
+            }
+            // Docsets are sorted, so first/last bound the id range.
+            if let (Some(&first), Some(&last)) = (eg.docs.first(), eg.docs.last()) {
+                min_doc = min_doc.min(first);
+                max_doc = max_doc.max(last);
             }
         }
+        // Window document ids are near-contiguous (batch indices, or the
+        // monotone ids of a tumbling window): a stable counting sort by
+        // document beats the comparison sort handily. Keys were pushed in
+        // ascending-group order, which the stable scatter preserves — the
+        // same order `sort_unstable` on the packed keys yields. Sparse id
+        // ranges fall back to the comparison sort.
+        let range = (max_doc as usize).saturating_sub(min_doc as usize) + 1;
+        if !keys.is_empty() && range <= keys.len().saturating_mul(4) {
+            let mut offsets = vec![0u32; range + 1];
+            for &k in &keys {
+                offsets[((k >> 32) as usize - min_doc as usize) + 1] += 1;
+            }
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
+            let mut sorted = vec![0u64; keys.len()];
+            for &k in &keys {
+                let slot = &mut offsets[(k >> 32) as usize - min_doc as usize];
+                sorted[*slot as usize] = k;
+                *slot += 1;
+            }
+            keys = sorted;
+        } else {
+            keys.sort_unstable();
+        }
+        DocIndex { keys }
+    }
+
+    /// Packed keys of the groups containing `doc`, in ascending group
+    /// order; extract the group index with `key as u32`.
+    pub(crate) fn groups_of(&self, doc: u32) -> &[u64] {
+        let lo = self.keys.partition_point(|&k| k >> 32 < doc as u64);
+        let hi = lo + self.keys[lo..].partition_point(|&k| k >> 32 == doc as u64);
+        &self.keys[lo..hi]
+    }
+}
+
+/// The absorption pass of Algorithm 1 (lines 4–10) over merge-sorted
+/// groups: `absorber[j]` is the group `j` was folded into, or
+/// [`NOT_ABSORBED`]. Each group is absorbed by its *smallest* implying
+/// group; that group is itself never absorbed (its own smallest implier
+/// would be a smaller implier of `j`, a contradiction), which is what lets
+/// the parallel scan reproduce this table without the sequential
+/// `absorbed` bookkeeping.
+pub(crate) fn sequential_absorbers(egs: &[EgRef], by_doc: &DocIndex) -> Vec<u32> {
+    let mut absorber = vec![NOT_ABSORBED; egs.len()];
+    for i in 0..egs.len() {
+        if absorber[i] != NOT_ABSORBED {
+            continue;
+        }
+        let Some(&first_doc) = egs[i].docs.first() else {
+            continue;
+        };
+        // Candidates appear after i in ascending order and contain first_doc.
+        for &key in by_doc.groups_of(first_doc) {
+            let j = key as u32 as usize;
+            if j <= i || absorber[j] != NOT_ABSORBED {
+                continue;
+            }
+            if implies_ref(&egs[i], &egs[j]) {
+                absorber[j] = i as u32; // line 10: EG = EG \ EG[j]
+            }
+        }
+    }
+    absorber
+}
+
+/// Fold absorbed groups into their absorbers and emit the association
+/// groups in ascending leader order — a pure function of `(egs, absorber)`,
+/// shared by the sequential and parallel builds.
+pub(crate) fn assemble_groups(egs: &[EgRef], absorber: &[u32]) -> Vec<AssociationGroup> {
+    // `(absorber, member)` pairs sorted by absorber: each leader's members
+    // form one contiguous run, in the same ascending-j order the old
+    // per-leader member lists had.
+    let mut absorbed: Vec<(u32, u32)> = absorber
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a != NOT_ABSORBED)
+        .map(|(j, &a)| (a, j as u32))
+        .collect();
+    absorbed.sort_unstable();
+    let mut out = Vec::new();
+    let mut load_docs: Vec<u32> = Vec::new();
+    for i in 0..egs.len() {
+        if absorber[i] != NOT_ABSORBED || egs[i].docs.is_empty() {
+            continue;
+        }
+        let mut avps = egs[i].avps.to_vec();
+        // Union of member docsets, for the load l_i.
+        load_docs.clear();
+        load_docs.extend_from_slice(egs[i].docs);
+        let start = absorbed.partition_point(|&(a, _)| a < i as u32);
+        for &(_, j) in absorbed[start..]
+            .iter()
+            .take_while(|&&(a, _)| a == i as u32)
+        {
+            avps.extend_from_slice(egs[j as usize].avps);
+            load_docs.extend_from_slice(egs[j as usize].docs);
+        }
         avps.sort();
+        load_docs.sort_unstable();
+        load_docs.dedup();
         out.push(AssociationGroup {
             avps,
             load: load_docs.len(),

@@ -28,9 +28,12 @@
 pub mod ag;
 pub mod ds;
 pub mod expansion;
+pub mod fingerprint;
 pub mod groups;
 pub mod hashpart;
+pub mod incremental;
 pub mod merger;
+pub mod parallel;
 pub mod partitions;
 pub mod quality;
 pub mod sc;
@@ -38,12 +41,18 @@ pub mod sc;
 pub use ag::AgPartitioner;
 pub use ds::{component_count, DsPartitioner, UnionFind};
 pub use expansion::{batch_views, Expansion};
+pub use fingerprint::{fingerprint_docs, fingerprint_view, Fp128};
 pub use groups::{
-    association_groups, equivalence_groups, AssociationGroup, EquivalenceGroup, View,
+    association_groups, association_groups_from, equivalence_groups, AssociationGroup,
+    EquivalenceGroup, View,
 };
 pub use hashpart::HashPartitioner;
+pub use incremental::{GroupIndex, IndexStats};
 pub use merger::{consolidate, merge_and_assign};
-pub use partitions::{assign_groups, route_batch, PartitionTable, Route, RoutingStats};
+pub use parallel::{association_groups_parallel, association_groups_sharded};
+pub use partitions::{
+    assign_groups, route_batch, PartitionTable, Route, RouteOutcome, RouteScratch, RoutingStats,
+};
 pub use quality::{gini, RepartitionPolicy, UnseenTracker, WindowQuality};
 pub use sc::ScPartitioner;
 

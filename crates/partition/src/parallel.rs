@@ -1,0 +1,226 @@
+//! Parallel association-group construction.
+//!
+//! Partition (re)creation is the one stop-the-world moment of the pipeline:
+//! the PartitionCreator must scan its whole window share into docsets,
+//! fingerprint them, and run Algorithm 1's implies-merge before the Merger
+//! can deploy a new table. This module shards the three data-parallel
+//! stages — docset building, fingerprinting, and the implies scan — across
+//! a small worker pool and merges the partial results in a fixed shard
+//! order, so the output is **byte-identical** to the sequential
+//! [`association_groups`]: same groups, same member order, same group
+//! order (the differential proptest in `tests/incremental_groups.rs`
+//! enforces it).
+//!
+//! The implies scan parallelizes because of a property of Algorithm 1
+//! proved at [`sequential_absorbers`](crate::groups::sequential_absorbers):
+//! every group is absorbed by its *smallest* implying group, and that group
+//! is itself never absorbed. Workers can therefore test `implies(i, j)`
+//! over disjoint shards of `i` without seeing each other's absorption
+//! state; an elementwise minimum over the partial absorber tables
+//! reconstructs exactly the table the sequential scan produces.
+
+use crate::fingerprint::{fingerprint_docs, Fp128};
+use crate::groups::{
+    assemble_groups, association_groups, group_by_docset_fp, implies_ref, sort_egs_for_merge,
+    AssociationGroup, DocIndex, EgRef, EquivalenceGroup, View, NOT_ABSORBED,
+};
+use ssj_json::{AvpId, FxHashMap, FxHashSet};
+
+/// Below this many views the sequential path wins: thread spawning costs
+/// more than it saves.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// [`association_groups`] sharded across `workers` threads. Output is
+/// byte-identical to the sequential path; falls back to it for one worker
+/// or small batches.
+pub fn association_groups_parallel(views: &[View], workers: usize) -> Vec<AssociationGroup> {
+    if workers <= 1 || views.len() < PARALLEL_THRESHOLD {
+        return association_groups(views);
+    }
+    association_groups_sharded(views, workers)
+}
+
+/// The sharded build proper, with no size cutoff — exposed so the
+/// differential tests can force the parallel path on small inputs.
+pub fn association_groups_sharded(views: &[View], workers: usize) -> Vec<AssociationGroup> {
+    if views.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(2, views.len().max(2));
+    let chunk = views.len().div_ceil(workers);
+
+    // Stage 1: per-shard docsets over contiguous view ranges. Documents of
+    // shard w get global indices base..base+len, so concatenating per-pair
+    // docsets in shard order yields globally sorted docsets.
+    let (tx, rx) = crossbeam::channel::unbounded();
+    std::thread::scope(|s| {
+        for (w, slice) in views.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let base = (w * chunk) as u32;
+                let mut local: FxHashMap<AvpId, Vec<u32>> = FxHashMap::default();
+                let mut seen: FxHashSet<AvpId> = FxHashSet::default();
+                for (i, view) in slice.iter().enumerate() {
+                    seen.clear();
+                    for &avp in view {
+                        if seen.insert(avp) {
+                            local.entry(avp).or_default().push(base + i as u32);
+                        }
+                    }
+                }
+                let _ = tx.send((w, local));
+            });
+        }
+    });
+    drop(tx);
+    let mut shards: Vec<(usize, FxHashMap<AvpId, Vec<u32>>)> = rx.iter().collect();
+    shards.sort_by_key(|(w, _)| *w);
+    let mut docsets: FxHashMap<AvpId, Vec<u32>> = FxHashMap::default();
+    for (_, local) in shards {
+        for (avp, mut docs) in local {
+            match docsets.entry(avp) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(docs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().append(&mut docs);
+                }
+            }
+        }
+    }
+
+    // Stage 2: fingerprint the docsets in parallel, group centrally (the
+    // grouping itself is a tiny hash-map pass over 16-byte keys).
+    let entries: Vec<(AvpId, Vec<u32>)> = docsets.into_iter().collect();
+    let fchunk = entries.len().div_ceil(workers).max(1);
+    let (ftx, frx) = crossbeam::channel::unbounded();
+    std::thread::scope(|s| {
+        for (w, slice) in entries.chunks(fchunk).enumerate() {
+            let ftx = ftx.clone();
+            s.spawn(move || {
+                let fps: Vec<Fp128> = slice.iter().map(|(_, d)| fingerprint_docs(d)).collect();
+                let _ = ftx.send((w, fps));
+            });
+        }
+    });
+    drop(ftx);
+    let mut fps: Vec<(usize, Vec<Fp128>)> = frx.iter().collect();
+    fps.sort_by_key(|(w, _)| *w);
+    let fps: Vec<Fp128> = fps.into_iter().flat_map(|(_, v)| v).collect();
+    let egs: Vec<EquivalenceGroup> = group_by_docset_fp(
+        entries
+            .into_iter()
+            .zip(fps)
+            .map(|((avp, docs), fp)| (avp, docs, fp)),
+    );
+
+    // Stage 3: the implies scan over disjoint shards of the absorbing side.
+    let mut refs: Vec<EgRef> = egs
+        .iter()
+        .map(|g| EgRef {
+            avps: &g.avps,
+            docs: &g.docs,
+        })
+        .collect();
+    sort_egs_for_merge(&mut refs);
+    let by_doc = DocIndex::build(&refs);
+    let n = refs.len();
+    let achunk = n.div_ceil(workers).max(1);
+    let (atx, arx) = crossbeam::channel::unbounded();
+    std::thread::scope(|s| {
+        let refs = &refs;
+        let by_doc = &by_doc;
+        for w in 0..workers {
+            let atx = atx.clone();
+            s.spawn(move || {
+                let lo = w * achunk;
+                let hi = ((w + 1) * achunk).min(n);
+                let mut partial = vec![NOT_ABSORBED; n];
+                for i in lo..hi {
+                    let Some(&first_doc) = refs[i].docs.first() else {
+                        continue;
+                    };
+                    for &key in by_doc.groups_of(first_doc) {
+                        let j = key as u32 as usize;
+                        if j > i && implies_ref(&refs[i], &refs[j]) {
+                            partial[j] = partial[j].min(i as u32);
+                        }
+                    }
+                }
+                let _ = atx.send(partial);
+            });
+        }
+    });
+    drop(atx);
+    let mut absorber = vec![NOT_ABSORBED; n];
+    for partial in arx.iter() {
+        for (a, p) in absorber.iter_mut().zip(partial) {
+            *a = (*a).min(p);
+        }
+    }
+    assemble_groups(&refs, &absorber)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_json::AvpId;
+
+    /// Deterministic pseudo-random views (same LCG as the proptests).
+    fn gen_views(seed: u64, docs: usize, vocab: u32, max_len: usize) -> Vec<View> {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..docs)
+            .map(|_| {
+                let len = 1 + (next() as usize) % max_len;
+                let mut view: View = (0..len).map(|_| AvpId((next() as u32) % vocab)).collect();
+                view.sort_unstable();
+                view.dedup();
+                view
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_equals_sequential() {
+        for seed in [1u64, 7, 42, 1234] {
+            let views = gen_views(seed, 300, 40, 6);
+            let seq = association_groups(&views);
+            for workers in [2, 3, 4, 7] {
+                assert_eq!(
+                    association_groups_sharded(&views, workers),
+                    seq,
+                    "seed {seed}, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_below_threshold() {
+        let views = gen_views(5, 20, 8, 4);
+        assert_eq!(
+            association_groups_parallel(&views, 4),
+            association_groups(&views)
+        );
+    }
+
+    #[test]
+    fn more_workers_than_views() {
+        let views = gen_views(9, 5, 6, 3);
+        assert_eq!(
+            association_groups_sharded(&views, 16),
+            association_groups(&views)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(association_groups_sharded(&[], 4).is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 //! with the first m groups by load, then always give the largest remaining
 //! group to the least-loaded partition").
 
+use crate::fingerprint::Fp128;
 use crate::groups::{AssociationGroup, View};
 use ssj_json::{AvpId, FxHashMap};
 
@@ -37,14 +38,124 @@ impl Route {
         }
     }
 
+    /// Visit every target machine without materializing a vector —
+    /// broadcasts iterate `0..m` directly.
+    #[inline]
+    pub fn for_each_target(&self, m: usize, mut f: impl FnMut(u32)) {
+        match self {
+            Route::To(t) => {
+                for &p in t {
+                    f(p);
+                }
+            }
+            Route::Broadcast => {
+                for p in 0..m as u32 {
+                    f(p);
+                }
+            }
+        }
+    }
+
     /// True when the route is a broadcast.
     pub fn is_broadcast(&self) -> bool {
         matches!(self, Route::Broadcast)
     }
 }
 
+/// Outcome of the allocation-free [`PartitionTable::route_into`]: either the
+/// targets were written into the scratch buffer, or the view matched no
+/// partition and must be broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// `scratch.targets()` holds the sorted, deduplicated machine indices.
+    Matched,
+    /// No pair matched any partition (scratch targets left empty).
+    Broadcast,
+}
+
+impl RouteOutcome {
+    /// True when the route is a broadcast.
+    pub fn is_broadcast(self) -> bool {
+        self == RouteOutcome::Broadcast
+    }
+}
+
+/// Number of slots in the direct-mapped route cache (power of two).
+const ROUTE_CACHE_SLOTS: usize = 256;
+
+/// Reusable routing state: a target buffer [`route_into`] writes into, and a
+/// small direct-mapped cache from view fingerprints to partition bitmasks
+/// for repeated view shapes. Both are allocated once; steady-state routing
+/// performs **zero** heap allocations (audited by `bench_partition --audit`).
+///
+/// [`route_into`]: PartitionTable::route_into
+#[derive(Debug, Clone)]
+pub struct RouteScratch {
+    targets: Vec<u32>,
+    /// Direct-mapped `fingerprint → partition mask` cache, indexed by the
+    /// low fingerprint bits. A `None` slot is empty.
+    cache: Vec<Option<(Fp128, u64)>>,
+}
+
+impl Default for RouteScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteScratch {
+    /// A scratch with all buffers pre-sized (the only allocations it will
+    /// ever make).
+    pub fn new() -> Self {
+        RouteScratch {
+            targets: Vec::with_capacity(64),
+            cache: vec![None; ROUTE_CACHE_SLOTS],
+        }
+    }
+
+    /// The targets written by the last [`PartitionTable::route_into`].
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Decode a partition bitmask into the target buffer (ascending, so the
+    /// result is sorted and deduplicated by construction).
+    #[inline]
+    pub fn set_targets_from_mask(&mut self, mut mask: u64) {
+        self.targets.clear();
+        while mask != 0 {
+            self.targets.push(mask.trailing_zeros());
+            mask &= mask - 1;
+        }
+    }
+
+    /// Look up a cached partition mask for a view fingerprint.
+    #[inline]
+    pub fn cache_get(&self, fp: Fp128) -> Option<u64> {
+        match self.cache[fp.lo as usize & (ROUTE_CACHE_SLOTS - 1)] {
+            Some((cached_fp, mask)) if cached_fp == fp => Some(mask),
+            _ => None,
+        }
+    }
+
+    /// Remember a view fingerprint's partition mask (evicts whatever shared
+    /// its slot). Callers must only cache views whose pairs are all known to
+    /// the current table, and must [`invalidate_cache`](Self::invalidate_cache)
+    /// whenever the table changes.
+    #[inline]
+    pub fn cache_put(&mut self, fp: Fp128, mask: u64) {
+        self.cache[fp.lo as usize & (ROUTE_CACHE_SLOTS - 1)] = Some((fp, mask));
+    }
+
+    /// Drop every cached route (call on table deployment/update).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.iter_mut().for_each(|slot| *slot = None);
+    }
+}
+
 /// The deployed set of `m` partitions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PartitionTable {
     m: usize,
     /// Pair → partitions carrying it. A single entry for AG/DS (their
@@ -54,6 +165,11 @@ pub struct PartitionTable {
     loads: Vec<usize>,
     /// Pairs per partition (diagnostics and the Merger's update path).
     members: Vec<Vec<AvpId>>,
+    /// Pair → bitmask of partitions carrying it, maintained alongside
+    /// `index` whenever `m ≤ 64` (bit `p` ⇔ partition `p`). Routing then
+    /// reduces to OR-ing one `u64` per pair, and a zero mask doubles as the
+    /// "pair unknown" test — one lookup answers both questions.
+    masks: FxHashMap<AvpId, u64>,
 }
 
 impl PartitionTable {
@@ -64,6 +180,7 @@ impl PartitionTable {
             index: FxHashMap::default(),
             loads: vec![0; m],
             members: vec![Vec::new(); m],
+            masks: FxHashMap::default(),
         }
     }
 
@@ -78,7 +195,30 @@ impl PartitionTable {
         if !entry.contains(&p) {
             entry.push(p);
             self.members[p as usize].push(avp);
+            if self.m <= 64 {
+                *self.masks.entry(avp).or_insert(0) |= 1u64 << p;
+            }
         }
+    }
+
+    /// Whether the bitmask fast path is available (`m ≤ 64`, so a partition
+    /// set fits one `u64`).
+    #[inline]
+    pub fn mask_supported(&self) -> bool {
+        self.m <= 64
+    }
+
+    /// Bitmask of the partitions carrying `avp` (0 ⇔ the pair is unknown).
+    /// Only meaningful when [`mask_supported`](Self::mask_supported).
+    #[inline]
+    pub fn avp_mask(&self, avp: AvpId) -> u64 {
+        self.masks.get(&avp).copied().unwrap_or(0)
+    }
+
+    /// Bitmask of all partitions matching the view (OR over its pairs).
+    #[inline]
+    pub fn view_mask(&self, view: &[AvpId]) -> u64 {
+        view.iter().fold(0u64, |m, &a| m | self.avp_mask(a))
     }
 
     /// The partitions that carry `avp`.
@@ -134,6 +274,36 @@ impl PartitionTable {
         targets.sort_unstable();
         targets.dedup();
         Route::To(targets)
+    }
+
+    /// Allocation-free [`route`](Self::route): writes the sorted,
+    /// deduplicated targets into `scratch` instead of returning a fresh
+    /// vector. For `m ≤ 64` the match set is accumulated as a single `u64`
+    /// bitmask (one hash lookup per pair, no sort); larger clusters fall
+    /// back to sort+dedup inside the reusable buffer. Both paths produce
+    /// exactly the targets [`route`](Self::route) would.
+    pub fn route_into(&self, view: &[AvpId], scratch: &mut RouteScratch) -> RouteOutcome {
+        if self.mask_supported() {
+            let mask = self.view_mask(view);
+            if mask == 0 {
+                scratch.targets.clear();
+                return RouteOutcome::Broadcast;
+            }
+            scratch.set_targets_from_mask(mask);
+        } else {
+            scratch.targets.clear();
+            for avp in view {
+                if let Some(ps) = self.index.get(avp) {
+                    scratch.targets.extend_from_slice(ps);
+                }
+            }
+            if scratch.targets.is_empty() {
+                return RouteOutcome::Broadcast;
+            }
+            scratch.targets.sort_unstable();
+            scratch.targets.dedup();
+        }
+        RouteOutcome::Matched
     }
 
     /// Human-readable dump of the table: one line per partition with its
@@ -274,14 +444,22 @@ pub fn route_batch(table: &PartitionTable, views: &[View]) -> RoutingStats {
     let mut per_machine = vec![0usize; m];
     let mut total_sends = 0usize;
     let mut broadcasts = 0usize;
+    let mut scratch = RouteScratch::new();
     for view in views {
-        let route = table.route(view);
-        if route.is_broadcast() {
-            broadcasts += 1;
-        }
-        for t in route.targets(m) {
-            per_machine[t as usize] += 1;
-            total_sends += 1;
+        match table.route_into(view, &mut scratch) {
+            RouteOutcome::Broadcast => {
+                broadcasts += 1;
+                for slot in per_machine.iter_mut() {
+                    *slot += 1;
+                }
+                total_sends += m;
+            }
+            RouteOutcome::Matched => {
+                for &t in scratch.targets() {
+                    per_machine[t as usize] += 1;
+                    total_sends += 1;
+                }
+            }
         }
     }
     RoutingStats {
@@ -391,6 +569,92 @@ mod tests {
         // sends: 1 + 1 + 2 + 2 = 6
         assert_eq!(stats.total_sends, 6);
         assert_eq!(stats.per_machine.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn route_into_matches_route_on_mask_path() {
+        let table = assign_groups(vec![ag(&[1, 2], 4), ag(&[3], 2), ag(&[4, 5], 1)], 3);
+        let mut scratch = RouteScratch::new();
+        for view in [
+            vec![AvpId(1)],
+            vec![AvpId(2), AvpId(3)],
+            vec![AvpId(5), AvpId(1), AvpId(3)],
+            vec![AvpId(99)],
+            vec![],
+        ] {
+            let legacy = table.route(&view);
+            match table.route_into(&view, &mut scratch) {
+                RouteOutcome::Broadcast => assert!(legacy.is_broadcast(), "{view:?}"),
+                RouteOutcome::Matched => {
+                    assert_eq!(legacy, Route::To(scratch.targets().to_vec()), "{view:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_into_matches_route_beyond_mask_width() {
+        // m = 70 > 64 disables the bitmask path; the fallback must still
+        // agree with route().
+        let groups: Vec<AssociationGroup> = (0..70).map(|a| ag(&[a], 1)).collect();
+        let table = assign_groups(groups, 70);
+        assert!(!table.mask_supported());
+        let mut scratch = RouteScratch::new();
+        let view = vec![AvpId(69), AvpId(3), AvpId(3), AvpId(12)];
+        assert_eq!(table.route_into(&view, &mut scratch), RouteOutcome::Matched);
+        assert_eq!(table.route(&view), Route::To(scratch.targets().to_vec()));
+        assert_eq!(
+            table.route_into(&[AvpId(999)], &mut scratch),
+            RouteOutcome::Broadcast
+        );
+    }
+
+    #[test]
+    fn masks_mirror_index() {
+        let table = assign_groups(vec![ag(&[1, 2], 4), ag(&[3], 2)], 2);
+        assert!(table.mask_supported());
+        for id in 0..5u32 {
+            let avp = AvpId(id);
+            let from_index: u64 = table
+                .partitions_of(avp)
+                .iter()
+                .fold(0, |m, &p| m | 1u64 << p);
+            assert_eq!(table.avp_mask(avp), from_index, "pair {id}");
+        }
+        assert_eq!(
+            table.view_mask(&[AvpId(1), AvpId(3)]),
+            table.avp_mask(AvpId(1)) | table.avp_mask(AvpId(3))
+        );
+    }
+
+    #[test]
+    fn scratch_cache_roundtrip_and_invalidation() {
+        let mut scratch = RouteScratch::new();
+        let fp = crate::fingerprint::fingerprint_view([AvpId(1), AvpId(2)].into_iter());
+        assert_eq!(scratch.cache_get(fp), None);
+        scratch.cache_put(fp, 0b101);
+        assert_eq!(scratch.cache_get(fp), Some(0b101));
+        scratch.invalidate_cache();
+        assert_eq!(scratch.cache_get(fp), None);
+    }
+
+    #[test]
+    fn set_targets_from_mask_is_sorted_dedup() {
+        let mut scratch = RouteScratch::new();
+        scratch.set_targets_from_mask(0b1010_0001);
+        assert_eq!(scratch.targets(), &[0, 5, 7]);
+        scratch.set_targets_from_mask(0);
+        assert!(scratch.targets().is_empty());
+    }
+
+    #[test]
+    fn for_each_target_visits_route() {
+        let mut seen = Vec::new();
+        Route::To(vec![1, 3]).for_each_target(5, |p| seen.push(p));
+        assert_eq!(seen, vec![1, 3]);
+        seen.clear();
+        Route::Broadcast.for_each_target(3, |p| seen.push(p));
+        assert_eq!(seen, vec![0, 1, 2]);
     }
 
     #[test]

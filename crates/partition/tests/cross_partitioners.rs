@@ -16,7 +16,9 @@
 //! computed association groups, §IV-A) is held to the same contracts.
 
 use proptest::prelude::*;
-use ssj_partition::{association_groups, merge_and_assign, PartitionTable, PartitionerKind, View};
+use ssj_partition::{
+    association_groups, merge_and_assign, GroupIndex, PartitionTable, PartitionerKind, View,
+};
 use std::collections::BTreeSet;
 
 use ssj_json::AvpId;
@@ -159,6 +161,36 @@ proptest! {
             .collect();
         let table = merge_and_assign(locals, m);
         check_table("merge_and_assign", &table, &views, &oracle)?;
+    }
+
+    /// A sixth table built by the *incremental* AG path — the batch pushed
+    /// through a [`GroupIndex`] and derived — obeys the same contracts and
+    /// equals the batch AG partitioner's table exactly (after expiring a
+    /// prefix, it must equal the batch table over the surviving suffix).
+    #[test]
+    fn incremental_ag_path_matches_batch_partitioner(
+        seed in 0u64..u64::MAX,
+        docs in 4usize..32,
+        vocab in 3u32..16,
+        expire in 0usize..8,
+        m in 1usize..5,
+    ) {
+        let views = gen_views(seed, docs, vocab, 5);
+        let mut idx = GroupIndex::new();
+        let ids: Vec<u32> = views.iter().map(|v| idx.push(v)).collect();
+        let table = idx.derive_table(m);
+        prop_assert_eq!(&table, &PartitionerKind::Ag.create(&views, m));
+        let oracle = oracle_joins(&views);
+        check_table("GroupIndex", &table, &views, &oracle)?;
+
+        let expire = expire.min(views.len() - 1);
+        for &id in &ids[..expire] {
+            prop_assert!(idx.expire(id));
+        }
+        let rest = views[expire..].to_vec();
+        let table = idx.derive_table(m);
+        prop_assert_eq!(&table, &PartitionerKind::Ag.create(&rest, m));
+        check_table("GroupIndex/expired", &table, &rest, &oracle_joins(&rest))?;
     }
 }
 

@@ -20,6 +20,13 @@ echo "==> chaos smoke (fault injection + supervised recovery)"
 cargo test -q -p ssj-runtime --test chaos
 cargo test -q -p ssj-partition --test cross_partitioners
 
+echo "==> partitioning pipeline smoke bench vs committed baseline (+ claims)"
+cargo build --release -q -p ssj-bench --bin bench_partition
+./target/release/bench_partition --check BENCH_partition.json
+
+echo "==> routing allocation audit (count-allocs build, 0 allocs/route)"
+cargo run --release -q -p ssj-bench --features count-allocs --bin bench_partition -- --audit
+
 echo "==> runtime throughput smoke bench vs committed baseline"
 cargo build --release -q -p ssj-bench --bin bench_runtime
 ./target/release/bench_runtime --check BENCH_runtime.json

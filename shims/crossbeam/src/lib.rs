@@ -275,6 +275,13 @@ pub mod channel {
             }
         }
 
+        /// Blocking iterator over received messages; ends when the channel
+        /// is empty and every sender has been dropped (mirrors
+        /// `crossbeam::channel::Receiver::iter`).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.shared.state.lock().unwrap();
@@ -309,6 +316,18 @@ pub mod channel {
         fn register_waker(&self, waker: &Arc<Waker>) {
             let mut st = self.shared.state.lock().unwrap();
             st.wakers.push(Arc::downgrade(waker));
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
