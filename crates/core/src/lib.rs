@@ -41,7 +41,7 @@ pub mod stats;
 pub mod topology;
 pub mod window;
 
-pub use config::{ConfigBuilder, ConfigError, StreamJoinConfig};
+pub use config::{ConfigBuilder, ConfigError, SchedulerKind, StreamJoinConfig};
 pub use msg::{Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
 pub use stats::{CsvSink, HumanSummarySink, JsonlSink, ReportSink};

@@ -19,11 +19,12 @@
 //! been deployed yet).
 
 use crate::components::{Assigner, Joiner, Merger, PartitionCreator};
-use crate::config::StreamJoinConfig;
+use crate::config::{SchedulerKind, StreamJoinConfig};
 use crate::msg::Msg;
 use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
 use ssj_runtime::{
-    run, CollectorBolt, CollectorHandle, Grouping, RunError, RunReport, TopologyBuilder, VecSpout,
+    run, CollectorBolt, CollectorHandle, Grouping, RunError, RunReport, SchedulerMode,
+    TopologyBuilder, VecSpout,
 };
 use std::sync::Arc;
 
@@ -105,6 +106,13 @@ fn build(
         .channel_capacity(capacity)
         .batch_size(batch)
         .metrics(config.metrics)
+        .scheduler(match config.scheduler {
+            SchedulerKind::Pooled => SchedulerMode::Pooled {
+                workers: config.pool_workers,
+                pin_cores: config.pin_cores,
+            },
+            SchedulerKind::ThreadPerTask => SchedulerMode::ThreadPerTask,
+        })
         .recovery(
             ssj_runtime::RecoveryPolicy::default()
                 .retries(config.retries)

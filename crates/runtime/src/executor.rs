@@ -1,5 +1,19 @@
-//! The threaded executor: one OS thread per task, crossbeam channels for
-//! tuple transport, punctuation alignment, and end-of-stream termination.
+//! The executor: crossbeam channels for tuple transport, punctuation
+//! alignment, and end-of-stream termination, under one of two scheduling
+//! modes ([`crate::SchedulerMode`]):
+//!
+//! * **Thread-per-task** (legacy): one OS thread per task, blocking
+//!   receives over a once-built `Select`.
+//! * **Pooled** (`crate::sched`, DESIGN.md §4e): a fixed pool of
+//!   work-stealing workers cooperatively schedules bolt tasks; spouts (and
+//!   all bolts when the recovery policy sets a receive timeout) keep
+//!   dedicated threads. Every successful send notifies the receiving task
+//!   through the scheduler hub, replacing blocking receives with an
+//!   edge-triggered ready queue. Forward channels whose producers include a
+//!   bolt become unbounded in this mode, so a cooperative task never blocks
+//!   its worker on a send (spout ingress stays bounded — backpressure at
+//!   the source is preserved); a consequence is that bolt-side send
+//!   timeouts cannot fire under the pool.
 //!
 //! Semantics:
 //! * Delivery is reliable and in order per (sender task, receiver task) —
@@ -30,10 +44,13 @@ use crate::metrics::{
     self, LocalHistogram, MetricsConfig, MetricsRegistry, TaskInstruments, TaskSnapshot,
     TraceEvent, TraceKind, WindowSnapshot,
 };
-use crate::topology::{BoltFactory, Component, ComponentKind, Grouping, Subscription, Topology};
+use crate::sched::{self, Hub, StepOutcome, TaskStep};
+use crate::topology::{
+    BoltFactory, Component, ComponentKind, Grouping, SchedulerMode, Subscription, Topology,
+};
 use crate::{Bolt, BoltState, Spout, SpoutEmit, TaskInfo};
 use crossbeam::channel::{
-    bounded, unbounded, Receiver, RecvTimeoutError, Select, SendTimeoutError, Sender,
+    bounded, unbounded, Receiver, RecvTimeoutError, Select, SendTimeoutError, Sender, TryRecvError,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -299,29 +316,41 @@ impl FenceState {
 
 /// Send with an optional bounded-retry timeout: each expiry counts into
 /// `timeout_hits` and doubles the wait (capped at 64x) rather than blocking
-/// forever on a wedged downstream.
+/// forever on a wedged downstream. Under the pooled scheduler, `notify`
+/// carries `(hub, target global)` and a successful send marks the receiving
+/// task ready — the single choke point every envelope delivery funnels
+/// through.
 fn send_env<M>(
     tx: &Sender<Envelope<M>>,
     env: Envelope<M>,
     timeout: Option<Duration>,
     timeout_hits: &mut u64,
+    notify: Option<(&Hub, usize)>,
 ) -> bool {
-    let Some(base) = timeout else {
-        return tx.send(env).is_ok();
-    };
-    let mut env = env;
-    let mut cur = base;
-    loop {
-        match tx.send_timeout(env, cur) {
-            Ok(()) => return true,
-            Err(SendTimeoutError::Timeout(e)) => {
-                env = e;
-                *timeout_hits += 1;
-                cur = (cur * 2).min(base * 64);
+    let ok = match timeout {
+        None => tx.send(env).is_ok(),
+        Some(base) => {
+            let mut env = env;
+            let mut cur = base;
+            loop {
+                match tx.send_timeout(env, cur) {
+                    Ok(()) => break true,
+                    Err(SendTimeoutError::Timeout(e)) => {
+                        env = e;
+                        *timeout_hits += 1;
+                        cur = (cur * 2).min(base * 64);
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => break false,
+                }
             }
-            Err(SendTimeoutError::Disconnected(_)) => return false,
+        }
+    };
+    if ok {
+        if let Some((hub, target)) = notify {
+            hub.notify(target);
         }
     }
+    ok
 }
 
 /// One outgoing subscription as seen by a producer task.
@@ -359,6 +388,7 @@ impl<M> OutEdge<M> {
         batches: &mut u64,
         timeout: Option<Duration>,
         timeout_hits: &mut u64,
+        sched: Option<&Hub>,
     ) {
         if batch_size <= 1 || self.feedback {
             if send_env(
@@ -366,6 +396,7 @@ impl<M> OutEdge<M> {
                 Envelope::Data(msg, from),
                 timeout,
                 timeout_hits,
+                sched.map(|h| (h, self.target_globals[target])),
             ) {
                 *emitted += 1;
                 *batches += 1;
@@ -381,6 +412,7 @@ impl<M> OutEdge<M> {
             Self::flush_target(
                 &self.targets,
                 &mut self.bufs,
+                &self.target_globals,
                 target,
                 batch_size,
                 from,
@@ -388,6 +420,7 @@ impl<M> OutEdge<M> {
                 batches,
                 timeout,
                 timeout_hits,
+                sched,
             );
         }
     }
@@ -397,6 +430,7 @@ impl<M> OutEdge<M> {
     fn flush_target(
         targets: &[Sender<Envelope<M>>],
         bufs: &mut [Vec<M>],
+        globals: &[usize],
         target: usize,
         batch_size: usize,
         from: usize,
@@ -404,8 +438,10 @@ impl<M> OutEdge<M> {
         batches: &mut u64,
         timeout: Option<Duration>,
         timeout_hits: &mut u64,
+        sched: Option<&Hub>,
     ) {
         let buf = &mut bufs[target];
+        let notify = sched.map(|h| (h, globals[target]));
         match buf.len() {
             0 => {}
             1 => {
@@ -415,6 +451,7 @@ impl<M> OutEdge<M> {
                     Envelope::Data(msg, from),
                     timeout,
                     timeout_hits,
+                    notify,
                 ) {
                     *emitted += 1;
                     *batches += 1;
@@ -427,6 +464,7 @@ impl<M> OutEdge<M> {
                     Envelope::Batch(full, from),
                     timeout,
                     timeout_hits,
+                    notify,
                 ) {
                     *emitted += n as u64;
                     *batches += 1;
@@ -436,6 +474,7 @@ impl<M> OutEdge<M> {
     }
 
     /// Ship every pending buffer of this edge.
+    #[allow(clippy::too_many_arguments)]
     fn flush_all(
         &mut self,
         from: usize,
@@ -444,6 +483,7 @@ impl<M> OutEdge<M> {
         batches: &mut u64,
         timeout: Option<Duration>,
         timeout_hits: &mut u64,
+        sched: Option<&Hub>,
     ) {
         if self.bufs.iter().all(Vec::is_empty) {
             return;
@@ -452,6 +492,7 @@ impl<M> OutEdge<M> {
             Self::flush_target(
                 &self.targets,
                 &mut self.bufs,
+                &self.target_globals,
                 t,
                 batch_size,
                 from,
@@ -459,6 +500,7 @@ impl<M> OutEdge<M> {
                 batches,
                 timeout,
                 timeout_hits,
+                sched,
             );
         }
     }
@@ -507,6 +549,9 @@ pub struct Outbox<M> {
     /// Messages dropped because every candidate target was fenced, or a
     /// direct-grouped target was fenced (`faults_fenced_drops`).
     fenced_drops: u64,
+    /// Pooled-scheduler hub (None under thread-per-task): every successful
+    /// send notifies the receiving task's ready state through it.
+    sched: Option<Arc<Hub>>,
 }
 
 impl<M: Clone> Outbox<M> {
@@ -548,11 +593,13 @@ impl<M: Clone> Outbox<M> {
             fences,
             rerouted,
             fenced_drops,
+            sched,
         } = self;
         if *punct_seq < *replay_until {
             return; // replaying an already-delivered prefix
         }
         let (from, bs, to) = (*my_global, *batch_size, *send_timeout);
+        let sched = sched.as_deref();
         let fences = fences.as_deref().filter(|f| f.any_fenced());
         for edge in edges.iter_mut() {
             let n = edge.targets.len();
@@ -571,7 +618,17 @@ impl<M: Clone> Outbox<M> {
                                 continue;
                             }
                         }
-                        edge.push(t, msg.clone(), from, bs, emitted, batches, to, timeout_hits);
+                        edge.push(
+                            t,
+                            msg.clone(),
+                            from,
+                            bs,
+                            emitted,
+                            batches,
+                            to,
+                            timeout_hits,
+                            sched,
+                        );
                     }
                     continue;
                 }
@@ -600,6 +657,7 @@ impl<M: Clone> Outbox<M> {
                 batches,
                 to,
                 timeout_hits,
+                sched,
             );
             if matches!(edge.grouping, Grouping::Shuffle)
                 && (bs <= 1 || edge.feedback || edge.bufs[target].is_empty())
@@ -625,11 +683,13 @@ impl<M: Clone> Outbox<M> {
             timeout_hits,
             fences,
             fenced_drops,
+            sched,
             ..
         } = self;
         if *punct_seq < *replay_until {
             return;
         }
+        let sched = sched.as_deref();
         let fences = fences.as_deref().filter(|f| f.any_fenced());
         for edge in edges.iter_mut() {
             if matches!(edge.grouping, Grouping::Direct) && task < edge.targets.len() {
@@ -648,6 +708,7 @@ impl<M: Clone> Outbox<M> {
                     batches,
                     *send_timeout,
                     timeout_hits,
+                    sched,
                 );
             }
         }
@@ -667,6 +728,7 @@ impl<M: Clone> Outbox<M> {
             replay_until,
             send_timeout,
             timeout_hits,
+            sched,
             ..
         } = self;
         if *punct_seq < *replay_until {
@@ -680,6 +742,7 @@ impl<M: Clone> Outbox<M> {
                 batches,
                 *send_timeout,
                 timeout_hits,
+                sched.as_deref(),
             );
         }
     }
@@ -701,15 +764,18 @@ impl<M: Clone> Outbox<M> {
             edges,
             send_timeout,
             timeout_hits,
+            sched,
             ..
         } = self;
+        let sched = sched.as_deref();
         for edge in edges.iter_mut() {
-            for t in &edge.targets {
+            for (t, &g) in edge.targets.iter().zip(&edge.target_globals) {
                 let _ = send_env(
                     t,
                     Envelope::Punct(p, *my_global),
                     *send_timeout,
                     timeout_hits,
+                    sched.map(|h| (h, g)),
                 );
             }
         }
@@ -722,11 +788,19 @@ impl<M: Clone> Outbox<M> {
             edges,
             send_timeout,
             timeout_hits,
+            sched,
             ..
         } = self;
+        let sched = sched.as_deref();
         for edge in edges.iter_mut() {
-            for t in &edge.targets {
-                let _ = send_env(t, Envelope::Eos(*my_global), *send_timeout, timeout_hits);
+            for (t, &g) in edge.targets.iter().zip(&edge.target_globals) {
+                let _ = send_env(
+                    t,
+                    Envelope::Eos(*my_global),
+                    *send_timeout,
+                    timeout_hits,
+                    sched.map(|h| (h, g)),
+                );
             }
         }
     }
@@ -854,6 +928,22 @@ impl<M: Send> Bolt<M> for DiscardBolt {
     }
 }
 
+/// Nudges a dedicated-thread task's pooled downstream when the thread exits
+/// (normally or by panic) so they observe its dropped senders — pooled tasks
+/// never block in `recv`, so a disconnect is only visible on a wakeup.
+struct RetireGuard {
+    hub: Option<Arc<Hub>>,
+    global: usize,
+}
+
+impl Drop for RetireGuard {
+    fn drop(&mut self) {
+        if let Some(hub) = &self.hub {
+            hub.retire_external(self.global);
+        }
+    }
+}
+
 /// Run a topology to completion and report per-task metrics.
 pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport, RunError> {
     let Topology {
@@ -865,6 +955,7 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         trace_capacity,
         fault_plan,
         recovery,
+        scheduler,
     } = topology;
     let mut registry = MetricsRegistry::new(MetricsConfig {
         enabled: metrics_on,
@@ -879,24 +970,74 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         total += c.parallelism;
     }
 
+    // Pooled-scheduler task classification (DESIGN.md §4e). Spouts always
+    // get a dedicated thread: their bounded forward sends are the
+    // topology's ingress backpressure and may block. Bolts are
+    // pool-scheduled, except when the recovery policy sets a receive
+    // timeout — its idle-detection semantics need a blocking timed receive,
+    // so such runs keep dedicated threads everywhere (the pool engages only
+    // when it has at least one task).
+    let is_spout: Vec<bool> = components
+        .iter()
+        .map(|c| matches!(c.kind, ComponentKind::Spout(_)))
+        .collect();
+    let pool_requested = matches!(scheduler, SchedulerMode::Pooled { .. });
+    let mut pooled_flags: Vec<bool> = Vec::with_capacity(total);
+    for (ci, c) in components.iter().enumerate() {
+        let pooled = pool_requested && !is_spout[ci] && recovery.recv_timeout.is_none();
+        pooled_flags.extend(std::iter::repeat_n(pooled, c.parallelism));
+    }
+    let n_pooled = pooled_flags.iter().filter(|&&p| p).count();
+    let use_pool = n_pooled > 0;
+    let (req_workers, pin_cores) = match scheduler {
+        SchedulerMode::Pooled { workers, pin_cores } => (workers, pin_cores),
+        SchedulerMode::ThreadPerTask => (0, false),
+    };
+    let n_workers = if use_pool {
+        sched::resolve_workers(req_workers, n_pooled)
+    } else {
+        0
+    };
+
     // Two channels per task: a *bounded* one for forward traffic (the
     // forward graph is a DAG, so bounded sends give deadlock-free
     // backpressure — a flooding spout is throttled by its slowest consumer;
     // with batching, in-flight data is bounded by `capacity × batch_size`
     // per channel) and an *unbounded* one for feedback control traffic
     // (bounding a cycle could deadlock).
+    //
+    // Under the pool, a bolt's send must never block its worker (a blocked
+    // worker would strand every task queued behind it), so any forward
+    // channel fed by a pool-scheduled bolt becomes unbounded; only
+    // spout-fed channels keep the bounded ingress backpressure. In-flight
+    // data stays proportional to window contents because bolts only emit
+    // in response to input the spout boundary already throttles.
+    let mut bolt_fed: Vec<bool> = vec![false; components.len()];
+    for (ci, c) in components.iter().enumerate() {
+        for s in &c.subscriptions {
+            if !s.feedback && !is_spout[index[&s.source]] {
+                bolt_fed[ci] = true;
+            }
+        }
+    }
     let cap = channel_capacity;
     let mut fwd_senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(total);
     let mut fwd_receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(total);
     let mut fb_senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(total);
     let mut fb_receivers: Vec<Option<Receiver<Envelope<M>>>> = Vec::with_capacity(total);
-    for _ in 0..total {
-        let (tx, rx) = bounded(cap);
-        fwd_senders.push(tx);
-        fwd_receivers.push(Some(rx));
-        let (tx, rx) = unbounded();
-        fb_senders.push(tx);
-        fb_receivers.push(Some(rx));
+    for (ci, c) in components.iter().enumerate() {
+        for _ in 0..c.parallelism {
+            let (tx, rx) = if use_pool && bolt_fed[ci] {
+                unbounded()
+            } else {
+                bounded(cap)
+            };
+            fwd_senders.push(tx);
+            fwd_receivers.push(Some(rx));
+            let (tx, rx) = unbounded();
+            fb_senders.push(tx);
+            fb_receivers.push(Some(rx));
+        }
     }
 
     // Outgoing edges per component: (grouping, subscriber component index).
@@ -935,6 +1076,32 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
 
     // Build task wirings.
     let par: Vec<usize> = components.iter().map(|c| c.parallelism).collect();
+
+    // The pool's shared hub: task state machines, the injector, and the
+    // parking protocol. Every outbox (dedicated-thread producers included)
+    // carries it so each successful send notifies its pool-scheduled
+    // target; notifications to dedicated tasks are no-ops.
+    let hub: Option<Arc<Hub>> = use_pool.then(|| {
+        let mut downstream: Vec<Vec<usize>> = Vec::with_capacity(total);
+        let mut labels: Vec<String> = Vec::with_capacity(total);
+        for (ci, c) in components.iter().enumerate() {
+            let targets: Vec<usize> = out_edges[ci]
+                .iter()
+                .flat_map(|(_, target_ci, _)| (0..par[*target_ci]).map(|t| base[*target_ci] + t))
+                .collect();
+            for task in 0..c.parallelism {
+                downstream.push(targets.clone());
+                labels.push(format!("{}[{}]", c.name, task));
+            }
+        }
+        Arc::new(Hub::new(
+            pooled_flags.clone(),
+            downstream,
+            labels,
+            n_workers,
+        ))
+    });
+
     let mut wirings: Vec<TaskWiring<M>> = Vec::with_capacity(total);
     for (ci, c) in components.into_iter().enumerate() {
         let Component {
@@ -987,6 +1154,7 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
                 fences: fences.clone(),
                 rerouted: 0,
                 fenced_drops: 0,
+                sched: hub.clone(),
             };
             let (instance, factory) = match &kind {
                 ComponentKind::Spout(f) => (TaskKind::Spout(f(task)), None),
@@ -1018,6 +1186,13 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     drop(fwd_receivers);
     drop(fb_receivers);
 
+    // Pool workers own a `scheduler_*` instrument family (steals, parks,
+    // wakeups, injector-depth gauge), one set per worker under the
+    // `scheduler` component, registered before the registry freezes.
+    let sched_insts: Vec<Arc<TaskInstruments>> = (0..n_workers)
+        .map(|w| registry.register("scheduler", w))
+        .collect();
+
     // With full collection on, a collector thread turns per-task
     // window-close notifications into per-punctuation registry snapshots:
     // once every task reported window `w`, all locals covering `w` have
@@ -1032,7 +1207,7 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         let reg = Arc::clone(&registry);
         Some(
             std::thread::Builder::new()
-                .name("metrics-collector".to_owned())
+                .name(sched::thread_name("collector", 0))
                 .spawn(move || collect_windows(rx, reg, total))
                 .expect("spawn collector thread"),
         )
@@ -1040,24 +1215,64 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         None
     };
 
-    let mut handles = Vec::with_capacity(wirings.len());
-    for wiring in wirings {
-        let label = format!("{}[{}]", wiring.info.component, wiring.info.task_index);
-        let handle = std::thread::Builder::new()
-            .name(label.clone())
-            .spawn(move || run_task(wiring))
-            .expect("spawn task thread");
-        handles.push((label, handle));
-    }
-
-    let mut panicked = Vec::new();
-    for (label, handle) in handles {
-        if handle.join().is_err() {
-            panicked.push(label);
+    // Partition tasks: pooled bodies install into the hub, the rest get
+    // dedicated threads. Installation and pool spawning happen *before* any
+    // dedicated thread starts, so a producer's first notification can never
+    // claim a not-yet-installed body.
+    let mut dedicated: Vec<TaskWiring<M>> = Vec::with_capacity(total - n_pooled);
+    for (global, wiring) in wirings.into_iter().enumerate() {
+        if pooled_flags[global] {
+            let hub = hub.as_ref().expect("pooled task without a hub");
+            hub.install(global, Box::new(CoopBolt::new(wiring)));
+        } else {
+            dedicated.push(wiring);
         }
     }
-    // All task threads are gone, so all notify senders are dropped and the
-    // collector terminates even after a panic.
+    let pool_handles = match &hub {
+        Some(h) => {
+            let handles = sched::spawn_pool(h, n_workers, pin_cores, sched_insts);
+            h.seed();
+            handles
+        }
+        None => Vec::new(),
+    };
+    let mut handles = Vec::with_capacity(dedicated.len());
+    for wiring in dedicated {
+        let label = format!("{}[{}]", wiring.info.component, wiring.info.task_index);
+        let global = wiring.outbox.my_global;
+        let hub = hub.clone();
+        let handle = std::thread::Builder::new()
+            .name(label.clone())
+            .spawn(move || {
+                // Declared before the wiring is consumed so it drops last:
+                // the nudge must follow the senders' drop — including when
+                // `run_task` unwinds — for pooled downstream to observe the
+                // disconnect when they wake.
+                let _retire = RetireGuard { hub, global };
+                run_task(wiring)
+            })
+            .expect("spawn task thread");
+        handles.push((global, label, handle));
+    }
+
+    let mut panicked: Vec<(usize, String)> = Vec::new();
+    for (global, label, handle) in handles {
+        if handle.join().is_err() {
+            panicked.push((global, label));
+        }
+    }
+    for handle in pool_handles {
+        handle.join().expect("pool worker thread panicked");
+    }
+    if let Some(h) = &hub {
+        panicked.extend(h.panicked_labels());
+    }
+    // Report in global task order, matching the legacy executor's
+    // spawn-order reporting regardless of which side a task ran on.
+    panicked.sort();
+    let panicked: Vec<String> = panicked.into_iter().map(|(_, label)| label).collect();
+    // All task threads and pooled bodies are gone, so all notify senders are
+    // dropped and the collector terminates even after a panic.
     let windows = collector
         .map(|h| h.join().expect("collector thread panicked"))
         .unwrap_or_default();
@@ -2021,6 +2236,15 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
         }
     }
 
+    publish_final_metrics(&mut meter, &outbox);
+    // `notify` (if any) drops here; the collector ends once every task's
+    // sender is gone.
+}
+
+/// End-of-task metric publication shared by the legacy thread path and the
+/// pooled task body: fold outbox totals and fault counters into the shared
+/// instruments and publish all task-local state.
+fn publish_final_metrics<M>(meter: &mut TaskMeter, outbox: &Outbox<M>) {
     meter.stats.emitted = outbox.emitted;
     meter.stats.batches = outbox.batches;
     if outbox.timeout_hits > 0 {
@@ -2042,6 +2266,218 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
         meter.inst.trace(TraceKind::Eos, u64::MAX, Duration::ZERO);
     }
     meter.publish(outbox.emitted, outbox.batches);
-    // `notify` (if any) drops here; the collector ends once every task's
-    // sender is gone.
+}
+
+/// A bolt task under the pooled scheduler (DESIGN.md §4e): the same
+/// machinery as the bolt arm of [`run_task`] — aligner, meter, optional
+/// supervisor — reshaped into a resumable [`TaskStep`] state machine driven
+/// by non-blocking receives.
+///
+/// Phase progression mirrors the legacy thread exactly:
+/// `Receive` (windowed phase: feedback and forward envelopes, supervised if
+/// armed) → `Drain` (after the forward EOS quorum or disconnect: flush the
+/// bolt, send EOS, absorb residual feedback traffic unsupervised) → `Done`
+/// (publish final metrics, retire). Dropping the body — on retirement or
+/// after a terminal panic — drops its receivers and outbox senders, which is
+/// what downstream and upstream observe as EOS, exactly like a legacy
+/// thread's stack unwinding.
+struct CoopBolt<M> {
+    info: TaskInfo,
+    rx: Receiver<Envelope<M>>,
+    fb_rx: Receiver<Envelope<M>>,
+    outbox: Outbox<M>,
+    align: Aligner<M>,
+    meter: TaskMeter,
+    notify: Option<Sender<u64>>,
+    bolt: Box<dyn Bolt<M>>,
+    /// Present when the recovery policy or a fault plan arms supervision.
+    sup: Option<Supervisor<M>>,
+    /// Feedback senders still connected (starts false without feedback
+    /// upstreams, so the windowed phase never polls the channel).
+    fb_open: bool,
+    /// `attach_instruments` + `prepare` ran (deferred to the first step so
+    /// their panics hit the worker's `catch_unwind` like any user code).
+    started: bool,
+    phase: CoopPhase,
+}
+
+enum CoopPhase {
+    Receive,
+    Drain,
+    Done,
+}
+
+impl<M: Clone + Send + 'static> CoopBolt<M> {
+    fn new(w: TaskWiring<M>) -> CoopBolt<M> {
+        let TaskWiring {
+            info,
+            rx,
+            fb_rx,
+            outbox,
+            forward_upstreams,
+            has_feedback_upstream,
+            kind,
+            inst,
+            notify,
+            factory,
+            faults,
+            policy,
+            fences,
+        } = w;
+        let TaskKind::Bolt(bolt) = kind else {
+            unreachable!("spouts are never pool-scheduled");
+        };
+        let meter = TaskMeter::new(&info, inst);
+        let supervised = (policy.armed() || !faults.is_empty()) && factory.is_some();
+        let align = Aligner::new(&forward_upstreams, supervised);
+        let sup = if supervised {
+            let retries = policy.retries;
+            Some(Supervisor {
+                factory: factory.expect("supervised bolt has a factory"),
+                policy,
+                faults,
+                fences,
+                info: info.clone(),
+                inst: Arc::clone(&meter.inst),
+                forward_upstreams,
+                my_global: outbox.my_global,
+                window: 0,
+                tuple_in_window: 0,
+                log: Vec::new(),
+                snapshot: None,
+                snap_window: 0,
+                snap_punct_seq: 0,
+                retries_left: retries,
+                attempts: 0,
+                delayed: VecDeque::new(),
+                envelopes_seen: 0,
+                fenced: false,
+            })
+        } else {
+            None
+        };
+        CoopBolt {
+            info,
+            rx,
+            fb_rx,
+            outbox,
+            align,
+            meter,
+            notify,
+            bolt,
+            sup,
+            fb_open: has_feedback_upstream,
+            started: false,
+            phase: CoopPhase::Receive,
+        }
+    }
+
+    /// Feed one envelope through the supervised or plain path; true when
+    /// every forward upstream has reached EOS.
+    fn handle(&mut self, env: Envelope<M>) -> bool {
+        match &mut self.sup {
+            Some(sup) => sup.step(
+                env,
+                &mut self.bolt,
+                &mut self.align,
+                &mut self.outbox,
+                &mut self.meter,
+                &self.rx,
+                &self.notify,
+            ),
+            None => process_timed(
+                env,
+                self.bolt.as_mut(),
+                &mut self.align,
+                &mut self.outbox,
+                &mut self.meter,
+                &self.rx,
+                &self.notify,
+            ),
+        }
+    }
+
+    /// The forward side closed (EOS quorum or disconnect): flush user state,
+    /// send EOS, and switch to draining residual feedback traffic.
+    fn enter_drain(&mut self) {
+        self.bolt.finish(&mut self.outbox);
+        self.outbox.eos();
+        self.phase = CoopPhase::Drain;
+    }
+}
+
+impl<M: Clone + Send + 'static> TaskStep for CoopBolt<M> {
+    fn step(&mut self) -> StepOutcome {
+        if !self.started {
+            self.started = true;
+            self.bolt.attach_instruments(&self.meter.inst);
+            self.bolt.prepare(&self.info);
+        }
+        let mut budget = sched::TICK_BUDGET;
+        loop {
+            match self.phase {
+                CoopPhase::Receive => {
+                    if budget == 0 {
+                        return StepOutcome::More;
+                    }
+                    // Poll feedback first: control traffic (δ-updates,
+                    // repartition signals) is sparse and latency-sensitive.
+                    if self.fb_open {
+                        match self.fb_rx.try_recv() {
+                            Ok(env) => {
+                                budget -= 1;
+                                // Result ignored: feedback never carries the
+                                // EOS quorum (mirrors the legacy select arm).
+                                let _ = self.handle(env);
+                                continue;
+                            }
+                            Err(TryRecvError::Empty) => {}
+                            Err(TryRecvError::Disconnected) => self.fb_open = false,
+                        }
+                    }
+                    match self.rx.try_recv() {
+                        Ok(env) => {
+                            budget -= 1;
+                            if self.handle(env) {
+                                self.enter_drain();
+                            }
+                        }
+                        Err(TryRecvError::Empty) => return StepOutcome::Idle,
+                        // All forward senders gone (e.g. upstream panicked).
+                        Err(TryRecvError::Disconnected) => self.enter_drain(),
+                    }
+                }
+                CoopPhase::Drain => {
+                    if budget == 0 {
+                        return StepOutcome::More;
+                    }
+                    match self.fb_rx.try_recv() {
+                        Ok(env) => {
+                            budget -= 1;
+                            // Post-EOS feedback drains unsupervised (see
+                            // `run_task`): faults target the windowed phase
+                            // only, and replaying across our own EOS would
+                            // re-emit after the EOS token.
+                            let _ = process_timed(
+                                env,
+                                self.bolt.as_mut(),
+                                &mut self.align,
+                                &mut self.outbox,
+                                &mut self.meter,
+                                &self.rx,
+                                &self.notify,
+                            );
+                            self.align.just_closed.clear();
+                        }
+                        Err(TryRecvError::Empty) => return StepOutcome::Idle,
+                        Err(TryRecvError::Disconnected) => {
+                            publish_final_metrics(&mut self.meter, &self.outbox);
+                            self.phase = CoopPhase::Done;
+                        }
+                    }
+                }
+                CoopPhase::Done => return StepOutcome::Done,
+            }
+        }
+    }
 }

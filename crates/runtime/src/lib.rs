@@ -38,6 +38,7 @@
 mod executor;
 pub mod fault;
 pub mod metrics;
+mod sched;
 pub mod topology;
 
 pub use executor::{run, Outbox, RunError, RunReport, TaskMetrics};
@@ -46,7 +47,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, TaskInstruments, TaskSnapshot, TraceEvent,
     TraceKind, WindowSnapshot,
 };
-pub use topology::{BoltHandle, Grouping, Topology, TopologyBuilder, TopologyError};
+pub use topology::{BoltHandle, Grouping, SchedulerMode, Topology, TopologyBuilder, TopologyError};
 
 use parking_lot::Mutex;
 use std::sync::Arc;

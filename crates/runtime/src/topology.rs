@@ -88,6 +88,29 @@ pub(crate) struct Component<M> {
     pub subscriptions: Vec<Subscription<M>>,
 }
 
+/// How the executor maps tasks onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// One OS thread per task (the original executor). The library default:
+    /// existing embedders see byte-identical scheduling. Deprecated for
+    /// large topologies — `m ≫ cores` joiners degenerate into
+    /// context-switch churn; prefer [`SchedulerMode::Pooled`].
+    #[default]
+    ThreadPerTask,
+    /// A fixed pool of workers cooperatively schedules bolt tasks over
+    /// per-worker work-stealing deques (DESIGN.md §4e). Spouts (and every
+    /// bolt when the recovery policy sets a receive timeout) keep dedicated
+    /// threads; all other bolts become pooled tasks, so hundreds of tasks
+    /// run without oversubscription.
+    Pooled {
+        /// Worker threads; 0 = auto (the machine's available parallelism).
+        workers: usize,
+        /// Pin worker `i` to core `i % cores` (Linux only; ignored
+        /// elsewhere).
+        pin_cores: bool,
+    },
+}
+
 /// Errors detected while building or validating a topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
@@ -145,6 +168,7 @@ pub struct TopologyBuilder<M> {
     trace_capacity: usize,
     fault_plan: FaultPlan,
     recovery: RecoveryPolicy,
+    scheduler: SchedulerMode,
 }
 
 impl<M> Default for TopologyBuilder<M> {
@@ -157,6 +181,7 @@ impl<M> Default for TopologyBuilder<M> {
             trace_capacity: 4096,
             fault_plan: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -220,6 +245,17 @@ impl<M> TopologyBuilder<M> {
     /// before.
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// Choose the [`SchedulerMode`] (default [`SchedulerMode::ThreadPerTask`]
+    /// for embedder compatibility). Pooled scheduling changes which forward
+    /// channels are bounded — channels fed by bolt producers become
+    /// unbounded so cooperative tasks never block a worker on a send —
+    /// but window contents, supervision, and fault-injection coordinates
+    /// are identical under either mode.
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.scheduler = mode;
         self
     }
 
@@ -321,6 +357,7 @@ impl<M> TopologyBuilder<M> {
             trace_capacity: self.trace_capacity,
             fault_plan: self.fault_plan,
             recovery: self.recovery,
+            scheduler: self.scheduler,
         })
     }
 }
@@ -407,6 +444,7 @@ pub struct Topology<M> {
     pub(crate) trace_capacity: usize,
     pub(crate) fault_plan: FaultPlan,
     pub(crate) recovery: RecoveryPolicy,
+    pub(crate) scheduler: SchedulerMode,
 }
 
 impl<M> Topology<M> {

@@ -16,9 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> chaos smoke (fault injection + supervised recovery)"
+echo "==> chaos smoke (fault injection + supervised recovery, legacy + pooled)"
 cargo test -q -p ssj-runtime --test chaos
 cargo test -q -p ssj-partition --test cross_partitioners
+
+echo "==> pooled scheduler smoke (pooled == thread-per-task join output)"
+cargo test -q -p ssj-core --test sched_equivalence
+cargo test -q -p ssj-runtime --test metrics_conservation
 
 echo "==> partitioning pipeline smoke bench vs committed baseline (+ claims)"
 cargo build --release -q -p ssj-bench --bin bench_partition
@@ -27,7 +31,8 @@ cargo build --release -q -p ssj-bench --bin bench_partition
 echo "==> routing allocation audit (count-allocs build, 0 allocs/route)"
 cargo run --release -q -p ssj-bench --features count-allocs --bin bench_partition -- --audit
 
-echo "==> runtime throughput smoke bench vs committed baseline"
+echo "==> runtime throughput smoke bench vs committed baseline (incl. scheduler gates:"
+echo "    20% regression on sched/* ids, pooled/legacy >= 1.5x at m=64, >= 0.95x at m=4)"
 cargo build --release -q -p ssj-bench --bin bench_runtime
 ./target/release/bench_runtime --check BENCH_runtime.json
 

@@ -7,6 +7,14 @@
 //! and [`channel::Select`] over multiple receivers. Built on `std::sync`
 //! condvars; the `Select` implementation registers one shared waker with
 //! every watched channel and re-scans readiness after each wakeup.
+//!
+//! Also implements the `crossbeam-deque` subset used by the pooled
+//! scheduler ([`deque`]): per-worker FIFO queues with [`deque::Stealer`]
+//! handles and a global [`deque::Injector`]. The real crate is lock-free;
+//! this stand-in trades that for a `Mutex<VecDeque>` per queue, which
+//! keeps the exact same API and steal semantics (one item per steal,
+//! `Steal::{Empty, Success, Retry}`) at adequate performance for the
+//! worker counts this workspace runs.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -494,9 +502,159 @@ pub mod channel {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deques in the style of `crossbeam-deque`.
+    //!
+    //! A [`Worker`] is the owner's end of a queue: only one thread pushes
+    //! to and pops from it. [`Stealer`] handles (cloneable, shareable) let
+    //! other threads take items from the opposite end. An [`Injector`] is
+    //! a shared FIFO any thread may push to — the global entry point for
+    //! work that has no home worker yet.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race; the caller may retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen item, if this attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner's end of a work-stealing queue (FIFO discipline: the
+    /// owner pops from the front, stealers also take from the front, so
+    /// envelope-arrival order is preserved under contention).
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New FIFO worker queue (matches `crossbeam_deque::Worker::new_fifo`).
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the owner's queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Pop the next task, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        /// A new stealer handle onto this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A shareable handle that steals from another worker's queue.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Try to steal one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared FIFO any thread can push to; workers drain it when their
+    /// own queue runs dry.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Try to steal one task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvError, Select};
+    use super::deque::{Injector, Steal, Worker};
     use std::thread;
     use std::time::Duration;
 
@@ -587,6 +745,51 @@ mod tests {
         assert_eq!(op.recv(&rx_a), Ok(9));
         t.join().unwrap();
         let _ = ia;
+    }
+
+    #[test]
+    fn deque_fifo_owner_and_stealer() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_feeds_many_threads_exactly_once() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..400 {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = std::sync::Arc::clone(&inj);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match inj.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let want: Vec<i32> = (0..400).collect();
+        assert_eq!(all, want);
     }
 
     #[test]
