@@ -29,7 +29,9 @@
 
 use ssj_bench::report::{best_of, check_against, parse_section, write_report, Measurement};
 use ssj_bench::DataSet;
-use ssj_core::{run_topology, SchedulerKind, StreamJoinConfig};
+use ssj_core::{
+    run_topology, run_topology_distributed, DistRuntime, SchedulerKind, StreamJoinConfig,
+};
 use ssj_runtime::{fn_bolt, run, Bolt, Grouping, Outbox, TopologyBuilder, VecSpout};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -168,6 +170,87 @@ fn sched_run(docs_n: usize, window: usize, m: usize, kind: SchedulerKind) -> Mea
     }
 }
 
+/// Edge-transport comparison (DESIGN.md §4f): the same Fig. 2 join topology
+/// with every edge in-process (`workers=1`) versus sharded over a 2-member
+/// Unix-socket group, cross-worker edges paying the full binary-codec +
+/// frame + kernel-socket path. Group members run as threads here — like the
+/// core `distributed_equivalence` suite — sharing no dictionary and talking
+/// only through the socket mesh, so the measured delta is the wire cost,
+/// not process-spawn cost.
+fn transport_run(docs_n: usize, window: usize, socket: bool) -> Measurement {
+    let workers = if socket { 2 } else { 1 };
+    let cfg = StreamJoinConfig::default()
+        .with_m(4)
+        .with_window(window)
+        .with_expansion(false)
+        .with_batch_size(64)
+        .with_workers(workers)
+        .build()
+        .unwrap();
+    let (secs, report) = if socket {
+        let dir = std::env::temp_dir().join(format!("ssj-bench-transport-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Each member builds its own dictionary before the clock starts:
+        // deploy-time work, not steady-state transport.
+        let streams: Vec<_> = (0..workers)
+            .map(|_| DataSet::NbData.generate(docs_n, 42))
+            .collect();
+        let start = Instant::now();
+        let handles: Vec<_> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(w, (dict, docs))| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let dr = DistRuntime {
+                        workers,
+                        my_worker: w,
+                        socket_dir: dir,
+                        attempt: 0,
+                    };
+                    run_topology_distributed(cfg, &dict, docs, &dr).unwrap()
+                })
+            })
+            .collect();
+        let mut reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let secs = start.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        (secs, reports.remove(0))
+    } else {
+        let (dict, docs) = DataSet::NbData.generate(docs_n, 42);
+        let start = Instant::now();
+        let report = run_topology(cfg, &dict, docs).unwrap();
+        (start.elapsed().as_secs_f64(), report)
+    };
+    assert_eq!(
+        report.joins_per_window.len(),
+        docs_n / window,
+        "transport topology lost windows"
+    );
+    let tag = if socket { "socket" } else { "inproc" };
+    Measurement {
+        id: format!("transport/{tag}/batch=64"),
+        tuples_per_sec: docs_n as f64 / secs,
+        tuples: docs_n as u64,
+        secs,
+        avg_batch: report.runtime.avg_batch_size("reader"),
+    }
+}
+
+/// Paired in-process vs 2-worker-socket measurements of the join topology.
+fn transport_suite(name: &str, reps: usize, join_n: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for socket in [false, true] {
+        let meas = best_of(reps, || transport_run(join_n, join_n / 3, socket));
+        println!(
+            "{name}: {} -> {:.0} docs/s ({} docs in {:.3}s)",
+            meas.id, meas.tuples_per_sec, meas.tuples, meas.secs
+        );
+        out.push(meas);
+    }
+    out
+}
+
 /// Pooled-vs-legacy measurements at m ∈ {4, 16, 64}.
 fn sched_suite(name: &str, reps: usize, join_n: usize) -> Vec<Measurement> {
     let mut out = Vec::new();
@@ -265,12 +348,14 @@ fn smoke() -> Vec<Measurement> {
     // m=64 runs are slow by design (that is the point of the comparison).
     let mut s = run_suite("smoke", 5, 400_000, &[1, 32], 4_500);
     s.extend(sched_suite("smoke", 3, 12_000));
+    s.extend(transport_suite("smoke", 3, 12_000));
     s
 }
 
 fn full() -> Vec<Measurement> {
     let mut f = run_suite("full", 3, 600_000, &[1, 8, 32, 128], 12_000);
     f.extend(sched_suite("full", 2, 12_000));
+    f.extend(transport_suite("full", 2, 24_000));
     f
 }
 
@@ -294,6 +379,15 @@ fn speedup_summary(ms: &[Measurement]) {
                 pooled / legacy
             );
         }
+    }
+    if let (Some(inproc), Some(socket)) = (
+        rate("transport/inproc/batch=64"),
+        rate("transport/socket/batch=64"),
+    ) {
+        println!(
+            "transport socket vs inproc: {:.2}x (wire cost of the 2-worker split)",
+            socket / inproc
+        );
     }
 }
 

@@ -103,6 +103,27 @@ const PIN_CORES: FlagSpec = flag(
     "pin-cores",
     "pin pooled workers to CPU cores (Linux; needs --scheduler pooled)",
 );
+const WORKERS: FlagSpec = opt(
+    "workers",
+    Some("1"),
+    "shared-nothing process-group size: shard the topology over N processes",
+);
+const JOINS_OUT: FlagSpec = opt(
+    "joins-out",
+    None,
+    "write per-window join pairs to FILE (one `w: a-b ...` line per window)",
+);
+const WORKER_ID: FlagSpec = opt(
+    "worker-id",
+    None,
+    "internal: worker index of this process in a group run",
+);
+const SOCKET_DIR: FlagSpec = opt(
+    "socket-dir",
+    None,
+    "internal: directory holding the group's Unix sockets",
+);
+const ATTEMPT: FlagSpec = opt("attempt", None, "internal: group relaunch attempt number");
 
 /// Every subcommand of the `ssj` binary.
 pub const COMMANDS: &[CommandSpec] = &[
@@ -242,8 +263,13 @@ pub const COMMANDS: &[CommandSpec] = &[
             SCHEDULER,
             POOL_WORKERS,
             PIN_CORES,
+            WORKERS,
             METRICS_OUT,
             NO_METRICS,
+            JOINS_OUT,
+            WORKER_ID,
+            SOCKET_DIR,
+            ATTEMPT,
         ],
     },
     CommandSpec {
@@ -417,6 +443,29 @@ mod tests {
         assert!(text.contains("--scheduler"));
         assert!(text.contains("--pool-workers"));
         assert!(text.contains("--pin-cores"));
+    }
+
+    #[test]
+    fn group_run_flags_parse() {
+        let a = parse(&["run", "--workers", "3", "--joins-out", "/tmp/j.txt"]);
+        assert_eq!(a.get_or("workers", 1usize).unwrap(), 3);
+        assert_eq!(a.get("joins-out"), Some("/tmp/j.txt"));
+        let child = parse(&[
+            "run",
+            "--workers",
+            "2",
+            "--worker-id",
+            "1",
+            "--socket-dir",
+            "/tmp/g",
+            "--attempt",
+            "0",
+        ]);
+        assert_eq!(child.get("worker-id"), Some("1"));
+        assert_eq!(child.get("socket-dir"), Some("/tmp/g"));
+        assert_eq!(child.get_or("attempt", 0u32).unwrap(), 0);
+        // Internal flags exist only on `run`.
+        assert!(Args::parse(["topology".into(), "--worker-id".into(), "1".into()]).is_err());
     }
 
     #[test]

@@ -11,13 +11,14 @@ mod args;
 
 use args::Args;
 use ssj_core::{
-    run_topology, CsvSink, HumanSummarySink, JsonlSink, Pipeline, ReportSink, SchedulerKind,
-    StreamJoinConfig,
+    run_topology, run_topology_distributed, CsvSink, DistRuntime, HumanSummarySink, JsonlSink,
+    Pipeline, ReportSink, SchedulerKind, StreamJoinConfig, TopologyRunReport,
 };
 use ssj_data::{NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen, TweetConfig, TweetGen};
 use ssj_join::JoinAlgo;
 use ssj_json::{write_documents_jsonl, Dictionary, DocId, Document, DocumentReader};
 use ssj_partition::PartitionerKind;
+use ssj_runtime::RunError;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::time::Instant;
@@ -172,6 +173,7 @@ fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, Strin
         .with_scheduler(args.get_or("scheduler", SchedulerKind::Pooled)?)
         .with_pool_workers(args.get_or("pool-workers", 0)?)
         .with_pin_cores(args.flag("pin-cores"))
+        .with_workers(args.get_or("workers", 1)?)
         .build()?;
     Ok(cfg)
 }
@@ -409,8 +411,34 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let dict = Dictionary::new();
     let docs = load_docs(args, &dict)?;
     let n = docs.len();
+
+    // Worker-process path: this process was spawned by a group leader with
+    // the internal flags. Run the local shard and exit quietly — the leader
+    // owns all reporting; the shared seed/input makes our dictionary (and
+    // thus the wire dictionary epoch) identical to every peer's.
+    if let Some(wid) = args.get("worker-id") {
+        let wid: usize = wid
+            .parse()
+            .map_err(|e| format!("invalid --worker-id: {e}"))?;
+        let dir = args
+            .get("socket-dir")
+            .ok_or("--worker-id requires --socket-dir")?;
+        let dr = DistRuntime {
+            workers: cfg.workers,
+            my_worker: wid,
+            socket_dir: std::path::PathBuf::from(dir),
+            attempt: args.get_or("attempt", 0u32)?,
+        };
+        run_topology_distributed(cfg, &dict, docs, &dr).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+
     let t0 = Instant::now();
-    let report = run_topology(cfg, &dict, docs).map_err(|e| e.to_string())?;
+    let report = if cfg.workers > 1 {
+        run_group_leader(cfg, &dict, docs)?
+    } else {
+        run_topology(cfg, &dict, docs).map_err(|e| e.to_string())?
+    };
     let elapsed = t0.elapsed();
     if let Some(path) = args.get("metrics-out") {
         let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -448,5 +476,121 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         elapsed.as_secs_f64(),
         n as f64 / elapsed.as_secs_f64().max(1e-9)
     );
+    if let Some(path) = args.get("joins-out") {
+        write_joins(path, &report)?;
+    }
     Ok(())
+}
+
+/// Write canonical per-window join output: one `w: a-b a-b ...` line per
+/// window, pairs flipped to `(min, max)`, sorted, deduplicated — the same
+/// canonical form `ssj_bench::testutil::RunWindows` uses, so two files are
+/// byte-comparable.
+fn write_joins(path: &str, report: &TopologyRunReport) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut out = BufWriter::new(file);
+    let io = |e: io::Error| format!("write {path}: {e}");
+    for (w, pairs) in report.joins_per_window.iter().enumerate() {
+        let mut pairs: Vec<(u64, u64)> = pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        write!(out, "{w}:").map_err(io)?;
+        for (a, b) in pairs {
+            write!(out, " {a}-{b}").map_err(io)?;
+        }
+        writeln!(out).map_err(io)?;
+    }
+    out.flush().map_err(io)
+}
+
+/// How many times the leader relaunches the whole group after a transport
+/// failure (a peer process dying mid-run) before giving up.
+const GROUP_ATTEMPTS: u32 = 3;
+
+/// Leader (worker 0) of a multi-process `--workers N` run: spawn workers
+/// `1..N` as child processes of this same binary with the internal flags
+/// appended, run the local shard over the Unix-socket mesh, and — mirroring
+/// the task supervisor one level up — relaunch the whole group with a fresh
+/// attempt number when a peer dies mid-run (`RunError::Transport`). Window
+/// state is rebuilt from the replayed stream, so a relaunched run's output
+/// is identical to an undisturbed one.
+fn run_group_leader(
+    cfg: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+) -> Result<TopologyRunReport, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("resolve own executable: {e}"))?;
+    let base: Vec<String> = std::env::args().skip(1).collect();
+    let dir = std::env::temp_dir().join(format!("ssj-group-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut last = String::new();
+    for attempt in 0..GROUP_ATTEMPTS {
+        let mut children = Vec::new();
+        for w in 1..cfg.workers {
+            match std::process::Command::new(&exe)
+                .args(&base)
+                .arg("--worker-id")
+                .arg(w.to_string())
+                .arg("--socket-dir")
+                .arg(&dir)
+                .arg("--attempt")
+                .arg(attempt.to_string())
+                .stdout(std::process::Stdio::null())
+                .spawn()
+            {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return Err(format!("spawn worker {w}: {e}"));
+                }
+            }
+        }
+        let dr = DistRuntime {
+            workers: cfg.workers,
+            my_worker: 0,
+            socket_dir: dir.clone(),
+            attempt,
+        };
+        match run_topology_distributed(cfg, dict, docs.clone(), &dr) {
+            Ok(report) => {
+                for (w, mut c) in (1..).zip(children) {
+                    match c.wait() {
+                        Ok(status) if !status.success() => {
+                            eprintln!("warning: worker {w} exited with {status}")
+                        }
+                        Ok(_) => {}
+                        Err(e) => eprintln!("warning: wait for worker {w}: {e}"),
+                    }
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                return Ok(report);
+            }
+            // A peer died (or its link broke): kill the survivors and
+            // relaunch the group under the next attempt's socket names.
+            Err(RunError::Transport(errs)) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                last = errs.join("; ");
+                eprintln!("group attempt {attempt} failed: {last}; relaunching");
+            }
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(e.to_string());
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Err(format!(
+        "group run failed after {GROUP_ATTEMPTS} attempts: {last}"
+    ))
 }

@@ -1,0 +1,90 @@
+//! True multi-process scale-out, end to end through the `ssj` binary: a
+//! `run --workers 2` process group (leader + one spawned worker talking
+//! over Unix sockets) must produce per-window join output byte-identical
+//! to the plain single-process run — including when one worker process is
+//! killed mid-run and the leader relaunches the group.
+
+use proptest::prelude::*;
+use ssj_bench::testutil::{assert_runs_equal, RunWindows};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ssj")
+}
+
+/// Parse a `--joins-out` file (`w: a-b a-b ...` per window) back into the
+/// canonical per-window form.
+fn read_joins(path: &Path) -> RunWindows {
+    let text = std::fs::read_to_string(path).expect("read joins file");
+    let mut windows: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
+    for line in text.lines() {
+        let (w, rest) = line.split_once(':').expect("malformed joins line");
+        let pairs = rest
+            .split_whitespace()
+            .map(|p| {
+                let (a, b) = p.split_once('-').expect("malformed pair");
+                (a.parse().unwrap(), b.parse().unwrap())
+            })
+            .collect();
+        windows.push((w.parse().unwrap(), pairs));
+    }
+    windows.sort_by_key(|(w, _)| *w);
+    assert!(
+        windows.iter().enumerate().all(|(i, (w, _))| i == *w),
+        "joins file has missing or duplicate windows"
+    );
+    RunWindows::from_pairs(windows.into_iter().map(|(_, pairs)| pairs))
+}
+
+fn out_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ssj-cli-dist-{}-{tag}.txt", std::process::id()))
+}
+
+/// Run `ssj run` with the given stream/topology parameters and return the
+/// canonicalized join output.
+fn run_ssj(seed: u64, m: usize, workers: usize, kill: Option<&str>, tag: &str) -> RunWindows {
+    let path = out_path(tag);
+    let mut cmd = Command::new(bin());
+    cmd.args(["run", "--dataset", "rwdata", "--count", "600"])
+        .args(["--seed", &seed.to_string()])
+        .args(["--m", &m.to_string()])
+        .args(["--window", "200", "--creators", "2", "--assigners", "2"])
+        .args(["--batch", "16", "--no-metrics"])
+        .args(["--workers", &workers.to_string()])
+        .args(["--joins-out", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::null());
+    match kill {
+        // Scoped to this run only: the spec names one (worker, attempt).
+        Some(spec) => cmd.env("SSJ_KILL_WORKER", spec),
+        None => cmd.env_remove("SSJ_KILL_WORKER"),
+    };
+    let status = cmd.status().expect("launch ssj");
+    assert!(status.success(), "ssj run failed: {status}");
+    let joins = read_joins(&path);
+    let _ = std::fs::remove_file(&path);
+    joins
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The §4f acceptance property, through real processes: a 2-process
+    /// Unix-socket group run equals the single-process pooled run.
+    #[test]
+    fn two_process_run_matches_single_process(seed in 0u64..1 << 32, m in 2usize..5) {
+        let solo = run_ssj(seed, m, 1, None, &format!("solo-{seed}-{m}"));
+        let group = run_ssj(seed, m, 2, None, &format!("group-{seed}-{m}"));
+        assert_runs_equal(&solo, &group);
+    }
+}
+
+/// Killing worker 1 on the group's first attempt forces the leader through
+/// the peer-disconnect path and a full group relaunch; the recovered run's
+/// output must still be byte-identical to the single-process run.
+#[test]
+fn killed_worker_recovers_with_identical_output() {
+    let solo = run_ssj(99, 3, 1, None, "solo-kill");
+    let recovered = run_ssj(99, 3, 2, Some("1:0"), "group-kill");
+    assert_runs_equal(&solo, &recovered);
+}

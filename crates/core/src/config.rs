@@ -62,6 +62,11 @@ pub struct StreamJoinConfig {
     /// Pin pooled workers to CPU cores, worker `w` to core `w mod cores`
     /// (Linux only; a no-op elsewhere). Requires the pooled scheduler.
     pub pin_cores: bool,
+    /// Process-group size for shared-nothing scale-out (DESIGN.md §4f).
+    /// 1 (the default) runs everything in this process; `N > 1` shards the
+    /// topology's tasks across `N` worker processes linked by Unix-socket
+    /// transports.
+    pub workers: usize,
 }
 
 /// Which executor schedules bolt tasks (DESIGN.md §4e).
@@ -121,6 +126,7 @@ impl Default for StreamJoinConfig {
             scheduler: SchedulerKind::Pooled,
             pool_workers: 0,
             pin_cores: false,
+            workers: 1,
         }
     }
 }
@@ -144,6 +150,9 @@ pub enum ConfigError {
     /// `pool_workers` exceeds the sanity cap (1024); carries the rejected
     /// value. 0 means auto, so any real machine fits well under the cap.
     PoolWorkersOutOfRange(usize),
+    /// `workers` must lie in `1..=64` (a process group needs at least this
+    /// process, and the mesh is all-pairs); carries the rejected value.
+    WorkersOutOfRange(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -161,6 +170,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::PoolWorkersOutOfRange(n) => {
                 write!(f, "pool_workers {n} out of range (expected 0..=1024)")
+            }
+            ConfigError::WorkersOutOfRange(n) => {
+                write!(f, "workers {n} out of range (expected 1..=64)")
             }
         }
     }
@@ -311,6 +323,13 @@ macro_rules! builder_setters {
             b.cfg.pin_cores = on;
             b
         }
+
+        /// Override the process-group size for shared-nothing scale-out.
+        pub fn with_workers(self, n: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.workers = n;
+            b
+        }
     };
 }
 
@@ -350,6 +369,9 @@ impl StreamJoinConfig {
         }
         if self.pool_workers > 1024 {
             return Err(ConfigError::PoolWorkersOutOfRange(self.pool_workers));
+        }
+        if !(1..=64).contains(&self.workers) {
+            return Err(ConfigError::WorkersOutOfRange(self.workers));
         }
         Ok(())
     }

@@ -40,10 +40,15 @@ pub mod pipeline;
 pub mod stats;
 pub mod topology;
 pub mod window;
+pub mod wire;
 
 pub use config::{ConfigBuilder, ConfigError, SchedulerKind, StreamJoinConfig};
 pub use msg::{Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
 pub use stats::{CsvSink, HumanSummarySink, JsonlSink, ReportSink};
-pub use topology::{materialize_joins, run_topology, topology_dot, TopologyRunReport};
+pub use topology::{
+    materialize_joins, placement_for, run_topology, run_topology_distributed, topology_dot,
+    DistRuntime, TopologyRunReport,
+};
 pub use window::{windows, WindowSpec};
+pub use wire::MsgCodec;

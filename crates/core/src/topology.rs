@@ -21,11 +21,13 @@
 use crate::components::{Assigner, Joiner, Merger, PartitionCreator};
 use crate::config::{SchedulerKind, StreamJoinConfig};
 use crate::msg::Msg;
+use crate::wire::{dict_epoch, MsgCodec};
 use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
 use ssj_runtime::{
-    run, CollectorBolt, CollectorHandle, Grouping, RunError, RunReport, SchedulerMode,
-    TopologyBuilder, VecSpout,
+    join_group, run, run_distributed, CollectorBolt, CollectorHandle, GroupSetup, Grouping,
+    RunError, RunReport, SchedulerMode, TopologyBuilder, VecSpout,
 };
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Results of one full topology run.
@@ -165,8 +167,15 @@ pub fn run_topology(
     let handle: CollectorHandle<Msg> = reporter.handle();
     let topology = build(config, dict, docs, reporter);
     let runtime = run(topology)?;
+    Ok(fold_join_stats(config, runtime, handle))
+}
 
-    // Fold the JoinStats messages into per-window results.
+/// Fold the reporter's JoinStats messages into per-window results.
+fn fold_join_stats(
+    config: StreamJoinConfig,
+    runtime: RunReport,
+    handle: CollectorHandle<Msg>,
+) -> TopologyRunReport {
     let mut by_window: FxHashMap<u64, FxHashSet<(u64, u64)>> = FxHashMap::default();
     let mut docs_by_window: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     for msg in handle.take() {
@@ -198,11 +207,111 @@ pub fn run_topology(
         .iter()
         .map(|w| docs_by_window.remove(w).unwrap_or_default())
         .collect();
-    Ok(TopologyRunReport {
+    TopologyRunReport {
         runtime,
         joins_per_window,
         docs_per_joiner,
-    })
+    }
+}
+
+/// Deterministic task placement for an `N`-worker group (DESIGN.md §4f).
+///
+/// Singleton control/collection components (`reader`, `merger`, `reporter`)
+/// live on worker 0 — the reader feeds the whole group, the merger's table
+/// broadcast and the reporter's fold are already global sync points. Data
+/// parallel components (`creator`, `assigner`, `joiner`) stripe round-robin
+/// over the workers, so each worker carries an equal share of every stage.
+///
+/// Every group member computes this identically from the topology alone; it
+/// is the deploy-time control plane, no coordination needed.
+pub fn placement_for(component: &str, task: usize, workers: usize) -> usize {
+    match component {
+        "reader" | "merger" | "reporter" => 0,
+        _ => task % workers,
+    }
+}
+
+/// Identity of one worker process in a shared-nothing group.
+#[derive(Debug, Clone)]
+pub struct DistRuntime {
+    /// Total processes in the group.
+    pub workers: usize,
+    /// This process's rank in `0..workers`.
+    pub my_worker: usize,
+    /// Directory holding the group's Unix sockets.
+    pub socket_dir: PathBuf,
+    /// Launch attempt (bumped by the leader when re-running after a worker
+    /// death); namespaces the socket files so stale sockets of a previous
+    /// attempt cannot cross-connect.
+    pub attempt: u32,
+}
+
+/// Fingerprint of everything that shapes the topology graph and placement:
+/// two processes with different values would wire incompatible meshes, so
+/// the handshake rejects the pairing up front.
+fn topo_fingerprint(config: StreamJoinConfig) -> u64 {
+    let fields: [u64; 6] = [
+        config.m as u64,
+        config.window_docs as u64,
+        config.partition_creators as u64,
+        config.assigners as u64,
+        config.batch_size as u64,
+        config.workers as u64,
+    ];
+    let mut h = ssj_runtime::wire::fnv1a(b"ssj-topology", 0xcbf2_9ce4_8422_2325);
+    for f in fields {
+        h = ssj_runtime::wire::fnv1a(&f.to_le_bytes(), h);
+    }
+    h
+}
+
+/// Run this process's shard of the stream-join topology as one member of a
+/// multi-process group.
+///
+/// Every worker must call this with the *same* `config`, `dict` content and
+/// `docs` (the deploy-time contract — enforced by the handshake's topology
+/// fingerprint and dictionary epoch). Tasks are placed by [`placement_for`];
+/// edges crossing workers become Unix-socket links carrying the [`MsgCodec`]
+/// wire format. The reporter lives on worker 0, so only worker 0's report
+/// carries join results; other workers return empty windows.
+pub fn run_topology_distributed(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+    dr: &DistRuntime,
+) -> Result<TopologyRunReport, RunError> {
+    config.validate().expect("invalid configuration");
+    assert_eq!(config.workers, dr.workers, "config/group size mismatch");
+    if dr.workers == 1 {
+        return run_topology(config, dict, docs);
+    }
+    let reporter = CollectorBolt::new();
+    let handle: CollectorHandle<Msg> = reporter.handle();
+    let topology = build(config, dict, docs, reporter);
+    let codec = MsgCodec::new(dict);
+    let setup = GroupSetup {
+        workers: dr.workers,
+        my_worker: dr.my_worker,
+        socket_dir: dr.socket_dir.clone(),
+        attempt: dr.attempt,
+        topo_fingerprint: topo_fingerprint(config),
+        dict_epoch: dict_epoch(dict),
+    };
+    let group = join_group(&setup)
+        .map_err(|e| RunError::Transport(vec![format!("worker {}: {e}", dr.my_worker)]))?;
+    // Chaos hook for the kill-and-recover differential test: abort this
+    // process *after* the handshake, so peers observe a mid-run disconnect
+    // rather than a failed join.
+    if let Ok(kill) = std::env::var("SSJ_KILL_WORKER") {
+        if kill == format!("{}:{}", dr.my_worker, dr.attempt) {
+            std::process::abort();
+        }
+    }
+    let workers = dr.workers;
+    let runtime = run_distributed(topology, Arc::new(codec), group, &|component, task| {
+        placement_for(component, task, workers)
+    })?;
+    Ok(fold_join_stats(config, runtime, handle))
 }
 
 #[cfg(test)]

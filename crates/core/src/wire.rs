@@ -1,0 +1,406 @@
+//! Binary wire codec for [`Msg`] — symbol-interned serialization against
+//! epoch-versioned dictionary snapshots (DESIGN.md §4f).
+//!
+//! Every worker process of a group builds the same [`Dictionary`] at deploy
+//! time (the dataset and interning order are deterministic), so steady-state
+//! frames carry dense symbol ids instead of strings. The codec snapshots the
+//! dictionary's extent — the *watermarks* — at construction:
+//!
+//! * ids below the watermark travel as a bare varint (`id << 1`, even),
+//!   trusting the peer's identical snapshot to resolve them;
+//! * ids interned *after* the snapshot (the stream grows the dictionary as
+//!   it runs) travel **inline** and self-describing (odd marker followed by
+//!   the attribute name / scalar value), and the decoder re-interns them —
+//!   both sides converge on "equal id ⇔ equal (attribute, value)" without
+//!   any cross-process dictionary synchronization.
+//!
+//! The epoch is a fingerprint of the full snapshot content. It rides in the
+//! handshake and in every Data/Batch frame; a disagreement (different
+//! dataset, different interning order) is rejected at decode time as
+//! [`WireError::EpochMismatch`] instead of silently joining on wrong pairs.
+
+use crate::msg::{Msg, TableMsg};
+use ssj_json::{AttrId, AvpId, Dictionary, DocId, Document, Pair, Scalar};
+use ssj_partition::{AssociationGroup, Expansion, PartitionTable};
+use ssj_runtime::wire::{fnv1a, put_str, put_varint, put_zigzag, Cursor, WireError};
+use ssj_runtime::WireCodec;
+use std::sync::Arc;
+
+/// Message-kind tags (first byte of every encoded [`Msg`]).
+const TAG_DOC: u8 = 0;
+const TAG_LOCAL_GROUPS: u8 = 1;
+const TAG_TABLE: u8 = 2;
+const TAG_UPDATE_REQUEST: u8 = 3;
+const TAG_REPARTITION: u8 = 4;
+const TAG_JOIN_STATS: u8 = 5;
+
+/// Scalar tags (match [`Scalar`]'s hashing discriminants).
+const SCALAR_NULL: u8 = 0;
+const SCALAR_BOOL: u8 = 1;
+const SCALAR_INT: u8 = 2;
+const SCALAR_FLOAT: u8 = 3;
+const SCALAR_STR: u8 = 4;
+
+/// The [`Msg`] wire codec: one per process, shared by every socket link.
+///
+/// Holds the process's dictionary plus the watermarks and epoch of the
+/// deploy-time snapshot. Construct it *after* the dictionary is fully
+/// seeded and before the topology starts; all group members must construct
+/// it over identical dictionary content (the handshake enforces this by
+/// comparing epochs).
+pub struct MsgCodec {
+    dict: Dictionary,
+    /// Attribute ids below this travel as bare symbols.
+    attr_watermark: u32,
+    /// Pair ids below this travel as bare symbols.
+    avp_watermark: u32,
+    epoch: u64,
+}
+
+impl MsgCodec {
+    /// Snapshot `dict` and fingerprint its content into the codec's epoch.
+    pub fn new(dict: &Dictionary) -> MsgCodec {
+        let attr_watermark = dict.attr_count() as u32;
+        let avp_watermark = dict.avp_count() as u32;
+        MsgCodec {
+            epoch: dict_epoch(dict),
+            dict: dict.clone(),
+            attr_watermark,
+            avp_watermark,
+        }
+    }
+
+    fn put_attr(&self, out: &mut Vec<u8>, attr: AttrId) {
+        if attr.0 < self.attr_watermark {
+            put_varint(out, (attr.0 as u64) << 1);
+        } else {
+            // Interned after the snapshot: ship the name, peer re-interns.
+            put_varint(out, 1);
+            put_str(out, &self.dict.attr_name(attr));
+        }
+    }
+
+    fn get_attr(&self, c: &mut Cursor) -> Result<AttrId, WireError> {
+        let v = c.varint()?;
+        if v & 1 == 0 {
+            let id = v >> 1;
+            if id >= self.attr_watermark as u64 {
+                return Err(WireError::BadSymbol(id));
+            }
+            Ok(AttrId(id as u32))
+        } else {
+            Ok(self.dict.intern_attr(c.str()?))
+        }
+    }
+
+    fn put_scalar(&self, out: &mut Vec<u8>, s: &Scalar) {
+        match s {
+            Scalar::Null => out.push(SCALAR_NULL),
+            Scalar::Bool(b) => {
+                out.push(SCALAR_BOOL);
+                out.push(*b as u8);
+            }
+            Scalar::Int(i) => {
+                out.push(SCALAR_INT);
+                put_zigzag(out, *i);
+            }
+            Scalar::Float(f) => {
+                out.push(SCALAR_FLOAT);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Scalar::Str(s) => {
+                out.push(SCALAR_STR);
+                put_str(out, s);
+            }
+        }
+    }
+
+    fn get_scalar(&self, c: &mut Cursor) -> Result<Scalar, WireError> {
+        Ok(match c.u8()? {
+            SCALAR_NULL => Scalar::Null,
+            SCALAR_BOOL => Scalar::Bool(c.u8()? != 0),
+            SCALAR_INT => Scalar::Int(c.zigzag()?),
+            SCALAR_FLOAT => Scalar::Float(f64::from_bits(c.u64_le()?)),
+            SCALAR_STR => Scalar::Str(c.str()?.to_owned()),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn put_avp(&self, out: &mut Vec<u8>, avp: AvpId) {
+        if avp.0 < self.avp_watermark {
+            put_varint(out, (avp.0 as u64) << 1);
+        } else {
+            // Post-snapshot pair: self-describing (attribute + value).
+            put_varint(out, 1);
+            self.put_attr(out, self.dict.avp_attr(avp));
+            self.put_scalar(out, &self.dict.avp_scalar(avp));
+        }
+    }
+
+    /// Decode a pair symbol into a full [`Pair`] (attr resolved locally).
+    fn get_pair(&self, c: &mut Cursor) -> Result<Pair, WireError> {
+        let v = c.varint()?;
+        if v & 1 == 0 {
+            let id = v >> 1;
+            if id >= self.avp_watermark as u64 {
+                return Err(WireError::BadSymbol(id));
+            }
+            let avp = AvpId(id as u32);
+            Ok(Pair {
+                attr: self.dict.avp_attr(avp),
+                avp,
+            })
+        } else {
+            let attr = self.get_attr(c)?;
+            let scalar = self.get_scalar(c)?;
+            Ok(self.dict.intern_avp(attr, scalar))
+        }
+    }
+
+    fn put_expansion(&self, out: &mut Vec<u8>, e: &Option<Expansion>) {
+        match e {
+            None => out.push(0),
+            Some(e) => {
+                out.push(1);
+                put_varint(out, e.chain.len() as u64);
+                for &a in &e.chain {
+                    self.put_attr(out, a);
+                }
+                self.put_attr(out, e.synth_attr);
+                out.extend_from_slice(&e.pna.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    fn get_expansion(&self, c: &mut Cursor) -> Result<Option<Expansion>, WireError> {
+        match c.u8()? {
+            0 => Ok(None),
+            1 => {
+                let n = c.varint()? as usize;
+                if n > c.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut chain = Vec::with_capacity(n);
+                for _ in 0..n {
+                    chain.push(self.get_attr(c)?);
+                }
+                let synth_attr = self.get_attr(c)?;
+                let pna = f64::from_bits(c.u64_le()?);
+                Ok(Some(Expansion {
+                    chain,
+                    synth_attr,
+                    pna,
+                }))
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl WireCodec<Msg> for MsgCodec {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn encode(&self, msg: &Msg, out: &mut Vec<u8>) {
+        match msg {
+            Msg::Doc(d) => {
+                out.push(TAG_DOC);
+                put_varint(out, d.id().0);
+                put_varint(out, d.len() as u64);
+                for p in d.pairs() {
+                    self.put_avp(out, p.avp);
+                }
+            }
+            Msg::LocalGroups {
+                window,
+                creator,
+                groups,
+                expansion,
+            } => {
+                out.push(TAG_LOCAL_GROUPS);
+                put_varint(out, *window);
+                put_varint(out, *creator as u64);
+                put_varint(out, groups.len() as u64);
+                for g in groups {
+                    put_varint(out, g.load as u64);
+                    put_varint(out, g.avps.len() as u64);
+                    for &avp in &g.avps {
+                        self.put_avp(out, avp);
+                    }
+                }
+                self.put_expansion(out, expansion);
+            }
+            Msg::Table(t) => {
+                out.push(TAG_TABLE);
+                put_varint(out, t.window);
+                let m = t.table.m();
+                put_varint(out, m as u64);
+                for p in 0..m as u32 {
+                    put_varint(out, t.table.declared_load(p) as u64);
+                    let members = t.table.members(p);
+                    put_varint(out, members.len() as u64);
+                    for &avp in members {
+                        self.put_avp(out, avp);
+                    }
+                }
+                self.put_expansion(out, &t.expansion);
+            }
+            Msg::UpdateRequest(avp) => {
+                out.push(TAG_UPDATE_REQUEST);
+                self.put_avp(out, *avp);
+            }
+            Msg::Repartition => out.push(TAG_REPARTITION),
+            Msg::JoinStats {
+                window,
+                joiner,
+                docs,
+                pairs,
+            } => {
+                out.push(TAG_JOIN_STATS);
+                put_varint(out, *window);
+                put_varint(out, *joiner as u64);
+                put_varint(out, *docs as u64);
+                put_varint(out, pairs.len() as u64);
+                for (a, b) in pairs {
+                    put_varint(out, a.0);
+                    put_varint(out, b.0);
+                }
+            }
+        }
+    }
+
+    fn decode(&self, c: &mut Cursor) -> Result<Msg, WireError> {
+        match c.u8()? {
+            TAG_DOC => {
+                let id = DocId(c.varint()?);
+                let n = c.varint()? as usize;
+                if n > c.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push(self.get_pair(c)?);
+                }
+                Ok(Msg::Doc(Arc::new(Document::from_pairs(id, pairs))))
+            }
+            TAG_LOCAL_GROUPS => {
+                let window = c.varint()?;
+                let creator = c.varint()? as usize;
+                let n = c.varint()? as usize;
+                if n > c.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut groups = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let load = c.varint()? as usize;
+                    let k = c.varint()? as usize;
+                    if k > c.remaining() {
+                        return Err(WireError::Truncated);
+                    }
+                    let mut avps = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        avps.push(self.get_pair(c)?.avp);
+                    }
+                    groups.push(AssociationGroup { avps, load });
+                }
+                let expansion = self.get_expansion(c)?;
+                Ok(Msg::LocalGroups {
+                    window,
+                    creator,
+                    groups,
+                    expansion,
+                })
+            }
+            TAG_TABLE => {
+                let window = c.varint()?;
+                let m = c.varint()? as usize;
+                if m > c.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut table = PartitionTable::empty(m);
+                for p in 0..m as u32 {
+                    let load = c.varint()? as usize;
+                    let k = c.varint()? as usize;
+                    if k > c.remaining() {
+                        return Err(WireError::Truncated);
+                    }
+                    for _ in 0..k {
+                        table.add_avp(p, self.get_pair(c)?.avp);
+                    }
+                    table.bump_load(p, load);
+                }
+                let expansion = self.get_expansion(c)?;
+                Ok(Msg::Table(Arc::new(TableMsg {
+                    window,
+                    table,
+                    expansion,
+                })))
+            }
+            TAG_UPDATE_REQUEST => Ok(Msg::UpdateRequest(self.get_pair(c)?.avp)),
+            TAG_REPARTITION => Ok(Msg::Repartition),
+            TAG_JOIN_STATS => {
+                let window = c.varint()?;
+                let joiner = c.varint()? as usize;
+                let docs = c.varint()? as usize;
+                let n = c.varint()? as usize;
+                if n > c.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((DocId(c.varint()?), DocId(c.varint()?)));
+                }
+                Ok(Msg::JoinStats {
+                    window,
+                    joiner,
+                    docs,
+                    pairs,
+                })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Fingerprint the full content of `dict` — attribute names in id order,
+/// then every pair's `(attribute, value)` — so two processes agree on the
+/// epoch iff bare symbol ids resolve identically on both sides.
+pub fn dict_epoch(dict: &Dictionary) -> u64 {
+    let mut h = fnv1a(b"ssj-dict-epoch", 0xcbf2_9ce4_8422_2325);
+    let attrs = dict.attr_count();
+    h = fnv1a(&(attrs as u64).to_le_bytes(), h);
+    for a in 0..attrs as u32 {
+        h = fnv1a(dict.attr_name(AttrId(a)).as_bytes(), h);
+        h = fnv1a(&[0xff], h);
+    }
+    let avps = dict.avp_count();
+    h = fnv1a(&(avps as u64).to_le_bytes(), h);
+    let mut buf = Vec::new();
+    for p in 0..avps as u32 {
+        buf.clear();
+        let avp = AvpId(p);
+        buf.extend_from_slice(&dict.avp_attr(avp).0.to_le_bytes());
+        match dict.avp_scalar(avp) {
+            Scalar::Null => buf.push(SCALAR_NULL),
+            Scalar::Bool(b) => {
+                buf.push(SCALAR_BOOL);
+                buf.push(b as u8);
+            }
+            Scalar::Int(i) => {
+                buf.push(SCALAR_INT);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Scalar::Float(f) => {
+                buf.push(SCALAR_FLOAT);
+                buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Scalar::Str(s) => {
+                buf.push(SCALAR_STR);
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+        h = fnv1a(&buf, h);
+    }
+    h
+}

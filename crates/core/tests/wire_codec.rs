@@ -1,0 +1,334 @@
+//! Round-trip property tests for the §4f binary wire codec: random
+//! documents and frames of every payload kind survive encode → decode
+//! bit-exactly, dictionary-epoch mismatches are rejected, and truncated
+//! frames are errors, never panics.
+
+use proptest::prelude::*;
+use ssj_core::{Msg, MsgCodec, TableMsg};
+use ssj_json::{Dictionary, DocId, Document, Scalar};
+use ssj_partition::{AssociationGroup, PartitionTable};
+use ssj_runtime::wire::{decode_frame, encode_frame, Cursor, Frame, Payload, WireError};
+use ssj_runtime::WireCodec;
+use std::sync::Arc;
+
+/// Deterministically seed a dictionary: two calls with the same `n` yield
+/// identical content, hence identical ids and epochs — the deploy-time
+/// contract between group members.
+fn seeded_dict(n: usize) -> Dictionary {
+    let dict = Dictionary::new();
+    for i in 0..n as i64 {
+        dict.intern(&format!("attr{}", i % 7), Scalar::Int(i % 11));
+        dict.intern(
+            &format!("attr{}", i % 7),
+            Scalar::Str(format!("v{}", i % 5)),
+        );
+    }
+    dict.intern("f", Scalar::Float(1.5));
+    dict.intern("b", Scalar::Bool(true));
+    dict.intern("z", Scalar::Null);
+    dict
+}
+
+/// A random document over the seeded universe, with `fresh` controlling how
+/// many pairs are interned *after* the codec snapshot (inline symbols).
+fn doc_from(dict: &Dictionary, id: u64, picks: &[(u8, i64)], fresh: &[(u8, i64)]) -> Document {
+    let mut pairs = Vec::new();
+    for &(a, v) in picks {
+        pairs.push(dict.intern(&format!("attr{}", a % 7), Scalar::Int(v % 11)));
+    }
+    for &(a, v) in fresh {
+        pairs.push(dict.intern(&format!("late{a}"), Scalar::Int(v)));
+    }
+    Document::from_pairs(DocId(id), pairs)
+}
+
+fn assert_same_doc(a: &Document, b: &Document, dict: &Dictionary) {
+    assert_eq!(a.id(), b.id());
+    assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.pairs().iter().zip(b.pairs()) {
+        assert_eq!(dict.render_avp(pa.avp), dict.render_avp(pb.avp));
+    }
+}
+
+fn roundtrip(codec: &MsgCodec, frame: &Frame<Msg>) -> Frame<Msg> {
+    let mut buf = Vec::new();
+    encode_frame(frame, codec, &mut buf);
+    // Strip the u32 length prefix: decode_frame takes the frame body.
+    decode_frame(&buf[4..], codec).expect("roundtrip decode")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Data frames with random documents — including pairs interned after
+    /// the snapshot, which travel inline and are re-interned — round-trip
+    /// to semantically identical documents.
+    #[test]
+    fn document_data_frames_roundtrip(
+        id in 0u64..1 << 40,
+        picks in proptest::collection::vec((0u8..7, 0i64..11), 1..6),
+        fresh in proptest::collection::vec((0u8..20, -50i64..50), 0..4),
+    ) {
+        let dict = seeded_dict(40);
+        let codec = MsgCodec::new(&dict);
+        let doc = doc_from(&dict, id, &picks, &fresh);
+        let frame = Frame {
+            target: 3,
+            from: 1,
+            feedback: false,
+            payload: Payload::Data(Msg::Doc(Arc::new(doc.clone()))),
+        };
+        let back = roundtrip(&codec, &frame);
+        prop_assert_eq!(back.target, 3);
+        prop_assert_eq!(back.from, 1);
+        let Payload::Data(Msg::Doc(d)) = back.payload else {
+            panic!("wrong payload kind");
+        };
+        assert_same_doc(&doc, &d, &dict);
+    }
+
+    /// Batch frames of mixed messages round-trip with order and count
+    /// preserved (PR 2 batch boundaries survive the wire).
+    #[test]
+    fn batch_frames_roundtrip(
+        ids in proptest::collection::vec(0u64..1000, 1..8),
+        window in 0u64..100,
+    ) {
+        let dict = seeded_dict(30);
+        let codec = MsgCodec::new(&dict);
+        let msgs: Vec<Msg> = ids
+            .iter()
+            .map(|&i| Msg::Doc(Arc::new(doc_from(&dict, i, &[(i as u8 % 7, i as i64)], &[]))))
+            .chain([Msg::JoinStats {
+                window,
+                joiner: 2,
+                docs: ids.len(),
+                pairs: ids.iter().map(|&i| (DocId(i), DocId(i + 1))).collect(),
+            }])
+            .collect();
+        let frame = Frame {
+            target: 9,
+            from: 4,
+            feedback: true,
+            payload: Payload::Batch(msgs.clone()),
+        };
+        let back = roundtrip(&codec, &frame);
+        prop_assert!(back.feedback);
+        let Payload::Batch(out) = back.payload else {
+            panic!("wrong payload kind");
+        };
+        prop_assert_eq!(out.len(), msgs.len());
+        let Msg::JoinStats { window: w, joiner, docs, pairs } = &out[out.len() - 1] else {
+            panic!("tail message kind changed");
+        };
+        prop_assert_eq!(*w, window);
+        prop_assert_eq!(*joiner, 2);
+        prop_assert_eq!(*docs, ids.len());
+        prop_assert_eq!(pairs.len(), ids.len());
+    }
+
+    /// Punctuation and EOS frames (no codec payload) round-trip exactly.
+    #[test]
+    fn control_frames_roundtrip(p in 0u64..1 << 50, target in 0usize..64, from in 0usize..64) {
+        let dict = seeded_dict(5);
+        let codec = MsgCodec::new(&dict);
+        for payload in [Payload::<Msg>::Punct(p), Payload::Eos] {
+            let frame = Frame { target, from, feedback: false, payload };
+            let back = roundtrip(&codec, &frame);
+            prop_assert_eq!(back.target, target);
+            prop_assert_eq!(back.from, from);
+            match (&frame.payload, &back.payload) {
+                (Payload::Punct(a), Payload::Punct(b)) => prop_assert_eq!(a, b),
+                (Payload::Eos, Payload::Eos) => {}
+                other => panic!("payload kind changed: {other:?}"),
+            }
+        }
+    }
+
+    /// Every proper prefix of an encoded frame body fails to decode with an
+    /// error — never a panic, never a silent partial message.
+    #[test]
+    fn truncated_frames_are_rejected(
+        id in 0u64..1000,
+        picks in proptest::collection::vec((0u8..7, 0i64..11), 1..5),
+    ) {
+        let dict = seeded_dict(30);
+        let codec = MsgCodec::new(&dict);
+        let doc = doc_from(&dict, id, &picks, &[]);
+        let frame = Frame {
+            target: 0,
+            from: 0,
+            feedback: false,
+            payload: Payload::Data(Msg::Doc(Arc::new(doc))),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &codec, &mut buf);
+        let body = &buf[4..];
+        for cut in 0..body.len() {
+            prop_assert!(
+                decode_frame(&body[..cut], &codec).is_err(),
+                "prefix of {cut}/{} bytes decoded successfully",
+                body.len()
+            );
+        }
+    }
+}
+
+/// Two dictionaries seeded identically produce codecs with equal epochs;
+/// different content produces different epochs, and a Data frame encoded
+/// under one epoch is rejected by the other codec as an epoch mismatch.
+#[test]
+fn epoch_mismatch_is_rejected() {
+    let a = seeded_dict(40);
+    let b = seeded_dict(40);
+    assert_eq!(MsgCodec::new(&a).epoch(), MsgCodec::new(&b).epoch());
+
+    let c = seeded_dict(41); // one extra interning: different universe
+    let codec_a = MsgCodec::new(&a);
+    let codec_c = MsgCodec::new(&c);
+    assert_ne!(codec_a.epoch(), codec_c.epoch());
+
+    let frame = Frame {
+        target: 0,
+        from: 0,
+        feedback: false,
+        payload: Payload::Data(Msg::Doc(Arc::new(doc_from(&a, 1, &[(0, 1)], &[])))),
+    };
+    let mut buf = Vec::new();
+    encode_frame(&frame, &codec_a, &mut buf);
+    match decode_frame::<Msg>(&buf[4..], &codec_c) {
+        Err(WireError::EpochMismatch { expected, got }) => {
+            assert_eq!(expected, codec_c.epoch());
+            assert_eq!(got, codec_a.epoch());
+        }
+        other => panic!("expected EpochMismatch, got {other:?}"),
+    }
+}
+
+/// A bare symbol id at or above the receiver's watermark is data from a
+/// different (larger) snapshot — rejected as BadSymbol, not resolved to
+/// garbage.
+#[test]
+fn out_of_watermark_symbols_are_rejected() {
+    let dict = seeded_dict(10);
+    let codec = MsgCodec::new(&dict);
+    let mut body = Vec::new();
+    body.push(0); // TAG_DOC
+    ssj_runtime::wire::put_varint(&mut body, 1); // doc id
+    ssj_runtime::wire::put_varint(&mut body, 1); // one pair
+    let bogus = (dict.avp_count() as u64 + 5) << 1; // even: bare symbol
+    ssj_runtime::wire::put_varint(&mut body, bogus);
+    let mut c = Cursor::new(&body);
+    match codec.decode(&mut c) {
+        Err(WireError::BadSymbol(id)) => assert_eq!(id, dict.avp_count() as u64 + 5),
+        other => panic!("expected BadSymbol, got {other:?}"),
+    }
+}
+
+/// The control-plane messages (LocalGroups, Table, UpdateRequest,
+/// Repartition) round-trip with loads, members, and expansions intact.
+#[test]
+fn control_plane_messages_roundtrip() {
+    let dict = seeded_dict(40);
+    let codec = MsgCodec::new(&dict);
+    let p0 = dict.intern("attr0", Scalar::Int(0));
+    let p1 = dict.intern("attr1", Scalar::Int(1));
+    let p2 = dict.intern("attr2", Scalar::Int(2));
+
+    let groups = vec![
+        AssociationGroup {
+            avps: vec![p0.avp, p1.avp],
+            load: 17,
+        },
+        AssociationGroup {
+            avps: vec![p2.avp],
+            load: 3,
+        },
+    ];
+    let msg = Msg::LocalGroups {
+        window: 7,
+        creator: 1,
+        groups: groups.clone(),
+        expansion: None,
+    };
+    let mut buf = Vec::new();
+    codec.encode(&msg, &mut buf);
+    let mut c = Cursor::new(&buf);
+    let Msg::LocalGroups {
+        window,
+        creator,
+        groups: g2,
+        expansion,
+    } = codec.decode(&mut c).unwrap()
+    else {
+        panic!("kind changed");
+    };
+    c.finish().unwrap();
+    assert_eq!((window, creator), (7, 1));
+    assert!(expansion.is_none());
+    assert_eq!(g2.len(), 2);
+    assert_eq!(g2[0].avps, groups[0].avps);
+    assert_eq!(g2[0].load, 17);
+    assert_eq!(g2[1].avps, groups[1].avps);
+
+    let mut table = PartitionTable::empty(3);
+    table.add_avp(0, p0.avp);
+    table.add_avp(0, p1.avp);
+    table.add_avp(2, p2.avp);
+    table.bump_load(0, 12);
+    table.bump_load(2, 4);
+    let msg = Msg::Table(Arc::new(TableMsg {
+        window: 9,
+        table: table.clone(),
+        expansion: None,
+    }));
+    let mut buf = Vec::new();
+    codec.encode(&msg, &mut buf);
+    let mut c = Cursor::new(&buf);
+    let Msg::Table(t2) = codec.decode(&mut c).unwrap() else {
+        panic!("kind changed");
+    };
+    c.finish().unwrap();
+    assert_eq!(t2.window, 9);
+    assert_eq!(t2.table, table);
+
+    let msg = Msg::UpdateRequest(p1.avp);
+    let mut buf = Vec::new();
+    codec.encode(&msg, &mut buf);
+    let mut c = Cursor::new(&buf);
+    let Msg::UpdateRequest(avp) = codec.decode(&mut c).unwrap() else {
+        panic!("kind changed");
+    };
+    assert_eq!(avp, p1.avp);
+
+    let mut buf = Vec::new();
+    codec.encode(&Msg::Repartition, &mut buf);
+    let mut c = Cursor::new(&buf);
+    assert!(matches!(codec.decode(&mut c).unwrap(), Msg::Repartition));
+    c.finish().unwrap();
+}
+
+/// Steady-state frames carry no strings: a document made entirely of
+/// snapshot-covered pairs encodes to bare varints (strictly smaller than
+/// its JSON rendering, containing none of the attribute names).
+#[test]
+fn steady_state_frames_carry_no_strings() {
+    let dict = seeded_dict(40);
+    let codec = MsgCodec::new(&dict);
+    let doc = doc_from(&dict, 42, &[(0, 1), (1, 2), (2, 3)], &[]);
+    let mut buf = Vec::new();
+    codec.encode(&Msg::Doc(Arc::new(doc.clone())), &mut buf);
+    let json = doc.to_json(&dict);
+    assert!(
+        buf.len() < json.len(),
+        "wire {} bytes >= json {} bytes",
+        buf.len(),
+        json.len()
+    );
+    for name in ["attr0", "attr1", "attr2"] {
+        assert!(
+            !buf.windows(name.len()).any(|w| w == name.as_bytes()),
+            "attribute name {name:?} leaked into a steady-state frame"
+        );
+    }
+}

@@ -48,6 +48,8 @@ use crate::sched::{self, Hub, StepOutcome, TaskStep};
 use crate::topology::{
     BoltFactory, Component, ComponentKind, Grouping, SchedulerMode, Subscription, Topology,
 };
+use crate::transport::{self, Group, ReaderPlan, WireItem};
+use crate::wire::WireCodec;
 use crate::{Bolt, BoltState, Spout, SpoutEmit, TaskInfo};
 use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, Select, SendTimeoutError, Sender, TryRecvError,
@@ -59,8 +61,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Internal envelope moving between tasks.
-enum Envelope<M> {
+/// Internal envelope moving between tasks. `pub(crate)` so the transport
+/// layer can carry it across process boundaries (`crate::wire` frames are
+/// its public mirror).
+pub(crate) enum Envelope<M> {
     /// One data message from global task `from` (the unbatched path:
     /// `batch_size == 1`, feedback edges, and single-message flushes).
     Data(M, usize),
@@ -262,11 +266,16 @@ impl RunReport {
     }
 }
 
-/// Errors surfaced by [`run`].
+/// Errors surfaced by [`run`] / [`run_distributed`].
 #[derive(Debug)]
 pub enum RunError {
     /// One or more tasks panicked; the payload lists `component[task]`.
     TaskPanicked(Vec<String>),
+    /// The transport layer failed: handshake rejection, a peer process
+    /// dying mid-run, or a corrupt/mismatched frame. Survivors complete
+    /// their windows (the quorum shrinks), then the run reports this so a
+    /// group leader can re-run the attempt.
+    Transport(Vec<String>),
 }
 
 impl fmt::Display for RunError {
@@ -274,6 +283,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::TaskPanicked(tasks) => {
                 write!(f, "tasks panicked: {}", tasks.join(", "))
+            }
+            RunError::Transport(errs) => {
+                write!(f, "transport failed: {}", errs.join("; "))
             }
         }
     }
@@ -314,6 +326,23 @@ impl FenceState {
     }
 }
 
+/// One end of an edge as seen by a producer: either the in-process channel
+/// of a task on this worker, or the writer queue of the socket link to the
+/// peer process hosting it. Producers route by global task id either way —
+/// placement changes which arm an edge takes, never the topology.
+pub(crate) enum EdgeTx<M> {
+    /// Same process: a crossbeam channel sender.
+    Local(Sender<Envelope<M>>),
+    /// Peer process: enqueue on the link's writer thread.
+    Remote {
+        tx: Sender<WireItem<M>>,
+        /// Receiving global task id (carried in the frame header).
+        target: usize,
+        /// Routed into the receiver's feedback channel over there.
+        feedback: bool,
+    },
+}
+
 /// Send with an optional bounded-retry timeout: each expiry counts into
 /// `timeout_hits` and doubles the wait (capped at 64x) rather than blocking
 /// forever on a wedged downstream. Under the pooled scheduler, `notify`
@@ -321,12 +350,35 @@ impl FenceState {
 /// task ready — the single choke point every envelope delivery funnels
 /// through.
 fn send_env<M>(
-    tx: &Sender<Envelope<M>>,
+    tx: &EdgeTx<M>,
     env: Envelope<M>,
     timeout: Option<Duration>,
     timeout_hits: &mut u64,
     notify: Option<(&Hub, usize)>,
 ) -> bool {
+    let tx = match tx {
+        EdgeTx::Local(tx) => tx,
+        EdgeTx::Remote {
+            tx,
+            target,
+            feedback,
+        } => {
+            // The writer queue is unbounded and drained unconditionally
+            // (even on a dead link), so remote sends never block a worker
+            // and never fail while the run is live — emitted counts stay
+            // deterministic regardless of peer health. Backpressure is
+            // applied at the *receiving* side, where the reader's blocking
+            // forward into a bounded local channel stalls the socket.
+            // Notification happens on the receiving worker's hub.
+            return tx
+                .send(WireItem::Env {
+                    target: *target,
+                    feedback: *feedback,
+                    env,
+                })
+                .is_ok();
+        }
+    };
     let ok = match timeout {
         None => tx.send(env).is_ok(),
         Some(base) => {
@@ -356,8 +408,9 @@ fn send_env<M>(
 /// One outgoing subscription as seen by a producer task.
 struct OutEdge<M> {
     grouping: Grouping<M>,
-    /// Sender to each task of the subscribing component.
-    targets: Vec<Sender<Envelope<M>>>,
+    /// Sender to each task of the subscribing component (local channel or
+    /// socket writer queue, per placement).
+    targets: Vec<EdgeTx<M>>,
     /// Global task id behind each sender (fence lookups in degraded mode).
     target_globals: Vec<usize>,
     /// Pending messages per target; flushed at `batch_size`, punctuation,
@@ -428,7 +481,7 @@ impl<M> OutEdge<M> {
     /// Ship whatever is pending for `target` (no-op on an empty buffer).
     #[allow(clippy::too_many_arguments)]
     fn flush_target(
-        targets: &[Sender<Envelope<M>>],
+        targets: &[EdgeTx<M>],
         bufs: &mut [Vec<M>],
         globals: &[usize],
         target: usize,
@@ -806,6 +859,34 @@ impl<M: Clone> Outbox<M> {
     }
 }
 
+// Dropping an outbox is how an in-process task signals "no more traffic
+// from me" — its channel sender clones disconnect. Remote edges need the
+// same signal explicitly: one `Close` frame per remote (target, edge),
+// which the peer's reader counts down before dropping its local sender
+// clone for that channel. Without this, cross-process *feedback* edges
+// would keep both processes' feedback drains alive in a shutdown cycle.
+// Runs on normal completion and on unwind alike, mirroring channel drops.
+impl<M> Drop for Outbox<M> {
+    fn drop(&mut self) {
+        for edge in &self.edges {
+            for t in &edge.targets {
+                if let EdgeTx::Remote {
+                    tx,
+                    target,
+                    feedback,
+                } = t
+                {
+                    let _ = tx.send(WireItem::Close {
+                        target: *target,
+                        from: self.my_global,
+                        feedback: *feedback,
+                    });
+                }
+            }
+        }
+    }
+}
+
 struct TaskWiring<M> {
     info: TaskInfo,
     rx: Receiver<Envelope<M>>,
@@ -946,6 +1027,65 @@ impl Drop for RetireGuard {
 
 /// Run a topology to completion and report per-task metrics.
 pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport, RunError> {
+    run_inner(topology, None)
+}
+
+/// This process's slice of a distributed run: the shared-dictionary codec,
+/// the joined process group, and the hosting worker per global task id.
+struct DistCtx<M> {
+    codec: Arc<dyn WireCodec<M>>,
+    group: Group,
+    placement: Vec<usize>,
+}
+
+/// Run this worker's shard of `topology` across a joined process group.
+///
+/// `placement` maps `(component name, task index)` to a hosting worker id
+/// and must be the same pure function on every worker: each process derives
+/// the identical full placement, wires edges to co-located tasks as
+/// in-process channels and edges to remote tasks as socket links, and runs
+/// only the tasks placed on it. Global task numbering is unchanged by
+/// placement, per-(sender, receiver) FIFO holds across each link, and batch
+/// boundaries survive the wire — so punctuation alignment, EOS termination,
+/// and per-window contents are exactly those of the single-process run.
+///
+/// A peer process dying mid-run shrinks the punctuation/EOS quorum (its
+/// reader synthesizes EOS) so survivors complete cleanly, and the run
+/// returns [`RunError::Transport`] for the group leader to retry.
+pub fn run_distributed<M: Clone + Send + 'static>(
+    topology: Topology<M>,
+    codec: Arc<dyn WireCodec<M>>,
+    group: Group,
+    placement: &dyn Fn(&str, usize) -> usize,
+) -> Result<RunReport, RunError> {
+    let workers = group.workers();
+    let mut place: Vec<usize> = Vec::new();
+    for c in &topology.components {
+        for task in 0..c.parallelism {
+            let w = placement(&c.name, task);
+            assert!(
+                w < workers,
+                "placement put {}[{task}] on worker {w} of a {workers}-worker group",
+                c.name
+            );
+            place.push(w);
+        }
+    }
+    run_inner(
+        topology,
+        Some(DistCtx {
+            codec,
+            group,
+            placement: place,
+        }),
+    )
+}
+
+fn run_inner<M: Clone + Send + 'static>(
+    topology: Topology<M>,
+    dist: Option<DistCtx<M>>,
+) -> Result<RunReport, RunError> {
+    let mut dist = dist;
     let Topology {
         components,
         index,
@@ -970,6 +1110,19 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         total += c.parallelism;
     }
 
+    // Placement: which worker hosts each global task (everything on worker
+    // 0 in a single-process run). Only local tasks are instantiated here;
+    // remote ones exist as frame targets behind the peer links.
+    let my_worker = dist.as_ref().map_or(0, |d| d.group.my_worker());
+    let group_workers = dist.as_ref().map_or(1, |d| d.group.workers());
+    let placement: Vec<usize> = match &dist {
+        Some(d) => d.placement.clone(),
+        None => vec![0; total],
+    };
+    debug_assert_eq!(placement.len(), total);
+    let local: Vec<bool> = placement.iter().map(|&w| w == my_worker).collect();
+    let n_local = local.iter().filter(|&&l| l).count();
+
     // Pooled-scheduler task classification (DESIGN.md §4e). Spouts always
     // get a dedicated thread: their bounded forward sends are the
     // topology's ingress backpressure and may block. Bolts are
@@ -985,7 +1138,11 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     let mut pooled_flags: Vec<bool> = Vec::with_capacity(total);
     for (ci, c) in components.iter().enumerate() {
         let pooled = pool_requested && !is_spout[ci] && recovery.recv_timeout.is_none();
-        pooled_flags.extend(std::iter::repeat_n(pooled, c.parallelism));
+        for task in 0..c.parallelism {
+            // Remote tasks run in their own process; here they are neither
+            // pooled nor threaded, and notifying them is a no-op.
+            pooled_flags.push(pooled && local[base[ci] + task]);
+        }
     }
     let n_pooled = pooled_flags.iter().filter(|&&p| p).count();
     let use_pool = n_pooled > 0;
@@ -1037,6 +1194,23 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
             let (tx, rx) = unbounded();
             fb_senders.push(tx);
             fb_receivers.push(Some(rx));
+        }
+    }
+
+    // One writer queue per peer worker: every local producer's edges to
+    // tasks hosted there funnel through one link-owned writer thread.
+    // Unbounded so cooperative sends never block (see `EdgeTx::Remote`).
+    let mut writer_txs: Vec<Option<Sender<WireItem<M>>>> =
+        (0..group_workers).map(|_| None).collect();
+    let mut writer_rxs: Vec<Option<Receiver<WireItem<M>>>> =
+        (0..group_workers).map(|_| None).collect();
+    if dist.is_some() {
+        for w in 0..group_workers {
+            if w != my_worker {
+                let (tx, rx) = unbounded();
+                writer_txs[w] = Some(tx);
+                writer_rxs[w] = Some(rx);
+            }
         }
     }
 
@@ -1112,6 +1286,9 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         } = c;
         for task in 0..parallelism {
             let global = base[ci] + task;
+            if !local[global] {
+                continue; // hosted by a peer process
+            }
             let edges: Vec<OutEdge<M>> = out_edges[ci]
                 .iter()
                 .map(|(grouping, target_ci, feedback)| {
@@ -1125,10 +1302,21 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
                         targets: (0..n)
                             .map(|t| {
                                 let g = base[*target_ci] + t;
-                                if *feedback {
-                                    fb_senders[g].clone()
+                                if local[g] {
+                                    EdgeTx::Local(if *feedback {
+                                        fb_senders[g].clone()
+                                    } else {
+                                        fwd_senders[g].clone()
+                                    })
                                 } else {
-                                    fwd_senders[g].clone()
+                                    EdgeTx::Remote {
+                                        tx: writer_txs[placement[g]]
+                                            .as_ref()
+                                            .expect("writer queue for peer worker")
+                                            .clone(),
+                                        target: g,
+                                        feedback: *feedback,
+                                    }
                                 }
                             })
                             .collect(),
@@ -1181,6 +1369,61 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
             });
         }
     }
+    // Per-peer reader dispatch plans, built while the executor still holds
+    // sender clones. The expected-close counts mirror exactly the `Close`
+    // frames the peer's outboxes will send — one per (producer task hosted
+    // there, edge, local target) — because both sides derive them from the
+    // same topology and placement.
+    let transport_errors: Arc<std::sync::Mutex<Vec<String>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut reader_plans: Vec<Option<ReaderPlan<M>>> = (0..group_workers).map(|_| None).collect();
+    if dist.is_some() {
+        for (w, plan_slot) in reader_plans.iter_mut().enumerate() {
+            if w == my_worker {
+                continue;
+            }
+            let mut fwd_closes = vec![0usize; total];
+            let mut fb_closes = vec![0usize; total];
+            let mut eos_pairs: Vec<(usize, usize)> = Vec::new();
+            for (ci, edges) in out_edges.iter().enumerate() {
+                for (_, target_ci, feedback) in edges {
+                    for task in 0..par[ci] {
+                        let pg = base[ci] + task;
+                        if placement[pg] != w {
+                            continue;
+                        }
+                        for t in 0..par[*target_ci] {
+                            let tg = base[*target_ci] + t;
+                            if !local[tg] {
+                                continue;
+                            }
+                            if *feedback {
+                                fb_closes[tg] += 1;
+                            } else {
+                                fwd_closes[tg] += 1;
+                                eos_pairs.push((pg, tg));
+                            }
+                        }
+                    }
+                }
+            }
+            eos_pairs.sort_unstable();
+            eos_pairs.dedup();
+            let fwd = (0..total)
+                .map(|g| (fwd_closes[g] > 0).then(|| fwd_senders[g].clone()))
+                .collect();
+            let fb = (0..total)
+                .map(|g| (fb_closes[g] > 0).then(|| fb_senders[g].clone()))
+                .collect();
+            *plan_slot = Some(ReaderPlan {
+                fwd,
+                fb,
+                fwd_closes,
+                fb_closes,
+                eos_pairs,
+            });
+        }
+    }
     drop(fwd_senders); // tasks own the only senders now (inside outboxes)
     drop(fb_senders);
     drop(fwd_receivers);
@@ -1191,6 +1434,15 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     // `scheduler` component, registered before the registry freezes.
     let sched_insts: Vec<Arc<TaskInstruments>> = (0..n_workers)
         .map(|w| registry.register("scheduler", w))
+        .collect();
+
+    // Each peer link owns a `transport` instrument family (bytes / frames /
+    // codec time in both directions), one set per peer worker, registered
+    // before the registry freezes and serialized by `--metrics-out` like
+    // any task. Links never report window closes, so (like `scheduler`)
+    // they sit outside the collector quorum.
+    let transport_insts: Vec<Option<Arc<TaskInstruments>>> = (0..group_workers)
+        .map(|w| (dist.is_some() && w != my_worker).then(|| registry.register("transport", w)))
         .collect();
 
     // With full collection on, a collector thread turns per-task
@@ -1208,7 +1460,7 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         Some(
             std::thread::Builder::new()
                 .name(sched::thread_name("collector", 0))
-                .spawn(move || collect_windows(rx, reg, total))
+                .spawn(move || collect_windows(rx, reg, n_local))
                 .expect("spawn collector thread"),
         )
     } else {
@@ -1220,7 +1472,10 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     // dedicated thread starts, so a producer's first notification can never
     // claim a not-yet-installed body.
     let mut dedicated: Vec<TaskWiring<M>> = Vec::with_capacity(total - n_pooled);
-    for (global, wiring) in wirings.into_iter().enumerate() {
+    for wiring in wirings {
+        // `wirings` holds only locally hosted tasks, so its positional index
+        // is NOT the global task id once peers host part of the topology.
+        let global = wiring.outbox.my_global;
         if pooled_flags[global] {
             let hub = hub.as_ref().expect("pooled task without a hub");
             hub.install(global, Box::new(CoopBolt::new(wiring)));
@@ -1236,6 +1491,44 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         }
         None => Vec::new(),
     };
+
+    // Link threads come up after pooled bodies are installed: a reader's
+    // first notification must never hit a not-yet-installed body. (Frames
+    // arriving before a reader starts just sit in the socket buffer — the
+    // peer's writer blocks on write, which is ordinary backpressure.)
+    let mut transport_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    if let Some(d) = &mut dist {
+        for w in 0..group_workers {
+            if w == my_worker {
+                continue;
+            }
+            let stream = d.group.peers[w].take().expect("peer stream present");
+            let insts = transport_insts[w].clone().expect("transport instruments");
+            let wstream = stream.try_clone().expect("clone peer stream");
+            let wrx = writer_rxs[w].take().expect("writer queue receiver");
+            let wcodec = Arc::clone(&d.codec);
+            let winsts = Arc::clone(&insts);
+            transport_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wire-tx-{w}"))
+                    .spawn(move || transport::writer_loop(wstream, wrx, wcodec, winsts))
+                    .expect("spawn transport writer thread"),
+            );
+            let plan = reader_plans[w].take().expect("reader plan present");
+            let rcodec = Arc::clone(&d.codec);
+            let errors = Arc::clone(&transport_errors);
+            let rhub = hub.clone();
+            transport_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wire-rx-{w}"))
+                    .spawn(move || {
+                        transport::reader_loop(stream, rcodec, plan, rhub, errors, insts, w)
+                    })
+                    .expect("spawn transport reader thread"),
+            );
+        }
+    }
+
     let mut handles = Vec::with_capacity(dedicated.len());
     for wiring in dedicated {
         let label = format!("{}[{}]", wiring.info.component, wiring.info.task_index);
@@ -1271,6 +1564,14 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
     // spawn-order reporting regardless of which side a task ran on.
     panicked.sort();
     let panicked: Vec<String> = panicked.into_iter().map(|(_, label)| label).collect();
+    // Every local task is done and its outbox dropped: all `Close` frames
+    // are queued. Dropping the executor's writer-queue senders lets each
+    // writer flush its tail and half-close the link (FIN); our readers then
+    // exit once the peers' writers do the same.
+    drop(writer_txs);
+    for handle in transport_handles {
+        handle.join().expect("transport thread panicked");
+    }
     // All task threads and pooled bodies are gone, so all notify senders are
     // dropped and the collector terminates even after a panic.
     let windows = collector
@@ -1278,6 +1579,13 @@ pub fn run<M: Clone + Send + 'static>(topology: Topology<M>) -> Result<RunReport
         .unwrap_or_default();
     if !panicked.is_empty() {
         return Err(RunError::TaskPanicked(panicked));
+    }
+    let transport_errors = transport_errors
+        .lock()
+        .map(|g| g.clone())
+        .unwrap_or_default();
+    if !transport_errors.is_empty() {
+        return Err(RunError::Transport(transport_errors));
     }
     Ok(RunReport {
         tasks: registry.snapshot_tasks(),
@@ -1490,10 +1798,14 @@ impl<M: Clone> Aligner<M> {
                 }
             }
             Envelope::Eos(_) => {
-                self.eos_seen += 1;
-                let st = &mut self.states[slot];
-                if !st.closed {
-                    st.closed = true;
+                // Idempotent per upstream: a transport reader synthesizes
+                // EOS when a peer process dies, which can duplicate an EOS
+                // the peer already delivered (real EOS sent, `Close` not
+                // yet). Counting the duplicate would satisfy the
+                // termination quorum early and truncate surviving inputs.
+                if !self.states[slot].closed {
+                    self.states[slot].closed = true;
+                    self.eos_seen += 1;
                     self.closed_count += 1;
                     // The quorum shrank: outstanding punctuations may now be
                     // satisfied by the survivors alone. Without this
@@ -2479,5 +2791,105 @@ impl<M: Clone + Send + 'static> TaskStep for CoopBolt<M> {
                 CoopPhase::Done => return StepOutcome::Done,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsConfig, MetricsRegistry};
+    use crate::{fn_bolt, TaskInfo};
+
+    fn test_outbox() -> Outbox<u64> {
+        Outbox {
+            my_global: 0,
+            edges: Vec::new(),
+            batch_size: 1,
+            emitted: 0,
+            batches: 0,
+            punct_seq: 0,
+            replay_until: 0,
+            send_timeout: None,
+            timeout_hits: 0,
+            fences: None,
+            rerouted: 0,
+            fenced_drops: 0,
+            sched: None,
+        }
+    }
+
+    fn test_meter(reg: &mut MetricsRegistry) -> TaskMeter {
+        let info = TaskInfo {
+            component: "aligner".to_string(),
+            task_index: 0,
+            parallelism: 1,
+        };
+        TaskMeter::new(&info, reg.register("aligner", 0))
+    }
+
+    /// A transport reader synthesizes EOS for a dead peer's tasks, which can
+    /// duplicate an EOS the peer already delivered. The duplicate must not
+    /// count toward the termination quorum or shrink the punctuation quorum
+    /// a second time.
+    #[test]
+    fn duplicate_eos_is_idempotent() {
+        let mut reg = MetricsRegistry::new(MetricsConfig::default());
+        let mut out = test_outbox();
+        let mut m = test_meter(&mut reg);
+        let closed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let c = closed.clone();
+        let mut bolt = fn_bolt::<u64, _>(move |_msg, _out| {});
+        struct ClosedProbe {
+            inner: Box<dyn Bolt<u64>>,
+            closed: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+        }
+        impl Bolt<u64> for ClosedProbe {
+            fn execute(&mut self, msg: u64, out: &mut Outbox<u64>) {
+                self.inner.execute(msg, out);
+            }
+            fn on_punct(&mut self, p: u64, _out: &mut Outbox<u64>) {
+                self.closed.lock().unwrap().push(p);
+            }
+        }
+        let mut bolt: Box<dyn Bolt<u64>> = Box::new(ClosedProbe {
+            inner: std::mem::replace(&mut bolt, fn_bolt(|_m, _o| {})),
+            closed: c,
+        });
+
+        let mut al = Aligner::<u64>::new(&[10, 11], false);
+        // Upstream 10 punctuates window 1; quorum is 2, so it stays open.
+        assert!(!al.handle(Envelope::Punct(1, 10), bolt.as_mut(), &mut out, &mut m));
+        assert!(closed.lock().unwrap().is_empty());
+        // Upstream 11 dies (EOS): quorum shrinks to 1 and window 1 closes.
+        assert!(!al.handle(Envelope::Eos(11), bolt.as_mut(), &mut out, &mut m));
+        assert_eq!(*closed.lock().unwrap(), vec![1]);
+        // A synthesized duplicate EOS for 11 must not end the task: the
+        // termination quorum still waits on upstream 10.
+        assert!(!al.handle(Envelope::Eos(11), bolt.as_mut(), &mut out, &mut m));
+        assert!(!al.handle(Envelope::Eos(11), bolt.as_mut(), &mut out, &mut m));
+        // Upstream 10's real EOS finishes the task.
+        assert!(al.handle(Envelope::Eos(10), bolt.as_mut(), &mut out, &mut m));
+        assert_eq!(*closed.lock().unwrap(), vec![1]);
+    }
+
+    /// Duplicate EOS must also leave in-flight data from survivors intact:
+    /// windows punctuated after the duplicate still close exactly once.
+    #[test]
+    fn windows_close_once_after_duplicate_eos() {
+        let mut reg = MetricsRegistry::new(MetricsConfig::default());
+        let mut out = test_outbox();
+        let mut m = test_meter(&mut reg);
+        let mut bolt = fn_bolt::<u64, _>(|_msg, _out| {});
+        let mut al = Aligner::<u64>::new(&[7, 8, 9], false);
+        assert!(!al.handle(Envelope::Eos(8), bolt.as_mut(), &mut out, &mut m));
+        assert!(!al.handle(Envelope::Eos(8), bolt.as_mut(), &mut out, &mut m));
+        assert_eq!(al.alive(), 2);
+        // Both survivors must still punctuate to close a window.
+        assert!(!al.handle(Envelope::Punct(3, 7), bolt.as_mut(), &mut out, &mut m));
+        assert_eq!(m.stats.puncts, 0);
+        assert!(!al.handle(Envelope::Punct(3, 9), bolt.as_mut(), &mut out, &mut m));
+        assert_eq!(m.stats.puncts, 1);
+        assert!(!al.handle(Envelope::Eos(7), bolt.as_mut(), &mut out, &mut m));
+        assert!(al.handle(Envelope::Eos(9), bolt.as_mut(), &mut out, &mut m));
     }
 }

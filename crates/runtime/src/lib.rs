@@ -40,14 +40,18 @@ pub mod fault;
 pub mod metrics;
 mod sched;
 pub mod topology;
+pub mod transport;
+pub mod wire;
 
-pub use executor::{run, Outbox, RunError, RunReport, TaskMetrics};
+pub use executor::{run, run_distributed, Outbox, RunError, RunReport, TaskMetrics};
 pub use fault::{FaultKind, FaultPanic, FaultPlan, FaultSpec, RecoveryPolicy};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, TaskInstruments, TaskSnapshot, TraceEvent,
     TraceKind, WindowSnapshot,
 };
 pub use topology::{BoltHandle, Grouping, SchedulerMode, Topology, TopologyBuilder, TopologyError};
+pub use transport::{join_group, Group, GroupSetup};
+pub use wire::WireCodec;
 
 use parking_lot::Mutex;
 use std::sync::Arc;

@@ -315,7 +315,9 @@ fn repeated_crash_exhausts_retries_and_degrades() {
 fn repeated_crash_without_degraded_fails_cleanly() {
     let plan = FaultPlan::new().crash_repeating("joiner", 1, 1, 2);
     let err = chaos_run(N, WINDOW, 64, plan, quick_policy(1)).unwrap_err();
-    let RunError::TaskPanicked(tasks) = err;
+    let RunError::TaskPanicked(tasks) = err else {
+        panic!("expected TaskPanicked, got {err}");
+    };
     assert!(
         tasks.iter().any(|t| t.contains("joiner")),
         "panic should name the joiner: {tasks:?}"
@@ -328,7 +330,9 @@ fn unsupervised_crash_still_propagates() {
     // other panic — the pre-recovery contract is unchanged.
     let plan = FaultPlan::new().crash("relay", 0, 0, 0);
     let err = chaos_run(N, WINDOW, 64, plan, RecoveryPolicy::default()).unwrap_err();
-    let RunError::TaskPanicked(tasks) = err;
+    let RunError::TaskPanicked(tasks) = err else {
+        panic!("expected TaskPanicked, got {err}");
+    };
     assert!(tasks.iter().any(|t| t.contains("relay")), "{tasks:?}");
 }
 
@@ -573,7 +577,9 @@ fn pooled_unsupervised_crash_still_propagates() {
     // `RunError::TaskPanicked` with the same label a dying thread produced.
     let plan = FaultPlan::new().crash("relay", 0, 0, 0);
     let err = chaos_run_on(N, WINDOW, 64, plan, RecoveryPolicy::default(), pooled(2)).unwrap_err();
-    let RunError::TaskPanicked(tasks) = err;
+    let RunError::TaskPanicked(tasks) = err else {
+        panic!("expected TaskPanicked, got {err}");
+    };
     assert!(tasks.iter().any(|t| t.contains("relay")), "{tasks:?}");
 }
 
@@ -581,7 +587,9 @@ fn pooled_unsupervised_crash_still_propagates() {
 fn pooled_retry_exhaustion_fails_cleanly() {
     let plan = FaultPlan::new().crash_repeating("joiner", 1, 1, 2);
     let err = chaos_run_on(N, WINDOW, 64, plan, quick_policy(1), pooled(1)).unwrap_err();
-    let RunError::TaskPanicked(tasks) = err;
+    let RunError::TaskPanicked(tasks) = err else {
+        panic!("expected TaskPanicked, got {err}");
+    };
     assert!(
         tasks.iter().any(|t| t.contains("joiner")),
         "panic should name the joiner: {tasks:?}"

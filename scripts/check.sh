@@ -24,6 +24,12 @@ echo "==> pooled scheduler smoke (pooled == thread-per-task join output)"
 cargo test -q -p ssj-core --test sched_equivalence
 cargo test -q -p ssj-runtime --test metrics_conservation
 
+echo "==> shared-nothing scale-out smoke (wire codec, socket groups == single process,"
+echo "    2-worker Unix-socket CLI run incl. a killed-and-relaunched worker)"
+cargo test -q -p ssj-core --test wire_codec
+cargo test -q -p ssj-core --test distributed_equivalence
+cargo test -q -p ssj-cli --test distributed
+
 echo "==> partitioning pipeline smoke bench vs committed baseline (+ claims)"
 cargo build --release -q -p ssj-bench --bin bench_partition
 ./target/release/bench_partition --check BENCH_partition.json
@@ -32,7 +38,8 @@ echo "==> routing allocation audit (count-allocs build, 0 allocs/route)"
 cargo run --release -q -p ssj-bench --features count-allocs --bin bench_partition -- --audit
 
 echo "==> runtime throughput smoke bench vs committed baseline (incl. scheduler gates:"
-echo "    20% regression on sched/* ids, pooled/legacy >= 1.5x at m=64, >= 0.95x at m=4)"
+echo "    20% regression on sched/* and transport/{inproc,socket} ids,"
+echo "    pooled/legacy >= 1.5x at m=64, >= 0.95x at m=4)"
 cargo build --release -q -p ssj-bench --bin bench_runtime
 ./target/release/bench_runtime --check BENCH_runtime.json
 
