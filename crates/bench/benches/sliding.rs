@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssj_bench::DataSet;
-use ssj_join::{fpjoin, IncrementalSlidingJoiner, SlidingJoiner};
+use ssj_join::{fpjoin, IncrementalSlidingJoiner, SlidingJoiner, WindowSpec};
 
 fn bench_sliding(c: &mut Criterion) {
     let (_dict, docs) = DataSet::RwData.generate(4000, 42);
@@ -26,7 +26,7 @@ fn bench_sliding(c: &mut Criterion) {
     // across pane boundaries.
     group.bench_function("sliding_4x250", |b| {
         b.iter(|| {
-            let mut joiner = SlidingJoiner::new(250, 4);
+            let mut joiner = SlidingJoiner::new(WindowSpec::sliding(250, 4));
             let mut partners = 0usize;
             for d in &docs {
                 partners += joiner.insert_and_probe(d.clone()).len();
@@ -38,7 +38,7 @@ fn bench_sliding(c: &mut Criterion) {
     // Finer panes: more cross-pane probes, cheaper evictions.
     group.bench_function("sliding_8x125", |b| {
         b.iter(|| {
-            let mut joiner = SlidingJoiner::new(125, 8);
+            let mut joiner = SlidingJoiner::new(WindowSpec::sliding(125, 8));
             let mut partners = 0usize;
             for d in &docs {
                 partners += joiner.insert_and_probe(d.clone()).len();

@@ -11,6 +11,9 @@
 //!   work-stealing executor vs legacy thread-per-task. `--check` also
 //!   gates the paired ratios: pooled must be ≥1.5x legacy at m=64 and
 //!   within 5% of legacy at m=4.
+//! * **sliding** — the join topology covering the same window span chained
+//!   from 1, 4, or 16 panes. `--check` gates the 16-pane run at ≥0.3x the
+//!   1-pane run, the observable consequence of O(pane) eviction.
 //!
 //! Modes:
 //! * no args: run the smoke *and* full suites and write `BENCH_runtime.json`
@@ -101,7 +104,7 @@ fn join_run(docs_n: usize, window: usize, batch: usize, metrics: bool) -> Measur
     let (dict, docs) = DataSet::NbData.generate(docs_n, 42);
     let cfg = StreamJoinConfig::default()
         .with_m(4)
-        .with_window(window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(window))
         .with_expansion(false)
         .with_batch_size(batch)
         .with_metrics(metrics)
@@ -147,7 +150,7 @@ fn sched_run(docs_n: usize, window: usize, m: usize, kind: SchedulerKind) -> Mea
     let (dict, docs) = DataSet::NbData.generate(docs_n, 42);
     let cfg = StreamJoinConfig::default()
         .with_m(m)
-        .with_window(window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(window))
         .with_expansion(false)
         .with_batch_size(1)
         .with_scheduler(kind)
@@ -181,7 +184,7 @@ fn transport_run(docs_n: usize, window: usize, socket: bool) -> Measurement {
     let workers = if socket { 2 } else { 1 };
     let cfg = StreamJoinConfig::default()
         .with_m(4)
-        .with_window(window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(window))
         .with_expansion(false)
         .with_batch_size(64)
         .with_workers(workers)
@@ -235,6 +238,58 @@ fn transport_run(docs_n: usize, window: usize, socket: bool) -> Measurement {
         secs,
         avg_batch: report.runtime.avg_batch_size("reader"),
     }
+}
+
+/// Sliding-window comparison (DESIGN.md §4g): the join topology covering
+/// the same `window` span of documents chained from 1, 4, or 16 panes.
+/// Pane-chained state makes eviction O(pane) — a boundary freezes the open
+/// pane and drops exactly one expired pane — so slicing a window 16 ways
+/// buys fine-grained slides without rebuilding per-window state from
+/// scratch 16 times. The `--check` floor on panes=16 vs panes=1 is what
+/// guards that claim: O(window)-per-boundary eviction would pay the full
+/// window cost at every slide and collapse the ratio. (The cost that does
+/// remain with more panes is punctuation cadence: 16x more alignments and
+/// 16x smaller effective batches at the pane-boundary flushes.)
+fn sliding_run(docs_n: usize, window: usize, panes: usize) -> Measurement {
+    let (dict, docs) = DataSet::NbData.generate(docs_n, 42);
+    let spec = ssj_core::WindowSpec::sliding(window / panes, panes);
+    let cfg = StreamJoinConfig::default()
+        .with_m(4)
+        .with_window_spec(spec)
+        .with_expansion(false)
+        .with_batch_size(64)
+        .build()
+        .unwrap();
+    let start = Instant::now();
+    let report = run_topology(cfg, &dict, docs).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    // Under sliding windows join output is keyed per pane.
+    assert_eq!(
+        report.joins_per_window.len(),
+        docs_n / spec.pane_docs(),
+        "sliding topology lost panes"
+    );
+    Measurement {
+        id: format!("sliding/panes={panes}"),
+        tuples_per_sec: docs_n as f64 / secs,
+        tuples: docs_n as u64,
+        secs,
+        avg_batch: report.runtime.avg_batch_size("reader"),
+    }
+}
+
+/// Same window span sliced into 1, 4, and 16 panes.
+fn sliding_suite(name: &str, reps: usize, docs_n: usize, window: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &panes in &[1usize, 4, 16] {
+        let meas = best_of(reps, || sliding_run(docs_n, window, panes));
+        println!(
+            "{name}: {} -> {:.0} docs/s ({} docs in {:.3}s)",
+            meas.id, meas.tuples_per_sec, meas.tuples, meas.secs
+        );
+        out.push(meas);
+    }
+    out
 }
 
 /// Paired in-process vs 2-worker-socket measurements of the join topology.
@@ -349,6 +404,8 @@ fn smoke() -> Vec<Measurement> {
     let mut s = run_suite("smoke", 5, 400_000, &[1, 32], 4_500);
     s.extend(sched_suite("smoke", 3, 12_000));
     s.extend(transport_suite("smoke", 3, 12_000));
+    // Window span divisible by 16 so every pane count tiles it exactly.
+    s.extend(sliding_suite("smoke", 3, 4_800, 1_600));
     s
 }
 
@@ -356,6 +413,7 @@ fn full() -> Vec<Measurement> {
     let mut f = run_suite("full", 3, 600_000, &[1, 8, 32, 128], 12_000);
     f.extend(sched_suite("full", 2, 12_000));
     f.extend(transport_suite("full", 2, 24_000));
+    f.extend(sliding_suite("full", 2, 12_800, 1_600));
     f
 }
 
@@ -387,6 +445,12 @@ fn speedup_summary(ms: &[Measurement]) {
         println!(
             "transport socket vs inproc: {:.2}x (wire cost of the 2-worker split)",
             socket / inproc
+        );
+    }
+    if let (Some(one), Some(sixteen)) = (rate("sliding/panes=1"), rate("sliding/panes=16")) {
+        println!(
+            "sliding 16 panes vs 1: {:.2}x (slide granularity cost at O(pane) eviction)",
+            sixteen / one
         );
     }
 }
@@ -436,6 +500,26 @@ fn check(baseline_path: &str) -> i32 {
                 eprintln!("scheduler measurements missing from the fresh smoke suite");
                 failed = true;
             }
+        }
+    }
+    // Sliding-window eviction gate (ISSUE 8): chaining the same window span
+    // from 16 panes instead of 1 must keep >= 0.3x the throughput. O(pane)
+    // eviction makes each of the 16x-more-frequent boundaries 16x cheaper,
+    // leaving mostly the punctuation-cadence cost (smaller effective batches,
+    // 16x more alignments — measured ~0.4x here); O(window)-per-boundary
+    // eviction would multiply the boundary work 16x and sink the ratio.
+    match (rate("sliding/panes=1"), rate("sliding/panes=16")) {
+        (Some(one), Some(sixteen)) => {
+            let ratio = sixteen / one;
+            println!("check sliding panes=16/panes=1: {ratio:.3}x (floor 0.3x)");
+            if ratio < 0.3 {
+                eprintln!("16-pane sliding below 0.3x the 1-pane throughput: {ratio:.3}x");
+                failed = true;
+            }
+        }
+        _ => {
+            eprintln!("sliding measurements missing from the fresh smoke suite");
+            failed = true;
         }
     }
     if failed {

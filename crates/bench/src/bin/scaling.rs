@@ -28,7 +28,7 @@ fn main() {
             let (dict, docs) = dataset.generate(docs_per_run, 42);
             let cfg = StreamJoinConfig::default()
                 .with_m(m)
-                .with_window(window)
+                .with_window_spec(ssj_core::WindowSpec::tumbling(window))
                 .with_partition_creators(2)
                 .with_assigners(4)
                 .build()
@@ -54,7 +54,7 @@ fn main() {
         let (dict, docs) = DataSet::RwData.generate(docs_per_run, 42);
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(window)
+            .with_window_spec(ssj_core::WindowSpec::tumbling(window))
             .with_join(algo)
             .with_partition_creators(2)
             .with_assigners(4)

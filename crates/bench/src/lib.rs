@@ -118,7 +118,7 @@ pub fn partition_experiment(
     let (dict, docs) = dataset.generate(total, 42);
     let cfg = StreamJoinConfig::default()
         .with_m(m)
-        .with_window(window_docs)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(window_docs))
         .with_theta(theta)
         .with_partitioner(kind)
         .with_expansion(true)
@@ -159,7 +159,9 @@ pub fn ideal_experiment(kind: PartitionerKind, m: usize, scale: Scale) -> Partit
     );
     let cfg = StreamJoinConfig::default()
         .with_m(m)
-        .with_window(base.len() + base.len() / 100)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(
+            base.len() + base.len() / 100,
+        ))
         .with_partitioner(kind)
         .with_expansion(true)
         .build()

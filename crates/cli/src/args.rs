@@ -59,6 +59,16 @@ const COUNT: FlagSpec = opt("count", Some("10000"), "documents to generate");
 const SEED: FlagSpec = opt("seed", Some("42"), "generator seed");
 const M: FlagSpec = opt("m", Some("8"), "partitions = Joiner instances");
 const WINDOW: FlagSpec = opt("window", Some("1500"), "documents per tumbling window");
+const PANE: FlagSpec = opt(
+    "pane",
+    None,
+    "documents per pane — sliding windows (use with --slide)",
+);
+const SLIDE: FlagSpec = opt(
+    "slide",
+    Some("1"),
+    "panes per window; >1 makes the window slide by one pane",
+);
 const WINDOWS: FlagSpec = opt("windows", None, "truncate the stream to K windows");
 const PARTITIONER: FlagSpec = opt("partitioner", Some("ag"), "ag|sc|ds|hash");
 const THETA: FlagSpec = opt("theta", Some("0.2"), "repartitioning threshold");
@@ -220,6 +230,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             SEED,
             M,
             WINDOW,
+            PANE,
+            SLIDE,
             PARTITIONER,
             THETA,
             DELTA,
@@ -248,6 +260,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             SEED,
             M,
             WINDOW,
+            PANE,
+            SLIDE,
             PARTITIONER,
             THETA,
             DELTA,
@@ -466,6 +480,19 @@ mod tests {
         assert_eq!(child.get_or("attempt", 0u32).unwrap(), 0);
         // Internal flags exist only on `run`.
         assert!(Args::parse(["topology".into(), "--worker-id".into(), "1".into()]).is_err());
+    }
+
+    #[test]
+    fn sliding_flags_parse_on_topology_and_run() {
+        let a = parse(&["run", "--pane", "250", "--slide", "4"]);
+        assert_eq!(a.get("pane"), Some("250"));
+        assert_eq!(a.get_or("slide", 1usize).unwrap(), 4);
+        let t = parse(&["topology", "--window", "1000", "--slide", "4"]);
+        assert_eq!(t.get_or("slide", 1usize).unwrap(), 4);
+        // The batch pipeline is tumbling-only: no sliding flags there.
+        assert!(Args::parse(["pipeline".into(), "--pane".into(), "10".into()]).is_err());
+        assert!(usage().contains("--pane"));
+        assert!(usage().contains("--slide"));
     }
 
     #[test]

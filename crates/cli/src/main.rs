@@ -149,10 +149,40 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the window shape from `--window` / `--pane` / `--slide`.
+///
+/// `--pane N --slide P` selects a sliding window of `P` chained panes of
+/// `N` documents; `--slide` alone refines `--window` into `P` equal panes.
+/// Plain `--window` keeps the classic tumbling window.
+fn window_spec(args: &Args) -> Result<ssj_core::WindowSpec, String> {
+    let slide: usize = args.get_or("slide", 1)?;
+    let spec = match (args.get("pane"), slide) {
+        (Some(raw), p) => {
+            let pane: usize = raw
+                .parse()
+                .map_err(|e| format!("invalid value for --pane: {e}"))?;
+            ssj_core::WindowSpec::sliding(pane, p)
+        }
+        (None, 1) => ssj_core::WindowSpec::tumbling(args.get_or("window", 1_500)?),
+        (None, p) => {
+            let window: usize = args.get_or("window", 1_500)?;
+            if !window.is_multiple_of(p) {
+                return Err(format!(
+                    "--slide {p} must divide --window {window} evenly (or give --pane directly)"
+                ));
+            }
+            ssj_core::WindowSpec::sliding(window / p, p)
+        }
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
 fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, String> {
+    let window = window_spec(args)?;
     let cfg = StreamJoinConfig::default()
         .with_m(args.get_or("m", 8)?)
-        .with_window(args.get_or("window", 1_500)?)
+        .with_window_spec(window)
         .with_theta(args.get_or("theta", 0.2)?)
         .with_partitioner(
             args.get("partitioner")
@@ -160,7 +190,10 @@ fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, Strin
                 .parse::<PartitionerKind>()?,
         )
         .with_join(args.get("algo").unwrap_or("fpj").parse()?)
-        .with_expansion(!args.flag("no-expansion"))
+        // Sliding windows expire pane-by-pane, which is incompatible with
+        // whole-window attribute expansion — expansion is forced off there
+        // (`ConfigError::SlidingWithExpansion` would reject it anyway).
+        .with_expansion(!args.flag("no-expansion") && !window.is_sliding())
         .with_delta(args.get_or("delta", 3)?)
         .with_partition_creators(args.get_or("creators", 2)?)
         .with_assigners(args.get_or("assigners", 6)?)
@@ -187,7 +220,7 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
         .transpose()?
     {
-        docs.truncate(w * cfg.window_docs);
+        docs.truncate(w * cfg.window_docs());
     }
     // Segment by count, or by an integer event-time attribute.
     let spec = match args.get("window-by") {
@@ -195,14 +228,14 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
             let (attr, width) = raw
                 .split_once(':')
                 .ok_or("--window-by expects ATTR:WIDTH")?;
-            ssj_core::WindowSpec::ByAttribute {
+            ssj_core::SegmentSpec::ByAttribute {
                 attr: attr.to_owned(),
                 width: width
                     .parse()
                     .map_err(|e| format!("invalid width in --window-by: {e}"))?,
             }
         }
-        None => ssj_core::WindowSpec::Count(cfg.window_docs),
+        None => ssj_core::SegmentSpec::Count(cfg.window_docs()),
     };
     let windows = ssj_core::windows(docs, spec, &dict);
     let mut pipeline = Pipeline::new(cfg, dict);
@@ -593,4 +626,38 @@ fn run_group_leader(
     Err(format!(
         "group run failed after {GROUP_ATTEMPTS} attempts: {last}"
     ))
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn window_flags_build_the_right_spec() {
+        let tumbling = window_spec(&args(&["run", "--window", "600"])).unwrap();
+        assert_eq!(tumbling, ssj_core::WindowSpec::tumbling(600));
+
+        let paned = window_spec(&args(&["run", "--pane", "250", "--slide", "4"])).unwrap();
+        assert_eq!(paned, ssj_core::WindowSpec::sliding(250, 4));
+
+        // --slide splits --window into equal panes…
+        let split = window_spec(&args(&["run", "--window", "1000", "--slide", "4"])).unwrap();
+        assert_eq!(split, ssj_core::WindowSpec::sliding(250, 4));
+        // …and rejects a non-divisible split.
+        assert!(window_spec(&args(&["run", "--window", "1000", "--slide", "3"])).is_err());
+        assert!(window_spec(&args(&["run", "--pane", "0"])).is_err());
+    }
+
+    #[test]
+    fn sliding_config_disables_expansion() {
+        let cfg = pipeline_config(&args(&["run", "--pane", "100", "--slide", "4"]), false).unwrap();
+        assert!(cfg.is_sliding());
+        assert_eq!(cfg.pane_docs(), 100);
+        assert_eq!(cfg.panes_per_window(), 4);
+        assert!(!cfg.expansion);
+    }
 }

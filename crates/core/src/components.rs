@@ -17,6 +17,7 @@
 
 use crate::config::StreamJoinConfig;
 use crate::msg::{Msg, TableMsg};
+use ssj_join::FpTree;
 use ssj_json::{AvpId, Dictionary, DocRef, FxHashSet};
 use ssj_partition::{
     association_groups_parallel, batch_views, fingerprint_view, merge_and_assign, Expansion,
@@ -24,6 +25,7 @@ use ssj_partition::{
     WindowQuality,
 };
 use ssj_runtime::{Bolt, BoltState, Outbox, TaskInfo, TaskInstruments, TraceKind};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,13 +56,25 @@ pub struct PartitionCreator {
     buffer: Vec<DocRef>,
     /// Persistent group index for the incremental path.
     index: GroupIndex,
-    /// Index ids of the views pushed in the current window.
+    /// Index ids of the views pushed in the current pane.
     window_ids: Vec<u32>,
+    /// Ids of filled panes still inside the sliding lookback (newest last);
+    /// holds at most `panes_per_window - 1` panes, so it stays empty for
+    /// tumbling windows.
+    pane_ring: VecDeque<Vec<u32>>,
     /// Reusable view buffer for the incremental push path.
     view_buf: Vec<AvpId>,
     /// Compute local groups at the next window boundary.
     compute_pending: bool,
     inst: Option<Arc<TaskInstruments>>,
+}
+
+/// Pane-boundary snapshot of the [`PartitionCreator`]'s cross-pane state.
+#[derive(Clone)]
+struct CreatorState {
+    compute_pending: bool,
+    index: GroupIndex,
+    pane_ring: VecDeque<Vec<u32>>,
 }
 
 impl PartitionCreator {
@@ -73,6 +87,7 @@ impl PartitionCreator {
             buffer: Vec::new(),
             index: GroupIndex::new(),
             window_ids: Vec::new(),
+            pane_ring: VecDeque::new(),
             view_buf: Vec::new(),
             compute_pending: true, // bootstrap window
             inst: None,
@@ -80,6 +95,8 @@ impl PartitionCreator {
     }
 
     /// Whether this creator maintains the incremental index (expansion off).
+    /// Sliding windows always take this path (enforced by config validation:
+    /// expansion cannot expire a single pane).
     fn incremental(&self) -> bool {
         !self.config.expansion
     }
@@ -113,7 +130,9 @@ impl Bolt<Msg> for PartitionCreator {
 
     fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
         let have_docs = if self.incremental() {
-            !self.window_ids.is_empty()
+            // Older panes still in the lookback keep the index non-empty
+            // even when this pane's shuffle share happens to be empty.
+            !self.window_ids.is_empty() || !self.pane_ring.is_empty()
         } else {
             !self.buffer.is_empty()
         };
@@ -159,10 +178,17 @@ impl Bolt<Msg> for PartitionCreator {
             }
         }
         if self.incremental() {
-            // Tumbling window: this window's views leave the index.
+            // The filled pane joins the ring; panes falling out of the
+            // `panes_per_window` lookback expire from the index — O(pane)
+            // work, never a window rebuild. A tumbling window is the 1-pane
+            // case: the pane expires immediately, exactly as before.
             let deltas = self.window_ids.len() as u64 * 2; // push + expire
-            for id in self.window_ids.drain(..) {
-                self.index.expire(id);
+            self.pane_ring
+                .push_back(std::mem::take(&mut self.window_ids));
+            while self.pane_ring.len() >= self.config.panes_per_window() {
+                for id in self.pane_ring.pop_front().unwrap_or_default() {
+                    self.index.expire(id);
+                }
             }
             if let Some(inst) = &self.inst {
                 inst.counter("group_deltas").add(deltas);
@@ -171,20 +197,26 @@ impl Bolt<Msg> for PartitionCreator {
         self.buffer.clear();
     }
 
-    // Cross-window state is just the compute flag; the window buffer and the
-    // incremental index are rebuilt by replay, so they are deliberately NOT
-    // captured.
+    // Cross-pane state: the compute flag plus — for sliding windows — the
+    // incremental index and the pane ring (they span punctuations, so replay
+    // of the open pane alone cannot rebuild them). The open pane's buffer
+    // and ids ARE rebuilt by replay and deliberately not captured.
     fn snapshot(&self) -> Option<BoltState> {
-        Some(Box::new(self.compute_pending))
+        Some(Box::new(CreatorState {
+            compute_pending: self.compute_pending,
+            index: self.index.clone(),
+            pane_ring: self.pane_ring.clone(),
+        }))
     }
 
     fn restore(&mut self, state: &BoltState) -> Result<(), String> {
-        let pending = state
-            .downcast_ref::<bool>()
+        let s = state
+            .downcast_ref::<CreatorState>()
             .ok_or_else(|| "PartitionCreator snapshot type mismatch".to_string())?;
-        self.compute_pending = *pending;
+        self.compute_pending = s.compute_pending;
         self.buffer.clear();
-        self.index = GroupIndex::new();
+        self.index = s.index.clone();
+        self.pane_ring = s.pane_ring.clone();
         self.window_ids.clear();
         Ok(())
     }
@@ -202,6 +234,8 @@ struct MergerState {
 #[derive(Clone)]
 struct AssignerState {
     current: Option<Arc<TableMsg>>,
+    retired: VecDeque<(Arc<TableMsg>, u64)>,
+    pane: u64,
     unseen: UnseenTracker,
     baseline: Option<WindowQuality>,
     table_fresh: bool,
@@ -341,6 +375,15 @@ pub struct Assigner {
     config: StreamJoinConfig,
     dict: Dictionary,
     current: Option<Arc<TableMsg>>,
+    /// Sliding windows only: tables superseded while some pane they routed
+    /// is still inside the `panes_per_window` lookback, tagged with the last
+    /// pane they were current in. The current table alone governs the
+    /// broadcast / unknown-pair / δ decisions; retained tables contribute
+    /// *extra* route targets, which is what makes pane-spanning pairs exact
+    /// (DESIGN.md §4g). Empty for tumbling windows.
+    retired: VecDeque<(Arc<TableMsg>, u64)>,
+    /// The pane currently being routed (= punctuations seen so far).
+    pane: u64,
     unseen: UnseenTracker,
     policy: RepartitionPolicy,
     /// Quality of the first window fully routed with the current table —
@@ -378,6 +421,8 @@ impl Assigner {
             table_fresh: false,
             signalled: false,
             current: None,
+            retired: VecDeque::new(),
+            pane: 0,
             scratch: RouteScratch::new(),
             view_buf: Vec::new(),
             per_machine: vec![0; config.m],
@@ -449,6 +494,14 @@ impl Bolt<Msg> for Assigner {
                                 if unknown || mask == 0 {
                                     false
                                 } else {
+                                    // Retained pane tables (sliding only)
+                                    // add targets so a pane-spanning pair
+                                    // meets wherever its earlier document
+                                    // was routed; they never influence the
+                                    // broadcast/unknown decision above.
+                                    for (rt, _) in &self.retired {
+                                        mask |= rt.table.view_mask(&self.view_buf);
+                                    }
                                     self.scratch.cache_put(fp, mask);
                                     self.scratch.set_targets_from_mask(mask);
                                     true
@@ -467,9 +520,19 @@ impl Bolt<Msg> for Assigner {
                                     }
                                 }
                             }
-                            !unknown
+                            let matched = !unknown
                                 && t.table.route_into(&self.view_buf, &mut self.scratch)
-                                    == RouteOutcome::Matched
+                                    == RouteOutcome::Matched;
+                            if matched {
+                                for (rt, _) in &self.retired {
+                                    for &avp in &self.view_buf {
+                                        self.scratch.merge_targets(
+                                            rt.table.partitions_of(avp).iter().copied(),
+                                        );
+                                    }
+                                }
+                            }
+                            matched
                         }
                     }
                     _ => false,
@@ -490,6 +553,15 @@ impl Bolt<Msg> for Assigner {
                 }
             }
             Msg::Table(t) => {
+                // Sliding windows: the superseded table routed panes that
+                // are still inside the lookback — retain it (tagged with
+                // the last pane it was current in) so its route targets
+                // keep contributing until those panes evict.
+                if self.config.is_sliding() {
+                    if let Some(old) = self.current.take() {
+                        self.retired.push_back((old, self.pane));
+                    }
+                }
                 self.current = Some(t);
                 self.unseen.reset();
                 self.baseline = None;
@@ -552,13 +624,35 @@ impl Bolt<Msg> for Assigner {
         self.routes_cached = 0;
         self.cache_misses = 0;
         self.per_machine.iter_mut().for_each(|c| *c = 0);
+        // Pane boundary: retire tables whose last routed pane fell out of
+        // the lookback. Cached route masks are unions over the retained
+        // set, so any expiry must also drop the cache — a stale union mask
+        // must never route to a partition only an evicted pane's table
+        // justified.
+        self.pane = window + 1;
+        let lookback = self.config.panes_per_window() as u64;
+        let mut expired = false;
+        while self
+            .retired
+            .front()
+            .is_some_and(|(_, last)| last + lookback <= self.pane)
+        {
+            self.retired.pop_front();
+            expired = true;
+        }
+        if expired {
+            self.scratch.invalidate_cache();
+        }
     }
 
-    // The deployed table, δ-tracker, and θ-baseline survive crashes; the
-    // per-window routing counters are rebuilt by replay.
+    // The deployed table (plus retained pane tables), δ-tracker, and
+    // θ-baseline survive crashes; the per-window routing counters are
+    // rebuilt by replay.
     fn snapshot(&self) -> Option<BoltState> {
         Some(Box::new(AssignerState {
             current: self.current.clone(),
+            retired: self.retired.clone(),
+            pane: self.pane,
             unseen: self.unseen.clone(),
             baseline: self.baseline,
             table_fresh: self.table_fresh,
@@ -571,6 +665,8 @@ impl Bolt<Msg> for Assigner {
             .downcast_ref::<AssignerState>()
             .ok_or_else(|| "Assigner snapshot type mismatch".to_string())?;
         self.current = s.current.clone();
+        self.retired = s.retired.clone();
+        self.pane = s.pane;
         self.unseen = s.unseen.clone();
         self.baseline = s.baseline;
         self.table_fresh = s.table_fresh;
@@ -588,14 +684,42 @@ impl Bolt<Msg> for Assigner {
     }
 }
 
+/// One filled pane of a sliding-window Joiner: the pane's (deduplicated)
+/// documents plus the FP-tree frozen over them for cross-pane probing.
+struct FrozenPane {
+    docs: Vec<ssj_json::Document>,
+    tree: FpTree,
+}
+
+/// Pane-boundary snapshot of the [`Joiner`]'s frozen pane ring. Only the
+/// documents are captured; the FP-trees are rebuilt deterministically on
+/// restore ([`FpTree::build`] is a pure function of the pane's documents).
+#[derive(Clone)]
+struct JoinerState {
+    frozen_docs: Vec<Vec<ssj_json::Document>>,
+}
+
 /// Joiner bolt (§V): local window join.
+///
+/// Tumbling windows join the buffered pane and drop it. Sliding windows
+/// reuse [`ssj_join::SlidingJoiner`]'s pane-chaining design at the bolt
+/// level: the newest `panes_per_window - 1` filled panes stay frozen as
+/// FP-trees; each pane boundary joins the open pane internally, probes it
+/// against every frozen pane, then freezes it and evicts the oldest —
+/// O(pane) eviction, never a window rebuild.
 pub struct Joiner {
     config: StreamJoinConfig,
     task: usize,
     buffer: Vec<DocRef>,
+    /// Frozen panes still inside the sliding lookback, oldest first; empty
+    /// for tumbling windows.
+    frozen: VecDeque<FrozenPane>,
     /// Probe scratch persisted across windows: steady-state probing in this
     /// bolt allocates nothing once the buffers have warmed up.
     batch: ssj_join::BatchJoiner,
+    /// Reused working memory for cross-pane probes.
+    probe_scratch: ssj_join::ProbeScratch,
+    probe_buf: Vec<ssj_json::DocId>,
     inst: Option<Arc<TaskInstruments>>,
 }
 
@@ -606,7 +730,10 @@ impl Joiner {
             config,
             task: 0,
             buffer: Vec::new(),
+            frozen: VecDeque::new(),
             batch: ssj_join::BatchJoiner::new(),
+            probe_scratch: ssj_join::ProbeScratch::new(),
+            probe_buf: Vec::new(),
             inst: None,
         }
     }
@@ -642,7 +769,24 @@ impl Bolt<Msg> for Joiner {
             .as_deref()
             .filter(|i| i.enabled())
             .map(|_| Instant::now());
-        let pairs = self.batch.join_batch(self.config.join_algo, &docs);
+        // Within-pane pairs with the configured algorithm (for tumbling
+        // windows the pane IS the window and this is the entire join)...
+        let mut pairs = self.batch.join_batch(self.config.join_algo, &docs);
+        // ...plus, for sliding windows, pane-spanning pairs: probe each new
+        // document against every frozen pane's FP-tree. Frozen partners are
+        // the earlier documents, so pairs keep (earlier, later) order.
+        for pane in &self.frozen {
+            for d in &docs {
+                ssj_join::fp_probe_into(
+                    &pane.tree,
+                    d,
+                    true,
+                    &mut self.probe_scratch,
+                    &mut self.probe_buf,
+                );
+                pairs.extend(self.probe_buf.iter().map(|&p| (p, d.id())));
+            }
+        }
         if let Some(inst) = &self.inst {
             inst.counter("join_pairs").add(pairs.len() as u64);
             inst.counter("window_docs").add(docs.len() as u64);
@@ -658,10 +802,41 @@ impl Bolt<Msg> for Joiner {
             docs: docs.len(),
             pairs,
         });
+        // Slide: freeze the pane and evict the one leaving the lookback —
+        // O(pane) work. Tumbling (1 pane) keeps nothing, exactly as before.
+        if self.config.panes_per_window() > 1 {
+            let tree = FpTree::build(&docs);
+            self.frozen.push_back(FrozenPane { docs, tree });
+            while self.frozen.len() >= self.config.panes_per_window() {
+                self.frozen.pop_front();
+            }
+        }
         self.buffer.clear();
     }
 
-    // No `snapshot` override: Joiner state is strictly window-local (the
-    // buffer is rebuilt by replay; the probe scratch is only a warm cache),
-    // so the default stateless snapshot is exactly right.
+    // The frozen pane ring spans punctuations, so replay of the open pane
+    // alone cannot rebuild it — it must be captured. The open buffer IS
+    // rebuilt by replay and the probe scratch is only a warm cache; neither
+    // is snapshotted. Tumbling windows snapshot an empty ring.
+    fn snapshot(&self) -> Option<BoltState> {
+        Some(Box::new(JoinerState {
+            frozen_docs: self.frozen.iter().map(|p| p.docs.clone()).collect(),
+        }))
+    }
+
+    fn restore(&mut self, state: &BoltState) -> Result<(), String> {
+        let s = state
+            .downcast_ref::<JoinerState>()
+            .ok_or_else(|| "Joiner snapshot type mismatch".to_string())?;
+        self.frozen = s
+            .frozen_docs
+            .iter()
+            .map(|docs| FrozenPane {
+                tree: FpTree::build(docs),
+                docs: docs.clone(),
+            })
+            .collect();
+        self.buffer.clear();
+        Ok(())
+    }
 }

@@ -1,6 +1,7 @@
 //! Configuration of the stream-join system (§VII-D).
 
 use ssj_join::JoinAlgo;
+use ssj_join::{WindowError, WindowSpec};
 use ssj_partition::PartitionerKind;
 use std::fmt;
 
@@ -16,9 +17,11 @@ use std::fmt;
 pub struct StreamJoinConfig {
     /// Number of partitions = number of Joiner instances (`m`).
     pub m: usize,
-    /// Documents per tumbling window (`w`; the paper's minutes map to
-    /// document counts, see DESIGN.md).
-    pub window_docs: usize,
+    /// Window shape (`w`; the paper's minutes map to document counts, see
+    /// DESIGN.md). Tumbling is the 1-pane special case; sliding windows
+    /// chain `panes_per_window` panes and make runtime punctuation
+    /// pane-granular (DESIGN.md §4g).
+    pub window: WindowSpec,
     /// Repartitioning threshold `θ` (§VI-A).
     pub theta: f64,
     /// Unseen-pair update threshold `δ` (§VI-A).
@@ -109,7 +112,7 @@ impl Default for StreamJoinConfig {
     fn default() -> Self {
         StreamJoinConfig {
             m: 8,
-            window_docs: 6_000,
+            window: WindowSpec::tumbling(6_000),
             theta: 0.2,
             delta: 3,
             partitioner: PartitionerKind::Ag,
@@ -136,8 +139,12 @@ impl Default for StreamJoinConfig {
 pub enum ConfigError {
     /// `m` (partitions / Joiners) must be at least 1.
     ZeroPartitions,
-    /// The tumbling window must hold at least 1 document.
-    ZeroWindow,
+    /// The window shape is invalid; carries the [`WindowError`] detail.
+    Window(WindowError),
+    /// Sliding windows require the incremental partitioning path, which
+    /// attribute-value expansion bypasses (expansion recomputes views
+    /// wholesale per window and cannot expire a single pane).
+    SlidingWithExpansion,
     /// Every component needs at least one task.
     ZeroParallelism,
     /// `θ` must lie in `[0, 10]`; carries the rejected value.
@@ -159,7 +166,10 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::ZeroPartitions => f.write_str("m must be at least 1"),
-            ConfigError::ZeroWindow => f.write_str("window_docs must be at least 1"),
+            ConfigError::Window(e) => write!(f, "invalid window: {e}"),
+            ConfigError::SlidingWithExpansion => f.write_str(
+                "sliding windows require expansion off (pane expiry needs the incremental path)",
+            ),
             ConfigError::ZeroParallelism => f.write_str("component parallelism must be at least 1"),
             ConfigError::ThetaOutOfRange(t) => {
                 write!(f, "theta {t} out of range (expected 0.0..=10.0)")
@@ -179,6 +189,12 @@ impl fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<WindowError> for ConfigError {
+    fn from(e: WindowError) -> ConfigError {
+        ConfigError::Window(e)
+    }
+}
 
 impl From<ConfigError> for String {
     fn from(e: ConfigError) -> String {
@@ -204,9 +220,15 @@ macro_rules! builder_setters {
         }
 
         /// Override the tumbling-window size in documents.
+        #[deprecated(note = "use with_window_spec(WindowSpec::tumbling(docs)) instead")]
         pub fn with_window(self, docs: usize) -> ConfigBuilder {
+            self.with_window_spec(WindowSpec::tumbling(docs))
+        }
+
+        /// Override the window shape (tumbling or pane-chained sliding).
+        pub fn with_window_spec(self, spec: WindowSpec) -> ConfigBuilder {
             let mut b = self.into_builder();
-            b.cfg.window_docs = docs;
+            b.cfg.window = spec;
             b
         }
 
@@ -345,6 +367,26 @@ impl StreamJoinConfig {
 
     builder_setters!();
 
+    /// Documents spanned by one full window (all panes).
+    pub fn window_docs(&self) -> usize {
+        self.window.window_docs()
+    }
+
+    /// Documents per pane — the runtime's punctuation granularity.
+    pub fn pane_docs(&self) -> usize {
+        self.window.pane_docs()
+    }
+
+    /// Panes spanned by one window (1 for tumbling).
+    pub fn panes_per_window(&self) -> usize {
+        self.window.panes_per_window()
+    }
+
+    /// True when the window is a multi-pane sliding window.
+    pub fn is_sliding(&self) -> bool {
+        self.window.is_sliding()
+    }
+
     /// Check the invariants a built config must satisfy. Configs coming out
     /// of [`ConfigBuilder::build`] always pass; this re-check exists for
     /// configs restored from external state (snapshots, deserialization).
@@ -352,8 +394,9 @@ impl StreamJoinConfig {
         if self.m == 0 {
             return Err(ConfigError::ZeroPartitions);
         }
-        if self.window_docs == 0 {
-            return Err(ConfigError::ZeroWindow);
+        self.window.validate()?;
+        if self.window.is_sliding() && self.expansion {
+            return Err(ConfigError::SlidingWithExpansion);
         }
         if self.partition_creators == 0 || self.assigners == 0 || self.build_workers == 0 {
             return Err(ConfigError::ZeroParallelism);
@@ -410,7 +453,7 @@ mod tests {
     fn builder_overrides() {
         let c = StreamJoinConfig::default()
             .with_m(20)
-            .with_window(3000)
+            .with_window_spec(WindowSpec::tumbling(3000))
             .with_theta(0.6)
             .with_delta(5)
             .with_partitioner(PartitionerKind::Ds)
@@ -423,7 +466,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.m, 20);
-        assert_eq!(c.window_docs, 3000);
+        assert_eq!(c.window_docs(), 3000);
         assert_eq!(c.delta, 5);
         assert_eq!(c.partitioner, PartitionerKind::Ds);
         assert_eq!(c.join_algo, JoinAlgo::Hbj);
@@ -442,10 +485,27 @@ mod tests {
         );
         assert_eq!(
             StreamJoinConfig::default()
-                .with_window(0)
+                .with_window_spec(WindowSpec::tumbling(0))
                 .build()
                 .unwrap_err(),
-            ConfigError::ZeroWindow
+            ConfigError::Window(WindowError::ZeroWindow)
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_expansion(false)
+                .with_window_spec(WindowSpec::sliding(0, 4))
+                .build()
+                .unwrap_err(),
+            ConfigError::Window(WindowError::ZeroPane)
+        );
+        // Sliding panes need the incremental partitioning path, so
+        // expansion (on by default) must be rejected with it.
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_window_spec(WindowSpec::sliding(100, 4))
+                .build()
+                .unwrap_err(),
+            ConfigError::SlidingWithExpansion
         );
         assert_eq!(
             StreamJoinConfig::default()
@@ -514,6 +574,33 @@ mod tests {
         assert_eq!("legacy".parse(), Ok(SchedulerKind::ThreadPerTask));
         assert!("fibers".parse::<SchedulerKind>().is_err());
         assert_eq!(SchedulerKind::ThreadPerTask.to_string(), "legacy");
+    }
+
+    #[test]
+    fn deprecated_window_shim_maps_to_tumbling() {
+        #[allow(deprecated)]
+        let c = StreamJoinConfig::default()
+            .with_window(123)
+            .build()
+            .unwrap();
+        assert_eq!(c.window, WindowSpec::tumbling(123));
+        assert_eq!(c.window_docs(), 123);
+        assert_eq!(c.pane_docs(), 123);
+        assert_eq!(c.panes_per_window(), 1);
+        assert!(!c.is_sliding());
+    }
+
+    #[test]
+    fn sliding_config_accessors() {
+        let c = StreamJoinConfig::default()
+            .with_expansion(false)
+            .with_window_spec(WindowSpec::sliding(150, 4))
+            .build()
+            .unwrap();
+        assert!(c.is_sliding());
+        assert_eq!(c.pane_docs(), 150);
+        assert_eq!(c.panes_per_window(), 4);
+        assert_eq!(c.window_docs(), 600);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!     .collect();
 //! let cfg = StreamJoinConfig::default()
 //!     .with_m(2)
-//!     .with_window(10)
+//!     .with_window_spec(ssj_core::WindowSpec::tumbling(10))
 //!     .build()
 //!     .unwrap();
 //! let report = Pipeline::new(cfg, dict).run(docs);
@@ -45,10 +45,11 @@ pub mod wire;
 pub use config::{ConfigBuilder, ConfigError, SchedulerKind, StreamJoinConfig};
 pub use msg::{Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
+pub use ssj_join::{WindowError, WindowSpec};
 pub use stats::{CsvSink, HumanSummarySink, JsonlSink, ReportSink};
 pub use topology::{
-    materialize_joins, placement_for, run_topology, run_topology_distributed, topology_dot,
-    DistRuntime, TopologyRunReport,
+    materialize_joins, placement_for, run_topology, run_topology_chaos, run_topology_distributed,
+    topology_dot, DistRuntime, TopologyRunReport,
 };
-pub use window::{windows, WindowSpec};
+pub use window::{slide_windows, windows, SegmentSpec, Windower};
 pub use wire::MsgCodec;

@@ -405,14 +405,20 @@ impl Pipeline {
         &self.dict
     }
 
-    /// Drive an entire stream, chunking it into windows of
-    /// `config.window_docs` documents.
+    /// Drive an entire stream, chunking it into tumbling windows of
+    /// `config.window_docs()` documents. Sliding specs are a runtime-only
+    /// mode (`run_topology`): the batch pipeline is the deterministic
+    /// tumbling reference and rejects them up front.
     pub fn run(mut self, stream: impl IntoIterator<Item = Document>) -> PipelineReport {
+        assert!(
+            !self.config.is_sliding(),
+            "the batch pipeline is tumbling-only; run sliding windows on the topology"
+        );
         let mut windows = Vec::new();
-        let mut buf: Vec<Document> = Vec::with_capacity(self.config.window_docs);
+        let mut buf: Vec<Document> = Vec::with_capacity(self.config.window_docs());
         for doc in stream {
             buf.push(doc);
-            if buf.len() == self.config.window_docs {
+            if buf.len() == self.config.window_docs() {
                 windows.push(self.process_window(&buf));
                 buf.clear();
             }
@@ -466,7 +472,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(40)
+            .with_window_spec(crate::WindowSpec::tumbling(40))
             .with_join(JoinAlgo::FpTree)
             .build()
             .unwrap();
@@ -490,7 +496,7 @@ mod tests {
         for kind in PartitionerKind::all() {
             let cfg = StreamJoinConfig::default()
                 .with_m(3)
-                .with_window(30)
+                .with_window_spec(crate::WindowSpec::tumbling(30))
                 .with_partitioner(kind)
                 .build()
                 .unwrap();
@@ -512,7 +518,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(50)
+            .with_window_spec(crate::WindowSpec::tumbling(50))
             .build()
             .unwrap();
         let mut p = Pipeline::new(cfg, dict.clone());
@@ -526,7 +532,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(30)
+            .with_window_spec(crate::WindowSpec::tumbling(30))
             .with_theta(0.1)
             .with_expansion(false)
             .build()
@@ -559,7 +565,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(40)
+            .with_window_spec(crate::WindowSpec::tumbling(40))
             .with_theta(0.2)
             .build()
             .unwrap();
@@ -579,7 +585,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(2)
-            .with_window(20)
+            .with_window_spec(crate::WindowSpec::tumbling(20))
             .with_theta(5.0) // effectively disable repartitioning
             .with_expansion(false)
             .build()
@@ -604,7 +610,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(2)
-            .with_window(10)
+            .with_window_spec(crate::WindowSpec::tumbling(10))
             .build()
             .unwrap();
         let docs = window(&dict, 0, 25);
@@ -618,7 +624,7 @@ mod tests {
         let dict = Dictionary::new();
         let cfg = StreamJoinConfig::default()
             .with_m(2)
-            .with_window(10)
+            .with_window_spec(crate::WindowSpec::tumbling(10))
             .build()
             .unwrap();
         let report = Pipeline::new(cfg, dict.clone()).run(window(&dict, 0, 30));

@@ -194,7 +194,7 @@ mod tests {
             .collect();
         let cfg = StreamJoinConfig::default()
             .with_m(2)
-            .with_window(10)
+            .with_window_spec(crate::WindowSpec::tumbling(10))
             .build()
             .unwrap();
         Pipeline::new(cfg, dict).run(docs)

@@ -24,8 +24,8 @@ use crate::msg::Msg;
 use crate::wire::{dict_epoch, MsgCodec};
 use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
 use ssj_runtime::{
-    join_group, run, run_distributed, CollectorBolt, CollectorHandle, GroupSetup, Grouping,
-    RunError, RunReport, SchedulerMode, TopologyBuilder, VecSpout,
+    join_group, run, run_distributed, CollectorBolt, CollectorHandle, FaultPlan, GroupSetup,
+    Grouping, RunError, RunReport, SchedulerMode, TopologyBuilder, VecSpout,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -88,7 +88,19 @@ fn build(
     docs: Vec<Document>,
     reporter: CollectorBolt<Msg>,
 ) -> ssj_runtime::Topology<Msg> {
-    let window = config.window_docs;
+    build_faulted(config, dict, docs, reporter, FaultPlan::new())
+}
+
+fn build_faulted(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+    reporter: CollectorBolt<Msg>,
+    plan: FaultPlan,
+) -> ssj_runtime::Topology<Msg> {
+    // Punctuation is pane-granular: tumbling windows punctuate per window
+    // (the 1-pane case), sliding windows per pane (DESIGN.md §4g).
+    let window = config.pane_docs();
     let msgs: Vec<Msg> = docs.into_iter().map(|d| Msg::Doc(Arc::new(d))).collect();
     let dict_creator = dict.clone();
     let dict_assigner = dict.clone();
@@ -105,6 +117,7 @@ fn build(
     let batch = config.batch_size.min((share / 4).max(1));
     let capacity = (share / batch).max(4);
     TopologyBuilder::new()
+        .fault_plan(plan)
         .channel_capacity(capacity)
         .batch_size(batch)
         .metrics(config.metrics)
@@ -154,7 +167,8 @@ fn build(
 /// Run the full stream-join topology over `docs` and gather every window's
 /// join result.
 ///
-/// The reader punctuates every `config.window_docs` documents; all topology
+/// The reader punctuates every `config.pane_docs()` documents (one pane =
+/// one window for tumbling specs); all topology
 /// parallelism comes from `config` (`partition_creators`, `assigners`,
 /// `m` joiners).
 pub fn run_topology(
@@ -162,10 +176,23 @@ pub fn run_topology(
     dict: &Dictionary,
     docs: Vec<Document>,
 ) -> Result<TopologyRunReport, RunError> {
+    run_topology_chaos(config, dict, docs, FaultPlan::new())
+}
+
+/// [`run_topology`] with deterministic fault injection: chaos tests crash
+/// supervised tasks mid-run and assert the recovered output is
+/// byte-identical to the fault-free run. Set `config.retries > 0` so the
+/// supervisor arms window-boundary snapshots.
+pub fn run_topology_chaos(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+    plan: FaultPlan,
+) -> Result<TopologyRunReport, RunError> {
     config.validate().expect("invalid configuration");
     let reporter = CollectorBolt::new();
     let handle: CollectorHandle<Msg> = reporter.handle();
-    let topology = build(config, dict, docs, reporter);
+    let topology = build_faulted(config, dict, docs, reporter, plan);
     let runtime = run(topology)?;
     Ok(fold_join_stats(config, runtime, handle))
 }
@@ -250,9 +277,10 @@ pub struct DistRuntime {
 /// two processes with different values would wire incompatible meshes, so
 /// the handshake rejects the pairing up front.
 fn topo_fingerprint(config: StreamJoinConfig) -> u64 {
-    let fields: [u64; 6] = [
+    let fields: [u64; 7] = [
         config.m as u64,
-        config.window_docs as u64,
+        config.pane_docs() as u64,
+        config.panes_per_window() as u64,
         config.partition_creators as u64,
         config.assigners as u64,
         config.batch_size as u64,
@@ -343,7 +371,7 @@ mod tests {
         let docs = stream(&dict, 120);
         let cfg = StreamJoinConfig::default()
             .with_m(3)
-            .with_window(40)
+            .with_window_spec(crate::WindowSpec::tumbling(40))
             .with_expansion(false)
             .with_partition_creators(2)
             .with_assigners(3)
@@ -381,7 +409,7 @@ mod tests {
             .collect();
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(30)
+            .with_window_spec(crate::WindowSpec::tumbling(30))
             .with_partition_creators(2)
             .with_assigners(2)
             .build()
@@ -399,7 +427,7 @@ mod tests {
         let docs = stream(&dict, 60);
         let cfg = StreamJoinConfig::default()
             .with_m(2)
-            .with_window(30)
+            .with_window_spec(crate::WindowSpec::tumbling(30))
             .with_expansion(false)
             .build()
             .unwrap();
@@ -415,7 +443,7 @@ mod tests {
         let docs = stream(&dict, 120);
         let cfg = StreamJoinConfig::default()
             .with_m(3)
-            .with_window(40)
+            .with_window_spec(crate::WindowSpec::tumbling(40))
             .with_expansion(false)
             .with_metrics(true)
             .build()

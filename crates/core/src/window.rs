@@ -1,21 +1,28 @@
-//! Tumbling-window segmentation of a document stream.
+//! Window segmentation of a document stream.
 //!
 //! The paper uses time-based tumbling windows ("the daily produced amount as
 //! the number of documents produced every 3 minutes", §VII-B); the harness
-//! maps those to document counts. Both policies are available here:
+//! maps those to document counts. Two layers of policy live here:
 //!
-//! * [`WindowSpec::Count`] — a window closes after `n` documents;
-//! * [`WindowSpec::ByAttribute`] — event-"time" windows: a window closes
-//!   when the integer value of a designated attribute crosses a multiple of
-//!   `width` (e.g. an epoch-seconds field with `width = 180` gives the
-//!   paper's 3-minute windows). Documents lacking the attribute stay in the
-//!   current window.
+//! * [`WindowSpec`] (the shared spec from `ssj-join`) — count-based tumbling
+//!   or pane-chained sliding windows. [`Windower::new`] consumes it and
+//!   yields one window per *slide*: for tumbling, disjoint chunks; for
+//!   sliding, each pane boundary yields the full window (the newest
+//!   `panes_per_window` panes, overlapping with its predecessor).
+//! * [`SegmentSpec`] — stream segmentation for the batch harness:
+//!   [`SegmentSpec::Count`] closes after `n` documents,
+//!   [`SegmentSpec::ByAttribute`] closes when the integer value of a
+//!   designated attribute crosses a multiple of `width` (e.g. an
+//!   epoch-seconds field with `width = 180` gives the paper's 3-minute
+//!   windows). Documents lacking the attribute stay in the current window.
 
+use ssj_join::WindowSpec;
 use ssj_json::{AttrId, Dictionary, Document, Scalar};
+use std::collections::VecDeque;
 
-/// Window segmentation policy.
+/// Stream segmentation policy for the batch harness (CLI `--window-by`).
 #[derive(Debug, Clone)]
-pub enum WindowSpec {
+pub enum SegmentSpec {
     /// Close after this many documents.
     Count(usize),
     /// Close when `attr`'s integer value enters the next `width`-sized
@@ -38,6 +45,13 @@ pub struct Windower<I> {
 
 enum Spec {
     Count(usize),
+    /// Pane-chained sliding: emit the full window at every pane boundary;
+    /// `ring` holds the newest `panes - 1` completed panes.
+    Panes {
+        pane: usize,
+        panes: usize,
+        ring: VecDeque<Vec<Document>>,
+    },
     ByAttribute {
         attr: AttrId,
         width: i64,
@@ -46,17 +60,41 @@ enum Spec {
 }
 
 impl<I: Iterator<Item = Document>> Windower<I> {
+    /// Window `stream` per the shared [`WindowSpec`]: tumbling chunks, or —
+    /// for sliding specs — one overlapping window per pane boundary.
+    ///
+    /// # Panics
+    /// When `spec` fails [`WindowSpec::validate`].
+    pub fn new(stream: I, spec: WindowSpec, _dict: &Dictionary) -> Self {
+        spec.validate().expect("invalid WindowSpec");
+        let spec = if spec.is_sliding() {
+            Spec::Panes {
+                pane: spec.pane_docs(),
+                panes: spec.panes_per_window(),
+                ring: VecDeque::new(),
+            }
+        } else {
+            Spec::Count(spec.pane_docs())
+        };
+        Windower {
+            stream,
+            spec,
+            buf: Vec::new(),
+            done: false,
+        }
+    }
+
     /// Segment `stream` per `spec`, interning the attribute through `dict`.
     ///
     /// # Panics
     /// When the count or width is zero.
-    pub fn new(stream: I, spec: WindowSpec, dict: &Dictionary) -> Self {
+    pub fn segmented(stream: I, spec: SegmentSpec, dict: &Dictionary) -> Self {
         let spec = match spec {
-            WindowSpec::Count(n) => {
+            SegmentSpec::Count(n) => {
                 assert!(n > 0, "window size must be positive");
                 Spec::Count(n)
             }
-            WindowSpec::ByAttribute { attr, width } => {
+            SegmentSpec::ByAttribute { attr, width } => {
                 assert!(width > 0, "window width must be positive");
                 Spec::ByAttribute {
                     attr: dict.intern_attr(&attr),
@@ -85,12 +123,30 @@ impl<I: Iterator<Item = Document>> Windower<I> {
 /// Segment an entire stream eagerly (convenience for tests/harness).
 pub fn windows(
     stream: impl IntoIterator<Item = Document>,
+    spec: SegmentSpec,
+    dict: &Dictionary,
+) -> Vec<Vec<Document>> {
+    drain(Windower::segmented(stream.into_iter(), spec, dict), dict)
+}
+
+/// Eagerly produce every per-slide window of `stream` under the shared
+/// [`WindowSpec`] — for sliding specs the windows overlap, pane-quantized
+/// exactly like the runtime's Joiner ring.
+pub fn slide_windows(
+    stream: impl IntoIterator<Item = Document>,
     spec: WindowSpec,
+    dict: &Dictionary,
+) -> Vec<Vec<Document>> {
+    drain(Windower::new(stream.into_iter(), spec, dict), dict)
+}
+
+fn drain<I: Iterator<Item = Document>>(
+    inner: Windower<I>,
     dict: &Dictionary,
 ) -> Vec<Vec<Document>> {
     let mut out = Vec::new();
     let mut w = WindowerOwned {
-        inner: Windower::new(stream.into_iter(), spec, dict),
+        inner,
         dict: dict.clone(),
     };
     while let Some(win) = w.next_window() {
@@ -117,6 +173,13 @@ impl<I: Iterator<Item = Document>> WindowerOwned<I> {
                     if w.buf.is_empty() {
                         return None;
                     }
+                    // A trailing partial pane still closes a (partial)
+                    // window spanning the retained ring.
+                    if let Spec::Panes { ring, .. } = &mut w.spec {
+                        let mut win: Vec<Document> = ring.iter().flatten().cloned().collect();
+                        win.append(&mut w.buf);
+                        return Some(win);
+                    }
                     return Some(std::mem::take(&mut w.buf));
                 }
                 Some(doc) => match &mut w.spec {
@@ -124,6 +187,19 @@ impl<I: Iterator<Item = Document>> WindowerOwned<I> {
                         w.buf.push(doc);
                         if w.buf.len() == *n {
                             return Some(std::mem::take(&mut w.buf));
+                        }
+                    }
+                    Spec::Panes { pane, panes, ring } => {
+                        w.buf.push(doc);
+                        if w.buf.len() == *pane {
+                            let closed = std::mem::take(&mut w.buf);
+                            let mut win: Vec<Document> = ring.iter().flatten().cloned().collect();
+                            win.extend(closed.iter().cloned());
+                            ring.push_back(closed);
+                            while ring.len() >= *panes {
+                                ring.pop_front();
+                            }
+                            return Some(win);
                         }
                     }
                     Spec::ByAttribute {
@@ -174,9 +250,40 @@ mod tests {
     fn count_windows_chunk_evenly() {
         let dict = Dictionary::new();
         let docs: Vec<Document> = (0..25).map(|i| doc(&dict, i, None)).collect();
-        let ws = windows(docs, WindowSpec::Count(10), &dict);
+        let ws = windows(docs, SegmentSpec::Count(10), &dict);
         let sizes: Vec<usize> = ws.iter().map(Vec::len).collect();
         assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn tumbling_spec_matches_count_segmentation() {
+        let dict = Dictionary::new();
+        let docs: Vec<Document> = (0..25).map(|i| doc(&dict, i, None)).collect();
+        let ws = slide_windows(docs, WindowSpec::tumbling(10), &dict);
+        let sizes: Vec<usize> = ws.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn sliding_spec_yields_overlapping_pane_windows() {
+        let dict = Dictionary::new();
+        let docs: Vec<Document> = (0..10).map(|i| doc(&dict, i, None)).collect();
+        // Panes of 2, window of 3 panes: slide k spans panes [k-2, k].
+        let ws = slide_windows(docs, WindowSpec::sliding(2, 3), &dict);
+        let ids: Vec<Vec<u64>> = ws
+            .iter()
+            .map(|w| w.iter().map(|d| d.id().0).collect())
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                vec![0, 1],
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2, 3, 4, 5],
+                vec![2, 3, 4, 5, 6, 7],
+                vec![4, 5, 6, 7, 8, 9],
+            ]
+        );
     }
 
     #[test]
@@ -191,7 +298,7 @@ mod tests {
             .collect();
         let ws = windows(
             docs,
-            WindowSpec::ByAttribute {
+            SegmentSpec::ByAttribute {
                 attr: "ts".into(),
                 width: 180,
             },
@@ -212,7 +319,7 @@ mod tests {
         ];
         let ws = windows(
             docs,
-            WindowSpec::ByAttribute {
+            SegmentSpec::ByAttribute {
                 attr: "ts".into(),
                 width: 100,
             },
@@ -229,7 +336,7 @@ mod tests {
         let docs = vec![doc(&dict, 0, Some(-50)), doc(&dict, 1, Some(50))];
         let ws = windows(
             docs,
-            WindowSpec::ByAttribute {
+            SegmentSpec::ByAttribute {
                 attr: "ts".into(),
                 width: 100,
             },
@@ -241,7 +348,7 @@ mod tests {
     #[test]
     fn empty_stream_yields_no_windows() {
         let dict = Dictionary::new();
-        let ws = windows(Vec::new(), WindowSpec::Count(5), &dict);
+        let ws = windows(Vec::new(), SegmentSpec::Count(5), &dict);
         assert!(ws.is_empty());
     }
 }

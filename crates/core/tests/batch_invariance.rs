@@ -37,7 +37,7 @@ fn join_output_identical_across_batch_sizes() {
     let docs = stream(&dict, windows, per_window);
     let base_cfg = StreamJoinConfig::default()
         .with_m(3)
-        .with_window(per_window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(per_window))
         .with_expansion(false);
 
     let unbatched = run_topology(

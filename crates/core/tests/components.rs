@@ -53,7 +53,7 @@ fn drifting_stream(dict: &Dictionary, windows: usize, per_window: usize) -> Vec<
 fn config(m: usize, window: usize) -> StreamJoinConfig {
     StreamJoinConfig::default()
         .with_m(m)
-        .with_window(window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(window))
         .with_expansion(false)
         .with_partition_creators(2)
         .with_assigners(2)

@@ -38,7 +38,7 @@ fn stream(dict: &Dictionary, n: usize, seed: u64) -> Vec<Document> {
 fn cfg(window: usize, m: usize, workers: usize) -> StreamJoinConfig {
     StreamJoinConfig::default()
         .with_m(m)
-        .with_window(window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(window))
         .with_partition_creators(2)
         .with_assigners(3)
         .with_expansion(false)

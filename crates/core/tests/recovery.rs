@@ -22,7 +22,7 @@ fn stream(dict: &Dictionary, n: usize) -> Vec<Document> {
 fn restored_pipeline_continues_exactly() {
     let cfg = StreamJoinConfig::default()
         .with_m(4)
-        .with_window(150)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(150))
         .build()
         .unwrap();
     let dict = Dictionary::new();
@@ -89,7 +89,7 @@ fn restored_pipeline_continues_exactly() {
 fn restore_rejects_mismatched_m() {
     let cfg = StreamJoinConfig::default()
         .with_m(4)
-        .with_window(100)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(100))
         .build()
         .unwrap();
     let dict = Dictionary::new();
@@ -108,7 +108,7 @@ fn restore_rejects_mismatched_m() {
 fn restore_rejects_garbage() {
     let cfg = StreamJoinConfig::default()
         .with_m(2)
-        .with_window(10)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(10))
         .build()
         .unwrap();
     for bad in ["{}", r#"{"dictionary":{"attrs":[],"avps":[]}}"#] {
@@ -124,7 +124,7 @@ fn snapshot_preserves_expansion() {
     let docs = ssj_data::NoBenchGen::new(Default::default(), dict.clone()).take_docs(200);
     let cfg = StreamJoinConfig::default()
         .with_m(6)
-        .with_window(200)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(200))
         .build()
         .unwrap();
     let mut p = Pipeline::new(cfg, dict);

@@ -34,7 +34,7 @@ fn stream(dict: &Dictionary, windows: usize, per_window: usize, seed: u64) -> Ve
 fn cfg(per_window: usize, m: usize, batch: usize) -> StreamJoinConfig {
     StreamJoinConfig::default()
         .with_m(m)
-        .with_window(per_window)
+        .with_window_spec(ssj_core::WindowSpec::tumbling(per_window))
         .with_assigners(3)
         .with_expansion(false)
         .with_batch_size(batch)

@@ -38,6 +38,7 @@ pub mod nlj;
 pub mod order;
 pub mod sliding;
 pub mod tree_stats;
+pub mod windowspec;
 
 pub use fpjoin::{
     join_batch as fp_join_batch, probe as fp_probe, probe_into as fp_probe_into, ProbeScratch,
@@ -49,3 +50,4 @@ pub use joiner::{join_batch, split_timings, BatchJoiner, JoinAlgo, JoinTimings};
 pub use order::AttrOrder;
 pub use sliding::{IncrementalSlidingJoiner, SlidingJoiner};
 pub use tree_stats::TreeStats;
+pub use windowspec::{WindowError, WindowSpec};

@@ -10,17 +10,18 @@
 
 use crate::fpjoin::{self, ProbeScratch};
 use crate::fptree::FpTree;
+use crate::windowspec::WindowSpec;
 use ssj_json::{DocId, Document};
 use std::collections::VecDeque;
 
 /// A sliding-window joiner built from chained FP-tree panes.
 ///
 /// ```
-/// use ssj_join::SlidingJoiner;
+/// use ssj_join::{SlidingJoiner, WindowSpec};
 /// use ssj_json::{Dictionary, DocId, Document};
 ///
 /// let dict = Dictionary::new();
-/// let mut joiner = SlidingJoiner::new(2, 3); // 3 panes x 2 docs
+/// let mut joiner = SlidingJoiner::new(WindowSpec::sliding(2, 3)); // 3 panes x 2 docs
 /// let d1 = Document::from_json(DocId(1), r#"{"k":1}"#, &dict).unwrap();
 /// let d2 = Document::from_json(DocId(2), r#"{"k":1}"#, &dict).unwrap();
 /// assert!(joiner.insert_and_probe(d1).is_empty());
@@ -41,12 +42,16 @@ pub struct SlidingJoiner {
 }
 
 impl SlidingJoiner {
-    /// A window of `panes_per_window` panes of `pane_size` documents each.
+    /// A pane-chained window shaped by `spec`: `Sliding { pane_docs,
+    /// panes_per_window }` chains that many panes; `Tumbling { docs }` is
+    /// the 1-pane special case.
     ///
     /// # Panics
-    /// When either parameter is zero.
-    pub fn new(pane_size: usize, panes_per_window: usize) -> Self {
-        assert!(pane_size > 0 && panes_per_window > 0);
+    /// When `spec` fails [`WindowSpec::validate`].
+    pub fn new(spec: WindowSpec) -> Self {
+        spec.validate().expect("invalid WindowSpec");
+        let pane_size = spec.pane_docs();
+        let panes_per_window = spec.panes_per_window();
         SlidingJoiner {
             pane_size,
             panes_per_window,
@@ -298,7 +303,7 @@ mod tests {
     #[test]
     fn partners_found_across_panes() {
         let dict = Dictionary::new();
-        let mut j = SlidingJoiner::new(2, 3);
+        let mut j = SlidingJoiner::new(WindowSpec::sliding(2, 3));
         // Pane 1: d1, d2 share k:1.
         assert!(j.insert_and_probe(doc(&dict, 1, "k", 1)).is_empty());
         assert_eq!(j.insert_and_probe(doc(&dict, 2, "k", 1)), vec![DocId(1)]);
@@ -311,7 +316,7 @@ mod tests {
     #[test]
     fn eviction_drops_old_panes() {
         let dict = Dictionary::new();
-        let mut j = SlidingJoiner::new(1, 2); // window = 2 panes of 1 doc
+        let mut j = SlidingJoiner::new(WindowSpec::sliding(1, 2)); // window = 2 panes of 1 doc
         j.insert_and_probe(doc(&dict, 1, "k", 7));
         j.insert_and_probe(doc(&dict, 2, "k", 7));
         // d1's pane has been evicted by now (window covers 2 newest panes,
@@ -324,7 +329,7 @@ mod tests {
     #[test]
     fn window_len_tracks_contents() {
         let dict = Dictionary::new();
-        let mut j = SlidingJoiner::new(3, 2);
+        let mut j = SlidingJoiner::new(WindowSpec::sliding(3, 2));
         for i in 0..7 {
             j.insert_and_probe(doc(&dict, i + 1, "k", i as i64));
         }
@@ -346,7 +351,7 @@ mod tests {
         .enumerate()
         .map(|(i, s)| Document::from_json(DocId(i as u64 + 1), s, &dict).unwrap())
         .collect();
-        let mut j = SlidingJoiner::new(100, 1);
+        let mut j = SlidingJoiner::new(WindowSpec::sliding(100, 1));
         let mut got = Vec::new();
         for d in &docs {
             for p in j.insert_and_probe(d.clone()) {

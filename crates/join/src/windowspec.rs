@@ -1,0 +1,172 @@
+//! The shared window specification: one type that config, builder, CLI and
+//! the join layer all agree on.
+//!
+//! The paper evaluates count-based tumbling windows only; sliding windows are
+//! its named open problem (§V-A). Here both are one enum: a tumbling window
+//! is the 1-pane special case of a pane-chained sliding window, so every
+//! consumer (local [`crate::SlidingJoiner`], the distributed runtime, the
+//! CLI) can treat "window" uniformly and the runtime's punctuation becomes
+//! pane-granular.
+
+use std::fmt;
+
+/// Count-based window shape.
+///
+/// Marked `#[non_exhaustive]`: construct via [`WindowSpec::tumbling`] /
+/// [`WindowSpec::sliding`] and read via the accessors so future variants
+/// (e.g. attribute-delimited panes) don't break downstream matches.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowSpec {
+    /// Classic tumbling window of `docs` documents — equivalently a sliding
+    /// window with a single pane.
+    Tumbling {
+        /// Documents per window.
+        docs: usize,
+    },
+    /// Sliding window of `panes_per_window` chained panes of `pane_docs`
+    /// documents each; the window slides by one pane at a time, so eviction
+    /// cost is O(pane), never a window rebuild.
+    Sliding {
+        /// Documents per pane (the runtime's punctuation granularity).
+        pane_docs: usize,
+        /// Panes spanned by one window.
+        panes_per_window: usize,
+    },
+}
+
+/// Validation failure for a [`WindowSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowError {
+    /// A tumbling window of zero documents.
+    ZeroWindow,
+    /// A sliding window with zero-document panes.
+    ZeroPane,
+    /// A sliding window of zero panes.
+    ZeroPanes,
+}
+
+impl fmt::Display for WindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowError::ZeroWindow => write!(f, "window must hold at least one document"),
+            WindowError::ZeroPane => write!(f, "pane must hold at least one document"),
+            WindowError::ZeroPanes => write!(f, "window must span at least one pane"),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+impl WindowSpec {
+    /// A tumbling window of `docs` documents.
+    pub const fn tumbling(docs: usize) -> Self {
+        WindowSpec::Tumbling { docs }
+    }
+
+    /// A sliding window of `panes_per_window` panes of `pane_docs` documents.
+    pub const fn sliding(pane_docs: usize, panes_per_window: usize) -> Self {
+        WindowSpec::Sliding {
+            pane_docs,
+            panes_per_window,
+        }
+    }
+
+    /// The single validation rule shared by config, builder and CLI.
+    pub fn validate(&self) -> Result<(), WindowError> {
+        match *self {
+            WindowSpec::Tumbling { docs } => {
+                if docs == 0 {
+                    return Err(WindowError::ZeroWindow);
+                }
+            }
+            WindowSpec::Sliding {
+                pane_docs,
+                panes_per_window,
+            } => {
+                if pane_docs == 0 {
+                    return Err(WindowError::ZeroPane);
+                }
+                if panes_per_window == 0 {
+                    return Err(WindowError::ZeroPanes);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Documents per pane — the punctuation granularity of the runtime.
+    /// For a tumbling window the whole window is one pane.
+    pub fn pane_docs(&self) -> usize {
+        match *self {
+            WindowSpec::Tumbling { docs } => docs,
+            WindowSpec::Sliding { pane_docs, .. } => pane_docs,
+        }
+    }
+
+    /// Panes spanned by one window (1 for tumbling).
+    pub fn panes_per_window(&self) -> usize {
+        match *self {
+            WindowSpec::Tumbling { .. } => 1,
+            WindowSpec::Sliding {
+                panes_per_window, ..
+            } => panes_per_window,
+        }
+    }
+
+    /// Total documents spanned by one full window.
+    pub fn window_docs(&self) -> usize {
+        self.pane_docs() * self.panes_per_window()
+    }
+
+    /// True for multi-pane sliding windows (a 1-pane sliding spec behaves
+    /// identically to tumbling, but keeps its declared shape).
+    pub fn is_sliding(&self) -> bool {
+        matches!(self, WindowSpec::Sliding { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_zero_dimensions() {
+        assert_eq!(
+            WindowSpec::tumbling(0).validate(),
+            Err(WindowError::ZeroWindow)
+        );
+        assert_eq!(
+            WindowSpec::sliding(0, 4).validate(),
+            Err(WindowError::ZeroPane)
+        );
+        assert_eq!(
+            WindowSpec::sliding(10, 0).validate(),
+            Err(WindowError::ZeroPanes)
+        );
+        assert!(WindowSpec::tumbling(1).validate().is_ok());
+        assert!(WindowSpec::sliding(1, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn accessors_agree_with_shape() {
+        let t = WindowSpec::tumbling(600);
+        assert_eq!(t.pane_docs(), 600);
+        assert_eq!(t.panes_per_window(), 1);
+        assert_eq!(t.window_docs(), 600);
+        assert!(!t.is_sliding());
+
+        let s = WindowSpec::sliding(150, 4);
+        assert_eq!(s.pane_docs(), 150);
+        assert_eq!(s.panes_per_window(), 4);
+        assert_eq!(s.window_docs(), 600);
+        assert!(s.is_sliding());
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(!WindowError::ZeroWindow.to_string().is_empty());
+        assert!(!WindowError::ZeroPane.to_string().is_empty());
+        assert!(!WindowError::ZeroPanes.to_string().is_empty());
+    }
+}

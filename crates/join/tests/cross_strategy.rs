@@ -81,7 +81,7 @@ fn five_hundred_docs_all_strategies_agree() {
     assert_eq!(via_slow, reference, "no-fast-path probe");
 
     // Sliding window with a single giant pane == tumbling.
-    let mut sliding = SlidingJoiner::new(10_000, 1);
+    let mut sliding = SlidingJoiner::new(ssj_join::WindowSpec::sliding(10_000, 1));
     let mut via_sliding = Vec::new();
     for d in &docs {
         for p in sliding.insert_and_probe(d.clone()) {

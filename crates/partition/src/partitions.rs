@@ -148,9 +148,22 @@ impl RouteScratch {
         self.cache[fp.lo as usize & (ROUTE_CACHE_SLOTS - 1)] = Some((fp, mask));
     }
 
-    /// Drop every cached route (call on table deployment/update).
+    /// Drop every cached route (call on table deployment/update — and, for
+    /// sliding windows, whenever a retained table expires from the pane
+    /// lookback, since cached masks are unions over the retained set).
     pub fn invalidate_cache(&mut self) {
         self.cache.iter_mut().for_each(|slot| *slot = None);
+    }
+
+    /// Append extra route targets (e.g. from a retained sliding-window
+    /// table) and restore the sorted/deduplicated invariant of the buffer.
+    pub fn merge_targets(&mut self, extra: impl IntoIterator<Item = u32>) {
+        let before = self.targets.len();
+        self.targets.extend(extra);
+        if self.targets.len() > before {
+            self.targets.sort_unstable();
+            self.targets.dedup();
+        }
     }
 }
 

@@ -1724,6 +1724,28 @@ impl<M: Clone> Aligner<M> {
         Some(slot)
     }
 
+    /// Punctuations received from `from` but not yet retired by a completed
+    /// alignment — the processed-but-unaligned one (`ahead`) plus any still
+    /// buffered behind it. Added to the completed-alignment count, this
+    /// gives the window a data envelope from `from` will be *delivered* in,
+    /// before the envelope is handed to [`Aligner::handle`]. The fault
+    /// clock keys on this: it depends only on the envelope's own upstream
+    /// punctuation sequence, not on cross-upstream arrival interleaving.
+    /// `0` for feedback senders (their data flows immediately).
+    fn puncts_ahead_of(&mut self, from: usize) -> u64 {
+        match self.slot_of(from) {
+            Some(slot) => {
+                let st = &self.states[slot];
+                st.ahead as u64
+                    + st.queue
+                        .iter()
+                        .filter(|e| matches!(e, Envelope::Punct(..)))
+                        .count() as u64
+            }
+            None => 0,
+        }
+    }
+
     /// Feed one envelope; returns `true` once every forward upstream
     /// delivered EOS.
     fn handle(
@@ -1954,10 +1976,15 @@ struct Supervisor<M> {
     inst: Arc<TaskInstruments>,
     forward_upstreams: Vec<usize>,
     my_global: usize,
-    /// Logical clock: completed alignments, and data tuples received since
-    /// the last one (the coordinate system of [`crate::FaultPlan`]).
+    /// Logical clock: completed alignments, and per-window data-tuple
+    /// counts (the coordinate system of [`crate::FaultPlan`]). A data
+    /// envelope ticks the window it will be *delivered* in — `window` plus
+    /// its own upstream's unaligned punctuations — so the attribution is
+    /// deterministic per upstream even when a slow edge's punctuation
+    /// arrives after faster edges have already run ahead. Keys below
+    /// `window` are pruned at each boundary.
     window: u64,
-    tuple_in_window: u64,
+    tuples_at: HashMap<u64, u64>,
     /// Envelopes received since the last snapshot; replayed after restart.
     log: Vec<Envelope<M>>,
     /// Latest window-aligned [`Bolt::snapshot`], with the logical window
@@ -2011,15 +2038,18 @@ impl<M: Clone + Send + 'static> Supervisor<M> {
                 }
             }
         }
-        // Fault injection fires on data envelopes only (never once fenced).
+        // Fault injection fires on data envelopes only (never once fenced),
+        // keyed by the window the envelope will be delivered in.
         let n = env.data_len();
         if n > 0 {
+            let window = self.window + align.puncts_ahead_of(env.source_task());
+            let tuple = self.tuples_at.entry(window).or_insert(0);
             let action = if self.fenced || self.faults.is_empty() {
                 None
             } else {
-                self.faults.on_data(self.window, self.tuple_in_window, n)
+                self.faults.on_data(window, *tuple, n)
             };
-            self.tuple_in_window += n;
+            *tuple += n;
             match action {
                 None => {}
                 Some(FaultAction::Drop) => {
@@ -2048,7 +2078,7 @@ impl<M: Clone + Send + 'static> Supervisor<M> {
                     let payload: Box<dyn std::any::Any + Send> = Box::new(FaultPanic {
                         component: self.info.component.clone(),
                         task: self.info.task_index,
-                        window: self.window,
+                        window,
                     });
                     return self.recover(payload, bolt, align, out, meter, rx, notify);
                 }
@@ -2107,7 +2137,8 @@ impl<M: Clone + Send + 'static> Supervisor<M> {
     ) {
         while !align.just_closed.is_empty() {
             self.window += align.just_closed.len() as u64;
-            self.tuple_in_window = 0;
+            let floor = self.window;
+            self.tuples_at.retain(|&w, _| w >= floor);
             align.just_closed.clear();
             if self.fenced {
                 self.log.clear();
@@ -2186,7 +2217,7 @@ impl<M: Clone + Send + 'static> Supervisor<M> {
         *align = Aligner::new(&self.forward_upstreams, true);
         out.begin_replay(self.snap_punct_seq);
         self.window = self.snap_window;
-        self.tuple_in_window = 0;
+        self.tuples_at.clear();
         let old_log = std::mem::take(&mut self.log);
         self.inst
             .counter("recoveries_replayed")
@@ -2205,17 +2236,19 @@ impl<M: Clone + Send + 'static> Supervisor<M> {
                 // is already part of the history being rebuilt.
                 let n = env.data_len();
                 if n > 0 {
+                    let window = self.window + align.puncts_ahead_of(env.source_task());
+                    let tuple = self.tuples_at.entry(window).or_insert(0);
                     let action = if self.fenced || self.faults.is_empty() {
                         None
                     } else {
-                        self.faults.on_data(self.window, self.tuple_in_window, n)
+                        self.faults.on_data(window, *tuple, n)
                     };
-                    self.tuple_in_window += n;
+                    *tuple += n;
                     if let Some(FaultAction::Crash) = action {
                         std::panic::panic_any(FaultPanic {
                             component: self.info.component.clone(),
                             task: self.info.task_index,
-                            window: self.window,
+                            window,
                         });
                     }
                 }
@@ -2427,7 +2460,7 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
                     forward_upstreams: forward_upstreams.clone(),
                     my_global: outbox.my_global,
                     window: 0,
-                    tuple_in_window: 0,
+                    tuples_at: HashMap::new(),
                     log: Vec::new(),
                     snapshot: None,
                     snap_window: 0,
@@ -2654,7 +2687,7 @@ impl<M: Clone + Send + 'static> CoopBolt<M> {
                 forward_upstreams,
                 my_global: outbox.my_global,
                 window: 0,
-                tuple_in_window: 0,
+                tuples_at: HashMap::new(),
                 log: Vec::new(),
                 snapshot: None,
                 snap_window: 0,

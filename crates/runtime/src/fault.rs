@@ -5,13 +5,17 @@
 //! fires faults at *logical coordinates* of a task's input stream — never
 //! from a clock. A coordinate is `(component, task, window, tuple)` where
 //! `window` counts punctuation alignments the task has completed and
-//! `tuple` counts data tuples received since the last alignment. With a
-//! single upstream the mapping from coordinate to document is exact; with
-//! several upstreams the arrival interleaving picks which document the
-//! coordinate lands on, but the *firing* itself remains deterministic in
-//! the task-local stream (same plan, same logical position — no wall
-//! clock, no randomness at runtime). [`FaultPlan::crash_somewhere`] derives
-//! a coordinate from a seed so property tests can sweep crash sites.
+//! `tuple` counts data tuples of that window. A data envelope is
+//! attributed to the window it will be *delivered* in — the alignment
+//! count plus the unaligned punctuations of the envelope's own upstream —
+//! so a fast edge running ahead of a slow one cannot shift tuples across
+//! windows. With a single upstream the mapping from coordinate to document
+//! is exact; with several upstreams the arrival interleaving picks which
+//! document of the window the coordinate lands on, but whether a
+//! coordinate *fires* depends only on the per-window tuple totals (same
+//! plan, same logical position — no wall clock, no randomness at runtime).
+//! [`FaultPlan::crash_somewhere`] derives a coordinate from a seed so
+//! property tests can sweep crash sites.
 //!
 //! [`RecoveryPolicy`] configures the supervisor in the executor: bounded
 //! retry-with-backoff restarts from the last window-aligned
@@ -57,8 +61,8 @@ pub struct FaultSpec {
     pub task: usize,
     /// Window coordinate: number of completed punctuation alignments.
     pub window: u64,
-    /// Tuple coordinate: data tuples received since the last alignment.
-    /// The fault fires on the envelope *containing* this tuple (a
+    /// Tuple coordinate: data tuples of the window, counted in receive
+    /// order. The fault fires on the envelope *containing* this tuple (a
     /// micro-batch fires as a unit).
     pub tuple: u64,
     /// What happens at the coordinate.

@@ -10,7 +10,7 @@
 //! cargo run --release --example nobench_scaleout
 //! ```
 
-use schema_free_stream_joins::ssj_core::{Pipeline, StreamJoinConfig};
+use schema_free_stream_joins::ssj_core::{Pipeline, StreamJoinConfig, WindowSpec};
 use schema_free_stream_joins::ssj_data::{NoBenchConfig, NoBenchGen};
 use schema_free_stream_joins::ssj_json::Dictionary;
 use schema_free_stream_joins::ssj_partition::{Expansion, PartitionerKind};
@@ -47,7 +47,7 @@ fn main() {
                 NoBenchGen::new(NoBenchConfig::default(), dict.clone()).take_docs(window * windows);
             let cfg = StreamJoinConfig::default()
                 .with_m(m)
-                .with_window(window)
+                .with_window_spec(WindowSpec::tumbling(window))
                 .with_partitioner(kind)
                 .with_expansion(expansion)
                 .build()

@@ -10,7 +10,7 @@
 //! cargo run --release --example server_log_monitoring
 //! ```
 
-use schema_free_stream_joins::ssj_core::{run_topology, StreamJoinConfig};
+use schema_free_stream_joins::ssj_core::{run_topology, StreamJoinConfig, WindowSpec};
 use schema_free_stream_joins::ssj_data::{ServerLogConfig, ServerLogGen};
 use schema_free_stream_joins::ssj_json::{DocId, Document, FxHashMap, Scalar};
 
@@ -22,7 +22,7 @@ fn main() {
 
     let cfg = StreamJoinConfig::default()
         .with_m(4)
-        .with_window(1_500)
+        .with_window_spec(WindowSpec::tumbling(1_500))
         .with_partition_creators(2)
         .with_assigners(3)
         .build()
@@ -32,7 +32,7 @@ fn main() {
         "running Fig. 2 topology: {} docs, {} joiners, window {}",
         docs.len(),
         cfg.m,
-        cfg.window_docs
+        cfg.window_docs()
     );
     let report = run_topology(cfg, &dict, docs).expect("topology run");
 

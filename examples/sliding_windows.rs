@@ -14,7 +14,7 @@
 //! ```
 
 use schema_free_stream_joins::ssj_data::{ServerLogConfig, ServerLogGen};
-use schema_free_stream_joins::ssj_join::SlidingJoiner;
+use schema_free_stream_joins::ssj_join::{SlidingJoiner, WindowSpec};
 use schema_free_stream_joins::ssj_json::Dictionary;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
 
     let pane = 500;
     let panes = 4;
-    let mut joiner = SlidingJoiner::new(pane, panes);
+    let mut joiner = SlidingJoiner::new(WindowSpec::sliding(pane, panes));
 
     let mut window_partners = 0u64;
     let mut total_partners = 0u64;

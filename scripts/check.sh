@@ -30,6 +30,12 @@ cargo test -q -p ssj-core --test wire_codec
 cargo test -q -p ssj-core --test distributed_equivalence
 cargo test -q -p ssj-cli --test distributed
 
+echo "==> sliding-window smoke (pane-chained runtime == oracle == brute force,"
+echo "    route-cache expiry on pane eviction, crash-and-recover inside a sliding run)"
+cargo test -q -p ssj-core --test sliding_equivalence
+cargo test -q -p ssj-core --test route_cache_expiry
+cargo test -q -p ssj-core --test sliding_chaos
+
 echo "==> partitioning pipeline smoke bench vs committed baseline (+ claims)"
 cargo build --release -q -p ssj-bench --bin bench_partition
 ./target/release/bench_partition --check BENCH_partition.json
@@ -38,8 +44,8 @@ echo "==> routing allocation audit (count-allocs build, 0 allocs/route)"
 cargo run --release -q -p ssj-bench --features count-allocs --bin bench_partition -- --audit
 
 echo "==> runtime throughput smoke bench vs committed baseline (incl. scheduler gates:"
-echo "    20% regression on sched/* and transport/{inproc,socket} ids,"
-echo "    pooled/legacy >= 1.5x at m=64, >= 0.95x at m=4)"
+echo "    20% regression on sched/*, transport/{inproc,socket} and sliding/* ids,"
+echo "    pooled/legacy >= 1.5x at m=64, >= 0.95x at m=4, sliding 16-pane >= 0.3x 1-pane)"
 cargo build --release -q -p ssj-bench --bin bench_runtime
 ./target/release/bench_runtime --check BENCH_runtime.json
 

@@ -19,7 +19,7 @@
 //! End to end in a few lines:
 //!
 //! ```
-//! use schema_free_stream_joins::ssj_core::{Pipeline, StreamJoinConfig};
+//! use schema_free_stream_joins::ssj_core::{Pipeline, StreamJoinConfig, WindowSpec};
 //! use schema_free_stream_joins::ssj_data::{ServerLogConfig, ServerLogGen};
 //! use schema_free_stream_joins::ssj_json::Dictionary;
 //!
@@ -28,7 +28,7 @@
 //! let docs = ServerLogGen::new(ServerLogConfig::default(), dict.clone()).take_docs(400);
 //!
 //! // …joined exactly across 4 partitions, windows of 200 documents.
-//! let cfg = StreamJoinConfig::default().with_m(4).with_window(200).build().unwrap();
+//! let cfg = StreamJoinConfig::default().with_m(4).with_window_spec(WindowSpec::tumbling(200)).build().unwrap();
 //! let report = Pipeline::new(cfg, dict).run(docs);
 //!
 //! assert_eq!(report.windows.len(), 2);

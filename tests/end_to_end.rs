@@ -2,7 +2,7 @@
 //! deterministic pipeline) against ground truth on both datasets.
 
 use schema_free_stream_joins::ssj_core::{
-    ground_truth_pairs, run_topology, Pipeline, StreamJoinConfig,
+    ground_truth_pairs, run_topology, Pipeline, StreamJoinConfig, WindowSpec,
 };
 use schema_free_stream_joins::ssj_data::{
     NoBenchConfig, NoBenchGen, ServerLogConfig, ServerLogGen,
@@ -26,7 +26,7 @@ fn pipeline_is_exact_on_server_logs_for_all_partitioners() {
         let docs = serverlog(&dict, 600);
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(200)
+            .with_window_spec(WindowSpec::tumbling(200))
             .with_partitioner(kind)
             .build()
             .unwrap();
@@ -51,7 +51,7 @@ fn pipeline_is_exact_on_nobench_with_expansion() {
     let docs = nobench(&dict, 400);
     let cfg = StreamJoinConfig::default()
         .with_m(6)
-        .with_window(200)
+        .with_window_spec(WindowSpec::tumbling(200))
         .with_expansion(true)
         .build()
         .unwrap();
@@ -72,7 +72,7 @@ fn all_join_algorithms_agree_inside_the_pipeline() {
         let docs = serverlog(&dict, 400);
         let cfg = StreamJoinConfig::default()
             .with_m(3)
-            .with_window(200)
+            .with_window_spec(WindowSpec::tumbling(200))
             .with_join(algo)
             .build()
             .unwrap();
@@ -90,7 +90,7 @@ fn threaded_topology_matches_pipeline_results() {
     let docs = serverlog(&dict, 450);
     let cfg = StreamJoinConfig::default()
         .with_m(3)
-        .with_window(150)
+        .with_window_spec(WindowSpec::tumbling(150))
         .with_partition_creators(2)
         .with_assigners(2)
         .build()
@@ -123,7 +123,7 @@ fn topology_scales_joiner_count() {
         let docs = serverlog(&dict, 200);
         let cfg = StreamJoinConfig::default()
             .with_m(m)
-            .with_window(100)
+            .with_window_spec(WindowSpec::tumbling(100))
             .build()
             .unwrap();
         let report = run_topology(cfg, &dict, docs.clone()).expect("run");
@@ -139,7 +139,7 @@ fn repeated_runs_of_pipeline_are_deterministic() {
         let docs = serverlog(&dict, 600);
         let cfg = StreamJoinConfig::default()
             .with_m(4)
-            .with_window(200)
+            .with_window_spec(WindowSpec::tumbling(200))
             .build()
             .unwrap();
         let mut p = Pipeline::new(cfg, dict);
@@ -182,7 +182,7 @@ fn window_isolation_no_cross_window_joins() {
     all.extend(w2.clone());
     let cfg = StreamJoinConfig::default()
         .with_m(2)
-        .with_window(10)
+        .with_window_spec(WindowSpec::tumbling(10))
         .with_expansion(false)
         .build()
         .unwrap();
@@ -203,13 +203,13 @@ fn ssj_json_docid(i: u64) -> schema_free_stream_joins::ssj_json::DocId {
 
 #[test]
 fn event_time_windows_drive_the_pipeline() {
-    use schema_free_stream_joins::ssj_core::{windows, WindowSpec};
+    use schema_free_stream_joins::ssj_core::{windows, SegmentSpec};
     let dict = Dictionary::new();
     let docs = serverlog(&dict, 1200);
     // Segment by the Hour attribute (4 half-hour slots per window).
     let ws = windows(
         docs.clone(),
-        WindowSpec::ByAttribute {
+        SegmentSpec::ByAttribute {
             attr: "Hour".into(),
             width: 4,
         },
@@ -232,7 +232,7 @@ fn event_time_windows_drive_the_pipeline() {
     // The pipeline stays exact window by window.
     let cfg = StreamJoinConfig::default()
         .with_m(3)
-        .with_window(10_000)
+        .with_window_spec(WindowSpec::tumbling(10_000))
         .build()
         .unwrap();
     let mut pipeline = Pipeline::new(cfg, dict);

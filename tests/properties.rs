@@ -2,7 +2,9 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use schema_free_stream_joins::ssj_core::{ground_truth_pairs, Pipeline, StreamJoinConfig};
+use schema_free_stream_joins::ssj_core::{
+    ground_truth_pairs, Pipeline, StreamJoinConfig, WindowSpec,
+};
 use schema_free_stream_joins::ssj_join::{fpjoin, FpTree, JoinAlgo};
 use schema_free_stream_joins::ssj_json::{
     parse, Dictionary, DocId, Document, FxHashSet, Scalar, Value,
@@ -379,7 +381,9 @@ proptest! {
         let dict = Dictionary::new();
         let docs = materialize(&specs, &dict);
         let mut sliding =
-            schema_free_stream_joins::ssj_join::SlidingJoiner::new(1000, 1);
+            schema_free_stream_joins::ssj_join::SlidingJoiner::new(
+                schema_free_stream_joins::ssj_join::WindowSpec::sliding(1000, 1),
+            );
         let mut got = Vec::new();
         for d in &docs {
             for p in sliding.insert_and_probe(d.clone()) {
@@ -415,7 +419,7 @@ proptest! {
         let kind = PartitionerKind::all()[kind_idx];
         let cfg = StreamJoinConfig::default()
             .with_m(m)
-            .with_window(1000) // windows driven manually below
+            .with_window_spec(WindowSpec::tumbling(1000)) // windows driven manually below
             .with_partitioner(kind)
             .with_expansion(expansion)
             .build()
