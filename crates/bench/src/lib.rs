@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod traffic;
 
 use ssj_core::{Pipeline, StreamJoinConfig};
 use ssj_data::{

@@ -113,6 +113,20 @@ const PIN_CORES: FlagSpec = flag(
     "pin-cores",
     "pin pooled workers to CPU cores (Linux; needs --scheduler pooled)",
 );
+const REPLICATE_HOT: FlagSpec = flag(
+    "replicate-hot",
+    "replicate hot association groups across joiners (needs --no-expansion)",
+);
+const HOT_FACTOR: FlagSpec = opt(
+    "hot-factor",
+    Some("4.0"),
+    "hot when group load > FACTOR x window docs / m (with --replicate-hot)",
+);
+const SHED_BUDGET: FlagSpec = opt(
+    "shed-budget",
+    Some("0"),
+    "shed probe-only joiner input above this queue depth (0 = never shed)",
+);
 const WORKERS: FlagSpec = opt(
     "workers",
     Some("1"),
@@ -241,6 +255,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             BATCH,
             ALGO,
             NO_EXPANSION,
+            REPLICATE_HOT,
+            HOT_FACTOR,
+            SHED_BUDGET,
             RETRIES,
             BACKOFF_MS,
             DEGRADED,
@@ -271,6 +288,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             BATCH,
             ALGO,
             NO_EXPANSION,
+            REPLICATE_HOT,
+            HOT_FACTOR,
+            SHED_BUDGET,
             RETRIES,
             BACKOFF_MS,
             DEGRADED,
@@ -438,6 +458,34 @@ mod tests {
         assert!(err.contains("frobnicate"), "{err}");
         // The same option is fine on a command that declares it.
         assert!(parse(&["run", "--no-metrics"]).flag("no-metrics"));
+    }
+
+    #[test]
+    fn unknown_option_rejected_on_every_subcommand() {
+        for c in COMMANDS {
+            let err = Args::parse([c.name.to_string(), "--frobnicate".to_string()]).unwrap_err();
+            assert!(
+                err.contains("frobnicate") && err.contains(c.name),
+                "{}: {err}",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn skew_flags_parse_on_topology_and_run() {
+        let a = parse(&["run", "--replicate-hot", "--hot-factor", "1.5"]);
+        assert!(a.flag("replicate-hot"));
+        assert_eq!(a.get_or("hot-factor", 4.0).unwrap(), 1.5);
+        let t = parse(&["topology", "--shed-budget", "128"]);
+        assert_eq!(t.get_or("shed-budget", 0usize).unwrap(), 128);
+        // Shedding and replication are runtime policies: the batch
+        // pipeline has no queues to shed from and no replica routing.
+        assert!(Args::parse(["pipeline".into(), "--replicate-hot".into()]).is_err());
+        assert!(Args::parse(["pipeline".into(), "--shed-budget".into(), "8".into()]).is_err());
+        for f in ["--replicate-hot", "--hot-factor", "--shed-budget"] {
+            assert!(usage().contains(f), "usage misses {f}");
+        }
     }
 
     #[test]

@@ -70,6 +70,21 @@ pub struct StreamJoinConfig {
     /// topology's tasks across `N` worker processes linked by Unix-socket
     /// transports.
     pub workers: usize,
+    /// Hot-group replication (DESIGN.md §4h): PartitionCreators flag
+    /// association groups whose load exceeds [`Self::hot_factor`] times the
+    /// mean partition share, and the Merger spreads their documents over a
+    /// triangle of replica cells instead of a single partition. Requires
+    /// the incremental partitioning path (`expansion = false`) and `m >= 3`.
+    pub replicate_hot: bool,
+    /// Hotness threshold: a group is hot when its load exceeds
+    /// `hot_factor × (pane load / m)`. Only meaningful with
+    /// [`Self::replicate_hot`].
+    pub hot_factor: f64,
+    /// Load-shedding input-queue budget for the Joiners (0 = shedding off,
+    /// the default). When a joiner's queue depth exceeds the budget,
+    /// probe-only work (documents) is dropped and counted under `shed_*`;
+    /// control traffic and table state are never shed (DESIGN.md §4h).
+    pub shed_budget: usize,
 }
 
 /// Which executor schedules bolt tasks (DESIGN.md §4e).
@@ -130,6 +145,9 @@ impl Default for StreamJoinConfig {
             pool_workers: 0,
             pin_cores: false,
             workers: 1,
+            replicate_hot: false,
+            hot_factor: 4.0,
+            shed_budget: 0,
         }
     }
 }
@@ -160,6 +178,17 @@ pub enum ConfigError {
     /// `workers` must lie in `1..=64` (a process group needs at least this
     /// process, and the mesh is all-pairs); carries the rejected value.
     WorkersOutOfRange(usize),
+    /// `hot_factor` must lie in `(1, 1000]`; carries the rejected value.
+    /// At 1.0 or below every group clears the mean-share bar and
+    /// "hotness" loses its meaning.
+    HotFactorOutOfRange(f64),
+    /// Hot-group replication spreads a group over a triangle of at least
+    /// 3 replica cells and routes through partition bitmasks, so it needs
+    /// `3 <= m <= 64`; carries the rejected `m`.
+    ReplicateHotNeedsPartitions(usize),
+    /// Hot-group replication detects hot groups from the incremental
+    /// `GroupIndex` statistics, which attribute-value expansion bypasses.
+    ReplicateHotWithExpansion,
 }
 
 impl fmt::Display for ConfigError {
@@ -184,6 +213,15 @@ impl fmt::Display for ConfigError {
             ConfigError::WorkersOutOfRange(n) => {
                 write!(f, "workers {n} out of range (expected 1..=64)")
             }
+            ConfigError::HotFactorOutOfRange(h) => {
+                write!(f, "hot_factor {h} out of range (expected > 1.0, <= 1000)")
+            }
+            ConfigError::ReplicateHotNeedsPartitions(m) => {
+                write!(f, "replicate_hot needs 3 <= m <= 64 (got m = {m})")
+            }
+            ConfigError::ReplicateHotWithExpansion => f.write_str(
+                "replicate_hot requires expansion off (hot groups come from the incremental path)",
+            ),
         }
     }
 }
@@ -352,6 +390,27 @@ macro_rules! builder_setters {
             b.cfg.workers = n;
             b
         }
+
+        /// Enable or disable hot-group replication (DESIGN.md §4h).
+        pub fn with_replicate_hot(self, on: bool) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.replicate_hot = on;
+            b
+        }
+
+        /// Override the hotness threshold multiplier.
+        pub fn with_hot_factor(self, factor: f64) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.hot_factor = factor;
+            b
+        }
+
+        /// Override the joiner load-shedding queue budget (0 = off).
+        pub fn with_shed_budget(self, budget: usize) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.shed_budget = budget;
+            b
+        }
     };
 }
 
@@ -415,6 +474,17 @@ impl StreamJoinConfig {
         }
         if !(1..=64).contains(&self.workers) {
             return Err(ConfigError::WorkersOutOfRange(self.workers));
+        }
+        if !(self.hot_factor > 1.0 && self.hot_factor <= 1000.0) {
+            return Err(ConfigError::HotFactorOutOfRange(self.hot_factor));
+        }
+        if self.replicate_hot {
+            if !(3..=64).contains(&self.m) {
+                return Err(ConfigError::ReplicateHotNeedsPartitions(self.m));
+            }
+            if self.expansion {
+                return Err(ConfigError::ReplicateHotWithExpansion);
+            }
         }
         Ok(())
     }
@@ -574,6 +644,49 @@ mod tests {
         assert_eq!("legacy".parse(), Ok(SchedulerKind::ThreadPerTask));
         assert!("fibers".parse::<SchedulerKind>().is_err());
         assert_eq!(SchedulerKind::ThreadPerTask.to_string(), "legacy");
+    }
+
+    #[test]
+    fn replication_and_shedding_knobs_validate() {
+        let c = StreamJoinConfig::default();
+        assert!(!c.replicate_hot);
+        assert_eq!(c.shed_budget, 0);
+
+        let c = StreamJoinConfig::default()
+            .with_expansion(false)
+            .with_replicate_hot(true)
+            .with_hot_factor(2.5)
+            .with_shed_budget(512)
+            .build()
+            .unwrap();
+        assert!(c.replicate_hot);
+        assert!((c.hot_factor - 2.5).abs() < 1e-12);
+        assert_eq!(c.shed_budget, 512);
+
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_hot_factor(1.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::HotFactorOutOfRange(1.0)
+        );
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_expansion(false)
+                .with_m(2)
+                .with_replicate_hot(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::ReplicateHotNeedsPartitions(2)
+        );
+        // Expansion bypasses the incremental stats hot detection feeds on.
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_replicate_hot(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::ReplicateHotWithExpansion
+        );
     }
 
     #[test]

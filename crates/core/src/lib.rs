@@ -43,13 +43,13 @@ pub mod window;
 pub mod wire;
 
 pub use config::{ConfigBuilder, ConfigError, SchedulerKind, StreamJoinConfig};
-pub use msg::{Msg, TableMsg};
+pub use msg::{HotSpec, Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
 pub use ssj_join::{WindowError, WindowSpec};
 pub use stats::{CsvSink, HumanSummarySink, JsonlSink, ReportSink};
 pub use topology::{
     materialize_joins, placement_for, run_topology, run_topology_chaos, run_topology_distributed,
-    topology_dot, DistRuntime, TopologyRunReport,
+    run_topology_paced, topology_dot, DistRuntime, LatencyReport, TopologyRunReport,
 };
 pub use window::{slide_windows, windows, SegmentSpec, Windower};
 pub use wire::MsgCodec;

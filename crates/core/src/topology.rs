@@ -24,11 +24,13 @@ use crate::msg::Msg;
 use crate::wire::{dict_epoch, MsgCodec};
 use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
 use ssj_runtime::{
-    join_group, run, run_distributed, CollectorBolt, CollectorHandle, FaultPlan, GroupSetup,
-    Grouping, RunError, RunReport, SchedulerMode, TopologyBuilder, VecSpout,
+    join_group, metrics::Histogram, run, run_distributed, Bolt, CollectorBolt, CollectorHandle,
+    FaultPlan, GroupSetup, Grouping, HistogramSnapshot, Outbox, PacedSpout, RunError, RunReport,
+    SchedulerMode, Spout, TopologyBuilder, VecSpout,
 };
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Results of one full topology run.
 #[derive(Debug)]
@@ -39,6 +41,11 @@ pub struct TopologyRunReport {
     pub joins_per_window: Vec<FxHashSet<(u64, u64)>>,
     /// Documents held per joiner per window (window → joiner → docs).
     pub docs_per_joiner: Vec<Vec<usize>>,
+    /// Candidate pairs produced per joiner per window, before global
+    /// dedup (window → joiner → pairs). This is each joiner's probe load —
+    /// the quantity hot-group replication spreads — and it is exact and
+    /// deterministic per seed, unlike wall-clock probe timings.
+    pub pairs_per_joiner: Vec<Vec<usize>>,
 }
 
 impl TopologyRunReport {
@@ -102,6 +109,26 @@ fn build_faulted(
     // (the 1-pane case), sliding windows per pane (DESIGN.md §4g).
     let window = config.pane_docs();
     let msgs: Vec<Msg> = docs.into_iter().map(|d| Msg::Doc(Arc::new(d))).collect();
+    build_custom(
+        config,
+        dict,
+        move |_| Box::new(VecSpout::with_punctuation(msgs.clone(), window)),
+        move |_| Box::new(reporter.clone()),
+        plan,
+    )
+}
+
+/// The Fig. 2 topology with a pluggable reader spout and reporter bolt —
+/// the paced latency harness swaps in [`PacedSpout`] and a latency-aware
+/// reporter without duplicating the wiring.
+fn build_custom(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    spout: impl Fn(usize) -> Box<dyn Spout<Msg>> + Send + 'static,
+    reporter: impl Fn(usize) -> Box<dyn Bolt<Msg>> + Send + Sync + 'static,
+    plan: FaultPlan,
+) -> ssj_runtime::Topology<Msg> {
+    let window = config.pane_docs();
     let dict_creator = dict.clone();
     let dict_assigner = dict.clone();
     // Backpressure: keep the reader within roughly one window of the
@@ -116,7 +143,7 @@ fn build_faulted(
     let share = (window / config.assigners.max(1)).clamp(16, 1024);
     let batch = config.batch_size.min((share / 4).max(1));
     let capacity = (share / batch).max(4);
-    TopologyBuilder::new()
+    let mut builder = TopologyBuilder::new()
         .fault_plan(plan)
         .channel_capacity(capacity)
         .batch_size(batch)
@@ -133,10 +160,19 @@ fn build_faulted(
                 .retries(config.retries)
                 .backoff(std::time::Duration::from_millis(config.backoff_ms.max(1)))
                 .degraded(config.degraded),
-        )
-        .spout("reader", 1, move |_| {
-            Box::new(VecSpout::with_punctuation(msgs.clone(), window))
-        })
+        );
+    if config.shed_budget > 0 {
+        // Overload protection on the joiners (DESIGN.md §4h): only
+        // document probes are sheddable; tables, group exchanges, and
+        // JoinStats (control and result state) always pass. Off by
+        // default — with `shed_budget == 0` no shedder is installed and
+        // the receive path is byte-identical to before.
+        builder = builder.shed("joiner", config.shed_budget, |m: &Msg| {
+            matches!(m, Msg::Doc(_))
+        });
+    }
+    builder
+        .spout("reader", 1, spout)
         .bolt("creator", config.partition_creators, move |_| {
             Box::new(PartitionCreator::new(config, dict_creator.clone()))
         })
@@ -157,11 +193,145 @@ fn build_faulted(
         .bolt("joiner", config.m, move |_| Box::new(Joiner::new(config)))
         .subscribe("assigner", Grouping::Direct)
         .done()
-        .bolt("reporter", 1, move |_| Box::new(reporter.clone()))
+        .bolt("reporter", 1, reporter)
         .subscribe("joiner", Grouping::Global)
         .done()
         .build()
         .expect("Fig. 2 topology is valid")
+}
+
+/// Per-pane end-to-end latency distributions from a paced run
+/// ([`run_topology_paced`]). Latency of a tuple is measured from its
+/// *intended* (scheduled) arrival to the moment the reporter holds the
+/// pane's last `JoinStats` — open-loop accounting, so queueing delay in an
+/// overloaded topology is charged to the tuples that waited.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// `(pane id, latency histogram)` in pane order.
+    pub per_window: Vec<(u64, HistogramSnapshot)>,
+}
+
+impl LatencyReport {
+    /// The given latency quantile (e.g. 0.99) pooled over all panes, in
+    /// nanoseconds; 0 when no pane closed. Merges the per-pane bucket
+    /// counts, so the result has the same bucket-bound granularity as the
+    /// per-pane quantiles.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let mut merged = [0u64; ssj_runtime::metrics::HISTOGRAM_BUCKETS];
+        let mut total = 0u64;
+        for (_, h) in &self.per_window {
+            for &(i, c) in &h.buckets {
+                merged[i as usize] += c;
+                total += c;
+            }
+        }
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in merged.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= rank {
+                return ssj_runtime::metrics::bucket_bound(i);
+            }
+        }
+        0
+    }
+}
+
+/// The reporter of a paced run: collects `JoinStats` like the plain
+/// [`CollectorBolt`] reporter and, once the `m`-th joiner reported a pane,
+/// records every tuple of that pane's end-to-end latency against the
+/// arrival schedule.
+struct LatencyReporter {
+    inner: CollectorBolt<Msg>,
+    m: usize,
+    pane: usize,
+    schedule: Arc<Vec<u64>>,
+    anchor: Arc<OnceLock<Instant>>,
+    seen: FxHashMap<u64, usize>,
+    out: Arc<Mutex<Vec<(u64, HistogramSnapshot)>>>,
+}
+
+impl Bolt<Msg> for LatencyReporter {
+    fn execute(&mut self, msg: Msg, out: &mut Outbox<Msg>) {
+        if let Msg::JoinStats { window, .. } = &msg {
+            let w = *window;
+            let seen = self.seen.entry(w).or_insert(0);
+            *seen += 1;
+            if *seen == self.m {
+                if let Some(anchor) = self.anchor.get() {
+                    let now = anchor.elapsed().as_nanos() as u64;
+                    let h = Histogram::new();
+                    let lo = (w as usize) * self.pane;
+                    let hi = (lo + self.pane).min(self.schedule.len());
+                    for i in lo..hi {
+                        h.record_ns(now.saturating_sub(self.schedule[i]));
+                    }
+                    self.out.lock().unwrap().push((w, h.snapshot()));
+                }
+            }
+        }
+        self.inner.execute(msg, out);
+    }
+}
+
+/// [`run_topology_chaos`] with an open-loop paced reader: document `i`
+/// enters the topology `schedule[i]` nanoseconds after the first emission
+/// (see [`PacedSpout`]), and the reporter measures per-pane end-to-end
+/// latency from the *intended* arrivals. Join results are folded exactly
+/// as in [`run_topology`]; the latency report rides alongside.
+pub fn run_topology_paced(
+    config: StreamJoinConfig,
+    dict: &Dictionary,
+    docs: Vec<Document>,
+    schedule: Vec<u64>,
+    plan: FaultPlan,
+) -> Result<(TopologyRunReport, LatencyReport), RunError> {
+    config.validate().expect("invalid configuration");
+    assert_eq!(docs.len(), schedule.len(), "one arrival time per document");
+    let collector = CollectorBolt::new();
+    let handle: CollectorHandle<Msg> = collector.handle();
+    let pane = config.pane_docs();
+    let m = config.m;
+    let schedule = Arc::new(schedule);
+    let anchor: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+    let lat_out: Arc<Mutex<Vec<(u64, HistogramSnapshot)>>> = Arc::new(Mutex::new(Vec::new()));
+    let msgs: Vec<Msg> = docs.into_iter().map(|d| Msg::Doc(Arc::new(d))).collect();
+    let spout_schedule = Arc::clone(&schedule);
+    let spout_anchor = Arc::clone(&anchor);
+    let rep_out = Arc::clone(&lat_out);
+    let rep_anchor = Arc::clone(&anchor);
+    let topology = build_custom(
+        config,
+        dict,
+        move |_| {
+            Box::new(PacedSpout::new(
+                msgs.clone(),
+                spout_schedule.as_ref().clone(),
+                pane,
+                Arc::clone(&spout_anchor),
+            ))
+        },
+        move |_| {
+            Box::new(LatencyReporter {
+                inner: collector.clone(),
+                m,
+                pane,
+                schedule: Arc::clone(&schedule),
+                anchor: Arc::clone(&rep_anchor),
+                seen: FxHashMap::default(),
+                out: Arc::clone(&rep_out),
+            })
+        },
+        plan,
+    );
+    let runtime = run(topology)?;
+    let report = fold_join_stats(config, runtime, handle);
+    let mut per_window = lat_out.lock().unwrap().clone();
+    per_window.sort_by_key(|(w, _)| *w);
+    Ok((report, LatencyReport { per_window }))
 }
 
 /// Run the full stream-join topology over `docs` and gather every window's
@@ -205,6 +375,7 @@ fn fold_join_stats(
 ) -> TopologyRunReport {
     let mut by_window: FxHashMap<u64, FxHashSet<(u64, u64)>> = FxHashMap::default();
     let mut docs_by_window: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut pairs_by_window: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     for msg in handle.take() {
         if let Msg::JoinStats {
             window,
@@ -222,6 +393,10 @@ fn fold_join_stats(
                 .entry(window)
                 .or_insert_with(|| vec![0; config.m]);
             slot[joiner] = docs;
+            let slot = pairs_by_window
+                .entry(window)
+                .or_insert_with(|| vec![0; config.m]);
+            slot[joiner] = pairs.len();
         }
     }
     let mut windows: Vec<u64> = by_window.keys().copied().collect();
@@ -234,10 +409,15 @@ fn fold_join_stats(
         .iter()
         .map(|w| docs_by_window.remove(w).unwrap_or_default())
         .collect();
+    let pairs_per_joiner = windows
+        .iter()
+        .map(|w| pairs_by_window.remove(w).unwrap_or_default())
+        .collect();
     TopologyRunReport {
         runtime,
         joins_per_window,
         docs_per_joiner,
+        pairs_per_joiner,
     }
 }
 

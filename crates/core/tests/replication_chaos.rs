@@ -1,0 +1,137 @@
+//! Crash recovery under hot-group replication and load shedding.
+//!
+//! A joiner crash is the worst case for replication: the crashed task may
+//! hold replica *cells* of a hot association group, so post-crash replay
+//! must re-deliver the id-bucketed document shares exactly — any drift in
+//! the replica routing would surface as duplicate or missing join pairs.
+//! Separately, the shed counters must stay conserved across a crash:
+//! replayed envelopes are re-offered to the shedder, and every offer ends
+//! in exactly one of `shed_dropped` / `shed_passed`.
+
+use proptest::prelude::*;
+use ssj_bench::testutil::assert_runs_equal;
+use ssj_bench::traffic::{sessionized_docs, SkewConfig};
+use ssj_core::{run_topology, run_topology_chaos, StreamJoinConfig, WindowSpec};
+use ssj_runtime::FaultPlan;
+
+const WINDOW: usize = 100;
+const N: usize = WINDOW * 4;
+
+fn skew(seed: u64) -> SkewConfig {
+    SkewConfig {
+        seed,
+        keys: 4,
+        s: 1.2,
+        attach: 0.9,
+    }
+}
+
+/// Replication on, aggressive threshold: the hot session's group is
+/// replicated from window 0's table onward (see
+/// `replication_engages_under_skew`).
+fn rep_cfg() -> StreamJoinConfig {
+    StreamJoinConfig::default()
+        .with_m(4)
+        .with_window_spec(WindowSpec::tumbling(WINDOW))
+        .with_partition_creators(2)
+        .with_assigners(2)
+        .with_expansion(false)
+        .with_replicate_hot(true)
+        .with_hot_factor(1.2)
+        .with_retries(2) // arms supervised window-boundary snapshots
+        .with_backoff_ms(1)
+        .with_metrics(true)
+        .build()
+        .unwrap()
+}
+
+/// Crash one joiner at `(window, tuple)` mid-skewed-stream and assert the
+/// recovered run is byte-identical to the fault-free run — with replica
+/// routing demonstrably engaged in both.
+fn assert_hot_crash_recovers(seed: u64, task: usize, window: u64, tuple: u64) {
+    let cfg = rep_cfg();
+    let (dict, docs) = sessionized_docs(N, skew(seed));
+    let clean = run_topology(cfg, &dict, docs.clone()).unwrap();
+
+    let plan = FaultPlan::new().crash("joiner", task, window, tuple);
+    let faulted = run_topology_chaos(cfg, &dict, docs, plan).unwrap();
+    assert!(
+        faulted.runtime.total_faults() > 0,
+        "joiner[{task}] crash at w={window},t={tuple} never fired"
+    );
+    for report in [&clean, &faulted] {
+        let hot_routed: u64 = report
+            .runtime
+            .tasks
+            .iter()
+            .filter(|t| t.component == "assigner")
+            .map(|t| t.counter("hot_routed"))
+            .sum();
+        assert!(hot_routed > 0, "replica routing must engage in both runs");
+    }
+    assert_runs_equal(&clean, &faulted);
+}
+
+/// With m=4 the hot group replicates into r=2 buckets over 3 cells, so at
+/// least three of the four joiners hold a replica cell: crashing two
+/// distinct tasks guarantees at least one crashed cell holder.
+#[test]
+fn joiner_crash_with_replicated_hot_group_recovers() {
+    assert_hot_crash_recovers(42, 0, 2, 7);
+}
+
+#[test]
+fn joiner_crash_at_window_boundary_recovers_replicas() {
+    assert_hot_crash_recovers(43, 2, 3, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any single joiner crash under replication recovers byte-identically.
+    #[test]
+    fn any_joiner_crash_under_replication_recovers(
+        seed in 0u64..1 << 32,
+        task in 0usize..4,
+        window in 1u64..4,
+        tuple in 0u64..12,
+    ) {
+        assert_hot_crash_recovers(seed, task, window, tuple);
+    }
+}
+
+/// Shed counters stay conserved when a crash forces replay: replayed
+/// envelopes are re-offered, and each offer lands in exactly one of
+/// dropped/passed. Shedding never touches punctuation or table state, so
+/// the run still terminates with every window reported.
+#[test]
+fn shed_counters_conserved_across_joiner_crash() {
+    let cfg = rep_cfg().with_shed_budget(64).build().unwrap();
+    let (dict, docs) = sessionized_docs(N, skew(7));
+    let plan = FaultPlan::new().crash("joiner", 1, 2, 5);
+    let report = run_topology_chaos(cfg, &dict, docs, plan).unwrap();
+    assert!(report.runtime.total_faults() > 0, "crash never fired");
+
+    let (mut offered, mut dropped, mut passed) = (0u64, 0u64, 0u64);
+    for t in report
+        .runtime
+        .tasks
+        .iter()
+        .filter(|t| t.component == "joiner")
+    {
+        offered += t.counter("shed_offered");
+        dropped += t.counter("shed_dropped");
+        passed += t.counter("shed_passed");
+    }
+    assert!(offered > 0, "joiners saw no data at all");
+    assert_eq!(
+        offered,
+        dropped + passed,
+        "every offered message must be dropped or passed, even across replay"
+    );
+    assert_eq!(
+        report.joins_per_window.len(),
+        N / WINDOW,
+        "shedding must never swallow punctuation"
+    );
+}

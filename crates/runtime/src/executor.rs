@@ -887,6 +887,62 @@ impl<M> Drop for Outbox<M> {
     }
 }
 
+/// Queue-depth load shedder on one bolt's forward input (installed via
+/// [`crate::TopologyBuilder::shed`]). Consulted immediately after each
+/// forward receive, *before* the supervisor's fault clock and replay log
+/// see the envelope — a shed envelope is invisible to recovery, so replay
+/// after a crash never resurrects dropped work. Only envelopes whose
+/// messages all satisfy the predicate are ever dropped; punctuation and
+/// EOS always pass, so window alignment is untouched.
+struct Shedder<M> {
+    budget: usize,
+    predicate: crate::topology::ShedPredicate<M>,
+    offered: u64,
+    dropped: u64,
+    passed: u64,
+}
+
+impl<M> Shedder<M> {
+    fn new(spec: &crate::topology::ShedSpec<M>) -> Self {
+        Shedder {
+            budget: spec.budget,
+            predicate: Arc::clone(&spec.predicate),
+            offered: 0,
+            dropped: 0,
+            passed: 0,
+        }
+    }
+
+    /// Account `env` against the observed queue `depth`; true = drop it.
+    fn consider(&mut self, env: &Envelope<M>, depth: usize) -> bool {
+        let n = env.data_len();
+        if n == 0 {
+            return false;
+        }
+        self.offered += n;
+        let drop = depth > self.budget
+            && match env {
+                Envelope::Data(m, _) => (self.predicate)(m),
+                Envelope::Batch(msgs, _) => msgs.iter().all(|m| (self.predicate)(m)),
+                _ => false,
+            };
+        if drop {
+            self.dropped += n;
+        } else {
+            self.passed += n;
+        }
+        drop
+    }
+
+    /// Fold the conservation counters into the task's instruments
+    /// (offered = dropped + passed, counting messages).
+    fn publish(&self, inst: &TaskInstruments) {
+        inst.counter("shed_offered").add(self.offered);
+        inst.counter("shed_dropped").add(self.dropped);
+        inst.counter("shed_passed").add(self.passed);
+    }
+}
+
 struct TaskWiring<M> {
     info: TaskInfo,
     rx: Receiver<Envelope<M>>,
@@ -912,6 +968,9 @@ struct TaskWiring<M> {
     policy: RecoveryPolicy,
     /// Degraded-mode fence table (present only when the policy enables it).
     fences: Option<Arc<FenceState>>,
+    /// Load shedder on the forward input (None for spouts and unshedded
+    /// bolts — the common case).
+    shed: Option<Shedder<M>>,
 }
 
 /// The executor's task-local metering state: plain (non-atomic) counters and
@@ -1096,6 +1155,7 @@ fn run_inner<M: Clone + Send + 'static>(
         fault_plan,
         recovery,
         scheduler,
+        shed,
     } = topology;
     let mut registry = MetricsRegistry::new(MetricsConfig {
         enabled: metrics_on,
@@ -1366,6 +1426,10 @@ fn run_inner<M: Clone + Send + 'static>(
                 faults: fault_plan.for_task(&name, task),
                 policy: recovery.clone(),
                 fences: fences.clone(),
+                shed: shed
+                    .iter()
+                    .find(|spec| spec.component == name)
+                    .map(Shedder::new),
             });
         }
     }
@@ -2323,6 +2387,7 @@ fn run_supervised_bolt<M: Clone + Send + 'static>(
     has_feedback_upstream: bool,
     meter: &mut TaskMeter,
     notify: &Option<Sender<u64>>,
+    shed: &mut Option<Shedder<M>>,
 ) {
     let mut fwd_open = true;
     let mut fb_open = has_feedback_upstream;
@@ -2357,6 +2422,9 @@ fn run_supervised_bolt<M: Clone + Send + 'static>(
                     }
                 },
             };
+            if shed.as_mut().is_some_and(|s| s.consider(&env, rx.len())) {
+                continue; // dropped before the fault clock and replay log
+            }
             if sup.step(env, bolt, align, outbox, meter, rx, notify) {
                 break; // all forward upstreams at EOS
             }
@@ -2380,6 +2448,9 @@ fn run_supervised_bolt<M: Clone + Send + 'static>(
         if idx == fwd_idx {
             match op.recv(rx) {
                 Ok(env) => {
+                    if shed.as_mut().is_some_and(|s| s.consider(&env, rx.len())) {
+                        continue;
+                    }
                     if sup.step(env, bolt, align, outbox, meter, rx, notify) {
                         break; // all forward upstreams at EOS
                     }
@@ -2412,6 +2483,7 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
         faults,
         policy,
         fences,
+        mut shed,
     } = w;
     let mut meter = TaskMeter::new(&info, inst);
 
@@ -2481,6 +2553,7 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
                     has_feedback_upstream,
                     &mut meter,
                     &notify,
+                    &mut shed,
                 );
                 bolt.finish(&mut outbox);
                 outbox.eos();
@@ -2534,6 +2607,12 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
                         // receive.
                         match rx.recv() {
                             Ok(envelope) => {
+                                if shed
+                                    .as_mut()
+                                    .is_some_and(|s| s.consider(&envelope, rx.len()))
+                                {
+                                    continue;
+                                }
                                 if step!(envelope) {
                                     break; // all forward upstreams at EOS
                                 }
@@ -2549,6 +2628,12 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
                     if idx == fwd_idx {
                         match op.recv(&rx) {
                             Ok(envelope) => {
+                                if shed
+                                    .as_mut()
+                                    .is_some_and(|s| s.consider(&envelope, rx.len()))
+                                {
+                                    continue;
+                                }
                                 if step!(envelope) {
                                     break; // all forward upstreams at EOS
                                 }
@@ -2581,6 +2666,9 @@ fn run_task<M: Clone + Send + 'static>(w: TaskWiring<M>) {
         }
     }
 
+    if let Some(sh) = &shed {
+        sh.publish(&meter.inst);
+    }
     publish_final_metrics(&mut meter, &outbox);
     // `notify` (if any) drops here; the collector ends once every task's
     // sender is gone.
@@ -2644,6 +2732,7 @@ struct CoopBolt<M> {
     /// their panics hit the worker's `catch_unwind` like any user code).
     started: bool,
     phase: CoopPhase,
+    shed: Option<Shedder<M>>,
 }
 
 enum CoopPhase {
@@ -2668,6 +2757,7 @@ impl<M: Clone + Send + 'static> CoopBolt<M> {
             faults,
             policy,
             fences,
+            shed,
         } = w;
         let TaskKind::Bolt(bolt) = kind else {
             unreachable!("spouts are never pool-scheduled");
@@ -2714,6 +2804,7 @@ impl<M: Clone + Send + 'static> CoopBolt<M> {
             fb_open: has_feedback_upstream,
             started: false,
             phase: CoopPhase::Receive,
+            shed,
         }
     }
 
@@ -2783,6 +2874,13 @@ impl<M: Clone + Send + 'static> TaskStep for CoopBolt<M> {
                     match self.rx.try_recv() {
                         Ok(env) => {
                             budget -= 1;
+                            if self
+                                .shed
+                                .as_mut()
+                                .is_some_and(|s| s.consider(&env, self.rx.len()))
+                            {
+                                continue;
+                            }
                             if self.handle(env) {
                                 self.enter_drain();
                             }
@@ -2816,6 +2914,9 @@ impl<M: Clone + Send + 'static> TaskStep for CoopBolt<M> {
                         }
                         Err(TryRecvError::Empty) => return StepOutcome::Idle,
                         Err(TryRecvError::Disconnected) => {
+                            if let Some(sh) = &self.shed {
+                                sh.publish(&self.meter.inst);
+                            }
                             publish_final_metrics(&mut self.meter, &self.outbox);
                             self.phase = CoopPhase::Done;
                         }

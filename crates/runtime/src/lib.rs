@@ -49,7 +49,9 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, TaskInstruments, TaskSnapshot, TraceEvent,
     TraceKind, WindowSnapshot,
 };
-pub use topology::{BoltHandle, Grouping, SchedulerMode, Topology, TopologyBuilder, TopologyError};
+pub use topology::{
+    BoltHandle, Grouping, SchedulerMode, ShedPredicate, Topology, TopologyBuilder, TopologyError,
+};
 pub use transport::{join_group, Group, GroupSetup};
 pub use wire::WireCodec;
 
@@ -187,6 +189,91 @@ impl<M: Send + 'static> Spout<M> for VecSpout<M> {
             None => {
                 self.done = true;
                 if self.punct_every.is_some() && self.since_punct > 0 {
+                    let p = self.next_punct;
+                    self.next_punct += 1;
+                    return SpoutEmit::Punctuate(p);
+                }
+                SpoutEmit::Done
+            }
+        }
+    }
+}
+
+/// A spout replaying items against a precomputed *virtual arrival
+/// schedule* (open-loop traffic): item `i` is held back until
+/// `schedule[i]` nanoseconds after the first emission. The schedule is
+/// pure data computed up front (no wall clock shapes it), so the same
+/// seed always offers the same load; only the pacing against it reads the
+/// clock. The shared `anchor` is set at the first emission — latency
+/// consumers subtract `schedule[i]` from time-since-anchor, charging each
+/// tuple from its *intended* arrival rather than its actual send, so
+/// queueing delay in an overloaded topology shows up as latency instead
+/// of being absorbed by a slowed-down source (no coordinated omission).
+///
+/// Punctuates after every `punct_every` items and once more at the end,
+/// like [`VecSpout::with_punctuation`].
+pub struct PacedSpout<M> {
+    items: std::vec::IntoIter<M>,
+    schedule: std::vec::IntoIter<u64>,
+    punct_every: usize,
+    since_punct: usize,
+    next_punct: u64,
+    done: bool,
+    anchor: Arc<std::sync::OnceLock<std::time::Instant>>,
+}
+
+impl<M: Send + 'static> PacedSpout<M> {
+    /// Pace `items` against `schedule` (same length, non-decreasing
+    /// virtual nanoseconds), punctuating every `punct_every` items.
+    pub fn new(
+        items: Vec<M>,
+        schedule: Vec<u64>,
+        punct_every: usize,
+        anchor: Arc<std::sync::OnceLock<std::time::Instant>>,
+    ) -> Self {
+        assert_eq!(items.len(), schedule.len(), "one arrival time per item");
+        PacedSpout {
+            items: items.into_iter(),
+            schedule: schedule.into_iter(),
+            punct_every: punct_every.max(1),
+            since_punct: 0,
+            next_punct: 0,
+            done: false,
+            anchor,
+        }
+    }
+}
+
+impl<M: Send + 'static> Spout<M> for PacedSpout<M> {
+    fn next(&mut self) -> SpoutEmit<M> {
+        if self.done {
+            return SpoutEmit::Done;
+        }
+        if self.since_punct == self.punct_every {
+            self.since_punct = 0;
+            let p = self.next_punct;
+            self.next_punct += 1;
+            return SpoutEmit::Punctuate(p);
+        }
+        match (self.items.next(), self.schedule.next()) {
+            (Some(m), Some(at)) => {
+                let anchor = *self.anchor.get_or_init(std::time::Instant::now);
+                // Sleep in coarse slices, then let the final slice land us
+                // at (or just past) the scheduled instant.
+                loop {
+                    let elapsed = anchor.elapsed().as_nanos() as u64;
+                    if elapsed >= at {
+                        break;
+                    }
+                    let left = at - elapsed;
+                    std::thread::sleep(std::time::Duration::from_nanos(left.min(200_000)));
+                }
+                self.since_punct += 1;
+                SpoutEmit::Message(m)
+            }
+            _ => {
+                self.done = true;
+                if self.since_punct > 0 {
                     let p = self.next_punct;
                     self.next_punct += 1;
                     return SpoutEmit::Punctuate(p);
@@ -868,6 +955,196 @@ mod batch_tests {
             .unwrap();
         let report = run(t).unwrap();
         assert_eq!(report.received_per_task("bcast"), vec![10, 10, 10]);
+    }
+}
+
+#[cfg(test)]
+mod shed_tests {
+    use super::*;
+
+    fn shed_sums(report: &RunReport, component: &str) -> (u64, u64, u64) {
+        let sum = |name: &str| -> u64 {
+            report
+                .tasks
+                .iter()
+                .filter(|t| t.component == component)
+                .map(|t| t.counter(name))
+                .sum()
+        };
+        (sum("shed_offered"), sum("shed_dropped"), sum("shed_passed"))
+    }
+
+    #[test]
+    fn shed_counters_conserved_under_overload() {
+        // A blasting spout against a bolt that sleeps per message: the
+        // queue stays deep, so a zero budget must shed. Exactly how many
+        // drop is timing-dependent; conservation is not.
+        let t = TopologyBuilder::new()
+            .channel_capacity(8)
+            .spout("src", 1, |_| {
+                Box::new(VecSpout::with_punctuation((0..400).collect(), 100))
+            })
+            .bolt("slow", 1, |_| {
+                fn_bolt(|_x: i32, _out: &mut Outbox<i32>| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .shed("slow", 0, |_m: &i32| true)
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        let (offered, dropped, passed) = shed_sums(&report, "slow");
+        assert_eq!(offered, 400, "every data message is accounted");
+        assert_eq!(offered, dropped + passed, "conservation");
+        assert!(dropped > 0, "zero budget under overload must shed");
+        assert_eq!(
+            report.received("slow"),
+            passed,
+            "bolt saw only passed messages"
+        );
+    }
+
+    #[test]
+    fn shed_with_slack_budget_drops_nothing() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| {
+                Box::new(VecSpout::with_punctuation((0..200).collect(), 50))
+            })
+            .bolt("work", 1, |_| fn_bolt(|_x: i32, _out: &mut Outbox<i32>| {}))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .shed("work", usize::MAX, |_m: &i32| true)
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        let (offered, dropped, passed) = shed_sums(&report, "work");
+        assert_eq!(offered, 200);
+        assert_eq!(dropped, 0);
+        assert_eq!(passed, 200);
+    }
+
+    #[test]
+    fn shed_respects_predicate() {
+        // Only even messages are sheddable; odd ones always pass even with
+        // a zero budget and a saturated queue.
+        let seen = Arc::new(Mutex::new(Vec::<i32>::new()));
+        let s2 = Arc::clone(&seen);
+        let t = TopologyBuilder::new()
+            .channel_capacity(4)
+            .spout("src", 1, |_| VecSpout::boxed((0..300).collect()))
+            .bolt("slow", 1, move |_| {
+                let s = Arc::clone(&s2);
+                fn_bolt(move |x: i32, _out: &mut Outbox<i32>| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    s.lock().push(x);
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .shed("slow", 0, |m: &i32| m % 2 == 0)
+            .build()
+            .unwrap();
+        run(t).unwrap();
+        let got = seen.lock();
+        let odd = (0..300).filter(|x| x % 2 == 1).count();
+        assert!(
+            got.iter().filter(|x| *x % 2 == 1).count() == odd,
+            "no odd message may be shed"
+        );
+    }
+
+    #[test]
+    fn shed_on_pooled_scheduler_conserves() {
+        let t = TopologyBuilder::new()
+            .scheduler(SchedulerMode::Pooled {
+                workers: 2,
+                pin_cores: false,
+            })
+            .spout("src", 1, |_| {
+                Box::new(VecSpout::with_punctuation((0..400).collect(), 100))
+            })
+            .bolt("slow", 1, |_| {
+                fn_bolt(|_x: i32, _out: &mut Outbox<i32>| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                })
+            })
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .shed("slow", 1, |_m: &i32| true)
+            .build()
+            .unwrap();
+        let report = run(t).unwrap();
+        let (offered, dropped, passed) = shed_sums(&report, "slow");
+        assert_eq!(offered, 400);
+        assert_eq!(offered, dropped + passed);
+    }
+
+    #[test]
+    fn shed_target_must_be_a_bolt() {
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![1]))
+            .bolt("work", 1, |_| fn_bolt(|_: i32, _| {}))
+            .subscribe("src", Grouping::Shuffle)
+            .done()
+            .shed("src", 0, |_m: &i32| true)
+            .build();
+        assert!(matches!(t, Err(TopologyError::ShedTarget(_))));
+        let t = TopologyBuilder::new()
+            .spout("src", 1, |_| VecSpout::boxed(vec![1]))
+            .shed("ghost", 0, |_m: &i32| true)
+            .build();
+        assert!(matches!(t, Err(TopologyError::ShedTarget(_))));
+    }
+}
+
+#[cfg(test)]
+mod paced_tests {
+    use super::*;
+
+    #[test]
+    fn paced_spout_respects_schedule_and_punctuates() {
+        // 40 items, 0.5 ms apart: the run takes at least ~20 ms and window
+        // contents match the unpaced equivalent.
+        let sink = CollectorBolt::new();
+        let handle = sink.handle();
+        let anchor = Arc::new(std::sync::OnceLock::new());
+        let a2 = Arc::clone(&anchor);
+        let schedule: Vec<u64> = (0..40u64).map(|i| i * 500_000).collect();
+        let t = TopologyBuilder::new()
+            .spout("src", 1, move |_| {
+                Box::new(PacedSpout::new(
+                    (0..40).collect(),
+                    schedule.clone(),
+                    10,
+                    Arc::clone(&a2),
+                ))
+            })
+            .bolt("sink", 1, move |_| Box::new(sink.clone()))
+            .subscribe("src", Grouping::Global)
+            .done()
+            .build()
+            .unwrap();
+        let t0 = std::time::Instant::now();
+        let report = run(t).unwrap();
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(19),
+            "pacing must stretch the run"
+        );
+        let mut got = handle.take();
+        got.sort();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        assert_eq!(
+            report
+                .tasks
+                .iter()
+                .find(|t| t.component == "src")
+                .unwrap()
+                .counter("puncts"),
+            4
+        );
+        assert!(anchor.get().is_some(), "anchor set at first emission");
     }
 }
 

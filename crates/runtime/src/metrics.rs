@@ -1,4 +1,4 @@
-//! Observability: a lock-free metrics registry, power-of-two latency
+//! Observability: a lock-free metrics registry, log-linear latency
 //! histograms, and a bounded window-lifecycle trace ring.
 //!
 //! Design constraints (see DESIGN.md §4c):
@@ -10,10 +10,10 @@
 //!   thread reads the atomics with `Relaxed` loads; per-window snapshots
 //!   only need punctuation-boundary freshness, which is exactly when the
 //!   locals are flushed.
-//! * **Zero allocation on the hot path.** Histograms are fixed arrays of 64
-//!   power-of-two buckets (`bucket i` counts durations in `[2^i, 2^(i+1))`
-//!   nanoseconds); recording is a leading-zeros and an add. The trace ring
-//!   has a fixed capacity and recycles slots.
+//! * **Zero allocation on the hot path.** Histograms are fixed arrays of
+//!   log-linear buckets (each power-of-two octave splits into `2^SUB_BITS`
+//!   linear sub-buckets); recording is a leading-zeros, a shift, and an
+//!   add. The trace ring has a fixed capacity and recycles slots.
 //! * **Per-punctuation time series.** Every task notifies the collector
 //!   after flushing at a window boundary; once *all* tasks have reported
 //!   window `w`, the collector snapshots the whole registry. Snapshots are
@@ -31,22 +31,45 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Number of power-of-two histogram buckets (covers the full `u64` range).
-pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear sub-buckets, bounding the quantile error at
+/// `1/2^SUB_BITS` (12.5%) instead of the 2x a pure power-of-two layout
+/// allows — coarse enough to stay a flat array, fine enough that paired
+/// tail-latency gates (see `bench_latency`) can resolve real ratios.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
 
-/// Bucket index of a nanosecond value: `floor(log2(ns))`, with 0 → 0.
+/// Number of log-linear histogram buckets (covers the full `u64` range):
+/// values below `2^SUB_BITS` get exact buckets, every octave above
+/// contributes `2^SUB_BITS` linear sub-buckets.
+pub const HISTOGRAM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS as usize;
+
+/// Bucket index of a nanosecond value (log-linear; monotone in `ns`).
 #[inline]
 pub fn bucket_of(ns: u64) -> usize {
-    (63 - (ns | 1).leading_zeros()) as usize
+    if ns < SUBS {
+        ns as usize
+    } else {
+        let o = 63 - ns.leading_zeros() as u64; // octave, >= SUB_BITS
+                                                // The SUB_BITS bits below the leading one select the sub-bucket.
+        let sub = (ns >> (o - SUB_BITS as u64)) & (SUBS - 1);
+        ((o - SUB_BITS as u64 + 1) * SUBS + sub) as usize
+    }
 }
 
-/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1` ns, saturating).
+/// Inclusive upper bound of bucket `i`, saturating at `u64::MAX`.
 #[inline]
 pub fn bucket_bound(i: usize) -> u64 {
-    if i >= 63 {
-        u64::MAX
+    if i < SUBS as usize {
+        i as u64
     } else {
-        (1u64 << (i + 1)) - 1
+        let o = i as u64 / SUBS + SUB_BITS as u64 - 1;
+        let sub = i as u64 % SUBS;
+        let width = 1u64 << (o - SUB_BITS as u64);
+        (1u64 << o)
+            .checked_add((sub + 1) * width)
+            .map(|v| v - 1)
+            .unwrap_or(u64::MAX)
     }
 }
 
@@ -114,7 +137,7 @@ impl Gauge {
     }
 }
 
-/// A fixed-bucket power-of-two latency histogram over nanoseconds.
+/// A fixed-bucket log-linear latency histogram over nanoseconds.
 ///
 /// Shared (atomic) variant; the executor's hot path uses [`LocalHistogram`]
 /// and publishes cumulative bucket counts here at window boundaries.
@@ -176,13 +199,13 @@ impl Histogram {
 
     /// Read a consistent-enough copy (collector side).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<(u8, u64)> = self
+        let buckets: Vec<(u16, u64)> = self
             .buckets
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
                 let c = b.load(Ordering::Relaxed);
-                (c != 0).then_some((i as u8, c))
+                (c != 0).then_some((i as u16, c))
             })
             .collect();
         HistogramSnapshot {
@@ -248,7 +271,7 @@ pub struct HistogramSnapshot {
     /// Sum of all recorded nanoseconds.
     pub sum_ns: u64,
     /// `(bucket index, count)` for non-empty buckets, ascending.
-    pub buckets: Vec<(u8, u64)>,
+    pub buckets: Vec<(u16, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -783,7 +806,7 @@ pub fn summary_table(finals: &[TaskSnapshot]) -> String {
         merged.buckets = bucket_acc
             .iter()
             .enumerate()
-            .filter_map(|(i, &c)| (c != 0).then_some((i as u8, c)))
+            .filter_map(|(i, &c)| (c != 0).then_some((i as u16, c)))
             .collect();
         let windows = tasks.iter().map(|t| t.counter("puncts")).max().unwrap_or(0);
         let busy = Duration::from_nanos(sum("busy_ns") / tasks.len().max(1) as u64);
@@ -817,17 +840,32 @@ mod tests {
 
     #[test]
     fn bucket_math() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(u64::MAX), 63);
-        assert_eq!(bucket_bound(0), 1);
-        assert_eq!(bucket_bound(1), 3);
-        assert_eq!(bucket_bound(63), u64::MAX);
-        for ns in [0u64, 1, 7, 1000, 123_456_789] {
-            assert!(ns <= bucket_bound(bucket_of(ns)), "{ns}");
+        // Small values get exact buckets.
+        for ns in 0..SUBS {
+            assert_eq!(bucket_of(ns), ns as usize);
+            assert_eq!(bucket_bound(ns as usize), ns);
+        }
+        // First log-linear octave: [8,16) in unit-width sub-buckets.
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Monotone, and each value is within its bucket's bounds with
+        // log-linear relative error (bound/ns < 1 + 1/SUBS for ns >= SUBS).
+        let mut prev = 0usize;
+        for ns in [0u64, 1, 7, 8, 100, 1000, 123_456_789, 1 << 40, u64::MAX] {
+            let b = bucket_of(ns);
+            assert!(b >= prev, "{ns}");
+            prev = b;
+            let hi = bucket_bound(b);
+            assert!(ns <= hi, "{ns}");
+            if b > 0 {
+                assert!(ns > bucket_bound(b - 1), "{ns}");
+            }
+            if (SUBS..1 << 62).contains(&ns) {
+                assert!(hi as f64 / ns as f64 <= 1.0 + 1.0 / SUBS as f64, "{ns}");
+            }
         }
     }
 

@@ -69,6 +69,27 @@ pub(crate) struct Subscription<M> {
     pub feedback: bool,
 }
 
+/// Predicate selecting the messages a load shedder may drop (see
+/// [`TopologyBuilder::shed`]).
+pub type ShedPredicate<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
+
+/// A load-shedding policy installed on one component's forward input.
+pub(crate) struct ShedSpec<M> {
+    pub component: String,
+    pub budget: usize,
+    pub predicate: ShedPredicate<M>,
+}
+
+impl<M> Clone for ShedSpec<M> {
+    fn clone(&self) -> Self {
+        ShedSpec {
+            component: self.component.clone(),
+            budget: self.budget,
+            predicate: Arc::clone(&self.predicate),
+        }
+    }
+}
+
 /// Factory producing one spout instance per task.
 pub type SpoutFactory<M> = Box<dyn Fn(usize) -> Box<dyn Spout<M>> + Send>;
 /// Factory producing one bolt instance per task. Shared (`Arc`) so the
@@ -131,6 +152,8 @@ pub enum TopologyError {
     ZeroParallelism(String),
     /// A component subscribed to itself on a forward edge.
     SelfLoop(String),
+    /// A shed policy targets a component that is not a bolt.
+    ShedTarget(String),
 }
 
 impl fmt::Display for TopologyError {
@@ -153,6 +176,9 @@ impl fmt::Display for TopologyError {
             TopologyError::SelfLoop(c) => {
                 write!(f, "component '{c}' has a forward self-subscription")
             }
+            TopologyError::ShedTarget(c) => {
+                write!(f, "shed policy targets '{c}', which is not a bolt")
+            }
         }
     }
 }
@@ -169,6 +195,7 @@ pub struct TopologyBuilder<M> {
     fault_plan: FaultPlan,
     recovery: RecoveryPolicy,
     scheduler: SchedulerMode,
+    shed: Vec<ShedSpec<M>>,
 }
 
 impl<M> Default for TopologyBuilder<M> {
@@ -182,6 +209,7 @@ impl<M> Default for TopologyBuilder<M> {
             fault_plan: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
             scheduler: SchedulerMode::default(),
+            shed: Vec::new(),
         }
     }
 }
@@ -248,6 +276,31 @@ impl<M> TopologyBuilder<M> {
         self
     }
 
+    /// Install a load shedder on `component`'s forward input queue: once
+    /// the queue holds more than `budget` envelopes, arriving data
+    /// envelopes whose messages *all* satisfy `predicate` are dropped
+    /// before the bolt (or its supervisor) sees them. Punctuation, EOS,
+    /// feedback traffic, and mixed envelopes always pass, so window
+    /// alignment and control loops are untouched; under supervision a shed
+    /// envelope never enters the replay log, so a recovered task does not
+    /// resurrect dropped work. The task publishes `shed_offered`,
+    /// `shed_dropped`, and `shed_passed` counters (offered = dropped +
+    /// passed, counting messages, not envelopes). With no shed policies
+    /// installed (the default) the receive path is unchanged.
+    pub fn shed(
+        mut self,
+        component: impl Into<String>,
+        budget: usize,
+        predicate: impl Fn(&M) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.shed.push(ShedSpec {
+            component: component.into(),
+            budget,
+            predicate: Arc::new(predicate),
+        });
+        self
+    }
+
     /// Choose the [`SchedulerMode`] (default [`SchedulerMode::ThreadPerTask`]
     /// for embedder compatibility). Pooled scheduling changes which forward
     /// channels are bounded — channels fed by bolt producers become
@@ -311,6 +364,12 @@ impl<M> TopologyBuilder<M> {
         if !has_spout {
             return Err(TopologyError::NoSpout);
         }
+        for spec in &self.shed {
+            match index.get(&spec.component) {
+                Some(&i) if matches!(self.components[i].kind, ComponentKind::Bolt(_)) => {}
+                _ => return Err(TopologyError::ShedTarget(spec.component.clone())),
+            }
+        }
         for c in &self.components {
             for s in &c.subscriptions {
                 if !index.contains_key(&s.source) {
@@ -358,6 +417,7 @@ impl<M> TopologyBuilder<M> {
             fault_plan: self.fault_plan,
             recovery: self.recovery,
             scheduler: self.scheduler,
+            shed: self.shed,
         })
     }
 }
@@ -445,6 +505,7 @@ pub struct Topology<M> {
     pub(crate) fault_plan: FaultPlan,
     pub(crate) recovery: RecoveryPolicy,
     pub(crate) scheduler: SchedulerMode,
+    pub(crate) shed: Vec<ShedSpec<M>>,
 }
 
 impl<M> Topology<M> {

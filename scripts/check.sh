@@ -52,4 +52,17 @@ cargo build --release -q -p ssj-bench --bin bench_runtime
 echo "==> metrics overhead gate (join smoke, metrics on vs off, >5% fails)"
 ./target/release/bench_runtime --overhead
 
+echo "==> tail-latency smoke vs committed baseline (open-loop paced runs:"
+echo "    constant p99 <= 4x baseline, Zipf straggler probe load with"
+echo "    replication <= 0.7x unreplicated; every run asserts the shed"
+echo "    conservation law offered == dropped + passed)"
+cargo build --release -q -p ssj-bench --bin bench_latency
+./target/release/bench_latency --check BENCH_latency.json
+
+echo "==> replication + shedding smoke (replicated == unreplicated == oracle,"
+echo "    joiner crash holding replica cells recovers byte-identical, shed"
+echo "    counters conserved across replay)"
+cargo test -q -p ssj-core --test replication_equivalence
+cargo test -q -p ssj-core --test replication_chaos
+
 echo "==> all checks passed"
