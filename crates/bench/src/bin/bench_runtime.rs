@@ -204,6 +204,7 @@ fn transport_run(docs_n: usize, window: usize, socket: bool) -> Measurement {
             .enumerate()
             .map(|(w, (dict, docs))| {
                 let dir = dir.clone();
+                let cfg = cfg.clone();
                 std::thread::spawn(move || {
                     let dr = DistRuntime {
                         workers,

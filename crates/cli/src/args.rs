@@ -127,6 +127,16 @@ const SHED_BUDGET: FlagSpec = opt(
     Some("0"),
     "shed probe-only joiner input above this queue depth (0 = never shed)",
 );
+const MEM_BUDGET: FlagSpec = opt(
+    "mem-budget",
+    Some("0"),
+    "spill sealed window state to disk above this many bytes (0 = resident)",
+);
+const SPILL_DIR: FlagSpec = opt(
+    "spill-dir",
+    None,
+    "directory for spilled segment files (with --mem-budget; default: tmp)",
+);
 const WORKERS: FlagSpec = opt(
     "workers",
     Some("1"),
@@ -264,6 +274,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             SCHEDULER,
             POOL_WORKERS,
             PIN_CORES,
+            MEM_BUDGET,
+            SPILL_DIR,
             flag("dot", "print the topology as Graphviz DOT and exit"),
         ],
     },
@@ -297,6 +309,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             SCHEDULER,
             POOL_WORKERS,
             PIN_CORES,
+            MEM_BUDGET,
+            SPILL_DIR,
             WORKERS,
             METRICS_OUT,
             NO_METRICS,
@@ -528,6 +542,20 @@ mod tests {
         assert_eq!(child.get_or("attempt", 0u32).unwrap(), 0);
         // Internal flags exist only on `run`.
         assert!(Args::parse(["topology".into(), "--worker-id".into(), "1".into()]).is_err());
+    }
+
+    #[test]
+    fn spill_flags_parse_on_topology_and_run() {
+        let a = parse(&["run", "--mem-budget", "67108864", "--spill-dir", "/tmp/s"]);
+        assert_eq!(a.get_or("mem-budget", 0u64).unwrap(), 67_108_864);
+        assert_eq!(a.get("spill-dir"), Some("/tmp/s"));
+        let t = parse(&["topology", "--mem-budget", "1024"]);
+        assert_eq!(t.get_or("mem-budget", 0u64).unwrap(), 1024);
+        // The batch pipeline keeps every window resident: no spill knobs.
+        assert!(Args::parse(["pipeline".into(), "--mem-budget".into(), "1".into()]).is_err());
+        for f in ["--mem-budget", "--spill-dir"] {
+            assert!(usage().contains(f), "usage misses {f}");
+        }
     }
 
     #[test]

@@ -210,7 +210,12 @@ fn pipeline_config(args: &Args, metrics: bool) -> Result<StreamJoinConfig, Strin
         .with_pool_workers(args.get_or("pool-workers", 0)?)
         .with_pin_cores(args.flag("pin-cores"))
         .with_workers(args.get_or("workers", 1)?)
-        .build()?;
+        .with_mem_budget(args.get_or("mem-budget", 0)?);
+    let cfg = match args.get("spill-dir") {
+        Some(dir) => cfg.with_spill_dir(dir),
+        None => cfg,
+    }
+    .build()?;
     Ok(cfg)
 }
 
@@ -591,7 +596,7 @@ fn run_group_leader(
             socket_dir: dir.clone(),
             attempt,
         };
-        match run_topology_distributed(cfg, dict, docs.clone(), &dr) {
+        match run_topology_distributed(cfg.clone(), dict, docs.clone(), &dr) {
             Ok(report) => {
                 for (w, mut c) in (1..).zip(children) {
                     match c.wait() {

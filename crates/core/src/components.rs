@@ -17,6 +17,7 @@
 
 use crate::config::StreamJoinConfig;
 use crate::msg::{HotSpec, Msg, TableMsg};
+use crate::spill::{BlockCache, Segment, SpillSettings, SpillStore};
 use ssj_join::FpTree;
 use ssj_json::{AvpId, Dictionary, DocRef, FxHashSet};
 use ssj_partition::{
@@ -66,6 +67,17 @@ pub struct PartitionCreator {
     view_buf: Vec<AvpId>,
     /// Compute local groups at the next window boundary.
     compute_pending: bool,
+    /// Deployment spill settings; `None` when `mem_budget == 0`.
+    spill_settings: Option<Arc<SpillSettings>>,
+    /// Per-task spill machinery (created in `prepare`); `None` at budget 0.
+    spill: Option<SpillStore>,
+    /// Batch path only: sealed runs of this window's buffered share,
+    /// read back wholesale at a computing boundary (DESIGN.md §4i). The
+    /// incremental path never spills — the `GroupIndex` holds compact
+    /// views, not document pools.
+    spill_runs: Vec<Arc<Segment>>,
+    /// Approximate bytes buffered since the last run was sealed.
+    open_bytes: u64,
     inst: Option<Arc<TaskInstruments>>,
 }
 
@@ -78,8 +90,13 @@ struct CreatorState {
 }
 
 impl PartitionCreator {
-    /// One creator task.
-    pub fn new(config: StreamJoinConfig, dict: Dictionary) -> Self {
+    /// One creator task. `spill` is `Some` only when the topology runs
+    /// with a non-zero memory budget.
+    pub fn new(
+        config: StreamJoinConfig,
+        dict: Dictionary,
+        spill: Option<Arc<SpillSettings>>,
+    ) -> Self {
         PartitionCreator {
             config,
             dict,
@@ -90,6 +107,10 @@ impl PartitionCreator {
             pane_ring: VecDeque::new(),
             view_buf: Vec::new(),
             compute_pending: true, // bootstrap window
+            spill_settings: spill,
+            spill: None,
+            spill_runs: Vec::new(),
+            open_bytes: 0,
             inst: None,
         }
     }
@@ -100,6 +121,47 @@ impl PartitionCreator {
     fn incremental(&self) -> bool {
         !self.config.expansion
     }
+
+    /// Batch path: seal the buffered share as one sorted run and drop the
+    /// heap copies. Read back wholesale at the next computing boundary.
+    fn seal_run(&mut self) {
+        let Some(store) = &self.spill else { return };
+        self.open_bytes = 0;
+        if self.buffer.is_empty() {
+            return;
+        }
+        let docs: Vec<ssj_json::Document> = self.buffer.drain(..).map(|d| (*d).clone()).collect();
+        let segment = store
+            .write_segment(docs)
+            .expect("spill: failed to write creator segment");
+        if let Some(inst) = &self.inst {
+            inst.counter("spill_bytes").add(segment.bytes());
+            inst.counter("spill_segments").inc();
+        }
+        self.spill_runs.push(segment);
+    }
+
+    /// The window's documents for the batch group build: spilled runs read
+    /// back in seal order (lossless — raw interned ids, same dictionary
+    /// epoch), then whatever is still buffered.
+    fn batch_window_docs(&self) -> Vec<ssj_json::Document> {
+        let mut docs = Vec::with_capacity(self.spilled_docs() + self.buffer.len());
+        for seg in &self.spill_runs {
+            docs.extend(
+                seg.read_all()
+                    .expect("spill: failed to read creator segment"),
+            );
+            if let Some(inst) = &self.inst {
+                inst.counter("segment_reads").add(seg.block_count() as u64);
+            }
+        }
+        docs.extend(self.buffer.iter().map(|d| (**d).clone()));
+        docs
+    }
+
+    fn spilled_docs(&self) -> usize {
+        self.spill_runs.iter().map(|s| s.doc_count()).sum()
+    }
 }
 
 impl Bolt<Msg> for PartitionCreator {
@@ -109,6 +171,12 @@ impl Bolt<Msg> for PartitionCreator {
 
     fn prepare(&mut self, info: &TaskInfo) {
         self.task = info.task_index;
+        if let Some(settings) = &self.spill_settings {
+            self.spill = Some(SpillStore::new(
+                Arc::clone(settings),
+                format!("c{}", info.task_index),
+            ));
+        }
     }
 
     fn execute(&mut self, msg: Msg, _out: &mut Outbox<Msg>) {
@@ -120,7 +188,17 @@ impl Bolt<Msg> for PartitionCreator {
                     let id = self.index.push(&self.view_buf);
                     self.window_ids.push(id);
                 } else {
-                    self.buffer.push(doc);
+                    match &self.spill {
+                        None => self.buffer.push(doc),
+                        Some(store) => {
+                            self.open_bytes += doc.approx_bytes() as u64;
+                            let target = store.settings().chunk_target();
+                            self.buffer.push(doc);
+                            if self.open_bytes >= target {
+                                self.seal_run();
+                            }
+                        }
+                    }
                 }
             }
             Msg::Repartition => self.compute_pending = true,
@@ -134,7 +212,7 @@ impl Bolt<Msg> for PartitionCreator {
             // even when this pane's shuffle share happens to be empty.
             !self.window_ids.is_empty() || !self.pane_ring.is_empty()
         } else {
-            !self.buffer.is_empty()
+            !self.buffer.is_empty() || !self.spill_runs.is_empty()
         };
         if self.compute_pending && have_docs {
             let t0 = self
@@ -147,8 +225,7 @@ impl Bolt<Msg> for PartitionCreator {
             } else {
                 // replicate_hot implies expansion off (config validation),
                 // so the batch path below never flags hot groups.
-                let docs: Vec<ssj_json::Document> =
-                    self.buffer.iter().map(|d| (**d).clone()).collect();
+                let docs = self.batch_window_docs();
                 let expansion = Expansion::detect(&docs, &self.dict, self.config.m);
                 let views: Vec<View> = batch_views(&docs, expansion.as_ref(), &self.dict)
                     .into_iter()
@@ -165,7 +242,7 @@ impl Bolt<Msg> for PartitionCreator {
                 let window_docs = if self.incremental() {
                     self.window_ids.len() + self.pane_ring.iter().map(Vec::len).sum::<usize>()
                 } else {
-                    self.buffer.len()
+                    self.buffer.len() + self.spilled_docs()
                 };
                 hot_groups(&groups, window_docs, self.config.hot_factor, self.config.m)
             } else {
@@ -207,8 +284,18 @@ impl Bolt<Msg> for PartitionCreator {
             }
             if let Some(inst) = &self.inst {
                 inst.counter("group_deltas").add(deltas);
+                // Pane-expiry observability for the out-of-core story: the
+                // incremental index is the creator's only cross-pane state,
+                // and it holds compact views, never document pools — which
+                // is why it is not tiered (DESIGN.md §4i).
+                inst.gauge("index_bytes")
+                    .set(self.index.approx_bytes() as i64);
             }
         }
+        // Window consumed: drop any spilled runs with the heap buffer (the
+        // batch path recomputes per window; segment files unlink here).
+        self.spill_runs.clear();
+        self.open_bytes = 0;
         self.buffer.clear();
     }
 
@@ -233,6 +320,9 @@ impl Bolt<Msg> for PartitionCreator {
         self.index = s.index.clone();
         self.pane_ring = s.pane_ring.clone();
         self.window_ids.clear();
+        // Open-window spill runs are rebuilt by replay, like the buffer.
+        self.spill_runs.clear();
+        self.open_bytes = 0;
         Ok(())
     }
 }
@@ -930,48 +1020,162 @@ impl Bolt<Msg> for Assigner {
     }
 }
 
-/// One filled pane of a sliding-window Joiner: the pane's (deduplicated)
-/// documents plus the FP-tree frozen over them for cross-pane probing.
-struct FrozenPane {
-    docs: Vec<ssj_json::Document>,
-    tree: FpTree,
+/// One sealed chunk of a Joiner pane: either a resident arena (the pane's
+/// deduplicated documents plus the FP-tree frozen over them) or a spilled
+/// immutable segment file with only its compact header in memory
+/// (DESIGN.md §4i). Without a memory budget every pane is exactly one
+/// resident chunk — the pre-tiering layout.
+// Resident is much larger than Spilled, but a chunk ring holds only a
+// handful of entries and probing goes straight through the tree — boxing
+// would buy nothing except an extra hop on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum FrozenPane {
+    /// In-memory arena: documents + FP-tree for cross-chunk probing.
+    Resident {
+        docs: Vec<ssj_json::Document>,
+        tree: FpTree,
+    },
+    /// Tiered out: only the segment header (Bloom summary + block index)
+    /// stays resident; probes lazily read blocks back through the cache.
+    Spilled { segment: Arc<Segment> },
 }
 
-/// Pane-boundary snapshot of the [`Joiner`]'s frozen pane ring. Only the
-/// documents are captured; the FP-trees are rebuilt deterministically on
-/// restore ([`FpTree::build`] is a pure function of the pane's documents).
+impl FrozenPane {
+    /// Approximate resident footprint: the full arena for resident chunks,
+    /// just the header for spilled ones. This is what the budget meters.
+    fn resident_bytes(&self) -> u64 {
+        match self {
+            FrozenPane::Resident { docs, tree } => {
+                (docs.iter().map(|d| d.approx_bytes()).sum::<usize>() + tree.approx_bytes()) as u64
+            }
+            FrozenPane::Spilled { segment } => segment.header_bytes() as u64,
+        }
+    }
+
+    /// Probe every doc in `docs` against this chunk, appending partner
+    /// pairs as `(chunk partner, probing doc)` — chunk docs are always the
+    /// earlier ones. Resident chunks use the FP-tree; spilled chunks gate
+    /// on the Bloom summary and linearly scan cached/read-back blocks with
+    /// `Document::joins_with` — the exact predicate the FP-tree probe
+    /// implements, so the partner set is identical either way.
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &self,
+        docs: &[ssj_json::Document],
+        scratch: &mut ssj_join::ProbeScratch,
+        probe_buf: &mut Vec<ssj_json::DocId>,
+        cache: &mut BlockCache,
+        pairs: &mut Vec<(ssj_json::DocId, ssj_json::DocId)>,
+        inst: Option<&TaskInstruments>,
+    ) {
+        match self {
+            FrozenPane::Resident { tree, .. } => {
+                for d in docs {
+                    ssj_join::fp_probe_into(tree, d, true, scratch, probe_buf);
+                    pairs.extend(probe_buf.iter().map(|&p| (p, d.id())));
+                }
+            }
+            FrozenPane::Spilled { segment } => {
+                let timed = inst.is_some_and(|i| i.enabled());
+                for d in docs {
+                    if !segment.may_contain_any(d) {
+                        continue;
+                    }
+                    probe_buf.clear();
+                    let t0 = timed.then(Instant::now);
+                    let disk_blocks = segment
+                        .probe_into(d, cache, probe_buf)
+                        .expect("spill: segment probe read-back failed");
+                    if let Some(inst) = inst {
+                        inst.counter("segment_reads").add(disk_blocks);
+                        if let Some(t0) = t0 {
+                            inst.histogram("readback_ns")
+                                .record_ns(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    pairs.extend(probe_buf.iter().map(|&p| (p, d.id())));
+                }
+            }
+        }
+    }
+}
+
+/// Snapshot form of one chunk: resident docs travel whole (trees are
+/// rebuilt on restore), spilled chunks travel as segment manifests — the
+/// `Arc` keeps the file alive across the crash, so recovery replays
+/// cheaply without re-serializing window state.
+#[derive(Clone)]
+enum ChunkManifest {
+    Resident(Vec<ssj_json::Document>),
+    Spilled(Arc<Segment>),
+}
+
+/// Pane-boundary snapshot of the [`Joiner`]'s frozen pane ring: per pane,
+/// the manifests of its chunks. FP-trees are rebuilt deterministically on
+/// restore ([`FpTree::build`] is a pure function of the chunk's documents).
 #[derive(Clone)]
 struct JoinerState {
-    frozen_docs: Vec<Vec<ssj_json::Document>>,
+    frozen: Vec<Vec<ChunkManifest>>,
 }
 
 /// Joiner bolt (§V): local window join.
 ///
 /// Tumbling windows join the buffered pane and drop it. Sliding windows
 /// reuse [`ssj_join::SlidingJoiner`]'s pane-chaining design at the bolt
-/// level: the newest `panes_per_window - 1` filled panes stay frozen as
-/// FP-trees; each pane boundary joins the open pane internally, probes it
-/// against every frozen pane, then freezes it and evicts the oldest —
-/// O(pane) eviction, never a window rebuild.
+/// level: the newest `panes_per_window - 1` filled panes stay frozen;
+/// each pane boundary joins the open pane internally, probes it against
+/// every frozen pane, then freezes it and evicts the oldest — O(pane)
+/// eviction, never a window rebuild.
+///
+/// With a memory budget (`--mem-budget`, DESIGN.md §4i) the open pane is
+/// additionally sealed in *chunks*: when the buffered share reaches the
+/// chunk target, the chunk is deduplicated, joined within itself, probed
+/// against every earlier chunk (sealed earlier in this pane or frozen in
+/// the ring), and frozen; the oldest resident chunks then spill to sorted
+/// segment files until the resident footprint fits the budget. The pair
+/// set is invariant under chunking — each unordered pair is found exactly
+/// once, either inside its chunk's batch join or when the later chunk
+/// seals and probes the earlier one.
 pub struct Joiner {
     config: StreamJoinConfig,
     task: usize,
     buffer: Vec<DocRef>,
     /// Frozen panes still inside the sliding lookback, oldest first; empty
-    /// for tumbling windows.
-    frozen: VecDeque<FrozenPane>,
+    /// for tumbling windows. One chunk per pane without a budget.
+    frozen: VecDeque<Vec<FrozenPane>>,
     /// Probe scratch persisted across windows: steady-state probing in this
     /// bolt allocates nothing once the buffers have warmed up.
     batch: ssj_join::BatchJoiner,
     /// Reused working memory for cross-pane probes.
     probe_scratch: ssj_join::ProbeScratch,
     probe_buf: Vec<ssj_json::DocId>,
+    /// Deployment spill settings; `None` when `mem_budget == 0`.
+    spill_settings: Option<Arc<SpillSettings>>,
+    /// Per-task spill machinery, created in `prepare` (needs the task
+    /// index for segment names). `None` when `mem_budget == 0`: the
+    /// budget-0 hot path is exactly the pre-tiering code.
+    spill: Option<SpillStore>,
+    /// Chunks of the open pane sealed so far (spill mode only).
+    sealed: Vec<FrozenPane>,
+    /// Ids seen in the open pane across chunks (spill-mode dedup; the
+    /// resident path dedups at the boundary instead).
+    pane_seen: FxHashSet<u64>,
+    /// Deduplicated docs sealed into the open pane so far.
+    pane_docs: usize,
+    /// Join pairs accumulated by chunk seals of the open pane.
+    pending: Vec<(ssj_json::DocId, ssj_json::DocId)>,
+    /// Approximate bytes buffered since the last chunk seal.
+    open_bytes: u64,
+    /// Probe/join time accumulated across this pane's chunk seals
+    /// (instrument-gated), flushed into `probe_ns` at the boundary.
+    probe_ns_acc: u64,
     inst: Option<Arc<TaskInstruments>>,
 }
 
 impl Joiner {
-    /// One joiner task.
-    pub fn new(config: StreamJoinConfig) -> Self {
+    /// One joiner task. `spill` is `Some` only when the topology runs with
+    /// a non-zero memory budget.
+    pub fn new(config: StreamJoinConfig, spill: Option<Arc<SpillSettings>>) -> Self {
         Joiner {
             config,
             task: 0,
@@ -980,8 +1184,236 @@ impl Joiner {
             batch: ssj_join::BatchJoiner::new(),
             probe_scratch: ssj_join::ProbeScratch::new(),
             probe_buf: Vec::new(),
+            spill_settings: spill,
+            spill: None,
+            sealed: Vec::new(),
+            pane_seen: FxHashSet::default(),
+            pane_docs: 0,
+            pending: Vec::new(),
+            open_bytes: 0,
+            probe_ns_acc: 0,
             inst: None,
         }
+    }
+
+    /// True when out-of-core tiering is installed on this task.
+    #[cfg(test)]
+    fn spilling(&self) -> bool {
+        self.spill_settings.is_some() || self.spill.is_some()
+    }
+
+    /// Seal the buffered share of the open pane as one chunk: dedup, join
+    /// within the chunk, probe all earlier state, freeze resident, then
+    /// spill oldest resident chunks until the budget holds.
+    fn seal_chunk(&mut self) {
+        let Some(store) = self.spill.as_mut() else {
+            return;
+        };
+        self.open_bytes = 0;
+        let mut docs: Vec<ssj_json::Document> = Vec::new();
+        for d in self.buffer.drain(..) {
+            if self.pane_seen.insert(d.id().0) {
+                docs.push((*d).clone());
+            }
+        }
+        if docs.is_empty() {
+            return;
+        }
+        self.pane_docs += docs.len();
+        let inst = self.inst.as_deref();
+        let t0 = inst.filter(|i| i.enabled()).map(|_| Instant::now());
+        // Within-chunk pairs with the configured algorithm...
+        let mut pairs = self.batch.join_batch(self.config.join_algo, &docs);
+        // ...then chunk-spanning pairs: probe every earlier chunk, frozen
+        // panes (oldest first) before this pane's earlier seals.
+        for chunk in self
+            .frozen
+            .iter()
+            .flat_map(|pane| pane.iter())
+            .chain(self.sealed.iter())
+        {
+            chunk.probe(
+                &docs,
+                &mut self.probe_scratch,
+                &mut self.probe_buf,
+                &mut store.cache,
+                &mut pairs,
+                inst,
+            );
+        }
+        if let Some(t0) = t0 {
+            self.probe_ns_acc += t0.elapsed().as_nanos() as u64;
+        }
+        self.pending.append(&mut pairs);
+        let tree = FpTree::build(&docs);
+        self.sealed.push(FrozenPane::Resident { docs, tree });
+
+        // Budget enforcement: spill oldest resident chunks (oldest frozen
+        // pane first, then this pane's seals) until resident state fits.
+        let budget = store.settings().budget;
+        let mut spilled_bytes = 0u64;
+        let mut spilled_runs = 0u64;
+        loop {
+            let resident: u64 = self
+                .frozen
+                .iter()
+                .flat_map(|pane| pane.iter())
+                .chain(self.sealed.iter())
+                .map(FrozenPane::resident_bytes)
+                .sum();
+            if resident <= budget {
+                break;
+            }
+            let Some(chunk) = self
+                .frozen
+                .iter_mut()
+                .flat_map(|pane| pane.iter_mut())
+                .chain(self.sealed.iter_mut())
+                .find(|c| matches!(c, FrozenPane::Resident { .. }))
+            else {
+                break; // headers alone exceed the budget; nothing to do
+            };
+            let FrozenPane::Resident { docs, .. } = chunk else {
+                unreachable!()
+            };
+            let segment = store
+                .write_segment(std::mem::take(docs))
+                .expect("spill: failed to write segment");
+            spilled_bytes += segment.bytes();
+            spilled_runs += 1;
+            *chunk = FrozenPane::Spilled { segment };
+        }
+        if let Some(inst) = inst {
+            if spilled_runs > 0 {
+                inst.counter("spill_bytes").add(spilled_bytes);
+                inst.counter("spill_segments").add(spilled_runs);
+            }
+        }
+        self.drain_compactions();
+        self.maybe_request_compaction();
+    }
+
+    /// Swap finished background merges into whichever pane still holds all
+    /// of their input runs. A merge whose inputs were evicted meanwhile is
+    /// simply dropped (its segment file unlinks with the `Arc`).
+    fn drain_compactions(&mut self) {
+        let Some(store) = self.spill.as_mut() else {
+            return;
+        };
+        while let Some(res) = store.poll_compaction() {
+            let Ok(merged) = res.merged else { continue };
+            let mut merged = Some(merged);
+            for pane in self
+                .frozen
+                .iter_mut()
+                .chain(std::iter::once(&mut self.sealed))
+            {
+                let positions: Vec<usize> = pane
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| {
+                        matches!(c, FrozenPane::Spilled { segment }
+                            if res.input_ids.contains(&segment.id()))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if positions.len() != res.input_ids.len() {
+                    continue;
+                }
+                // The merged run holds exactly the union of the replaced
+                // runs' (disjoint) doc sets, so probe results are
+                // unchanged; position within the pane does not matter.
+                if let Some(m) = merged.take() {
+                    pane[positions[0]] = FrozenPane::Spilled { segment: m };
+                }
+                for &i in positions[1..].iter().rev() {
+                    pane.remove(i);
+                }
+                store.cache.evict_segments(&res.input_ids);
+                if let Some(inst) = &self.inst {
+                    inst.counter("compactions").inc();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Hand the first pane holding `COMPACT_MIN_RUNS`+ small spilled runs
+    /// to the background compactor (one merge in flight at a time).
+    fn maybe_request_compaction(&mut self) {
+        let Some(store) = self.spill.as_mut() else {
+            return;
+        };
+        if store.compactions_in_flight() > 0 {
+            return;
+        }
+        for pane in self.frozen.iter().chain(std::iter::once(&self.sealed)) {
+            let runs: Vec<Arc<Segment>> = pane
+                .iter()
+                .filter_map(|c| match c {
+                    FrozenPane::Spilled { segment } => Some(Arc::clone(segment)),
+                    FrozenPane::Resident { .. } => None,
+                })
+                .collect();
+            if runs.len() >= crate::spill::COMPACT_MIN_RUNS {
+                store.request_compaction(runs);
+                return;
+            }
+        }
+    }
+
+    /// Pane boundary under tiering: seal the remainder, emit the pane's
+    /// accumulated pairs, rotate the chunk ring.
+    fn on_punct_spill(&mut self, window: u64, out: &mut Outbox<Msg>) {
+        self.seal_chunk();
+        let pairs = std::mem::take(&mut self.pending);
+        let docs = self.pane_docs;
+        if let Some(inst) = &self.inst {
+            inst.counter("join_pairs").add(pairs.len() as u64);
+            inst.counter("window_docs").add(docs as u64);
+            inst.histogram("probe_pairs").record_ns(pairs.len() as u64);
+            if inst.enabled() {
+                let dt = std::time::Duration::from_nanos(self.probe_ns_acc);
+                inst.histogram("probe_ns").record_ns(self.probe_ns_acc);
+                inst.trace(TraceKind::Probe, window, dt);
+            }
+            if let Some(store) = &mut self.spill {
+                let (hits, misses) = store.cache.take_counters();
+                inst.counter("block_cache_hits").add(hits);
+                inst.counter("block_cache_misses").add(misses);
+            }
+        }
+        self.probe_ns_acc = 0;
+        out.emit(Msg::JoinStats {
+            window,
+            joiner: self.task,
+            docs,
+            pairs,
+        });
+        let sealed = std::mem::take(&mut self.sealed);
+        if self.config.panes_per_window() > 1 {
+            self.frozen.push_back(sealed);
+            while self.frozen.len() >= self.config.panes_per_window() {
+                if let (Some(pane), Some(store)) = (self.frozen.pop_front(), self.spill.as_mut()) {
+                    let dead: Vec<u64> = pane
+                        .iter()
+                        .filter_map(|c| match c {
+                            FrozenPane::Spilled { segment } => Some(segment.id()),
+                            FrozenPane::Resident { .. } => None,
+                        })
+                        .collect();
+                    if !dead.is_empty() {
+                        store.cache.evict_segments(&dead);
+                    }
+                }
+            }
+        }
+        self.pane_seen.clear();
+        self.pane_docs = 0;
+        self.open_bytes = 0;
+        self.buffer.clear();
+        self.drain_compactions();
+        self.maybe_request_compaction();
     }
 }
 
@@ -992,15 +1424,35 @@ impl Bolt<Msg> for Joiner {
 
     fn prepare(&mut self, info: &TaskInfo) {
         self.task = info.task_index;
+        if let Some(settings) = &self.spill_settings {
+            self.spill = Some(SpillStore::new(
+                Arc::clone(settings),
+                format!("j{}", info.task_index),
+            ));
+        }
     }
 
     fn execute(&mut self, msg: Msg, _out: &mut Outbox<Msg>) {
         if let Msg::Doc(doc) = msg {
-            self.buffer.push(doc);
+            match &self.spill {
+                // Budget 0: push, nothing else — the pre-tiering hot path.
+                None => self.buffer.push(doc),
+                Some(store) => {
+                    self.open_bytes += doc.approx_bytes() as u64;
+                    self.buffer.push(doc);
+                    if self.open_bytes >= store.settings().chunk_target() {
+                        self.seal_chunk();
+                    }
+                }
+            }
         }
     }
 
     fn on_punct(&mut self, window: u64, out: &mut Outbox<Msg>) {
+        if self.spill.is_some() {
+            self.on_punct_spill(window, out);
+            return;
+        }
         // Duplicates can arrive when an updated table re-routes a pair the
         // broadcast path already delivered; keep one copy per document.
         let mut seen: FxHashSet<u64> = FxHashSet::default();
@@ -1021,16 +1473,22 @@ impl Bolt<Msg> for Joiner {
         // ...plus, for sliding windows, pane-spanning pairs: probe each new
         // document against every frozen pane's FP-tree. Frozen partners are
         // the earlier documents, so pairs keep (earlier, later) order.
+        // Without a budget every pane is exactly one resident chunk.
         for pane in &self.frozen {
-            for d in &docs {
-                ssj_join::fp_probe_into(
-                    &pane.tree,
-                    d,
-                    true,
-                    &mut self.probe_scratch,
-                    &mut self.probe_buf,
-                );
-                pairs.extend(self.probe_buf.iter().map(|&p| (p, d.id())));
+            for chunk in pane {
+                let FrozenPane::Resident { tree, .. } = chunk else {
+                    unreachable!("spilled chunk without a spill store")
+                };
+                for d in &docs {
+                    ssj_join::fp_probe_into(
+                        tree,
+                        d,
+                        true,
+                        &mut self.probe_scratch,
+                        &mut self.probe_buf,
+                    );
+                    pairs.extend(self.probe_buf.iter().map(|&p| (p, d.id())));
+                }
             }
         }
         if let Some(inst) = &self.inst {
@@ -1056,7 +1514,8 @@ impl Bolt<Msg> for Joiner {
         // O(pane) work. Tumbling (1 pane) keeps nothing, exactly as before.
         if self.config.panes_per_window() > 1 {
             let tree = FpTree::build(&docs);
-            self.frozen.push_back(FrozenPane { docs, tree });
+            self.frozen
+                .push_back(vec![FrozenPane::Resident { docs, tree }]);
             while self.frozen.len() >= self.config.panes_per_window() {
                 self.frozen.pop_front();
             }
@@ -1065,12 +1524,29 @@ impl Bolt<Msg> for Joiner {
     }
 
     // The frozen pane ring spans punctuations, so replay of the open pane
-    // alone cannot rebuild it — it must be captured. The open buffer IS
-    // rebuilt by replay and the probe scratch is only a warm cache; neither
-    // is snapshotted. Tumbling windows snapshot an empty ring.
+    // alone cannot rebuild it — it must be captured. Spilled chunks are
+    // captured as segment manifests (the Arc keeps the file alive); the
+    // open buffer, sealed open-pane chunks, and pending pairs ARE rebuilt
+    // by replay and the probe scratch is only a warm cache; none of those
+    // are snapshotted. Tumbling windows snapshot an empty ring.
     fn snapshot(&self) -> Option<BoltState> {
         Some(Box::new(JoinerState {
-            frozen_docs: self.frozen.iter().map(|p| p.docs.clone()).collect(),
+            frozen: self
+                .frozen
+                .iter()
+                .map(|pane| {
+                    pane.iter()
+                        .map(|chunk| match chunk {
+                            FrozenPane::Resident { docs, .. } => {
+                                ChunkManifest::Resident(docs.clone())
+                            }
+                            FrozenPane::Spilled { segment } => {
+                                ChunkManifest::Spilled(Arc::clone(segment))
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
         }))
     }
 
@@ -1079,14 +1555,69 @@ impl Bolt<Msg> for Joiner {
             .downcast_ref::<JoinerState>()
             .ok_or_else(|| "Joiner snapshot type mismatch".to_string())?;
         self.frozen = s
-            .frozen_docs
+            .frozen
             .iter()
-            .map(|docs| FrozenPane {
-                tree: FpTree::build(docs),
-                docs: docs.clone(),
+            .map(|pane| {
+                pane.iter()
+                    .map(|manifest| match manifest {
+                        ChunkManifest::Resident(docs) => FrozenPane::Resident {
+                            tree: FpTree::build(docs),
+                            docs: docs.clone(),
+                        },
+                        ChunkManifest::Spilled(segment) => FrozenPane::Spilled {
+                            segment: Arc::clone(segment),
+                        },
+                    })
+                    .collect()
             })
             .collect();
         self.buffer.clear();
+        self.sealed.clear();
+        self.pane_seen.clear();
+        self.pane_docs = 0;
+        self.pending.clear();
+        self.open_bytes = 0;
+        self.probe_ns_acc = 0;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acceptance guard: `--mem-budget 0` installs nothing — no settings,
+    /// no store (before or after `prepare`), so the hot path is the exact
+    /// pre-tiering code.
+    #[test]
+    fn budget_zero_installs_no_spill_machinery() {
+        let cfg = StreamJoinConfig::default();
+        assert_eq!(cfg.mem_budget, 0);
+        let mut j = Joiner::new(cfg, None);
+        assert!(!j.spilling());
+        j.prepare(&TaskInfo {
+            component: "joiner".into(),
+            task_index: 0,
+            parallelism: 1,
+        });
+        assert!(!j.spilling());
+
+        let cfg = StreamJoinConfig::default()
+            .with_mem_budget(1 << 20)
+            .build()
+            .unwrap();
+        let settings = Arc::new(SpillSettings {
+            budget: cfg.mem_budget,
+            dir: std::env::temp_dir(),
+            epoch: 0,
+        });
+        let mut j = Joiner::new(cfg, Some(settings));
+        assert!(j.spilling());
+        j.prepare(&TaskInfo {
+            component: "joiner".into(),
+            task_index: 3,
+            parallelism: 4,
+        });
+        assert!(j.spill.is_some());
     }
 }

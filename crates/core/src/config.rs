@@ -4,6 +4,7 @@ use ssj_join::JoinAlgo;
 use ssj_join::{WindowError, WindowSpec};
 use ssj_partition::PartitionerKind;
 use std::fmt;
+use std::path::PathBuf;
 
 /// All tunables of the topology and pipeline, with the paper's defaults
 /// (`m = 8`, `w = 6`, `θ = 0.2`, `δ = 3`, six Assigners).
@@ -13,7 +14,11 @@ use std::fmt;
 /// [`ConfigBuilder::build`], which validates and returns
 /// `Result<StreamJoinConfig, ConfigError>`. A constructed config is
 /// therefore always valid.
-#[derive(Debug, Clone, Copy)]
+///
+/// The config is `Clone` but deliberately not `Copy` since the out-of-core
+/// knobs landed: `spill_dir` carries a heap-allocated path, and silent
+/// implicit copies of a many-field config were already a code smell.
+#[derive(Debug, Clone)]
 pub struct StreamJoinConfig {
     /// Number of partitions = number of Joiner instances (`m`).
     pub m: usize,
@@ -85,6 +90,18 @@ pub struct StreamJoinConfig {
     /// probe-only work (documents) is dropped and counted under `shed_*`;
     /// control traffic and table state are never shed (DESIGN.md §4h).
     pub shed_budget: usize,
+    /// Out-of-core window state (DESIGN.md §4i): per-stateful-task memory
+    /// budget in bytes for sealed pane/window state. `0` (the default)
+    /// disables tiering entirely — no spill store is installed and the hot
+    /// path is byte-identical to before the feature existed. When set,
+    /// sealed document pools exceeding the budget are serialized into
+    /// immutable sorted segment files under [`Self::spill_dir`] and probed
+    /// lazily through a block cache.
+    pub mem_budget: u64,
+    /// Directory for spilled segment files; `None` resolves to the system
+    /// temp directory at deploy time. Only meaningful with a non-zero
+    /// [`Self::mem_budget`] (validation rejects the dir without a budget).
+    pub spill_dir: Option<PathBuf>,
 }
 
 /// Which executor schedules bolt tasks (DESIGN.md §4e).
@@ -148,6 +165,8 @@ impl Default for StreamJoinConfig {
             replicate_hot: false,
             hot_factor: 4.0,
             shed_budget: 0,
+            mem_budget: 0,
+            spill_dir: None,
         }
     }
 }
@@ -189,6 +208,10 @@ pub enum ConfigError {
     /// Hot-group replication detects hot groups from the incremental
     /// `GroupIndex` statistics, which attribute-value expansion bypasses.
     ReplicateHotWithExpansion,
+    /// A spill directory was configured without a memory budget; the dir
+    /// is only read when `mem_budget > 0`, so this is almost certainly a
+    /// misconfiguration (the caller expected spilling and got none).
+    SpillDirWithoutBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -222,6 +245,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ReplicateHotWithExpansion => f.write_str(
                 "replicate_hot requires expansion off (hot groups come from the incremental path)",
             ),
+            ConfigError::SpillDirWithoutBudget => f.write_str(
+                "spill_dir is only used with a non-zero mem_budget (set --mem-budget too)",
+            ),
         }
     }
 }
@@ -243,7 +269,7 @@ impl From<ConfigError> for String {
 /// Fluent builder for [`StreamJoinConfig`]; obtained from any `with_*`
 /// method on the config (which seeds the builder with that config's values)
 /// and terminated with [`ConfigBuilder::build`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ConfigBuilder {
     cfg: StreamJoinConfig,
 }
@@ -411,6 +437,21 @@ macro_rules! builder_setters {
             b.cfg.shed_budget = budget;
             b
         }
+
+        /// Override the per-task memory budget in bytes for sealed window
+        /// state (0 = out-of-core tiering off, DESIGN.md §4i).
+        pub fn with_mem_budget(self, bytes: u64) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.mem_budget = bytes;
+            b
+        }
+
+        /// Override the directory spilled segment files are written to.
+        pub fn with_spill_dir(self, dir: impl Into<std::path::PathBuf>) -> ConfigBuilder {
+            let mut b = self.into_builder();
+            b.cfg.spill_dir = Some(dir.into());
+            b
+        }
     };
 }
 
@@ -486,7 +527,16 @@ impl StreamJoinConfig {
                 return Err(ConfigError::ReplicateHotWithExpansion);
             }
         }
+        if self.spill_dir.is_some() && self.mem_budget == 0 {
+            return Err(ConfigError::SpillDirWithoutBudget);
+        }
         Ok(())
+    }
+
+    /// The directory spilled segments land in when tiering is active:
+    /// [`Self::spill_dir`] if set, the system temp directory otherwise.
+    pub fn resolved_spill_dir(&self) -> PathBuf {
+        self.spill_dir.clone().unwrap_or_else(std::env::temp_dir)
     }
 }
 
@@ -686,6 +736,37 @@ mod tests {
                 .build()
                 .unwrap_err(),
             ConfigError::ReplicateHotWithExpansion
+        );
+    }
+
+    #[test]
+    fn spill_knobs_validate() {
+        let c = StreamJoinConfig::default();
+        assert_eq!(c.mem_budget, 0);
+        assert!(c.spill_dir.is_none());
+
+        let c = StreamJoinConfig::default()
+            .with_mem_budget(64 << 20)
+            .with_spill_dir("/tmp/ssj-spill")
+            .build()
+            .unwrap();
+        assert_eq!(c.mem_budget, 64 << 20);
+        assert_eq!(c.resolved_spill_dir(), PathBuf::from("/tmp/ssj-spill"));
+
+        // No dir configured: segments fall back to the system temp dir.
+        let c = StreamJoinConfig::default()
+            .with_mem_budget(1024)
+            .build()
+            .unwrap();
+        assert_eq!(c.resolved_spill_dir(), std::env::temp_dir());
+
+        // A dir without a budget is a misconfiguration, not a silent no-op.
+        assert_eq!(
+            StreamJoinConfig::default()
+                .with_spill_dir("/tmp/ssj-spill")
+                .build()
+                .unwrap_err(),
+            ConfigError::SpillDirWithoutBudget
         );
     }
 

@@ -37,6 +37,7 @@ pub mod components;
 pub mod config;
 pub mod msg;
 pub mod pipeline;
+pub mod spill;
 pub mod stats;
 pub mod topology;
 pub mod window;
@@ -45,6 +46,7 @@ pub mod wire;
 pub use config::{ConfigBuilder, ConfigError, SchedulerKind, StreamJoinConfig};
 pub use msg::{HotSpec, Msg, TableMsg};
 pub use pipeline::{ground_truth_pairs, Pipeline, PipelineReport, WindowReport};
+pub use spill::{SpillSettings, SpillStore};
 pub use ssj_join::{WindowError, WindowSpec};
 pub use stats::{CsvSink, HumanSummarySink, JsonlSink, ReportSink};
 pub use topology::{

@@ -21,6 +21,7 @@
 use crate::components::{Assigner, Joiner, Merger, PartitionCreator};
 use crate::config::{SchedulerKind, StreamJoinConfig};
 use crate::msg::Msg;
+use crate::spill::SpillSettings;
 use crate::wire::{dict_epoch, MsgCodec};
 use ssj_json::{Dictionary, DocId, Document, FxHashMap, FxHashSet};
 use ssj_runtime::{
@@ -131,6 +132,26 @@ fn build_custom(
     let window = config.pane_docs();
     let dict_creator = dict.clone();
     let dict_assigner = dict.clone();
+    // Out-of-core tiering (DESIGN.md §4i): with a non-zero budget the
+    // stateful bolts get shared spill settings — segment files are stamped
+    // with the dictionary's content epoch, exactly like socket frames, so
+    // a file can never be decoded against a different interning epoch.
+    // With `mem_budget == 0` nothing is installed at all.
+    let spill = (config.mem_budget > 0).then(|| {
+        let dir = config.resolved_spill_dir();
+        std::fs::create_dir_all(&dir).expect("spill: cannot create --spill-dir");
+        Arc::new(SpillSettings {
+            budget: config.mem_budget,
+            dir,
+            epoch: dict_epoch(dict),
+        })
+    });
+    let creator_cfg = config.clone();
+    let creator_spill = spill.clone();
+    let merger_cfg = config.clone();
+    let assigner_cfg = config.clone();
+    let joiner_cfg = config.clone();
+    let joiner_spill = spill;
     // Backpressure: keep the reader within roughly one window of the
     // slowest Assigner so the Merger's adaptive feedback loop stays in
     // (event-time) sync with the data path. Channel capacity counts
@@ -174,23 +195,31 @@ fn build_custom(
     builder
         .spout("reader", 1, spout)
         .bolt("creator", config.partition_creators, move |_| {
-            Box::new(PartitionCreator::new(config, dict_creator.clone()))
+            Box::new(PartitionCreator::new(
+                creator_cfg.clone(),
+                dict_creator.clone(),
+                creator_spill.clone(),
+            ))
         })
         .subscribe("reader", Grouping::Shuffle)
         // Repartition signals from the Assigners (§VI-A).
         .subscribe_feedback("assigner", Grouping::All)
         .done()
-        .bolt("merger", 1, move |_| Box::new(Merger::new(config)))
+        .bolt("merger", 1, move |_| {
+            Box::new(Merger::new(merger_cfg.clone()))
+        })
         .subscribe("creator", Grouping::Global)
         .subscribe_feedback("assigner", Grouping::Global)
         .done()
         .bolt("assigner", config.assigners, move |_| {
-            Box::new(Assigner::new(config, dict_assigner.clone()))
+            Box::new(Assigner::new(assigner_cfg.clone(), dict_assigner.clone()))
         })
         .subscribe("reader", Grouping::Shuffle)
         .subscribe("merger", Grouping::All)
         .done()
-        .bolt("joiner", config.m, move |_| Box::new(Joiner::new(config)))
+        .bolt("joiner", config.m, move |_| {
+            Box::new(Joiner::new(joiner_cfg.clone(), joiner_spill.clone()))
+        })
         .subscribe("assigner", Grouping::Direct)
         .done()
         .bolt("reporter", 1, reporter)
@@ -304,7 +333,7 @@ pub fn run_topology_paced(
     let rep_out = Arc::clone(&lat_out);
     let rep_anchor = Arc::clone(&anchor);
     let topology = build_custom(
-        config,
+        config.clone(),
         dict,
         move |_| {
             Box::new(PacedSpout::new(
@@ -328,7 +357,7 @@ pub fn run_topology_paced(
         plan,
     );
     let runtime = run(topology)?;
-    let report = fold_join_stats(config, runtime, handle);
+    let report = fold_join_stats(&config, runtime, handle);
     let mut per_window = lat_out.lock().unwrap().clone();
     per_window.sort_by_key(|(w, _)| *w);
     Ok((report, LatencyReport { per_window }))
@@ -362,14 +391,14 @@ pub fn run_topology_chaos(
     config.validate().expect("invalid configuration");
     let reporter = CollectorBolt::new();
     let handle: CollectorHandle<Msg> = reporter.handle();
-    let topology = build_faulted(config, dict, docs, reporter, plan);
+    let topology = build_faulted(config.clone(), dict, docs, reporter, plan);
     let runtime = run(topology)?;
-    Ok(fold_join_stats(config, runtime, handle))
+    Ok(fold_join_stats(&config, runtime, handle))
 }
 
 /// Fold the reporter's JoinStats messages into per-window results.
 fn fold_join_stats(
-    config: StreamJoinConfig,
+    config: &StreamJoinConfig,
     runtime: RunReport,
     handle: CollectorHandle<Msg>,
 ) -> TopologyRunReport {
@@ -456,7 +485,7 @@ pub struct DistRuntime {
 /// Fingerprint of everything that shapes the topology graph and placement:
 /// two processes with different values would wire incompatible meshes, so
 /// the handshake rejects the pairing up front.
-fn topo_fingerprint(config: StreamJoinConfig) -> u64 {
+fn topo_fingerprint(config: &StreamJoinConfig) -> u64 {
     let fields: [u64; 7] = [
         config.m as u64,
         config.pane_docs() as u64,
@@ -495,14 +524,14 @@ pub fn run_topology_distributed(
     }
     let reporter = CollectorBolt::new();
     let handle: CollectorHandle<Msg> = reporter.handle();
-    let topology = build(config, dict, docs, reporter);
+    let topology = build(config.clone(), dict, docs, reporter);
     let codec = MsgCodec::new(dict);
     let setup = GroupSetup {
         workers: dr.workers,
         my_worker: dr.my_worker,
         socket_dir: dr.socket_dir.clone(),
         attempt: dr.attempt,
-        topo_fingerprint: topo_fingerprint(config),
+        topo_fingerprint: topo_fingerprint(&config),
         dict_epoch: dict_epoch(dict),
     };
     let group = join_group(&setup)
@@ -519,7 +548,7 @@ pub fn run_topology_distributed(
     let runtime = run_distributed(topology, Arc::new(codec), group, &|component, task| {
         placement_for(component, task, workers)
     })?;
-    Ok(fold_join_stats(config, runtime, handle))
+    Ok(fold_join_stats(&config, runtime, handle))
 }
 
 #[cfg(test)]

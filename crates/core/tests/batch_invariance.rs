@@ -41,7 +41,7 @@ fn join_output_identical_across_batch_sizes() {
         .with_expansion(false);
 
     let unbatched = run_topology(
-        base_cfg.with_batch_size(1).build().unwrap(),
+        base_cfg.clone().with_batch_size(1).build().unwrap(),
         &dict,
         docs.clone(),
     )
@@ -57,7 +57,7 @@ fn join_output_identical_across_batch_sizes() {
 
     for bs in [7usize, 64] {
         let batched = run_topology(
-            base_cfg.with_batch_size(bs).build().unwrap(),
+            base_cfg.clone().with_batch_size(bs).build().unwrap(),
             &dict,
             docs.clone(),
         )

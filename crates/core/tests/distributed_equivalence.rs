@@ -66,6 +66,7 @@ fn group_run(
     let handles: Vec<_> = (0..config.workers)
         .map(|w| {
             let dir = dir.clone();
+            let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("ssj-worker-{w}"))
                 .spawn(move || {
@@ -110,7 +111,7 @@ proptest! {
 
         let dict = Dictionary::new();
         let docs = stream(&dict, n, seed);
-        let solo_cfg = config.with_workers(1).build().unwrap();
+        let solo_cfg = config.clone().with_workers(1).build().unwrap();
         let solo = run_topology(solo_cfg, &dict, docs.clone()).unwrap();
 
         let grouped = group_run(config, n, seed, socket_dir(&format!("{seed}-{workers}-{m}")));
@@ -133,6 +134,7 @@ fn non_leader_reports_are_empty() {
     let handles: Vec<_> = (0..2)
         .map(|w| {
             let dir = dir.clone();
+            let config = config.clone();
             std::thread::spawn(move || {
                 let dict = Dictionary::new();
                 let docs = stream(&dict, 100, 12345);

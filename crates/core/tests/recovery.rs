@@ -29,7 +29,7 @@ fn restored_pipeline_continues_exactly() {
     let docs = stream(&dict, 600);
 
     // Reference: uninterrupted run.
-    let mut reference = Pipeline::new(cfg, dict.clone());
+    let mut reference = Pipeline::new(cfg.clone(), dict.clone());
     let mut ref_reports = Vec::new();
     for w in 0..4 {
         ref_reports.push(reference.process_window(&docs[w * 150..(w + 1) * 150]));
@@ -38,14 +38,14 @@ fn restored_pipeline_continues_exactly() {
     // Crash after window 1, snapshot, restore, replay windows 2-3. The
     // restored pipeline re-interns the remaining documents through its own
     // dictionary (as a recovering process would re-parse its input).
-    let mut first_half = Pipeline::new(cfg, dict.clone());
+    let mut first_half = Pipeline::new(cfg.clone(), dict.clone());
     first_half.process_window(&docs[0..150]);
     first_half.process_window(&docs[150..300]);
     let snapshot = first_half.snapshot();
     let text = snapshot.to_json();
 
     let reread = ssj_json::parse(&text).unwrap();
-    let mut restored = Pipeline::restore(cfg, &reread).unwrap();
+    let mut restored = Pipeline::restore(cfg.clone(), &reread).unwrap();
     let rdict = restored.dictionary().clone();
     let rest: Vec<Document> = docs[300..]
         .iter()
@@ -94,7 +94,7 @@ fn restore_rejects_mismatched_m() {
         .unwrap();
     let dict = Dictionary::new();
     let docs = stream(&dict, 100);
-    let mut p = Pipeline::new(cfg, dict);
+    let mut p = Pipeline::new(cfg.clone(), dict);
     p.process_window(&docs);
     let snap = p.snapshot();
     let err = match Pipeline::restore(cfg.with_m(8).build().unwrap(), &snap) {
@@ -113,7 +113,7 @@ fn restore_rejects_garbage() {
         .unwrap();
     for bad in ["{}", r#"{"dictionary":{"attrs":[],"avps":[]}}"#] {
         let v = ssj_json::parse(bad).unwrap();
-        assert!(Pipeline::restore(cfg, &v).is_err(), "{bad}");
+        assert!(Pipeline::restore(cfg.clone(), &v).is_err(), "{bad}");
     }
 }
 
@@ -127,7 +127,7 @@ fn snapshot_preserves_expansion() {
         .with_window_spec(ssj_core::WindowSpec::tumbling(200))
         .build()
         .unwrap();
-    let mut p = Pipeline::new(cfg, dict);
+    let mut p = Pipeline::new(cfg.clone(), dict);
     p.process_window(&docs);
     assert!(p.expansion().is_some(), "expansion should engage on nbData");
     let snap = p.snapshot();

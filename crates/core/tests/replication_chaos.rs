@@ -51,7 +51,7 @@ fn rep_cfg() -> StreamJoinConfig {
 fn assert_hot_crash_recovers(seed: u64, task: usize, window: u64, tuple: u64) {
     let cfg = rep_cfg();
     let (dict, docs) = sessionized_docs(N, skew(seed));
-    let clean = run_topology(cfg, &dict, docs.clone()).unwrap();
+    let clean = run_topology(cfg.clone(), &dict, docs.clone()).unwrap();
 
     let plan = FaultPlan::new().crash("joiner", task, window, tuple);
     let faulted = run_topology_chaos(cfg, &dict, docs, plan).unwrap();

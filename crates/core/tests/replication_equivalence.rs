@@ -146,6 +146,7 @@ fn replication_stays_exact_with_sliding_windows() {
         .build()
         .unwrap();
     let rep = base
+        .clone()
         .with_replicate_hot(true)
         .with_hot_factor(1.3)
         .build()

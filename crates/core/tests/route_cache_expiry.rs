@@ -120,7 +120,7 @@ fn pane_expiry_invalidates_cached_route_masks() {
             })
         })
         .bolt("assigner", 1, move |_| {
-            Box::new(Assigner::new(config, dict.clone()))
+            Box::new(Assigner::new(config.clone(), dict.clone()))
         })
         .subscribe("feed", Grouping::Shuffle)
         .done()

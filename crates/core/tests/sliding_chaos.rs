@@ -55,7 +55,7 @@ fn assert_crash_recovers(seed: u64, comp: &'static str, task: usize, window: u64
     let cfg = chaos_cfg();
     let dict = Dictionary::new();
     let docs = stream(&dict, seed);
-    let clean = run_topology(cfg, &dict, docs.clone()).unwrap();
+    let clean = run_topology(cfg.clone(), &dict, docs.clone()).unwrap();
 
     let plan = FaultPlan::new().crash(comp, task, window, tuple);
     let faulted = run_topology_chaos(cfg, &dict, docs, plan).unwrap();

@@ -125,7 +125,7 @@ fn sliding_group_run_matches_single_process() {
 
     let dict = Dictionary::new();
     let docs = stream(&dict, n, seed);
-    let solo_cfg = config.with_workers(1).build().unwrap();
+    let solo_cfg = config.clone().with_workers(1).build().unwrap();
     let solo = run_topology(solo_cfg, &dict, docs.clone()).unwrap();
 
     let dir: PathBuf = std::env::temp_dir().join(format!("ssj-slide-eq-{}", std::process::id()));
@@ -133,6 +133,7 @@ fn sliding_group_run_matches_single_process() {
     let handles: Vec<_> = (0..config.workers)
         .map(|w| {
             let dir = dir.clone();
+            let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("ssj-worker-{w}"))
                 .spawn(move || {

@@ -119,6 +119,26 @@ impl FpTree {
         &self.order
     }
 
+    /// Approximate heap footprint of the tree arena in bytes: the SoA node
+    /// vectors, the document pool, and the hash indexes (counted at entry
+    /// size, ignoring table load factor). Used by the out-of-core tiering
+    /// layer for budget accounting — an estimate, not an allocator
+    /// measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let nodes = self.label.len();
+        let soa = nodes
+            * (std::mem::size_of::<Pair>()      // label
+                + 5 * std::mem::size_of::<u32>() // parent/depth/branch/first_child/next_sibling
+                + std::mem::size_of::<u32>()); // next_same_label
+        let pool = self.pool.len() * std::mem::size_of::<DocId>()
+            + (self.doc_off.len() + self.doc_len.len() + self.doc_cap.len())
+                * std::mem::size_of::<u32>();
+        let maps = self.child_index.len()
+            * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+            + self.header.len() * (std::mem::size_of::<u64>() + 2 * std::mem::size_of::<u32>());
+        std::mem::size_of::<FpTree>() + soa + pool + maps
+    }
+
     /// Insert one document; returns the terminal node of its path.
     pub fn insert(&mut self, doc: &Document) -> NodeId {
         let mut ordered = std::mem::take(&mut self.reorder_buf);

@@ -117,6 +117,51 @@ impl GroupIndex {
         self.stats
     }
 
+    /// Approximate heap footprint in bytes: live views, docsets, the
+    /// fingerprint buckets, and the cached group slots (hash maps counted
+    /// at entry size, ignoring table load factor). Surfaced by the
+    /// PartitionCreator's `index_bytes` gauge so the out-of-core layer
+    /// (DESIGN.md §4i) can show the incremental index stays compact —
+    /// which is why pane expiry frees it in place instead of spilling it.
+    pub fn approx_bytes(&self) -> usize {
+        let entry = |payload: usize| payload + std::mem::size_of::<u64>();
+        let live: usize = self
+            .live
+            .values()
+            .map(|v| {
+                entry(v.len() * std::mem::size_of::<AvpId>() + std::mem::size_of::<Vec<AvpId>>())
+            })
+            .sum();
+        let docsets: usize = self
+            .docsets
+            .values()
+            .map(|d| entry(d.docs.len() * 4 + std::mem::size_of::<DocSet>()))
+            .sum();
+        let buckets: usize = self
+            .buckets
+            .values()
+            .map(|v| entry(v.len() * 4 + std::mem::size_of::<Vec<u32>>()))
+            .sum();
+        let slots: usize = self
+            .slots
+            .iter()
+            .map(|s| {
+                std::mem::size_of::<Option<Slot>>()
+                    + s.as_ref()
+                        .map_or(0, |s| s.avps.len() * std::mem::size_of::<AvpId>())
+            })
+            .sum();
+        let avp_slot = self.avp_slot.len() * entry(8);
+        std::mem::size_of::<GroupIndex>()
+            + live
+            + docsets
+            + buckets
+            + slots
+            + avp_slot
+            + self.dirty.len() * entry(0)
+            + self.free.len() * 4
+    }
+
     /// Insert one view; returns the id to later [`expire`](Self::expire) it
     /// with. Duplicate pairs within the view count once (as in the batch
     /// path). Ids are handed out in ascending order.

@@ -156,6 +156,26 @@ pub struct RunReport {
     pub windows: Vec<WindowSnapshot>,
     /// Retained window-lifecycle trace events, oldest first.
     pub trace: Vec<TraceEvent>,
+    /// Peak resident-set size of this process in bytes, sampled when the
+    /// run finished (`VmHWM`; 0 on platforms without `/proc`). A run that
+    /// spills should show this staying near the configured budget while
+    /// `spill_bytes` grows.
+    pub peak_rss: u64,
+}
+
+/// Peak resident-set size (`VmHWM`) of the current process in bytes; 0 when
+/// the platform has no `/proc/self/status`.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 impl RunReport {
@@ -255,14 +275,41 @@ impl RunReport {
     }
 
     /// Write the report as JSON lines: one record per `(window, task)`, one
-    /// final record per task, then one record per retained trace event.
+    /// final record per task, one run-level memory record, then one record
+    /// per retained trace event.
     pub fn write_jsonl<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
-        metrics::write_jsonl(out, &self.windows, &self.tasks, &self.trace)
+        metrics::write_jsonl(out, &self.windows, &self.tasks, &self.trace)?;
+        writeln!(
+            out,
+            "{{\"run\":{{\"peak_rss_bytes\":{},\"spill_bytes\":{},\"spill_segments\":{},\"compactions\":{}}}}}",
+            self.peak_rss,
+            self.counter_total("spill_bytes"),
+            self.counter_total("spill_segments"),
+            self.counter_total("compactions"),
+        )
     }
 
-    /// Render the per-component human summary table.
+    /// Render the per-component human summary table, with a run-level
+    /// memory footer (peak RSS and, when the out-of-core tier engaged,
+    /// total spilled bytes and read-back traffic).
     pub fn summary_table(&self) -> String {
-        metrics::summary_table(&self.tasks)
+        let mut out = metrics::summary_table(&self.tasks);
+        out.push_str(&format!(
+            "peak rss {:.1} MiB",
+            self.peak_rss as f64 / (1024.0 * 1024.0)
+        ));
+        let spilled = self.counter_total("spill_bytes");
+        if spilled > 0 {
+            out.push_str(&format!(
+                " | spilled {:.1} MiB in {} segments, {} block reads, {} compactions",
+                spilled as f64 / (1024.0 * 1024.0),
+                self.counter_total("spill_segments"),
+                self.counter_total("segment_reads"),
+                self.counter_total("compactions"),
+            ));
+        }
+        out.push('\n');
+        out
     }
 }
 
@@ -1655,6 +1702,7 @@ fn run_inner<M: Clone + Send + 'static>(
         tasks: registry.snapshot_tasks(),
         windows,
         trace: registry.trace().events(),
+        peak_rss: peak_rss_bytes(),
     })
 }
 

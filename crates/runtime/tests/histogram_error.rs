@@ -1,0 +1,82 @@
+//! Direct accuracy property for the 496-bucket log-linear [`Histogram`]:
+//! every reported quantile is an upper bound on the exact order statistic
+//! with at most `1/2^SUB_BITS = 12.5%` relative error — for any input
+//! distribution, not just the happy-path durations the bolts record.
+//!
+//! The layout promises: values below 8 ns get exact unit buckets; above
+//! that, each power-of-two octave splits into 8 linear sub-buckets, so a
+//! value `v` lands in a bucket whose upper bound is in `[v, v·9/8)`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ssj_runtime::Histogram;
+
+/// Exact order statistic matching the histogram's rank convention:
+/// `rank = max(1, ceil(n·q))`, 1-based into the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Mixed-magnitude sample: uniform octave choice first, then a uniform
+/// value inside it — this hits every bucket family from the exact unit
+/// range through the top octaves, unlike a plain uniform `u64` draw
+/// (which almost never produces small values).
+fn sample() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        (0u32..63, any::<u64>()).prop_map(|(octave, raw)| raw >> octave),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn quantiles_within_one_eighth(values in sample(), qs_mil in vec(0u32..=1000, 1..8)) {
+        let qs: Vec<f64> = qs_mil.into_iter().map(|q| q as f64 / 1000.0).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in qs {
+            let exact = exact_quantile(&sorted, q);
+            let got = snap.quantile_ns(q);
+            // Never an underestimate...
+            prop_assert!(
+                got >= exact,
+                "q={q}: histogram {got} < exact {exact}"
+            );
+            // ...and at most 12.5% over. Small values are exact.
+            if exact < 8 {
+                prop_assert_eq!(got, exact, "q={}: sub-8ns values are exact", q);
+            } else {
+                let bound = exact.saturating_add(exact / 8);
+                prop_assert!(
+                    got <= bound,
+                    "q={q}: histogram {got} > {bound} (exact {exact} + 12.5%)"
+                );
+            }
+        }
+    }
+
+    /// Extremes are pinned regardless of distribution: p0 maps to the
+    /// smallest recorded bucket, p1 to the largest.
+    #[test]
+    fn extreme_quantiles_bracket_the_sample(values in sample()) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        prop_assert!(snap.quantile_ns(0.0) >= sorted[0]);
+        prop_assert!(snap.quantile_ns(1.0) >= sorted[sorted.len() - 1]);
+    }
+}

@@ -1,68 +1,102 @@
 #!/usr/bin/env bash
-# Repo-wide hygiene gate: formatting, lints, tests.
+# Repo-wide hygiene gate: formatting, lints, tests, smoke benches.
 #
 # Usage: scripts/check.sh
 # Run from anywhere; operates on the workspace containing this script.
+#
+# Every stage is named and timed; on failure the exit trap prints which
+# stage died and after how long, so a red CI run names its culprit in the
+# final log line instead of requiring a scroll-back.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+CURRENT_STAGE="(startup)"
+STAGE_START=$SECONDS
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+on_exit() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAILED in stage '$CURRENT_STAGE' after $((SECONDS - STAGE_START))s (exit $status)" >&2
+    fi
+}
+trap on_exit EXIT
 
-echo "==> cargo test -q"
-cargo test -q
+# stage NAME CMD... — announce, run, report wall time.
+stage() {
+    CURRENT_STAGE=$1
+    shift
+    echo "==> $CURRENT_STAGE"
+    STAGE_START=$SECONDS
+    "$@"
+    echo "    $CURRENT_STAGE: $((SECONDS - STAGE_START))s"
+}
 
-echo "==> chaos smoke (fault injection + supervised recovery, legacy + pooled)"
-cargo test -q -p ssj-runtime --test chaos
-cargo test -q -p ssj-partition --test cross_partitioners
+stage "fmt" cargo fmt --check
 
-echo "==> pooled scheduler smoke (pooled == thread-per-task join output)"
-cargo test -q -p ssj-core --test sched_equivalence
-cargo test -q -p ssj-runtime --test metrics_conservation
+stage "clippy" cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> shared-nothing scale-out smoke (wire codec, socket groups == single process,"
-echo "    2-worker Unix-socket CLI run incl. a killed-and-relaunched worker)"
-cargo test -q -p ssj-core --test wire_codec
-cargo test -q -p ssj-core --test distributed_equivalence
-cargo test -q -p ssj-cli --test distributed
+stage "test" cargo test -q
 
-echo "==> sliding-window smoke (pane-chained runtime == oracle == brute force,"
-echo "    route-cache expiry on pane eviction, crash-and-recover inside a sliding run)"
-cargo test -q -p ssj-core --test sliding_equivalence
-cargo test -q -p ssj-core --test route_cache_expiry
-cargo test -q -p ssj-core --test sliding_chaos
+# Fault injection + supervised recovery, legacy + pooled.
+stage "chaos smoke" cargo test -q -p ssj-runtime --test chaos
+stage "partitioner differential" cargo test -q -p ssj-partition --test cross_partitioners
 
-echo "==> partitioning pipeline smoke bench vs committed baseline (+ claims)"
-cargo build --release -q -p ssj-bench --bin bench_partition
-./target/release/bench_partition --check BENCH_partition.json
+# Pooled == thread-per-task join output; metric conservation laws.
+stage "scheduler equivalence" cargo test -q -p ssj-core --test sched_equivalence
+stage "metrics conservation" cargo test -q -p ssj-runtime --test metrics_conservation
 
-echo "==> routing allocation audit (count-allocs build, 0 allocs/route)"
-cargo run --release -q -p ssj-bench --features count-allocs --bin bench_partition -- --audit
+# Every reported quantile within 12.5% of the exact order statistic.
+stage "histogram accuracy" cargo test -q -p ssj-runtime --test histogram_error
 
-echo "==> runtime throughput smoke bench vs committed baseline (incl. scheduler gates:"
-echo "    20% regression on sched/*, transport/{inproc,socket} and sliding/* ids,"
-echo "    pooled/legacy >= 1.5x at m=64, >= 0.95x at m=4, sliding 16-pane >= 0.3x 1-pane)"
-cargo build --release -q -p ssj-bench --bin bench_runtime
-./target/release/bench_runtime --check BENCH_runtime.json
+# Wire codec, socket groups == single process, 2-worker Unix-socket CLI
+# run incl. a killed-and-relaunched worker.
+stage "wire codec" cargo test -q -p ssj-core --test wire_codec
+stage "distributed equivalence" cargo test -q -p ssj-core --test distributed_equivalence
+stage "distributed CLI" cargo test -q -p ssj-cli --test distributed
 
-echo "==> metrics overhead gate (join smoke, metrics on vs off, >5% fails)"
-./target/release/bench_runtime --overhead
+# Pane-chained runtime == oracle == brute force, route-cache expiry on
+# pane eviction, crash-and-recover inside a sliding run.
+stage "sliding equivalence" cargo test -q -p ssj-core --test sliding_equivalence
+stage "route-cache expiry" cargo test -q -p ssj-core --test route_cache_expiry
+stage "sliding chaos" cargo test -q -p ssj-core --test sliding_chaos
 
-echo "==> tail-latency smoke vs committed baseline (open-loop paced runs:"
-echo "    constant p99 <= 4x baseline, Zipf straggler probe load with"
-echo "    replication <= 0.7x unreplicated; every run asserts the shed"
-echo "    conservation law offered == dropped + passed)"
-cargo build --release -q -p ssj-bench --bin bench_latency
-./target/release/bench_latency --check BENCH_latency.json
+# Spilled == resident join output across window shapes, batch sizes,
+# schedulers, and a recovered crash; budget 0 provably installs nothing.
+stage "spill equivalence" cargo test -q -p ssj-core --test spill_equivalence
 
-echo "==> replication + shedding smoke (replicated == unreplicated == oracle,"
-echo "    joiner crash holding replica cells recovers byte-identical, shed"
-echo "    counters conserved across replay)"
-cargo test -q -p ssj-core --test replication_equivalence
-cargo test -q -p ssj-core --test replication_chaos
+stage "bench_partition build" cargo build --release -q -p ssj-bench --bin bench_partition
+# Partitioning pipeline smoke bench vs committed baseline (+ claims).
+stage "bench_partition gate" ./target/release/bench_partition --check BENCH_partition.json
 
+# Count-allocs build, 0 allocs/route.
+stage "routing alloc audit" cargo run --release -q -p ssj-bench --features count-allocs --bin bench_partition -- --audit
+
+stage "bench_runtime build" cargo build --release -q -p ssj-bench --bin bench_runtime
+# Throughput vs committed baseline incl. scheduler gates: 20% regression
+# on sched/*, transport/{inproc,socket} and sliding/* ids, pooled/legacy
+# >= 1.5x at m=64, >= 0.95x at m=4, sliding 16-pane >= 0.3x 1-pane.
+stage "bench_runtime gate" ./target/release/bench_runtime --check BENCH_runtime.json
+
+# Join smoke, metrics on vs off, >5% fails.
+stage "metrics overhead gate" ./target/release/bench_runtime --overhead
+
+stage "bench_latency build" cargo build --release -q -p ssj-bench --bin bench_latency
+# Open-loop paced runs: constant p99 <= 4x baseline, Zipf straggler probe
+# load with replication <= 0.7x unreplicated; every run asserts the shed
+# conservation law offered == dropped + passed.
+stage "bench_latency gate" ./target/release/bench_latency --check BENCH_latency.json
+
+stage "bench_spill build" cargo build --release -q -p ssj-bench --bin bench_spill
+# Out-of-core runs: window state >= 10x budget, tier engaged in both
+# directions, spilled probe p99 bounded vs a fresh resident baseline;
+# spilled and resident join output asserted equal inside the binary.
+stage "bench_spill gate" ./target/release/bench_spill --check BENCH_spill.json
+
+# Replicated == unreplicated == oracle, joiner crash holding replica
+# cells recovers byte-identical, shed counters conserved across replay.
+stage "replication equivalence" cargo test -q -p ssj-core --test replication_equivalence
+stage "replication chaos" cargo test -q -p ssj-core --test replication_chaos
+
+CURRENT_STAGE="(done)"
 echo "==> all checks passed"

@@ -102,7 +102,7 @@ fn threaded_topology_matches_pipeline_results() {
         .collect();
 
     // Threaded topology.
-    let topo = run_topology(cfg, &dict, docs.clone()).expect("run");
+    let topo = run_topology(cfg.clone(), &dict, docs.clone()).expect("run");
     assert_eq!(topo.joins_per_window.len(), 3);
     for (w, truth) in truths.iter().enumerate() {
         assert_eq!(&topo.joins_per_window[w], truth, "topology window {w}");
